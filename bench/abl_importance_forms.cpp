@@ -1,0 +1,41 @@
+// A3 — ablation: the paper's Eq. 1 importance factor against its Eq. 6
+// queue-aware generalization across the α sweep. Eq. 6 folds the expected
+// number of queued copies (E[L_pull]·p_i) into both terms; this bench
+// quantifies whether that refinement changes the QoS outcome.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pushpull;
+  const auto opts = bench::parse_options(argc, argv);
+
+  std::cout << "# Importance-factor forms: Eq. 1 vs Eq. 6, theta = 0.60, "
+               "K = 20\n";
+  const auto built = bench::paper_scenario(opts, 0.60).build();
+
+  exp::Table table({"alpha", "form", "delay A", "delay B", "delay C",
+                    "overall", "total cost"});
+  for (double alpha : {0.0, 0.25, 0.50, 0.75, 1.0}) {
+    for (auto kind : {sched::PullPolicyKind::kImportance,
+                      sched::PullPolicyKind::kImportanceQueueAware}) {
+      core::HybridConfig config;
+      config.cutoff = 20;
+      config.alpha = alpha;
+      config.pull_policy = kind;
+      const core::SimResult r = exp::run_hybrid(built, config);
+      table.row()
+          .add(alpha, 2)
+          .add(std::string(kind == sched::PullPolicyKind::kImportance
+                               ? "eq1"
+                               : "eq6"))
+          .add(r.mean_wait(0), 2)
+          .add(r.mean_wait(1), 2)
+          .add(r.mean_wait(2), 2)
+          .add(r.overall().wait.mean(), 2)
+          .add(r.total_prioritized_cost(built.population), 2);
+    }
+  }
+  bench::emit(table, opts);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction binaries: every bench builds
+// the paper's §5.1 scenario through exp::Scenario, replays the identical
+// trace across configurations (paired comparison), and prints its series
+// through exp::Table. Pass --csv to any bench for machine-readable output.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "exp/plots.hpp"
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+
+namespace pushpull::bench {
+
+struct BenchOptions {
+  bool csv = false;
+  std::size_t num_requests = 60000;
+  std::uint64_t seed = 20050614;
+  /// When non-empty, benches additionally emit <prefix>.dat/.gp gnuplot
+  /// files rendering the figure.
+  std::string plot_prefix;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--requests" && i + 1 < argc) {
+      opts.num_requests = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::stoull(argv[++i]);
+    } else if (arg == "--plot" && i + 1 < argc) {
+      opts.plot_prefix = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: [--csv] [--requests N] [--seed S] "
+                   "[--plot PREFIX]\n";
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+inline exp::Scenario paper_scenario(const BenchOptions& opts, double theta) {
+  exp::Scenario s;
+  s.theta = theta;
+  s.num_requests = opts.num_requests;
+  s.seed = opts.seed;
+  return s;
+}
+
+inline void emit(const exp::Table& table, const BenchOptions& opts) {
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// The cutoff grid every delay/cost sweep uses (the paper plots K along the
+/// x-axis of Figs. 3–5 and 7).
+inline const std::size_t kCutoffGrid[] = {5,  10, 20, 30, 40, 50,
+                                          60, 70, 80, 90, 100};
+
+}  // namespace pushpull::bench

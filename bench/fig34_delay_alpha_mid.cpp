@@ -1,0 +1,38 @@
+// F4b — the Figs. 3–4 family at the intermediate α the paper also ran
+// (α ∈ {0.25, 0.50, 0.75}), θ = 0.60: delay vs cutoff per class, showing
+// the class separation shrinking smoothly as α moves from priority (0)
+// toward stretch (1).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pushpull;
+  const auto opts = bench::parse_options(argc, argv);
+
+  std::cout << "# Figures 3-4 family — delay vs cutoff for intermediate "
+               "alpha, theta = 0.60\n";
+  exp::Table table({"alpha", "K", "delay A", "delay B", "delay C", "overall",
+                    "A/C ratio"});
+  const auto built = bench::paper_scenario(opts, 0.60).build();
+  for (double alpha : {0.25, 0.50, 0.75}) {
+    for (std::size_t k : bench::kCutoffGrid) {
+      core::HybridConfig config;
+      config.cutoff = k;
+      config.alpha = alpha;
+      const core::SimResult r = exp::run_hybrid(built, config);
+      const double a = r.mean_wait(0);
+      const double c = r.mean_wait(2);
+      table.row()
+          .add(alpha, 2)
+          .add(k)
+          .add(a, 2)
+          .add(r.mean_wait(1), 2)
+          .add(c, 2)
+          .add(r.overall().wait.mean(), 2)
+          .add(c > 0.0 ? a / c : 1.0, 3);
+    }
+  }
+  bench::emit(table, opts);
+  return 0;
+}

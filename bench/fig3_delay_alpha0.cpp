@@ -1,0 +1,50 @@
+// F3 — Figure 3: per-class expected delay vs. cutoff point K at α = 0
+// (pure priority selection), for every access skew θ in the paper's grid.
+//
+// Paper claims to check: delay is worst at small K; Class-A stays the
+// fastest class, Class-C the slowest; the bands separate clearly at α = 0.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pushpull;
+  const auto opts = bench::parse_options(argc, argv);
+
+  std::cout << "# Figure 3 — delay vs cutoff, alpha = 0.0 (priority-only "
+               "pull selection)\n";
+  exp::Table table({"theta", "K", "delay A", "delay B", "delay C", "overall"});
+  exp::PlotSpec plot;
+  plot.title = "Fig. 3 - delay vs cutoff, alpha = 0 (theta = 0.60)";
+  plot.xlabel = "cutoff K";
+  plot.ylabel = "mean delay (broadcast units)";
+  plot.series = {{"class A", {}}, {"class B", {}}, {"class C", {}}};
+  for (double theta : {0.20, 0.60, 1.00, 1.40}) {
+    const auto built = bench::paper_scenario(opts, theta).build();
+    for (std::size_t k : bench::kCutoffGrid) {
+      core::HybridConfig config;
+      config.cutoff = k;
+      config.alpha = 0.0;
+      const core::SimResult r = exp::run_hybrid(built, config);
+      table.row()
+          .add(theta, 2)
+          .add(k)
+          .add(r.mean_wait(0), 2)
+          .add(r.mean_wait(1), 2)
+          .add(r.mean_wait(2), 2)
+          .add(r.overall().wait.mean(), 2);
+      if (theta == 0.60) {
+        const auto x = static_cast<double>(k);
+        plot.series[0].points.emplace_back(x, r.mean_wait(0));
+        plot.series[1].points.emplace_back(x, r.mean_wait(1));
+        plot.series[2].points.emplace_back(x, r.mean_wait(2));
+      }
+    }
+  }
+  bench::emit(table, opts);
+  if (!opts.plot_prefix.empty()) {
+    exp::write_gnuplot(opts.plot_prefix, plot);
+    std::cout << "# wrote " << opts.plot_prefix << ".dat/.gp\n";
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// F4 — Figure 4: per-class expected delay vs. cutoff point K at α = 1
+// (stretch-optimal pull selection, priority ignored), for every θ.
+//
+// Paper claims to check: with priority out of the importance factor the
+// class bands collapse toward each other, while the delay-vs-K shape stays.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pushpull;
+  const auto opts = bench::parse_options(argc, argv);
+
+  std::cout << "# Figure 4 — delay vs cutoff, alpha = 1.0 (stretch-only "
+               "pull selection)\n";
+  exp::Table table({"theta", "K", "delay A", "delay B", "delay C", "overall"});
+  for (double theta : {0.20, 0.60, 1.00, 1.40}) {
+    const auto built = bench::paper_scenario(opts, theta).build();
+    for (std::size_t k : bench::kCutoffGrid) {
+      core::HybridConfig config;
+      config.cutoff = k;
+      config.alpha = 1.0;
+      const core::SimResult r = exp::run_hybrid(built, config);
+      table.row()
+          .add(theta, 2)
+          .add(k)
+          .add(r.mean_wait(0), 2)
+          .add(r.mean_wait(1), 2)
+          .add(r.mean_wait(2), 2)
+          .add(r.overall().wait.mean(), 2);
+    }
+  }
+  bench::emit(table, opts);
+  return 0;
+}

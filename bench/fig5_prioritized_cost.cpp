@@ -1,0 +1,46 @@
+// F5 — Figure 5: prioritized cost (q_j × expected delay) vs. cutoff point
+// for each class, α ∈ {0.25, 0.75}, θ = 0.60. The operative output is the
+// interior cutoff K* that minimizes the total prioritized cost.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/cutoff_optimizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pushpull;
+  const auto opts = bench::parse_options(argc, argv);
+
+  std::cout << "# Figure 5 — prioritized cost vs cutoff, theta = 0.60\n";
+  const auto built = bench::paper_scenario(opts, 0.60).build();
+
+  exp::Table table(
+      {"alpha", "K", "cost A", "cost B", "cost C", "total cost"});
+  for (double alpha : {0.25, 0.75}) {
+    std::size_t best_k = 0;
+    double best_cost = 0.0;
+    bool first = true;
+    for (std::size_t k : bench::kCutoffGrid) {
+      core::HybridConfig config;
+      config.cutoff = k;
+      config.alpha = alpha;
+      const core::SimResult r = exp::run_hybrid(built, config);
+      const double total = r.total_prioritized_cost(built.population);
+      table.row()
+          .add(alpha, 2)
+          .add(k)
+          .add(r.prioritized_cost(built.population, 0), 2)
+          .add(r.prioritized_cost(built.population, 1), 2)
+          .add(r.prioritized_cost(built.population, 2), 2)
+          .add(total, 2);
+      if (first || total < best_cost) {
+        best_cost = total;
+        best_k = k;
+        first = false;
+      }
+    }
+    std::cout << "# alpha = " << alpha << ": optimal cutoff K* = " << best_k
+              << " with total prioritized cost " << best_cost << "\n";
+  }
+  bench::emit(table, opts);
+  return 0;
+}

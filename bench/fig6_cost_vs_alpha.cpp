@@ -1,0 +1,38 @@
+// F6 — Figure 6: total optimal prioritized cost vs. α for
+// θ ∈ {0.20, 0.60, 1.40}. For every (θ, α) the cutoff is re-optimized
+// (the paper's periodic K-scan) and the minimum total cost is reported.
+//
+// Paper claim to check: the optimal cost falls as α decreases — the more
+// the importance factor weighs client priority, the cheaper the system.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/cutoff_optimizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pushpull;
+  const auto opts = bench::parse_options(argc, argv);
+
+  std::cout << "# Figure 6 — total optimal prioritized cost vs alpha\n";
+  exp::Table table({"theta", "alpha", "K*", "optimal total cost"});
+  for (double theta : {0.20, 0.60, 1.40}) {
+    const auto built = bench::paper_scenario(opts, theta).build();
+    for (double alpha : {0.0, 0.25, 0.50, 0.75, 1.0}) {
+      const auto cost = [&](std::size_t k) {
+        core::HybridConfig config;
+        config.cutoff = k;
+        config.alpha = alpha;
+        return exp::run_hybrid(built, config)
+            .total_prioritized_cost(built.population);
+      };
+      const core::CutoffScan scan = core::scan_cutoffs(5, 100, 10, cost);
+      table.row()
+          .add(theta, 2)
+          .add(alpha, 2)
+          .add(scan.best_cutoff)
+          .add(scan.best_cost, 2);
+    }
+  }
+  bench::emit(table, opts);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// P1: micro-benchmarks of the hot paths — pull-queue operations, Zipf
+// sampling, the event queue, and a full hybrid run.
+#include <benchmark/benchmark.h>
+
+#include "core/pull_queue.hpp"
+#include "des/simulator.hpp"
+#include "exp/scenario.hpp"
+#include "rng/zipf.hpp"
+
+namespace {
+
+using namespace pushpull;
+
+void BM_ZipfSample(benchmark::State& state) {
+  rng::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+  rng::Xoshiro256ss eng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(eng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+void BM_PullQueueAddExtract(benchmark::State& state) {
+  const auto policy = sched::make_pull_policy(
+      sched::PullPolicyKind::kImportance, 0.5);
+  rng::Xoshiro256ss eng(3);
+  rng::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.8);
+  for (auto _ : state) {
+    core::PullQueue queue;
+    for (std::uint64_t r = 0; r < 256; ++r) {
+      workload::Request req;
+      req.id = r;
+      req.item = static_cast<catalog::ItemId>(zipf.sample(eng));
+      req.arrival = static_cast<double>(r);
+      queue.add(req, 1.0, 2.0, 0.01);
+    }
+    sched::PullContext ctx{256.0, 1.0};
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.extract_best(*policy, ctx));
+    }
+  }
+}
+BENCHMARK(BM_PullQueueAddExtract)->Arg(100)->Arg(1000);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_in(static_cast<double>((i * 37) % 101), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.dispatched_events());
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_HybridRun(benchmark::State& state) {
+  exp::Scenario scenario;
+  scenario.num_requests = static_cast<std::size_t>(state.range(0));
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp::run_hybrid(built, config));
+  }
+}
+BENCHMARK(BM_HybridRun)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

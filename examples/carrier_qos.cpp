@@ -1,0 +1,97 @@
+// Carrier scenario: a wireless operator with gold/silver/bronze subscriber
+// tiers must (a) keep gold delay low and (b) keep gold blocking near zero
+// on a bandwidth-constrained downlink. This example sizes the per-tier
+// bandwidth partition by sweeping the gold share, then reports the QoS
+// each tier actually receives — the paper's end-to-end story.
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace pushpull;
+
+  // The operator's catalog: 100 items, moderately skewed popularity; three
+  // subscriber tiers with priorities 3:2:1, gold being the smallest tier.
+  exp::Scenario scenario;
+  scenario.theta = 0.60;
+  scenario.num_requests = 60000;
+  const auto built = scenario.build();
+
+  std::cout << "carrier_qos — sizing per-tier bandwidth on a constrained "
+               "downlink\n\n";
+  std::cout << "subscriber mix:\n";
+  for (workload::ClassId c = 0; c < built.population.num_classes(); ++c) {
+    std::cout << "  " << built.population.cls(c).name << ": priority "
+              << built.population.priority(c) << ", share "
+              << built.population.share(c) << "\n";
+  }
+
+  // Step 1: sweep the gold bandwidth share on the constrained channel.
+  std::cout << "\nstep 1 — gold bandwidth share sweep (total bandwidth 5, "
+               "mean demand 2, K = 10):\n";
+  exp::Table sweep({"gold share", "gold block", "silver block",
+                    "bronze block", "gold delay"});
+  double chosen_share = 1.0 / 3.0;
+  double chosen_blocking = 1.0;
+  constexpr double kGoldBlockingSla = 0.05;  // at most 5% gold drops
+  bool met = false;
+  for (double share : {0.2, 1.0 / 3.0, 0.5, 0.7, 0.85}) {
+    core::HybridConfig config;
+    config.cutoff = 10;
+    config.alpha = 0.25;  // priority-leaning importance factor
+    config.total_bandwidth = 5.0;
+    config.mean_bandwidth_demand = 2.0;
+    const double rest = (1.0 - share) / 2.0;
+    config.bandwidth_fractions = {share, rest, rest};
+    const core::SimResult r = exp::run_hybrid(built, config);
+    sweep.row()
+        .add(share, 2)
+        .add(r.per_class[0].blocking_ratio(), 4)
+        .add(r.per_class[1].blocking_ratio(), 4)
+        .add(r.per_class[2].blocking_ratio(), 4)
+        .add(r.mean_wait(0), 2);
+    const double gold_blocking = r.per_class[0].blocking_ratio();
+    if (!met && gold_blocking <= kGoldBlockingSla) {
+      chosen_share = share;
+      chosen_blocking = gold_blocking;
+      met = true;
+    } else if (!met && gold_blocking < chosen_blocking) {
+      chosen_share = share;  // best so far, in case nothing meets the SLA
+      chosen_blocking = gold_blocking;
+    }
+  }
+  sweep.print(std::cout);
+  if (met) {
+    std::cout << "\nsmallest gold share meeting the " << kGoldBlockingSla * 100
+              << "% blocking SLA: " << chosen_share << "\n";
+  } else {
+    std::cout << "\nno swept share meets the " << kGoldBlockingSla * 100
+              << "% SLA on this channel; using the share with the lowest "
+                 "gold blocking ("
+              << chosen_share << ", blocking " << chosen_blocking << ")\n";
+  }
+
+  // Step 2: with the partition fixed, report the final per-tier QoS.
+  core::HybridConfig final_config;
+  final_config.cutoff = 10;
+  final_config.alpha = 0.25;
+  final_config.total_bandwidth = 5.0;
+  final_config.mean_bandwidth_demand = 2.0;
+  const double rest = (1.0 - chosen_share) / 2.0;
+  final_config.bandwidth_fractions = {chosen_share, rest, rest};
+  const core::SimResult r = exp::run_hybrid(built, final_config);
+
+  std::cout << "\nstep 2 — delivered QoS:\n";
+  exp::Table qos({"tier", "mean delay", "p-cost", "blocking", "served"});
+  for (workload::ClassId c = 0; c < built.population.num_classes(); ++c) {
+    qos.row()
+        .add(std::string(built.population.cls(c).name))
+        .add(r.mean_wait(c), 2)
+        .add(r.prioritized_cost(built.population, c), 2)
+        .add(r.per_class[c].blocking_ratio(), 4)
+        .add(static_cast<std::size_t>(r.per_class[c].served));
+  }
+  qos.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Trace record/replay: capture a workload to CSV, load it back, and replay
+// it against two scheduler configurations. Replay is what makes every
+// comparison in this library *paired* — both configurations see the exact
+// same request stream.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+#include "workload/request_generator.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace pushpull;
+
+  exp::Scenario scenario;
+  scenario.num_requests = 30000;
+  const auto built = scenario.build();
+
+  // 1. Record a fresh trace (independent of the scenario's own trace) and
+  //    round-trip it through CSV.
+  workload::RequestGenerator gen(built.catalog, built.population,
+                                 scenario.arrival_rate, /*seed=*/777);
+  const workload::Trace recorded = workload::Trace::record(gen, 30000);
+
+  const char* path = "trace_replay_example.csv";
+  {
+    std::ofstream out(path);
+    recorded.save_csv(out);
+  }
+  workload::Trace loaded;
+  {
+    std::ifstream in(path);
+    loaded = workload::Trace::load_csv(in);
+  }
+  std::cout << "trace_replay — recorded " << recorded.size()
+            << " requests spanning " << recorded.span()
+            << " broadcast units; reloaded " << loaded.size()
+            << " from " << path << "\n\n";
+
+  // 2. Replay the same trace under two configurations.
+  core::HybridConfig priority_leaning;
+  priority_leaning.cutoff = 30;
+  priority_leaning.alpha = 0.25;
+
+  core::HybridConfig stretch_leaning = priority_leaning;
+  stretch_leaning.alpha = 0.75;
+
+  core::HybridServer server_a(built.catalog, built.population,
+                              priority_leaning);
+  core::HybridServer server_b(built.catalog, built.population,
+                              stretch_leaning);
+  const core::SimResult ra = server_a.run(loaded);
+  const core::SimResult rb = server_b.run(loaded);
+
+  exp::Table table({"config", "delay A", "delay B", "delay C", "overall",
+                    "total cost"});
+  table.row()
+      .add("alpha=0.25 (priority-leaning)")
+      .add(ra.mean_wait(0), 2)
+      .add(ra.mean_wait(1), 2)
+      .add(ra.mean_wait(2), 2)
+      .add(ra.overall().wait.mean(), 2)
+      .add(ra.total_prioritized_cost(built.population), 2);
+  table.row()
+      .add("alpha=0.75 (stretch-leaning)")
+      .add(rb.mean_wait(0), 2)
+      .add(rb.mean_wait(1), 2)
+      .add(rb.mean_wait(2), 2)
+      .add(rb.overall().wait.mean(), 2)
+      .add(rb.total_prioritized_cost(built.population), 2);
+  table.print(std::cout);
+
+  std::cout << "\nidentical arrivals, identical items — only the pull "
+               "selection changed.\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "airindex/one_m_index.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/stream.hpp"
+#include "rng/uniform.hpp"
+
+namespace pushpull::airindex {
+
+OneMIndexModel::OneMIndexModel(const catalog::Catalog& cat,
+                               std::size_t cutoff, double index_airtime,
+                               std::size_t m)
+    : cat_(&cat), cutoff_(cutoff), index_airtime_(index_airtime), m_(m) {
+  if (cutoff == 0 || cutoff > cat.size()) {
+    throw std::invalid_argument(
+        "OneMIndexModel: cutoff must be in [1, catalog size]");
+  }
+  if (index_airtime <= 0.0) {
+    throw std::invalid_argument("OneMIndexModel: index airtime must be > 0");
+  }
+  if (m == 0) {
+    throw std::invalid_argument("OneMIndexModel: m must be >= 1");
+  }
+  data_ = cat.push_cycle_length(cutoff);
+  const double mass = cat.push_probability(cutoff);
+  mean_item_airtime_ =
+      mass > 0.0 ? cat.push_service_demand(cutoff) / mass
+                 : data_ / static_cast<double>(cutoff);
+}
+
+double OneMIndexModel::expected_access_time() const noexcept {
+  const double cycle = cycle_airtime();
+  const double segment = data_ / static_cast<double>(m_);
+  const double period = segment + index_airtime_;
+
+  // Exact popularity-weighted wait from the end of an index read to the
+  // item's start. The naive cycle/2 is wrong for a flat rank-order
+  // broadcast: popular items sit right after the cycle's start, so the
+  // weighted wait is shorter. The client's index copy is uniform over the
+  // m copies (the wake-up is uniform), hence the average over s.
+  const double mass = cat_->push_probability(cutoff_);
+  double item_wait = 0.0;
+  double offset = 0.0;
+  for (std::size_t i = 0; i < cutoff_; ++i) {
+    const auto id = static_cast<catalog::ItemId>(i);
+    auto seg = static_cast<std::size_t>(offset / segment);
+    if (seg >= m_) seg = m_ - 1;
+    const double start_in_cycle =
+        offset + static_cast<double>(seg + 1) * index_airtime_;
+    const double weight = mass > 0.0 ? cat_->probability(id) / mass
+                                     : 1.0 / static_cast<double>(cutoff_);
+    for (std::size_t s = 0; s < m_; ++s) {
+      const double idx_done =
+          static_cast<double>(s) * period + index_airtime_;
+      double wait = std::fmod(start_in_cycle - idx_done, cycle);
+      if (wait < 0.0) wait += cycle;
+      item_wait += weight * wait / static_cast<double>(m_);
+    }
+    offset += cat_->length(id);
+  }
+
+  // probe + wait to the next index copy + index read + wait to the item +
+  // the item's own airtime.
+  return 1.0 + period / 2.0 + index_airtime_ + item_wait +
+         mean_item_airtime_;
+}
+
+double OneMIndexModel::expected_tuning_time() const noexcept {
+  return 1.0 + index_airtime_ + mean_item_airtime_;
+}
+
+double OneMIndexModel::unindexed_access_time() const noexcept {
+  return data_ / 2.0 + mean_item_airtime_;
+}
+
+std::size_t OneMIndexModel::optimal_m(double data_airtime,
+                                      double index_airtime) {
+  if (data_airtime <= 0.0 || index_airtime <= 0.0) {
+    throw std::invalid_argument("optimal_m: airtimes must be > 0");
+  }
+  const double m_star = std::sqrt(data_airtime / index_airtime);
+  return m_star < 1.0 ? 1 : static_cast<std::size_t>(std::lround(m_star));
+}
+
+OneMIndexModel::Sampled OneMIndexModel::simulate(std::size_t probes,
+                                                 std::uint64_t seed) const {
+  if (probes == 0) {
+    throw std::invalid_argument("OneMIndexModel: probes must be >= 1");
+  }
+  // Popularity-conditioned sampler over the push set, plus item start
+  // offsets in data coordinates.
+  std::vector<double> weights(cutoff_);
+  std::vector<double> data_start(cutoff_);
+  double offset = 0.0;
+  for (std::size_t i = 0; i < cutoff_; ++i) {
+    weights[i] = cat_->probability(static_cast<catalog::ItemId>(i));
+    data_start[i] = offset;
+    offset += cat_->length(static_cast<catalog::ItemId>(i));
+  }
+  rng::AliasTable push_sampler(weights);
+  auto eng = rng::StreamFactory(seed).stream("airindex-probes");
+
+  const double segment = data_ / static_cast<double>(m_);
+  const double period = segment + index_airtime_;
+  const double cycle = cycle_airtime();
+
+  // Map a data coordinate into cycle coordinates: each data segment s is
+  // preceded by one index copy, so x gains (s + 1) index airtimes. Items
+  // straddling a segment boundary are approximated as contiguous from
+  // their mapped start.
+  const auto to_cycle = [&](double x) {
+    auto s = static_cast<std::size_t>(x / segment);
+    if (s >= m_) s = m_ - 1;  // boundary rounding
+    return x + static_cast<double>(s + 1) * index_airtime_;
+  };
+
+  double access_sum = 0.0;
+  double tuning_sum = 0.0;
+  for (std::size_t p = 0; p < probes; ++p) {
+    const double wake = rng::uniform(eng, 0.0, cycle);
+    const double after_probe = wake + 1.0;
+    // Doze until the next full index copy begins.
+    const double idx_start =
+        std::ceil(after_probe / period) * period;
+    const double idx_done = idx_start + index_airtime_;
+
+    const auto item = static_cast<std::size_t>(push_sampler.sample(eng));
+    const double item_len = cat_->length(static_cast<catalog::ItemId>(item));
+    const double start_in_cycle = to_cycle(data_start[item]);
+    // Next occurrence of the item at or after the index read completes.
+    const double k =
+        std::ceil((idx_done - start_in_cycle) / cycle);
+    const double item_start = start_in_cycle + std::max(0.0, k) * cycle;
+    const double delivery = item_start + item_len;
+
+    access_sum += delivery - wake;
+    tuning_sum += 1.0 + index_airtime_ + item_len;
+  }
+  return Sampled{access_sum / static_cast<double>(probes),
+                 tuning_sum / static_cast<double>(probes)};
+}
+
+}  // namespace pushpull::airindex

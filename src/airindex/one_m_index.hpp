@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "catalog/catalog.hpp"
+
+namespace pushpull::airindex {
+
+/// (1, m) air indexing for the push broadcast (Imielinski, Viswanathan,
+/// Badrinath — "Energy Efficient Indexing on Air", 1994 line of work).
+///
+/// Battery-powered clients should doze, not listen: the broadcast cycle is
+/// split into m segments, each prefixed with a full index (airtime
+/// `index_airtime`). A client wakes at a random instant, listens one unit
+/// to learn when the next index starts, dozes, reads the index, dozes again
+/// until its item's slot, and finally receives the item. Two metrics
+/// result:
+///
+///   access time — wake-up to delivery (grows with the index overhead),
+///   tuning time — time actively listening (shrinks dramatically),
+///
+/// with the classic optimum m* = sqrt(data airtime / index airtime)
+/// minimizing access time.
+///
+/// This module scores the paper's flat push cycle under (1, m) indexing —
+/// the energy dimension the paper's delay-only evaluation leaves out.
+class OneMIndexModel {
+ public:
+  /// `cutoff`: the push set [0, cutoff) of `cat` is broadcast; must be
+  /// >= 1. `index_airtime`: airtime of one full index copy, > 0.
+  /// `m`: number of index copies per cycle, >= 1.
+  OneMIndexModel(const catalog::Catalog& cat, std::size_t cutoff,
+                 double index_airtime, std::size_t m);
+
+  [[nodiscard]] std::size_t m() const noexcept { return m_; }
+  [[nodiscard]] double index_airtime() const noexcept {
+    return index_airtime_;
+  }
+
+  /// Data airtime per cycle, Σ_{i<K} L_i.
+  [[nodiscard]] double data_airtime() const noexcept { return data_; }
+
+  /// Full cycle airtime including the m index copies.
+  [[nodiscard]] double cycle_airtime() const noexcept {
+    return data_ + static_cast<double>(m_) * index_airtime_;
+  }
+
+  /// Expected access time for a random wake-up and a popularity-weighted
+  /// random push item:
+  ///   probe (1) + wait to next index (cycle/2m) + index read + wait to the
+  ///   item (cycle/2 on average) + item airtime.
+  [[nodiscard]] double expected_access_time() const noexcept;
+
+  /// Expected tuning (listening) time: initial probe + one index read +
+  /// the item's airtime. Independent of m to first order.
+  [[nodiscard]] double expected_tuning_time() const noexcept;
+
+  /// Expected access time WITHOUT any index: half a (index-free) cycle plus
+  /// the item airtime; tuning equals access (the client can never doze).
+  [[nodiscard]] double unindexed_access_time() const noexcept;
+
+  /// The access-optimal number of index copies, m* = sqrt(data / index),
+  /// rounded to the nearest integer >= 1.
+  [[nodiscard]] static std::size_t optimal_m(double data_airtime,
+                                             double index_airtime);
+
+  /// Monte-Carlo estimate of (access, tuning) over `probes` random client
+  /// wake-ups with popularity-weighted item choice; validates the closed
+  /// forms in the tests.
+  struct Sampled {
+    double access = 0.0;
+    double tuning = 0.0;
+  };
+  [[nodiscard]] Sampled simulate(std::size_t probes,
+                                 std::uint64_t seed) const;
+
+ private:
+  const catalog::Catalog* cat_;
+  std::size_t cutoff_;
+  double index_airtime_;
+  std::size_t m_;
+  double data_;
+  double mean_item_airtime_;  // popularity-weighted over the push set
+};
+
+}  // namespace pushpull::airindex

@@ -1,0 +1,117 @@
+#include "catalog/catalog.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/stream.hpp"
+#include "rng/zipf.hpp"
+
+namespace pushpull::catalog {
+
+Catalog::Catalog(std::size_t num_items, double theta,
+                 const LengthModel& lengths, std::uint64_t seed)
+    : theta_(theta) {
+  rng::ZipfDistribution zipf(num_items, theta);
+  rng::StreamFactory streams(seed);
+  auto eng = streams.stream("catalog-lengths");
+  items_.resize(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    items_[i] =
+        Item{static_cast<ItemId>(i), lengths.sample(eng), zipf.pmf(i)};
+  }
+  finish_build(zipf.probabilities());
+}
+
+Catalog::Catalog(std::vector<double> item_lengths, double theta)
+    : theta_(theta) {
+  if (item_lengths.empty()) {
+    throw std::invalid_argument("Catalog: at least one item required");
+  }
+  rng::ZipfDistribution zipf(item_lengths.size(), theta);
+  items_.resize(item_lengths.size());
+  for (std::size_t i = 0; i < item_lengths.size(); ++i) {
+    if (item_lengths[i] <= 0.0) {
+      throw std::invalid_argument("Catalog: item lengths must be positive");
+    }
+    items_[i] = Item{static_cast<ItemId>(i), item_lengths[i], zipf.pmf(i)};
+  }
+  finish_build(zipf.probabilities());
+}
+
+Catalog::Catalog(std::vector<double> item_lengths,
+                 std::vector<double> popularity_weights) {
+  if (item_lengths.empty()) {
+    throw std::invalid_argument("Catalog: at least one item required");
+  }
+  if (item_lengths.size() != popularity_weights.size()) {
+    throw std::invalid_argument(
+        "Catalog: lengths and popularity weights must align");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < popularity_weights.size(); ++i) {
+    if (popularity_weights[i] < 0.0) {
+      throw std::invalid_argument("Catalog: negative popularity weight");
+    }
+    if (i > 0 && popularity_weights[i] > popularity_weights[i - 1]) {
+      throw std::invalid_argument(
+          "Catalog: popularity weights must be in rank (non-increasing) "
+          "order");
+    }
+    total += popularity_weights[i];
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("Catalog: popularity weights sum to zero");
+  }
+  items_.resize(item_lengths.size());
+  std::vector<double> pmf(popularity_weights.size());
+  for (std::size_t i = 0; i < item_lengths.size(); ++i) {
+    if (item_lengths[i] <= 0.0) {
+      throw std::invalid_argument("Catalog: item lengths must be positive");
+    }
+    pmf[i] = popularity_weights[i] / total;
+    items_[i] = Item{static_cast<ItemId>(i), item_lengths[i], pmf[i]};
+  }
+  finish_build(pmf);
+}
+
+void Catalog::finish_build(std::span<const double> pmf) {
+  sampler_ = rng::AliasTable(pmf);
+  const std::size_t n = items_.size();
+  prefix_prob_.assign(n + 1, 0.0);
+  prefix_len_.assign(n + 1, 0.0);
+  prefix_prob_len_.assign(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_prob_[i + 1] = prefix_prob_[i] + items_[i].access_prob;
+    prefix_len_[i + 1] = prefix_len_[i] + items_[i].length;
+    prefix_prob_len_[i + 1] =
+        prefix_prob_len_[i] + items_[i].access_prob * items_[i].length;
+  }
+}
+
+double Catalog::push_probability(std::size_t cutoff) const noexcept {
+  return prefix_prob_[cutoff];
+}
+
+double Catalog::pull_probability(std::size_t cutoff) const noexcept {
+  return prefix_prob_.back() - prefix_prob_[cutoff];
+}
+
+double Catalog::push_service_demand(std::size_t cutoff) const noexcept {
+  return prefix_prob_len_[cutoff];
+}
+
+double Catalog::pull_service_demand(std::size_t cutoff) const noexcept {
+  return prefix_prob_len_.back() - prefix_prob_len_[cutoff];
+}
+
+double Catalog::push_cycle_length(std::size_t cutoff) const noexcept {
+  return prefix_len_[cutoff];
+}
+
+double Catalog::pull_mean_length(std::size_t cutoff) const noexcept {
+  const double mass = pull_probability(cutoff);
+  if (mass <= 0.0) return 0.0;
+  return pull_service_demand(cutoff) / mass;
+}
+
+}  // namespace pushpull::catalog

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/item.hpp"
+#include "catalog/length_model.hpp"
+#include "rng/alias_table.hpp"
+
+namespace pushpull::catalog {
+
+/// The server database: D items in popularity-rank order (most popular
+/// first) with access probabilities and variable lengths. Immutable once
+/// built — schedulers refer to items by id and never mutate the catalog.
+///
+/// Probabilities are usually Zipf(θ) per the paper, but an explicit
+/// probability vector is also accepted (the adaptive server builds catalogs
+/// from *estimated* popularities when it re-optimizes the cutoff).
+class Catalog {
+ public:
+  /// Zipf(theta) popularities; lengths drawn from `lengths` using `seed`
+  /// (streamed, so the same seed gives the same catalog regardless of what
+  /// else consumes randomness).
+  Catalog(std::size_t num_items, double theta, const LengthModel& lengths,
+          std::uint64_t seed);
+
+  /// Explicit lengths; popularities are Zipf(theta).
+  Catalog(std::vector<double> item_lengths, double theta);
+
+  /// Fully explicit: lengths and unnormalized popularity weights, already
+  /// in rank order (weights must be non-increasing). theta() reports 0.
+  Catalog(std::vector<double> item_lengths,
+          std::vector<double> popularity_weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// The Zipf skew this catalog was built with (0 for explicit weights).
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+  [[nodiscard]] const Item& item(ItemId id) const noexcept {
+    return items_[id];
+  }
+  [[nodiscard]] std::span<const Item> items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] double length(ItemId id) const noexcept {
+    return items_[id].length;
+  }
+  [[nodiscard]] double probability(ItemId id) const noexcept {
+    return items_[id].access_prob;
+  }
+
+  /// Draws an item id according to the access probabilities.
+  template <typename Engine>
+  [[nodiscard]] ItemId sample(Engine& eng) const {
+    return static_cast<ItemId>(sampler_.sample(eng));
+  }
+
+  /// Σ_{i<K} P_i — probability mass of the push set under cutoff K.
+  [[nodiscard]] double push_probability(std::size_t cutoff) const noexcept;
+
+  /// Σ_{i>=K} P_i — probability mass of the pull set under cutoff K.
+  [[nodiscard]] double pull_probability(std::size_t cutoff) const noexcept;
+
+  /// Paper assumption 2: μ₁ = Σ_{i<K} P_i·L_i, the popularity-weighted
+  /// service demand of the push side.
+  [[nodiscard]] double push_service_demand(std::size_t cutoff) const noexcept;
+
+  /// Paper assumption 2: μ₂ = Σ_{i>=K} P_i·L_i for the pull side.
+  [[nodiscard]] double pull_service_demand(std::size_t cutoff) const noexcept;
+
+  /// Total airtime of one flat broadcast cycle over the push set,
+  /// Σ_{i<K} L_i.
+  [[nodiscard]] double push_cycle_length(std::size_t cutoff) const noexcept;
+
+  /// Popularity-weighted mean length of the pull set,
+  /// Σ_{i>=K} P_i·L_i / Σ_{i>=K} P_i (0 if the pull set is empty).
+  [[nodiscard]] double pull_mean_length(std::size_t cutoff) const noexcept;
+
+ private:
+  void finish_build(std::span<const double> pmf);
+
+  std::vector<Item> items_;
+  double theta_ = 0.0;
+  rng::AliasTable sampler_;
+  // Prefix sums over rank order, index k = sum over items [0, k).
+  std::vector<double> prefix_prob_;
+  std::vector<double> prefix_len_;
+  std::vector<double> prefix_prob_len_;
+};
+
+/// A cutoff-point view over a catalog: items [0, cutoff) are pushed, items
+/// [cutoff, D) are pulled.
+class Partition {
+ public:
+  Partition(const Catalog& cat, std::size_t cutoff) noexcept
+      : catalog_(&cat), cutoff_(cutoff) {}
+
+  [[nodiscard]] std::size_t cutoff() const noexcept { return cutoff_; }
+  [[nodiscard]] const Catalog& catalog() const noexcept { return *catalog_; }
+
+  [[nodiscard]] bool is_push(ItemId id) const noexcept {
+    return id < cutoff_;
+  }
+  [[nodiscard]] bool is_pull(ItemId id) const noexcept {
+    return id >= cutoff_;
+  }
+  [[nodiscard]] std::size_t push_count() const noexcept { return cutoff_; }
+  [[nodiscard]] std::size_t pull_count() const noexcept {
+    return catalog_->size() - cutoff_;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::size_t cutoff_;
+};
+
+}  // namespace pushpull::catalog

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pushpull::catalog {
+
+/// Index of an item in the catalog. Items are stored in popularity-rank
+/// order, so id 0 is the most popular item — the paper's "item 1".
+using ItemId = std::uint32_t;
+
+/// One database item. Lengths are in broadcast units (airtime of the item);
+/// the paper draws them from {1..5} with mean 2. `access_prob` is the Zipf
+/// popularity P_i; the catalog guarantees these sum to 1.
+struct Item {
+  ItemId id = 0;
+  double length = 1.0;
+  double access_prob = 0.0;
+};
+
+}  // namespace pushpull::catalog

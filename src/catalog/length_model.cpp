@@ -1,0 +1,76 @@
+#include "catalog/length_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pushpull::catalog {
+namespace {
+
+/// Mean of the truncated geometric distribution weight(k) ∝ r^(k-min) on
+/// the integer support [min, max].
+double truncated_geometric_mean(std::uint32_t min, std::uint32_t max,
+                                double r) {
+  double total_weight = 0.0;
+  double total_mass = 0.0;
+  double w = 1.0;
+  for (std::uint32_t k = min; k <= max; ++k, w *= r) {
+    total_weight += w;
+    total_mass += w * static_cast<double>(k);
+  }
+  return total_mass / total_weight;
+}
+
+}  // namespace
+
+LengthModel::LengthModel(std::uint32_t min_length, std::uint32_t max_length,
+                         double mean_length)
+    : min_(min_length), max_(max_length) {
+  if (min_ > max_) {
+    throw std::invalid_argument("LengthModel: min_length > max_length");
+  }
+  if (mean_length <= static_cast<double>(min_) ||
+      mean_length >= static_cast<double>(max_)) {
+    if (min_ == max_ && mean_length == static_cast<double>(min_)) {
+      weights_ = {1.0};
+      table_ = rng::AliasTable(weights_);
+      return;
+    }
+    throw std::invalid_argument(
+        "LengthModel: mean must lie strictly inside (min, max)");
+  }
+
+  // truncated_geometric_mean is strictly increasing in r, from min (r→0) to
+  // max (r→∞); bisect for the ratio that hits the requested mean.
+  double lo = 1e-9;
+  double hi = 1e9;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection: r spans decades
+    if (truncated_geometric_mean(min_, max_, mid) < mean_length) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double r = std::sqrt(lo * hi);
+
+  const std::size_t support = static_cast<std::size_t>(max_ - min_) + 1;
+  weights_.resize(support);
+  double w = 1.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < support; ++i, w *= r) {
+    weights_[i] = w;
+    norm += w;
+  }
+  for (auto& weight : weights_) weight /= norm;
+  table_ = rng::AliasTable(weights_);
+}
+
+double LengthModel::mean() const noexcept {
+  double m = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    m += weights_[i] * static_cast<double>(min_ + i);
+  }
+  return m;
+}
+
+}  // namespace pushpull::catalog

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+
+namespace pushpull::catalog {
+
+/// Generates item lengths per the paper's assumption 3: integer lengths in
+/// [min_length, max_length] with a target mean (default 1..5, mean 2).
+///
+/// The length distribution is truncated-geometric: weight(k) ∝ r^(k-min),
+/// with the ratio r solved numerically so the mean hits `mean_length`
+/// exactly. This gives a one-parameter family that covers any feasible mean
+/// in (min, max) and reduces to uniform when the mean is the midpoint.
+class LengthModel {
+ public:
+  LengthModel(std::uint32_t min_length, std::uint32_t max_length,
+              double mean_length);
+
+  /// Paper defaults: lengths 1..5, mean 2.
+  [[nodiscard]] static LengthModel paper_default() {
+    return LengthModel(1, 5, 2.0);
+  }
+
+  [[nodiscard]] std::uint32_t min_length() const noexcept { return min_; }
+  [[nodiscard]] std::uint32_t max_length() const noexcept { return max_; }
+
+  /// Exact mean of the fitted distribution (equals the requested mean).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Probability of each length value; index 0 corresponds to min_length.
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Draws one length.
+  template <typename Engine>
+  [[nodiscard]] double sample(Engine& eng) const {
+    return static_cast<double>(min_ + table_.sample(eng));
+  }
+
+  /// Draws `count` lengths.
+  template <typename Engine>
+  [[nodiscard]] std::vector<double> generate(Engine& eng,
+                                             std::size_t count) const {
+    std::vector<double> lengths(count);
+    for (auto& len : lengths) len = sample(eng);
+    return lengths;
+  }
+
+ private:
+  std::uint32_t min_;
+  std::uint32_t max_;
+  std::vector<double> weights_;
+  rng::AliasTable table_;
+};
+
+}  // namespace pushpull::catalog

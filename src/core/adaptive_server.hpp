@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "core/pull_queue.hpp"
+#include "core/result.hpp"
+#include "des/simulator.hpp"
+#include "metrics/class_stats.hpp"
+#include "sched/pull/policy.hpp"
+#include "workload/population.hpp"
+#include "workload/popularity_estimator.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::core {
+
+/// Configuration of the adaptive (self-tuning) hybrid server.
+struct AdaptiveConfig {
+  /// Push-set size before the first re-optimization.
+  std::size_t initial_cutoff = 0;
+
+  /// Importance-factor weight (see HybridConfig::alpha).
+  double alpha = 0.5;
+  sched::PullPolicyKind pull_policy = sched::PullPolicyKind::kImportance;
+
+  /// Virtual time between cutoff re-optimizations (the paper's "periodically
+  /// the algorithm is executed for different cutoff-points").
+  double reoptimize_interval = 500.0;
+
+  /// Half-life of the popularity estimator's exponential forgetting.
+  double estimator_half_life = 300.0;
+
+  /// Step of the analytic cutoff scan at each re-optimization.
+  std::size_t scan_step = 5;
+};
+
+/// Outcome of an adaptive run: the usual per-class statistics plus the
+/// trajectory of the cutoff over time.
+struct AdaptiveResult {
+  std::vector<metrics::ClassStats> per_class;
+  des::SimTime end_time = 0.0;
+  std::uint64_t push_transmissions = 0;
+  std::uint64_t pull_transmissions = 0;
+  std::uint64_t reoptimizations = 0;
+  /// (time, push-set size) after every re-optimization, starting with the
+  /// initial configuration at time 0.
+  std::vector<std::pair<des::SimTime, std::size_t>> cutoff_history;
+
+  [[nodiscard]] metrics::ClassStats overall() const {
+    metrics::ClassStats total;
+    for (const auto& s : per_class) {
+      total.wait.merge(s.wait);
+      total.arrived += s.arrived;
+      total.served += s.served;
+      total.served_push += s.served_push;
+      total.served_pull += s.served_pull;
+      total.blocked += s.blocked;
+      total.abandoned += s.abandoned;
+    }
+    return total;
+  }
+  [[nodiscard]] double mean_wait(workload::ClassId cls) const {
+    return per_class[cls].wait.mean();
+  }
+  [[nodiscard]] double total_prioritized_cost(
+      const workload::ClientPopulation& pop) const {
+    double total = 0.0;
+    for (workload::ClassId c = 0; c < per_class.size(); ++c) {
+      total += pop.priority(c) * per_class[c].wait.mean();
+    }
+    return total;
+  }
+};
+
+/// The paper's dynamic variant of the hybrid scheduler: the push set is not
+/// a fixed rank prefix but the top-K items of an *online popularity
+/// estimate*, with K re-optimized periodically against the analytical
+/// access-time model fed with the estimated popularity and the measured
+/// arrival rate. Pending requests migrate when their item changes sides:
+/// a newly-pushed item's queued pull requests become broadcast waiters, and
+/// a newly-pulled item's waiters enter the pull queue.
+///
+/// Compared to HybridServer this class trades the bandwidth/blocking
+/// machinery for adaptivity; both build on the same queue, policies and
+/// DES kernel.
+class AdaptiveHybridServer {
+ public:
+  AdaptiveHybridServer(const catalog::Catalog& cat,
+                       const workload::ClientPopulation& pop,
+                       AdaptiveConfig config);
+
+  [[nodiscard]] AdaptiveResult run(const workload::Trace& trace);
+
+  [[nodiscard]] const AdaptiveConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void on_arrival(const workload::Request& request);
+  void serve_next(bool just_did_push);
+  void start_push();
+  void start_pull();
+  void deliver(const workload::Request& request, bool via_push);
+  void settle_one();
+  void wake_if_idle();
+  void reoptimize();
+  void schedule_reoptimization();
+  void set_push_set(const std::vector<catalog::ItemId>& ranking,
+                    std::size_t cutoff);
+
+  const catalog::Catalog* catalog_;
+  const workload::ClientPopulation* population_;
+  AdaptiveConfig config_;
+
+  des::Simulator sim_;
+  PullQueue pull_queue_;
+  std::unique_ptr<sched::PullPolicy> pull_policy_;
+  workload::PopularityEstimator estimator_;
+
+  std::vector<bool> is_push_;
+  std::vector<catalog::ItemId> push_list_;  // estimated-rank order
+  std::size_t push_pos_ = 0;
+  std::vector<std::vector<workload::Request>> push_waiters_;
+  std::unique_ptr<metrics::ClassCollector> collector_;
+
+  // Run-scoped state.
+  std::uint64_t to_settle_ = 0;
+  std::uint64_t settled_ = 0;
+  std::uint64_t arrived_ = 0;
+  bool server_busy_ = false;
+  std::uint64_t push_transmissions_ = 0;
+  std::uint64_t pull_transmissions_ = 0;
+  std::uint64_t reoptimizations_ = 0;
+  double queue_len_area_ = 0.0;
+  des::SimTime queue_len_last_t_ = 0.0;
+  std::vector<std::pair<des::SimTime, std::size_t>> cutoff_history_;
+};
+
+}  // namespace pushpull::core

@@ -1,0 +1,51 @@
+#include "core/bandwidth_manager.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pushpull::core {
+
+BandwidthManager::BandwidthManager(double total,
+                                   std::vector<double> fractions) {
+  if (total <= 0.0) return;  // unconstrained
+  if (fractions.empty()) {
+    throw std::invalid_argument("BandwidthManager: no class fractions");
+  }
+  double sum = 0.0;
+  for (double f : fractions) {
+    if (f <= 0.0) {
+      throw std::invalid_argument(
+          "BandwidthManager: fractions must be positive");
+    }
+    sum += f;
+  }
+  capacity_.resize(fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    capacity_[i] = total * fractions[i] / sum;
+  }
+  available_ = capacity_;
+}
+
+BandwidthManager::BandwidthManager(double total, std::size_t num_classes)
+    : BandwidthManager(total, std::vector<double>(num_classes, 1.0)) {}
+
+bool BandwidthManager::try_acquire(workload::ClassId cls, double demand) {
+  if (unconstrained()) return true;
+  assert(cls < capacity_.size());
+  if (demand > available_[cls]) {
+    ++rejected_;
+    return false;
+  }
+  available_[cls] -= demand;
+  ++admitted_;
+  return true;
+}
+
+void BandwidthManager::release(workload::ClassId cls, double demand) {
+  if (unconstrained()) return;
+  assert(cls < capacity_.size());
+  available_[cls] += demand;
+  assert(available_[cls] <= capacity_[cls] + 1e-9);
+}
+
+}  // namespace pushpull::core

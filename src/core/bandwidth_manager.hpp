@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/service_class.hpp"
+
+namespace pushpull::core {
+
+/// Per-class downlink bandwidth pools with admission control.
+///
+/// The paper partitions the channel bandwidth among service classes; a pull
+/// transmission demands a Poisson-distributed amount of bandwidth from the
+/// pool of the class it serves and is *blocked* (its pending requests lost)
+/// when the pool cannot cover the demand. Assigning the premium class a
+/// generous fraction is how the paper drives premium blocking to ~0
+/// (abstract, §1, §5).
+///
+/// A non-positive total models an unconstrained channel: every acquisition
+/// succeeds and nothing is tracked. Delay-focused experiments use that mode.
+class BandwidthManager {
+ public:
+  /// Unconstrained channel.
+  BandwidthManager() = default;
+
+  /// `fractions[c]` of `total` is reserved for class c; fractions must be
+  /// positive and are normalized to sum to 1.
+  BandwidthManager(double total, std::vector<double> fractions);
+
+  /// Equal split across `num_classes`.
+  BandwidthManager(double total, std::size_t num_classes);
+
+  [[nodiscard]] bool unconstrained() const noexcept {
+    return capacity_.empty();
+  }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return capacity_.size();
+  }
+  [[nodiscard]] double capacity(workload::ClassId cls) const noexcept {
+    return capacity_[cls];
+  }
+  [[nodiscard]] double available(workload::ClassId cls) const noexcept {
+    return available_[cls];
+  }
+  [[nodiscard]] double in_use(workload::ClassId cls) const noexcept {
+    return capacity_[cls] - available_[cls];
+  }
+
+  /// Attempts to reserve `demand` units from class `cls`'s pool. On success
+  /// the caller must later release() the same amount.
+  [[nodiscard]] bool try_acquire(workload::ClassId cls, double demand);
+
+  /// Returns previously acquired bandwidth to the pool.
+  void release(workload::ClassId cls, double demand);
+
+  /// Cumulative admission outcomes (constrained mode only).
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  std::vector<double> capacity_;
+  std::vector<double> available_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace pushpull::core

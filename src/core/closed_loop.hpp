@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "core/pull_queue.hpp"
+#include "des/simulator.hpp"
+#include "metrics/class_stats.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::core {
+
+/// Configuration of a closed-loop run.
+struct ClosedLoopConfig {
+  /// The paper's C: number of clients cycling think → request → wait.
+  std::size_t num_clients = 50;
+  /// Rate of each client's exponential think time (mean 1/rate between a
+  /// delivery and the client's next request).
+  double think_rate = 0.05;
+  std::size_t cutoff = 0;
+  double alpha = 0.5;
+  sched::PullPolicyKind pull_policy = sched::PullPolicyKind::kImportance;
+  sched::PushPolicyKind push_policy = sched::PushPolicyKind::kFlat;
+  /// Virtual run length and the fraction of it discarded as warm-up.
+  double horizon = 20000.0;
+  double warmup_fraction = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of a closed-loop run.
+struct ClosedLoopResult {
+  std::vector<metrics::ClassStats> per_class;
+  des::SimTime end_time = 0.0;
+  std::uint64_t push_transmissions = 0;
+  std::uint64_t pull_transmissions = 0;
+  /// Deliveries per broadcast unit over the measured window.
+  double throughput = 0.0;
+
+  [[nodiscard]] metrics::ClassStats overall() const {
+    metrics::ClassStats total;
+    for (const auto& s : per_class) {
+      total.wait.merge(s.wait);
+      total.arrived += s.arrived;
+      total.served += s.served;
+      total.served_push += s.served_push;
+      total.served_pull += s.served_pull;
+    }
+    return total;
+  }
+  [[nodiscard]] double mean_wait(workload::ClassId cls) const {
+    return per_class[cls].wait.mean();
+  }
+};
+
+/// Closed-loop hybrid system: a *finite* population of C clients, each
+/// alternating between thinking and waiting for one outstanding request —
+/// the population model the paper's §4.1 analysis assumes ("let C ...
+/// represent the maximum number of clients") but its open-loop simulation
+/// never exercises. Closed loops self-limit: a slow server suppresses the
+/// offered load instead of growing an unbounded queue, so throughput
+/// saturates at the channel capacity as C grows and delay rises smoothly
+/// rather than diverging.
+///
+/// Clients are assigned classes by the population's shares (round-robin by
+/// cumulative share, deterministic) and keep them for the whole run.
+class ClosedLoopServer {
+ public:
+  ClosedLoopServer(const catalog::Catalog& cat,
+                   const workload::ClientPopulation& pop,
+                   ClosedLoopConfig config);
+
+  [[nodiscard]] ClosedLoopResult run();
+
+ private:
+  struct Client {
+    workload::ClassId cls = 0;
+  };
+
+  void think_then_request(std::size_t client);
+  void issue_request(std::size_t client);
+  void serve_next(bool just_did_push);
+  void start_push();
+  void start_pull();
+  void deliver(const workload::Request& request, bool via_push);
+
+  [[nodiscard]] bool measured(des::SimTime at) const noexcept {
+    return at >= config_.warmup_fraction * config_.horizon;
+  }
+
+  const catalog::Catalog* catalog_;
+  const workload::ClientPopulation* population_;
+  ClosedLoopConfig config_;
+
+  des::Simulator sim_;
+  PullQueue pull_queue_;
+  std::unique_ptr<sched::PushScheduler> push_sched_;
+  std::unique_ptr<sched::PullPolicy> pull_policy_;
+  rng::Xoshiro256ss think_eng_;
+  rng::Xoshiro256ss item_eng_;
+
+  std::vector<Client> clients_;
+  // owners_[request id] = issuing client; ids are dense per run.
+  std::vector<std::size_t> owners_;
+  std::vector<std::vector<workload::Request>> push_waiters_;
+  std::unique_ptr<metrics::ClassCollector> collector_;
+
+  bool server_busy_ = false;
+  workload::RequestId next_request_id_ = 0;
+  std::uint64_t push_transmissions_ = 0;
+  std::uint64_t pull_transmissions_ = 0;
+  std::uint64_t measured_served_ = 0;
+};
+
+}  // namespace pushpull::core

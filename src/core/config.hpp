@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+
+namespace pushpull::core {
+
+/// Configuration of one hybrid-server run. Defaults are the paper's
+/// simulation assumptions (§5.1) with the unconstrained-bandwidth channel
+/// used in the delay experiments.
+struct HybridConfig {
+  /// Cutoff point K: items [0, K) are pushed, [K, D) pulled.
+  std::size_t cutoff = 0;
+
+  /// Importance-factor weight α in Eq. 1 / Eq. 6 (ignored by other pull
+  /// policies).
+  double alpha = 0.5;
+
+  sched::PullPolicyKind pull_policy = sched::PullPolicyKind::kImportance;
+  sched::PushPolicyKind push_policy = sched::PushPolicyKind::kFlat;
+
+  /// Starvation guard: when > 0 the pull policy is wrapped in an aging
+  /// decorator adding `aging_rate · (now − first arrival)` to every score,
+  /// bounding how long any entry can be overtaken (see sched::AgingPolicy).
+  double aging_rate = 0.0;
+
+  /// Total downlink bandwidth partitioned among classes; <= 0 models an
+  /// unconstrained channel (no blocking).
+  double total_bandwidth = 0.0;
+
+  /// Per-class bandwidth fractions; empty means an equal split.
+  std::vector<double> bandwidth_fractions;
+
+  /// Mean of the Poisson bandwidth demand of one pull transmission.
+  double mean_bandwidth_demand = 1.0;
+
+  /// Mean of a client's exponentially distributed patience: a request not
+  /// delivered within its patience is abandoned (dropped). <= 0 disables
+  /// impatience (clients wait forever), which is the paper's base setting.
+  double mean_patience = 0.0;
+
+  /// Seed for the server's own randomness (bandwidth demand and patience
+  /// draws).
+  std::uint64_t seed = 1;
+
+  /// Fraction of each run treated as warm-up: requests arriving before this
+  /// fraction of the trace span are simulated but excluded from statistics.
+  double warmup_fraction = 0.0;
+};
+
+}  // namespace pushpull::core

@@ -1,0 +1,258 @@
+#include "core/hybrid_server.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "rng/exponential.hpp"
+#include "sched/pull/aging.hpp"
+#include "rng/poisson.hpp"
+#include "rng/stream.hpp"
+
+namespace pushpull::core {
+
+HybridServer::HybridServer(const catalog::Catalog& cat,
+                           const workload::ClientPopulation& pop,
+                           HybridConfig config)
+    : catalog_(&cat),
+      population_(&pop),
+      config_(std::move(config)),
+      demand_eng_(rng::StreamFactory(config_.seed).stream("bandwidth-demand")),
+      patience_eng_(rng::StreamFactory(config_.seed).stream("patience")) {
+  if (config_.cutoff > cat.size()) {
+    throw std::invalid_argument("HybridServer: cutoff beyond catalog size");
+  }
+  if (config_.warmup_fraction < 0.0 || config_.warmup_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "HybridServer: warmup_fraction must be in [0, 1)");
+  }
+  if (config_.cutoff > 0) {
+    push_sched_ =
+        sched::make_push_scheduler(config_.push_policy, cat, config_.cutoff);
+  }
+  pull_policy_ = sched::make_pull_policy(config_.pull_policy, config_.alpha);
+  if (config_.aging_rate > 0.0) {
+    pull_policy_ = std::make_unique<sched::AgingPolicy>(
+        std::move(pull_policy_), config_.aging_rate);
+  }
+  if (config_.total_bandwidth > 0.0) {
+    std::vector<double> fractions = config_.bandwidth_fractions;
+    if (fractions.empty()) fractions.assign(pop.num_classes(), 1.0);
+    if (fractions.size() != pop.num_classes()) {
+      throw std::invalid_argument(
+          "HybridServer: bandwidth fractions must match class count");
+    }
+    bandwidth_ = BandwidthManager(config_.total_bandwidth, std::move(fractions));
+  }
+  push_waiters_.resize(cat.size());
+}
+
+workload::ClassId HybridServer::owning_class(
+    const sched::PullEntry& entry) noexcept {
+  workload::ClassId best = entry.pending.front().cls;
+  for (const auto& r : entry.pending) {
+    if (r.cls < best) best = r.cls;
+  }
+  return best;
+}
+
+void HybridServer::note_queue_len() {
+  const des::SimTime now = sim_.now();
+  queue_len_area_ += static_cast<double>(pull_queue_.total_requests()) *
+                     (now - queue_len_last_t_);
+  queue_len_last_t_ = now;
+}
+
+void HybridServer::settle_one() {
+  ++settled_;
+  if (settled_ == to_settle_) sim_.request_stop();
+}
+
+void HybridServer::arm_patience(const workload::Request& request) {
+  if (config_.mean_patience <= 0.0) return;
+  const double patience =
+      rng::exponential(patience_eng_, 1.0 / config_.mean_patience);
+  const des::EventId event = sim_.schedule_in(
+      patience, [this, request]() { on_patience_expired(request); });
+  patience_.emplace(request.id, event);
+}
+
+void HybridServer::disarm_patience(workload::RequestId request) {
+  if (config_.mean_patience <= 0.0) return;
+  const auto it = patience_.find(request);
+  if (it == patience_.end()) return;
+  sim_.cancel(it->second);
+  patience_.erase(it);
+}
+
+void HybridServer::on_patience_expired(const workload::Request& request) {
+  patience_.erase(request.id);
+  bool removed = false;
+  if (request.item < config_.cutoff) {
+    auto& waiters = push_waiters_[request.item];
+    for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+      if (it->id == request.id) {
+        waiters.erase(it);
+        removed = true;
+        break;
+      }
+    }
+  } else {
+    note_queue_len();
+    removed = pull_queue_.remove_request(request.item, request.id,
+                                         population_->priority(request.cls));
+  }
+  // The timer is disarmed whenever the request is committed or dropped, so
+  // an expired timer must always find its request still waiting.
+  assert(removed);
+  (void)removed;
+  if (measured(request)) collector_->record_abandoned(request.cls);
+  settle_one();
+}
+
+void HybridServer::deliver(const workload::Request& request, bool via_push) {
+  if (measured(request)) {
+    collector_->record_served(request.cls, sim_.now() - request.arrival,
+                              via_push);
+  }
+  settle_one();
+}
+
+void HybridServer::on_arrival(const workload::Request& request) {
+  if (measured(request)) collector_->record_arrival(request.cls);
+  if (request.item < config_.cutoff) {
+    // Push item: the request is "ignored" by the scheduler (the item is on
+    // the broadcast program anyway); park it to measure its delay.
+    push_waiters_[request.item].push_back(request);
+    arm_patience(request);
+    return;
+  }
+  note_queue_len();
+  pull_queue_.add(request, population_->priority(request.cls),
+                  catalog_->length(request.item),
+                  catalog_->probability(request.item));
+  arm_patience(request);
+  if (!server_busy_) {
+    // Pure-pull server (cutoff 0) sleeping on an empty queue: wake it.
+    server_busy_ = true;
+    serve_next(/*just_did_push=*/true);
+  }
+}
+
+void HybridServer::serve_next(bool just_did_push) {
+  if (settled_ == to_settle_) {
+    server_busy_ = false;
+    return;
+  }
+  if (config_.cutoff == 0) {
+    if (pull_queue_.empty()) {
+      server_busy_ = false;  // idle until the next pull arrival wakes us
+      return;
+    }
+    start_pull();
+    return;
+  }
+  // Strict alternation: one pull opportunity after every push.
+  if (just_did_push && !pull_queue_.empty()) {
+    start_pull();
+  } else {
+    start_push();
+  }
+}
+
+void HybridServer::start_push() {
+  const catalog::ItemId item = push_sched_->next();
+  // Only clients already waiting when the transmission starts catch it;
+  // arrivals during the airtime wait for the next replica.
+  std::vector<workload::Request> catching = std::move(push_waiters_[item]);
+  push_waiters_[item].clear();
+  // Once the item is on air, the waiting clients are committed to it.
+  for (const auto& r : catching) disarm_patience(r.id);
+  sim_.schedule_in(catalog_->length(item),
+                   [this, catching = std::move(catching)]() {
+                     ++push_transmissions_;
+                     for (const auto& r : catching) deliver(r, true);
+                     serve_next(/*just_did_push=*/true);
+                   });
+}
+
+void HybridServer::start_pull() {
+  note_queue_len();
+  const des::SimTime now = sim_.now();
+  sched::PullContext ctx;
+  ctx.now = now;
+  ctx.expected_queue_len =
+      now > 0.0 ? queue_len_area_ / now : 1.0;
+  auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
+  assert(entry.has_value());
+  note_queue_len();
+  for (const auto& r : entry->pending) disarm_patience(r.id);
+
+  const double demand = config_.mean_bandwidth_demand > 0.0
+                            ? static_cast<double>(rng::poisson(
+                                  demand_eng_, config_.mean_bandwidth_demand))
+                            : 0.0;
+  const workload::ClassId cls = owning_class(*entry);
+  if (!bandwidth_.try_acquire(cls, demand)) {
+    ++blocked_transmissions_;
+    for (const auto& r : entry->pending) {
+      if (measured(r)) collector_->record_blocked(r.cls);
+      settle_one();
+    }
+    serve_next(/*just_did_push=*/false);
+    return;
+  }
+  sim_.schedule_in(entry->length,
+                   [this, entry = std::move(*entry), cls, demand]() {
+                     bandwidth_.release(cls, demand);
+                     ++pull_transmissions_;
+                     for (const auto& r : entry.pending) deliver(r, false);
+                     serve_next(/*just_did_push=*/false);
+                   });
+}
+
+SimResult HybridServer::run(const workload::Trace& trace) {
+  // Reset run-scoped state so a server can be reused across traces,
+  // including the per-run random engines (bandwidth demands, patience).
+  sim_.reset();
+  demand_eng_ = rng::StreamFactory(config_.seed).stream("bandwidth-demand");
+  patience_eng_ = rng::StreamFactory(config_.seed).stream("patience");
+  pull_queue_.clear();
+  patience_.clear();
+  if (push_sched_) push_sched_->reset();
+  for (auto& waiters : push_waiters_) waiters.clear();
+  collector_ =
+      std::make_unique<metrics::ClassCollector>(population_->num_classes());
+  to_settle_ = trace.size();
+  settled_ = 0;
+  push_transmissions_ = 0;
+  pull_transmissions_ = 0;
+  blocked_transmissions_ = 0;
+  queue_len_area_ = 0.0;
+  queue_len_last_t_ = 0.0;
+  warmup_time_ = config_.warmup_fraction * trace.span();
+
+  for (const auto& request : trace.requests()) {
+    sim_.schedule_at(request.arrival, [this, request]() { on_arrival(request); });
+  }
+  server_busy_ = true;
+  if (config_.cutoff == 0) {
+    server_busy_ = false;  // pure pull: sleep until the first arrival
+  } else {
+    sim_.schedule_at(0.0, [this]() { serve_next(/*just_did_push=*/true); });
+  }
+  sim_.run();
+  note_queue_len();
+
+  SimResult result;
+  result.per_class = collector_->all();
+  result.end_time = sim_.now();
+  result.push_transmissions = push_transmissions_;
+  result.pull_transmissions = pull_transmissions_;
+  result.blocked_transmissions = blocked_transmissions_;
+  result.mean_pull_queue_len =
+      sim_.now() > 0.0 ? queue_len_area_ / sim_.now() : 0.0;
+  return result;
+}
+
+}  // namespace pushpull::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "core/bandwidth_manager.hpp"
+#include "core/config.hpp"
+#include "core/pull_queue.hpp"
+#include "core/result.hpp"
+#include "des/simulator.hpp"
+#include "metrics/class_stats.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::core {
+
+/// The paper's hybrid scheduling server (Fig. 1 pseudo-code), simulated
+/// with discrete events.
+///
+/// Behavior per the paper, §3:
+///  * items [0, K) are broadcast cyclically by the push scheduler; client
+///    requests for them are ignored by the queue (the client simply waits
+///    for the item to come around) but tracked here to measure their delay;
+///  * requests for items [K, D) enter the pull queue, aggregated per item
+///    with arrival time, request count R_i and summed client priority Q_i;
+///  * after every push transmission, if the pull queue is non-empty the
+///    entry with the maximum importance factor is extracted and transmitted;
+///  * a pull transmission first draws a Poisson bandwidth demand and asks
+///    the service class's bandwidth pool to admit it; on rejection the item
+///    and all its pending requests are dropped (blocking);
+///  * delivery is at transmission *end*, and only requests that arrived
+///    before the transmission started are satisfied by it.
+///
+/// The server is deterministic given (catalog, population, config, trace).
+class HybridServer {
+ public:
+  HybridServer(const catalog::Catalog& cat,
+               const workload::ClientPopulation& pop, HybridConfig config);
+
+  /// Simulates the full trace and runs until every request is delivered or
+  /// blocked, then reports per-class statistics.
+  [[nodiscard]] SimResult run(const workload::Trace& trace);
+
+  [[nodiscard]] const HybridConfig& config() const noexcept { return config_; }
+
+ private:
+  enum class Phase { kPush, kPull };
+
+  void on_arrival(const workload::Request& request);
+  void serve_next(bool just_did_push);
+  void start_push();
+  void start_pull();
+  void deliver(const workload::Request& request, bool via_push);
+  void settle_one();
+  void note_queue_len();
+  void arm_patience(const workload::Request& request);
+  void disarm_patience(workload::RequestId request);
+  void on_patience_expired(const workload::Request& request);
+
+  [[nodiscard]] bool measured(const workload::Request& request) const noexcept {
+    return request.arrival >= warmup_time_;
+  }
+
+  /// The class whose bandwidth pool a pull transmission draws from: the most
+  /// important (lowest id) class with a pending request for the item.
+  [[nodiscard]] static workload::ClassId owning_class(
+      const sched::PullEntry& entry) noexcept;
+
+  const catalog::Catalog* catalog_;
+  const workload::ClientPopulation* population_;
+  HybridConfig config_;
+
+  des::Simulator sim_;
+  PullQueue pull_queue_;
+  std::unique_ptr<sched::PushScheduler> push_sched_;
+  std::unique_ptr<sched::PullPolicy> pull_policy_;
+  BandwidthManager bandwidth_;
+  rng::Xoshiro256ss demand_eng_;
+  rng::Xoshiro256ss patience_eng_;
+
+  std::vector<std::vector<workload::Request>> push_waiters_;
+  // Pending abandonment timers, keyed by request id; a timer is disarmed
+  // the moment its request is committed to a transmission (or dropped).
+  std::unordered_map<workload::RequestId, des::EventId> patience_;
+  std::unique_ptr<metrics::ClassCollector> collector_;
+
+  // Run-scoped state.
+  des::SimTime warmup_time_ = 0.0;
+  std::uint64_t to_settle_ = 0;
+  std::uint64_t settled_ = 0;
+  bool server_busy_ = false;
+  std::uint64_t push_transmissions_ = 0;
+  std::uint64_t pull_transmissions_ = 0;
+  std::uint64_t blocked_transmissions_ = 0;
+  // Time-weighted pull-queue-length integral (for E[L_pull]).
+  double queue_len_area_ = 0.0;
+  des::SimTime queue_len_last_t_ = 0.0;
+};
+
+}  // namespace pushpull::core

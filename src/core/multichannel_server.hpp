@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "core/pull_queue.hpp"
+#include "core/result.hpp"
+#include "des/simulator.hpp"
+#include "metrics/class_stats.hpp"
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::core {
+
+/// Configuration of the multi-channel hybrid server.
+struct MultiChannelConfig {
+  std::size_t cutoff = 0;
+  double alpha = 0.5;
+  sched::PullPolicyKind pull_policy = sched::PullPolicyKind::kImportance;
+  sched::PushPolicyKind push_policy = sched::PushPolicyKind::kFlat;
+  /// Number of on-demand channels serving pull entries concurrently.
+  std::size_t num_pull_channels = 1;
+};
+
+/// Outcome of a multi-channel run: SimResult counters plus per-channel
+/// utilization (busy airtime / total time).
+struct MultiChannelResult {
+  std::vector<metrics::ClassStats> per_class;
+  des::SimTime end_time = 0.0;
+  std::uint64_t push_transmissions = 0;
+  std::uint64_t pull_transmissions = 0;
+  double push_channel_utilization = 0.0;
+  std::vector<double> pull_channel_utilization;
+
+  [[nodiscard]] metrics::ClassStats overall() const {
+    metrics::ClassStats total;
+    for (const auto& s : per_class) {
+      total.wait.merge(s.wait);
+      total.arrived += s.arrived;
+      total.served += s.served;
+      total.served_push += s.served_push;
+      total.served_pull += s.served_pull;
+      total.blocked += s.blocked;
+      total.abandoned += s.abandoned;
+    }
+    return total;
+  }
+  [[nodiscard]] double mean_wait(workload::ClassId cls) const {
+    return per_class[cls].wait.mean();
+  }
+  [[nodiscard]] double total_prioritized_cost(
+      const workload::ClientPopulation& pop) const {
+    double total = 0.0;
+    for (workload::ClassId c = 0; c < per_class.size(); ++c) {
+      total += pop.priority(c) * per_class[c].wait.mean();
+    }
+    return total;
+  }
+};
+
+/// Hybrid scheduling on a multi-channel downlink: one dedicated channel
+/// carries the cyclic push broadcast back-to-back, and `num_pull_channels`
+/// on-demand channels each transmit the most important pull entry the
+/// moment they free up — no push/pull alternation, because the channels no
+/// longer contend.
+///
+/// This is the natural "more spectrum" extension of the paper's
+/// single-channel model: comparing it against HybridServer at the same
+/// cutoff isolates how much delay the alternation constraint itself costs
+/// (see bench/ext_multichannel).
+class MultiChannelServer {
+ public:
+  MultiChannelServer(const catalog::Catalog& cat,
+                     const workload::ClientPopulation& pop,
+                     MultiChannelConfig config);
+
+  [[nodiscard]] MultiChannelResult run(const workload::Trace& trace);
+
+  [[nodiscard]] const MultiChannelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void on_arrival(const workload::Request& request);
+  void push_loop();
+  void dispatch_pull(std::size_t channel);
+  void try_dispatch_pulls();
+  void deliver(const workload::Request& request, bool via_push);
+  void settle_one();
+
+  const catalog::Catalog* catalog_;
+  const workload::ClientPopulation* population_;
+  MultiChannelConfig config_;
+
+  des::Simulator sim_;
+  PullQueue pull_queue_;
+  std::unique_ptr<sched::PushScheduler> push_sched_;
+  std::unique_ptr<sched::PullPolicy> pull_policy_;
+
+  std::vector<std::vector<workload::Request>> push_waiters_;
+  std::unique_ptr<metrics::ClassCollector> collector_;
+
+  std::vector<bool> channel_busy_;
+  std::vector<double> channel_airtime_;
+  double push_airtime_ = 0.0;
+
+  std::uint64_t to_settle_ = 0;
+  std::uint64_t settled_ = 0;
+  std::uint64_t push_transmissions_ = 0;
+  std::uint64_t pull_transmissions_ = 0;
+  double queue_len_area_ = 0.0;
+  des::SimTime queue_len_last_t_ = 0.0;
+};
+
+}  // namespace pushpull::core

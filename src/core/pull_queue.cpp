@@ -1,0 +1,95 @@
+#include "core/pull_queue.hpp"
+
+#include <cassert>
+
+namespace pushpull::core {
+
+void PullQueue::add(const workload::Request& request, double priority,
+                    double length, double popularity) {
+  auto [it, inserted] = slot_of_.try_emplace(request.item, entries_.size());
+  if (inserted) {
+    sched::PullEntry entry;
+    entry.item = request.item;
+    entry.length = length;
+    entry.popularity = popularity;
+    entry.first_arrival = request.arrival;
+    entries_.push_back(std::move(entry));
+  }
+  auto& entry = entries_[it->second];
+  entry.pending.push_back(request);
+  entry.total_priority += priority;
+  entry.total_arrival += request.arrival;
+  ++total_requests_;
+}
+
+const sched::PullEntry* PullQueue::find(catalog::ItemId item) const {
+  const auto it = slot_of_.find(item);
+  return it == slot_of_.end() ? nullptr : &entries_[it->second];
+}
+
+std::optional<sched::PullEntry> PullQueue::extract_best(
+    const sched::PullPolicy& policy, const sched::PullContext& ctx) {
+  if (entries_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  double best_score = policy.score(entries_[0], ctx);
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const double s = policy.score(entries_[i], ctx);
+    if (s > best_score ||
+        (s == best_score && entries_[i].item < entries_[best].item)) {
+      best = i;
+      best_score = s;
+    }
+  }
+  return extract(entries_[best].item);
+}
+
+std::optional<sched::PullEntry> PullQueue::extract(catalog::ItemId item) {
+  const auto it = slot_of_.find(item);
+  if (it == slot_of_.end()) return std::nullopt;
+  const std::size_t slot = it->second;
+  sched::PullEntry out = std::move(entries_[slot]);
+  slot_of_.erase(it);
+  if (slot + 1 != entries_.size()) {
+    entries_[slot] = std::move(entries_.back());
+    slot_of_[entries_[slot].item] = slot;
+  }
+  entries_.pop_back();
+  assert(total_requests_ >= out.pending.size());
+  total_requests_ -= out.pending.size();
+  return out;
+}
+
+bool PullQueue::remove_request(catalog::ItemId item,
+                               workload::RequestId request, double priority) {
+  const auto it = slot_of_.find(item);
+  if (it == slot_of_.end()) return false;
+  auto& entry = entries_[it->second];
+  auto pending_it = entry.pending.begin();
+  for (; pending_it != entry.pending.end(); ++pending_it) {
+    if (pending_it->id == request) break;
+  }
+  if (pending_it == entry.pending.end()) return false;
+  entry.total_arrival -= pending_it->arrival;
+  entry.pending.erase(pending_it);
+  --total_requests_;
+  if (entry.pending.empty()) {
+    // The emptied entry leaves the queue; its batch size is already zero,
+    // so extract() adjusts no further counts.
+    (void)extract(item);
+    return true;
+  }
+  entry.total_priority -= priority;
+  entry.first_arrival = entry.pending.front().arrival;
+  for (const auto& r : entry.pending) {
+    if (r.arrival < entry.first_arrival) entry.first_arrival = r.arrival;
+  }
+  return true;
+}
+
+void PullQueue::clear() {
+  entries_.clear();
+  slot_of_.clear();
+  total_requests_ = 0;
+}
+
+}  // namespace pushpull::core

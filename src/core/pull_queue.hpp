@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/pull/entry.hpp"
+#include "sched/pull/policy.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::core {
+
+/// The server's pull queue: one aggregated entry per distinct requested
+/// item (the paper's R_i / Q_i / S_i bookkeeping), with policy-driven
+/// extraction of the most important entry.
+///
+/// Storage is a dense vector with an item→slot index; removal swaps with
+/// the back, so insertion, lookup and removal are O(1) and selection is one
+/// linear scan — the right shape for catalogs of 10²–10⁴ items where the
+/// policy scores are time-varying (RxW) and a heap cannot be kept valid.
+class PullQueue {
+ public:
+  /// True when no item has pending requests.
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Number of distinct items with pending requests.
+  [[nodiscard]] std::size_t distinct_items() const noexcept {
+    return entries_.size();
+  }
+
+  /// Total pending requests across all items (the queue length the
+  /// analytical model calls L_pull).
+  [[nodiscard]] std::size_t total_requests() const noexcept {
+    return total_requests_;
+  }
+
+  [[nodiscard]] std::span<const sched::PullEntry> entries() const noexcept {
+    return entries_;
+  }
+
+  /// Appends a request, creating or extending the item's entry.
+  /// `priority` is the requesting client's q_j; `length` and `popularity`
+  /// are the item's catalog attributes (cached in the entry so policies
+  /// never need catalog access).
+  void add(const workload::Request& request, double priority, double length,
+           double popularity);
+
+  /// Entry for a specific item, if present.
+  [[nodiscard]] const sched::PullEntry* find(catalog::ItemId item) const;
+
+  /// Scores all entries under `policy` and removes and returns the best
+  /// (ties broken toward the lowest item id). Returns nullopt when empty.
+  [[nodiscard]] std::optional<sched::PullEntry> extract_best(
+      const sched::PullPolicy& policy, const sched::PullContext& ctx);
+
+  /// Removes and returns a specific item's entry (used by tests and by
+  /// blocking paths that must drop a selected entry).
+  [[nodiscard]] std::optional<sched::PullEntry> extract(catalog::ItemId item);
+
+  /// Removes one pending request (an impatient client abandoning); the
+  /// entry's priority sum and first-arrival are re-derived, and the entry
+  /// disappears when its last request leaves. `priority` must be the q_j
+  /// that was passed to add(). Returns false if the request is not queued.
+  bool remove_request(catalog::ItemId item, workload::RequestId request,
+                      double priority);
+
+  void clear();
+
+ private:
+  std::vector<sched::PullEntry> entries_;
+  std::unordered_map<catalog::ItemId, std::size_t> slot_of_;
+  std::size_t total_requests_ = 0;
+};
+
+}  // namespace pushpull::core

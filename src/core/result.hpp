@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/class_stats.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::core {
+
+/// Outcome of one hybrid-server run.
+struct SimResult {
+  std::vector<metrics::ClassStats> per_class;
+  des::SimTime end_time = 0.0;
+  std::uint64_t push_transmissions = 0;
+  std::uint64_t pull_transmissions = 0;
+  std::uint64_t blocked_transmissions = 0;
+  /// Time-weighted mean number of pending pull requests (the simulated
+  /// counterpart of the model's E[L_pull]).
+  double mean_pull_queue_len = 0.0;
+
+  [[nodiscard]] metrics::ClassStats overall() const {
+    metrics::ClassStats total;
+    for (const auto& s : per_class) {
+      total.wait.merge(s.wait);
+      total.arrived += s.arrived;
+      total.served += s.served;
+      total.served_push += s.served_push;
+      total.served_pull += s.served_pull;
+      total.blocked += s.blocked;
+      total.abandoned += s.abandoned;
+    }
+    return total;
+  }
+
+  [[nodiscard]] double mean_wait(workload::ClassId cls) const {
+    return per_class[cls].wait.mean();
+  }
+
+  /// The paper's prioritized cost of class j: q_j × (expected delay of
+  /// class j).
+  [[nodiscard]] double prioritized_cost(
+      const workload::ClientPopulation& pop, workload::ClassId cls) const {
+    return pop.priority(cls) * per_class[cls].wait.mean();
+  }
+
+  /// Total prioritized cost Σ_j q_j·E[W_j] — the objective the cutoff
+  /// optimizer minimizes in Figs. 5–6.
+  [[nodiscard]] double total_prioritized_cost(
+      const workload::ClientPopulation& pop) const {
+    double total = 0.0;
+    for (workload::ClassId c = 0; c < per_class.size(); ++c) {
+      total += prioritized_cost(pop, c);
+    }
+    return total;
+  }
+};
+
+}  // namespace pushpull::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace pushpull::des {
+
+/// Simulation virtual time. Broadcast "time units" in the paper's sense: one
+/// unit is the airtime of a length-1 item.
+using SimTime = double;
+
+/// Monotone id assigned to each scheduled event; doubles as the FIFO
+/// tie-breaker for events scheduled at equal times and as the cancellation
+/// handle.
+using EventId = std::uint64_t;
+
+/// A scheduled occurrence: at `time`, run `action`.
+struct Event {
+  SimTime time = 0.0;
+  EventId id = 0;
+  std::function<void()> action;
+};
+
+/// Heap ordering: earliest time first; FIFO among equal times.
+struct EventAfter {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace pushpull::des

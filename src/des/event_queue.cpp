@@ -1,0 +1,55 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pushpull::des {
+
+void EventQueue::push(Event event) {
+  assert(!pending_.contains(event.id));
+  pending_.insert(event.id);
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  ++live_count_;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    heap_.pop_back();
+  }
+}
+
+Event EventQueue::pop() {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(event.id);
+  --live_count_;
+  return event;
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  pending_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace pushpull::des

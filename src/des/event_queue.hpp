@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "des/event.hpp"
+
+namespace pushpull::des {
+
+/// Pending-event set: a binary min-heap on (time, id) with lazy cancellation.
+///
+/// Cancelled events stay in the heap but are skipped on pop; the cancelled-id
+/// set is purged as they surface. This keeps cancel O(1) and pop amortized
+/// O(log n), which is the right trade for simulations where cancellations are
+/// rare (timeouts that usually fire).
+class EventQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  /// Inserts an event; its id must be unique (the Simulator guarantees this).
+  void push(Event event);
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  [[nodiscard]] Event pop();
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Marks an event as cancelled. Returns false if the id is not pending
+  /// (already fired, already cancelled, or never scheduled).
+  bool cancel(EventId id);
+
+  void clear();
+
+ private:
+  void drop_cancelled_top();
+
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> pending_;    // live, not-yet-fired ids
+  std::unordered_set<EventId> cancelled_;  // cancelled but still in heap_
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace pushpull::des

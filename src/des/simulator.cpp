@@ -1,0 +1,34 @@
+#include "des/simulator.hpp"
+
+#include <cassert>
+
+namespace pushpull::des {
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.pop();
+  assert(event.time >= now_ && "event scheduled in the past");
+  now_ = event.time;
+  ++dispatched_;
+  event.action();
+  return true;
+}
+
+void Simulator::run_until(SimTime horizon) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > horizon) break;
+    step();
+  }
+  // Leave the clock at the horizon if we exhausted events before it, so a
+  // subsequent schedule_in() measures from the end of the observation window.
+  if (horizon != kForever && now_ < horizon && queue_.empty()) now_ = horizon;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0.0;
+  stop_requested_ = false;
+}
+
+}  // namespace pushpull::des

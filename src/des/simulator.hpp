@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+#include "des/event.hpp"
+#include "des/event_queue.hpp"
+
+namespace pushpull::des {
+
+/// Sequential discrete-event simulator: a virtual clock plus a pending-event
+/// set. Components schedule closures at absolute or relative virtual times;
+/// `run` dispatches them in (time, insertion) order.
+///
+/// The kernel is deliberately minimal — model-level concepts (servers,
+/// queues, channels) live in the modules that own them, which keeps the
+/// kernel reusable for every experiment in this repository.
+class Simulator {
+ public:
+  static constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t dispatched_events() const noexcept {
+    return dispatched_;
+  }
+
+  /// Schedules `action` at absolute virtual time `when` (>= now()).
+  template <typename Fn>
+  EventId schedule_at(SimTime when, Fn&& action) {
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id, std::forward<Fn>(action)});
+    return id;
+  }
+
+  /// Schedules `action` after a non-negative delay.
+  template <typename Fn>
+  EventId schedule_in(SimTime delay, Fn&& action) {
+    return schedule_at(now_ + delay, std::forward<Fn>(action));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Dispatches the next event, advancing the clock to it. Returns false if
+  /// no event is pending.
+  bool step();
+
+  /// Runs until the event set drains or the clock would pass `horizon`.
+  /// Events scheduled exactly at the horizon still fire.
+  void run_until(SimTime horizon);
+
+  /// Runs until the event set drains.
+  void run() { run_until(kForever); }
+
+  /// Stops the current run_until() loop after the in-flight event returns.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  /// Drops all pending events and resets the clock; dispatched count is kept.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace pushpull::des

@@ -1,0 +1,71 @@
+#include "exp/cli.hpp"
+
+#include <stdexcept>
+
+namespace pushpull::exp {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (key.empty()) {
+        throw std::invalid_argument("ArgParser: bare '--' not supported");
+      }
+      // A following token that is not itself an option is this key's value;
+      // otherwise the key is a boolean flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[key] = argv[++i];
+      } else {
+        options_[key] = "";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::size_t ArgParser::get_size(const std::string& key,
+                                std::size_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return static_cast<std::size_t>(std::stoull(it->second));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+}  // namespace pushpull::exp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pushpull::exp {
+
+/// Minimal command-line parser for the CLI tool and bench binaries:
+/// `--key value` options, `--flag` booleans, and positional arguments.
+/// Unknown keys are kept (callers may validate); values are parsed on
+/// access with clear errors.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Positional arguments in order (argv[0] excluded).
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const noexcept {
+    return options_.contains(key);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+
+ private:
+  std::unordered_map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pushpull::exp

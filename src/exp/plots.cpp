@@ -1,0 +1,71 @@
+#include "exp/plots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace pushpull::exp {
+
+void write_gnuplot(const std::string& prefix, const PlotSpec& spec) {
+  if (spec.series.empty()) {
+    throw std::invalid_argument("write_gnuplot: no series");
+  }
+
+  // Merge all x values so every series shares one abscissa column.
+  std::map<double, std::vector<double>> rows;  // x -> per-series y (or NaN)
+  const double missing = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    for (const auto& [x, y] : spec.series[s].points) {
+      auto [it, inserted] =
+          rows.try_emplace(x, std::vector<double>(spec.series.size(), missing));
+      it->second[s] = y;
+    }
+  }
+
+  const std::string dat_path = prefix + ".dat";
+  std::ofstream dat(dat_path);
+  if (!dat) {
+    throw std::runtime_error("write_gnuplot: cannot write " + dat_path);
+  }
+  dat << "# x";
+  for (const auto& series : spec.series) dat << '\t' << series.label;
+  dat << '\n';
+  for (const auto& [x, ys] : rows) {
+    dat << x;
+    for (double y : ys) {
+      dat << '\t';
+      if (std::isnan(y)) {
+        dat << '?';
+      } else {
+        dat << y;
+      }
+    }
+    dat << '\n';
+  }
+
+  const std::string gp_path = prefix + ".gp";
+  std::ofstream gp(gp_path);
+  if (!gp) {
+    throw std::runtime_error("write_gnuplot: cannot write " + gp_path);
+  }
+  gp << "set terminal pngcairo size 900,600\n";
+  gp << "set output '" << prefix << ".png'\n";
+  gp << "set title '" << spec.title << "'\n";
+  gp << "set xlabel '" << spec.xlabel << "'\n";
+  gp << "set ylabel '" << spec.ylabel << "'\n";
+  gp << "set key outside right\n";
+  gp << "set datafile missing '?'\n";
+  gp << "set grid\n";
+  gp << "plot";
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    if (s > 0) gp << ',';
+    gp << " '" << dat_path << "' using 1:" << (s + 2)
+       << " with linespoints title '" << spec.series[s].label << "'";
+  }
+  gp << '\n';
+}
+
+}  // namespace pushpull::exp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pushpull::exp {
+
+/// One plotted curve: a label and its (x, y) points.
+struct PlotSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// A figure specification for the gnuplot emitter.
+struct PlotSpec {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<PlotSeries> series;
+};
+
+/// Writes `<prefix>.dat` (whitespace columns: x then one column per series,
+/// `?` for missing points) and `<prefix>.gp` (a standalone gnuplot script
+/// that renders `<prefix>.png`). Figure benches call this behind their
+/// `--plot PREFIX` option so every paper figure can be rendered graphically
+/// without any plotting dependency in this repository.
+///
+/// Throws std::runtime_error if either file cannot be written.
+void write_gnuplot(const std::string& prefix, const PlotSpec& spec);
+
+}  // namespace pushpull::exp

@@ -1,0 +1,41 @@
+#include "exp/replication.hpp"
+
+#include <stdexcept>
+
+#include "rng/splitmix64.hpp"
+
+namespace pushpull::exp {
+
+ReplicationSummary replicate_hybrid(const Scenario& scenario,
+                                    const core::HybridConfig& config,
+                                    std::size_t replications) {
+  if (replications == 0) {
+    throw std::invalid_argument("replicate_hybrid: need >= 1 replication");
+  }
+  ReplicationSummary summary;
+  summary.replications = replications;
+  summary.class_delay.resize(scenario.num_classes);
+
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    Scenario s = scenario;
+    // Decorrelate replications without risking accidental seed reuse.
+    s.seed = rng::SplitMix64::mix(scenario.seed + rep);
+    core::HybridConfig c = config;
+    c.seed = rng::SplitMix64::mix(s.seed ^ 0x5EEDCAFEULL);
+
+    const auto built = s.build();
+    const core::SimResult result = run_hybrid(built, c);
+
+    summary.overall_delay.add(result.overall().wait.mean());
+    for (workload::ClassId cls = 0; cls < built.population.num_classes();
+         ++cls) {
+      summary.class_delay[cls].add(result.mean_wait(cls));
+    }
+    summary.total_cost.add(result.total_prioritized_cost(built.population));
+    summary.blocking.add(result.overall().blocking_ratio());
+    summary.pull_queue_len.add(result.mean_pull_queue_len);
+  }
+  return summary;
+}
+
+}  // namespace pushpull::exp

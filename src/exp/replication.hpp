@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/welford.hpp"
+
+namespace pushpull::exp {
+
+/// Across-replication statistics for one experiment configuration: each
+/// replication runs the same scenario with an independent seed, and every
+/// reported metric carries a mean and a confidence half-width.
+struct ReplicationSummary {
+  std::size_t replications = 0;
+  metrics::Welford overall_delay;
+  std::vector<metrics::Welford> class_delay;   // indexed by ClassId
+  metrics::Welford total_cost;
+  metrics::Welford blocking;                   // overall blocking ratio
+  metrics::Welford pull_queue_len;             // time-weighted mean
+
+  /// "mean ± half-width" for a metric at ~95% confidence.
+  [[nodiscard]] static double half_width(const metrics::Welford& w) {
+    return w.ci_half_width();
+  }
+};
+
+/// Runs `replications` independent copies of (scenario, config), varying
+/// both the workload seed and the server seed, and pools the results.
+/// This is how EXPERIMENTS.md distinguishes real effects from seed noise.
+[[nodiscard]] ReplicationSummary replicate_hybrid(
+    const Scenario& scenario, const core::HybridConfig& config,
+    std::size_t replications);
+
+}  // namespace pushpull::exp

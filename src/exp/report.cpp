@@ -1,0 +1,70 @@
+#include "exp/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "exp/table.hpp"
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+
+namespace pushpull::exp {
+
+void write_markdown_report(std::ostream& out, const ReportHeader& header,
+                           const core::HybridConfig& config,
+                           const workload::ClientPopulation& population,
+                           const core::SimResult& result) {
+  out << "# " << header.title << "\n\n";
+
+  out << "## Configuration\n\n";
+  out << "| parameter | value |\n|---|---|\n";
+  out << "| items | " << header.num_items << " |\n";
+  out << "| zipf theta | " << header.theta << " |\n";
+  out << "| arrival rate | " << header.arrival_rate << " |\n";
+  out << "| requests | " << header.num_requests << " |\n";
+  out << "| seed | " << header.seed << " |\n";
+  out << "| cutoff K | " << config.cutoff << " |\n";
+  out << "| alpha | " << config.alpha << " |\n";
+  out << "| pull policy | " << sched::to_string(config.pull_policy) << " |\n";
+  out << "| push policy | " << sched::to_string(config.push_policy) << " |\n";
+  out << "| aging rate | " << config.aging_rate << " |\n";
+  out << "| total bandwidth | " << config.total_bandwidth << " |\n";
+  out << "| mean patience | " << config.mean_patience << " |\n\n";
+
+  out << "## Per-class QoS\n\n";
+  out << "| class | priority | arrived | served | mean | p50 | p95 | p99 | "
+         "max | blocked | abandoned | p-cost |\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+  const auto fixed2 = [&out](double v) -> std::ostream& {
+    out << std::fixed << std::setprecision(2) << v;
+    return out;
+  };
+  for (workload::ClassId c = 0; c < population.num_classes(); ++c) {
+    const auto& s = result.per_class[c];
+    out << "| " << population.cls(c).name << " | "
+        << population.priority(c) << " | " << s.arrived << " | " << s.served
+        << " | ";
+    fixed2(s.wait.mean()) << " | ";
+    fixed2(s.wait_p50.value()) << " | ";
+    fixed2(s.wait_p95.value()) << " | ";
+    fixed2(s.wait_p99.value()) << " | ";
+    fixed2(s.wait.max()) << " | " << s.blocked << " | " << s.abandoned
+                         << " | ";
+    fixed2(result.prioritized_cost(population, c)) << " |\n";
+  }
+
+  const auto overall = result.overall();
+  out << "\n## Totals\n\n";
+  out << "- overall mean delay: ";
+  fixed2(overall.wait.mean()) << " broadcast units\n";
+  out << "- total prioritized cost: ";
+  fixed2(result.total_prioritized_cost(population)) << "\n";
+  out << "- push transmissions: " << result.push_transmissions
+      << ", pull transmissions: " << result.pull_transmissions
+      << ", blocked transmissions: " << result.blocked_transmissions << "\n";
+  out << "- mean pull-queue length: ";
+  fixed2(result.mean_pull_queue_len) << "\n";
+  out << "- virtual end time: ";
+  fixed2(result.end_time) << "\n";
+}
+
+}  // namespace pushpull::exp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::exp {
+
+/// Run metadata echoed at the top of a report.
+struct ReportHeader {
+  std::string title = "pushpull simulation report";
+  std::size_t num_items = 0;
+  double theta = 0.0;
+  double arrival_rate = 0.0;
+  std::size_t num_requests = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Writes a self-contained Markdown report of one hybrid run: the
+/// configuration, per-class QoS (mean/min/max, p50/p95/p99, blocking and
+/// abandonment ratios, prioritized cost) and the run-level counters. Used
+/// by `pushpull simulate --report FILE` and available to any embedder that
+/// wants auditable experiment artifacts.
+void write_markdown_report(std::ostream& out, const ReportHeader& header,
+                           const core::HybridConfig& config,
+                           const workload::ClientPopulation& population,
+                           const core::SimResult& result);
+
+}  // namespace pushpull::exp

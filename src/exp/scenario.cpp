@@ -1,0 +1,24 @@
+#include "exp/scenario.hpp"
+
+#include "catalog/length_model.hpp"
+#include "workload/request_generator.hpp"
+
+namespace pushpull::exp {
+
+Scenario::Built Scenario::build() const {
+  catalog::LengthModel lengths(min_length, max_length, mean_length);
+  catalog::Catalog cat(num_items, theta, lengths, seed);
+  workload::ClientPopulation pop =
+      workload::ClientPopulation::zipf_classes(num_classes, class_zipf_theta);
+  workload::RequestGenerator gen(cat, pop, arrival_rate, seed);
+  workload::Trace trace = workload::Trace::record(gen, num_requests);
+  return Built{std::move(cat), std::move(pop), std::move(trace)};
+}
+
+core::SimResult run_hybrid(const Scenario::Built& built,
+                           const core::HybridConfig& config) {
+  core::HybridServer server(built.catalog, built.population, config);
+  return server.run(built.trace);
+}
+
+}  // namespace pushpull::exp

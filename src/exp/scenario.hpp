@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "catalog/catalog.hpp"
+#include "core/config.hpp"
+#include "core/hybrid_server.hpp"
+#include "core/result.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::exp {
+
+/// The paper's §5.1 simulation setup in one value: D = 100 items, Zipf(θ)
+/// popularities, lengths 1..5 with mean 2, aggregate Poisson arrivals at
+/// λ' = 5, and three service classes A/B/C with priorities 3:2:1 and
+/// Zipf-distributed populations (fewest Class-A clients).
+///
+/// `build()` materializes the catalog, population and a recorded request
+/// trace; the same Scenario value always builds the same workload, and
+/// sweeps that vary only the scheduler configuration replay the identical
+/// trace (paired comparisons).
+struct Scenario {
+  std::size_t num_items = 100;
+  double theta = 0.60;
+  double arrival_rate = 5.0;
+  std::size_t num_classes = 3;
+  double class_zipf_theta = 1.0;
+  std::uint32_t min_length = 1;
+  std::uint32_t max_length = 5;
+  double mean_length = 2.0;
+  std::uint64_t seed = 20050614;  // ICPP 2005 vintage
+  std::size_t num_requests = 100000;
+
+  /// Materialized workload for a scenario.
+  struct Built {
+    catalog::Catalog catalog;
+    workload::ClientPopulation population;
+    workload::Trace trace;
+  };
+
+  [[nodiscard]] Built build() const;
+};
+
+/// Runs the hybrid server for one configuration over a built scenario.
+[[nodiscard]] core::SimResult run_hybrid(const Scenario::Built& built,
+                                         const core::HybridConfig& config);
+
+}  // namespace pushpull::exp

@@ -1,0 +1,83 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pushpull::exp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: at least one column");
+  }
+}
+
+Table& Table::row() {
+  if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+    throw std::logic_error("Table: previous row incomplete");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  if (rows_.empty() || rows_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table: call row() before add()");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return add(ss.str());
+}
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::setw(static_cast<int>(width[c])) << cells[c];
+      if (c + 1 != cells.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 != width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 != cells.size()) out << ',';
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace pushpull::exp

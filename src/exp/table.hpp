@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pushpull::exp {
+
+/// Aligned-column text table for experiment output. Every bench binary
+/// prints its figure/table through this so the rows are uniform and easy to
+/// diff against EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; fill it with add().
+  Table& row();
+
+  Table& add(std::string value);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(long long value);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Renders with per-column width, a header underline and 2-space gutters.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (headers + rows).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pushpull::exp

@@ -1,0 +1,44 @@
+#include "metrics/batch_means.hpp"
+
+#include <stdexcept>
+
+namespace pushpull::metrics {
+
+Welford BatchMeans::batch_statistics(std::size_t num_batches) const {
+  if (num_batches < 2) {
+    throw std::invalid_argument("BatchMeans: need at least two batches");
+  }
+  const std::size_t batch_size = samples_.size() / num_batches;
+  if (batch_size == 0) {
+    throw std::invalid_argument(
+        "BatchMeans: not enough observations for the requested batches");
+  }
+  Welford batches;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    Welford one;
+    for (std::size_t i = b * batch_size; i < (b + 1) * batch_size; ++i) {
+      one.add(samples_[i]);
+    }
+    batches.add(one.mean());
+  }
+  return batches;
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  if (samples_.size() < 3) return 0.0;
+  Welford w;
+  for (double x : samples_) w.add(x);
+  const double mean = w.mean();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double d = samples_[i] - mean;
+    den += d * d;
+    if (i + 1 < samples_.size()) {
+      num += d * (samples_[i + 1] - mean);
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace pushpull::metrics

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metrics/welford.hpp"
+
+namespace pushpull::metrics {
+
+/// Batch-means confidence intervals from a single long run.
+///
+/// Consecutive observations from one simulation are autocorrelated, so the
+/// naive Welford half-width understates the error. Batch means is the
+/// standard remedy: the stream is cut into `num_batches` contiguous
+/// batches, each batch's mean is (approximately) independent, and the CI
+/// is computed over the batch means. Observations are buffered so the
+/// batch size can be chosen after the fact.
+class BatchMeans {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    Welford w;
+    for (double x : samples_) w.add(x);
+    return w.mean();
+  }
+
+  /// Statistics over the means of `num_batches` equal contiguous batches
+  /// (a trailing remainder shorter than a batch is dropped). Requires at
+  /// least one observation per batch.
+  [[nodiscard]] Welford batch_statistics(std::size_t num_batches) const;
+
+  /// Half-width of the ~95% CI on the long-run mean via batch means.
+  [[nodiscard]] double ci_half_width(std::size_t num_batches = 20,
+                                     double z = 1.96) const {
+    Welford batches = batch_statistics(num_batches);
+    return batches.ci_half_width(z);
+  }
+
+  /// Lag-1 autocorrelation of the raw observations — the diagnostic for
+  /// why raw Welford CIs are too tight on simulation output.
+  [[nodiscard]] double lag1_autocorrelation() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace pushpull::metrics

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/p2_quantile.hpp"
+#include "metrics/welford.hpp"
+#include "workload/service_class.hpp"
+
+namespace pushpull::metrics {
+
+/// Outcome counters and waiting-time statistics for one service class.
+/// Tail quantiles are streamed with P² estimators; note that quantiles are
+/// per-class only — aggregate() pools counters and moments but cannot merge
+/// quantile sketches, so the aggregate's quantiles stay empty.
+struct ClassStats {
+  Welford wait;                 // completed requests: arrival → delivery
+  P2Quantile wait_p50{0.50};
+  P2Quantile wait_p95{0.95};
+  P2Quantile wait_p99{0.99};
+  std::uint64_t arrived = 0;    // requests generated for this class
+  std::uint64_t served = 0;     // delivered (push or pull)
+  std::uint64_t served_push = 0;
+  std::uint64_t served_pull = 0;
+  std::uint64_t blocked = 0;    // dropped by bandwidth admission
+  std::uint64_t abandoned = 0;  // impatient clients that gave up waiting
+
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return arrived - served - blocked - abandoned;
+  }
+  [[nodiscard]] double blocking_ratio() const noexcept {
+    const std::uint64_t settled = served + blocked + abandoned;
+    return settled ? static_cast<double>(blocked) /
+                         static_cast<double>(settled)
+                   : 0.0;
+  }
+
+  /// Fraction of settled requests whose client gave up before delivery.
+  [[nodiscard]] double abandonment_ratio() const noexcept {
+    const std::uint64_t settled = served + blocked + abandoned;
+    return settled ? static_cast<double>(abandoned) /
+                         static_cast<double>(settled)
+                   : 0.0;
+  }
+};
+
+/// Per-class collector indexed by ClassId, plus an aggregate view.
+class ClassCollector {
+ public:
+  explicit ClassCollector(std::size_t num_classes) : stats_(num_classes) {}
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return stats_.size();
+  }
+  [[nodiscard]] ClassStats& at(workload::ClassId cls) noexcept {
+    return stats_[cls];
+  }
+  [[nodiscard]] const ClassStats& at(workload::ClassId cls) const noexcept {
+    return stats_[cls];
+  }
+  [[nodiscard]] const std::vector<ClassStats>& all() const noexcept {
+    return stats_;
+  }
+
+  void record_arrival(workload::ClassId cls) noexcept { ++stats_[cls].arrived; }
+
+  void record_served(workload::ClassId cls, double wait_time,
+                     bool via_push) {
+    auto& s = stats_[cls];
+    ++s.served;
+    (via_push ? s.served_push : s.served_pull) += 1;
+    s.wait.add(wait_time);
+    s.wait_p50.add(wait_time);
+    s.wait_p95.add(wait_time);
+    s.wait_p99.add(wait_time);
+  }
+
+  void record_blocked(workload::ClassId cls) noexcept {
+    ++stats_[cls].blocked;
+  }
+
+  void record_abandoned(workload::ClassId cls) noexcept {
+    ++stats_[cls].abandoned;
+  }
+
+  /// All classes merged (waiting-time stats pooled over every request).
+  [[nodiscard]] ClassStats aggregate() const noexcept {
+    ClassStats total;
+    for (const auto& s : stats_) {
+      total.wait.merge(s.wait);
+      total.arrived += s.arrived;
+      total.served += s.served;
+      total.served_push += s.served_push;
+      total.served_pull += s.served_pull;
+      total.blocked += s.blocked;
+      total.abandoned += s.abandoned;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<ClassStats> stats_;
+};
+
+}  // namespace pushpull::metrics

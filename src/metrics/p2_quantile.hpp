@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pushpull::metrics {
+
+/// Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): tracks one quantile with five markers in O(1) memory and
+/// O(1) per observation — no sample storage. Used for per-class delay
+/// tails (p95/p99), where storing millions of waits per configuration
+/// sweep would be wasteful.
+///
+/// Accuracy is the algorithm's usual: exact until five observations, then
+/// a piecewise-parabolic approximation that converges for smooth
+/// distributions (validated against exact quantiles in the tests).
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double quantile() const noexcept { return q_; }
+
+  /// Current estimate. With fewer than five observations, returns the
+  /// exact sample quantile of what has been seen (0 if empty).
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (sorted)
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace pushpull::metrics

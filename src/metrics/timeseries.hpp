@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pushpull::metrics {
+
+/// A (time, value) sample sequence, e.g. pull-queue length over virtual
+/// time. Supports time-weighted averaging, the right mean for state
+/// variables sampled at irregular event instants.
+class TimeSeries {
+ public:
+  struct Sample {
+    double time;
+    double value;
+  };
+
+  void add(double time, double value) { samples_.push_back({time, value}); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Time-weighted mean: each sample's value holds from its timestamp to the
+  /// next one's; the last holds until `end_time`.
+  [[nodiscard]] double time_weighted_mean(double end_time) const noexcept {
+    if (samples_.empty()) return 0.0;
+    double area = 0.0;
+    for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+      area += samples_[i].value * (samples_[i + 1].time - samples_[i].time);
+    }
+    area += samples_.back().value * (end_time - samples_.back().time);
+    const double span = end_time - samples_.front().time;
+    return span > 0.0 ? area / span : samples_.front().value;
+  }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace pushpull::metrics

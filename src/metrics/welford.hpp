@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pushpull::metrics {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for the millions of waiting-time samples a long
+/// simulation produces; O(1) memory. Also tracks min/max and exposes a
+/// normal-approximation confidence half-width for reporting.
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const Welford& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : 0.0;
+  }
+
+  /// Half-width of the normal-approximation confidence interval around the
+  /// mean; z = 1.96 gives ~95%.
+  [[nodiscard]] double ci_half_width(double z = 1.96) const noexcept {
+    if (count_ < 2) return 0.0;
+    return z * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pushpull::metrics

@@ -1,0 +1,210 @@
+#include "queueing/access_time.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pushpull::queueing {
+
+double flat_push_delay(const catalog::Catalog& cat, std::size_t cutoff) {
+  if (cutoff == 0) return 0.0;
+  const double cycle = cat.push_cycle_length(cutoff);
+  const double mass = cat.push_probability(cutoff);
+  if (mass <= 0.0) return cycle / 2.0;
+  // Conditional mean airtime of the requested item, P_i-weighted within the
+  // push set; delivery completes at the end of the item's transmission.
+  const double mean_len = cat.push_service_demand(cutoff) / mass;
+  return cycle / 2.0 + mean_len;
+}
+
+HybridAccessModel::HybridAccessModel(const catalog::Catalog& cat,
+                                     const workload::ClientPopulation& pop,
+                                     double arrival_rate)
+    : cat_(&cat), pop_(&pop), arrival_rate_(arrival_rate) {
+  if (arrival_rate <= 0.0) {
+    throw std::invalid_argument("HybridAccessModel: arrival rate must be > 0");
+  }
+}
+
+AccessTimeEstimate HybridAccessModel::estimate(std::size_t cutoff,
+                                               double alpha) const {
+  if (cutoff > cat_->size()) {
+    throw std::invalid_argument("HybridAccessModel: cutoff beyond catalog");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("HybridAccessModel: alpha must be in [0,1]");
+  }
+  const std::size_t num_classes = pop_->num_classes();
+  AccessTimeEstimate est;
+  est.cutoff = cutoff;
+  est.push_delay = flat_push_delay(*cat_, cutoff);
+  est.broadcast_period = cat_->push_cycle_length(cutoff);
+  est.pull_delay.assign(num_classes, 0.0);
+  est.access_time.assign(num_classes, est.push_delay);
+
+  const double pull_mass = cat_->pull_probability(cutoff);
+  const double push_mass = cat_->push_probability(cutoff);
+  if (pull_mass <= 0.0) {
+    // Pure push: every request is answered by the broadcast cycle.
+    est.overall = est.push_delay;
+    return est;
+  }
+
+  // Effective service time of one pull-queue entry: its own airtime plus
+  // the push transmission the server interleaves before the next pull.
+  const double pull_len = cat_->pull_mean_length(cutoff);
+  const double push_len =
+      cutoff > 0 ? cat_->push_cycle_length(cutoff) / static_cast<double>(cutoff)
+                 : 0.0;
+  const double service = pull_len + push_len;
+
+  // Renewal fixed point on the mean entry response time T:
+  //   activation rate of item i: a_i = λ_i / (1 + λ_i T)
+  //   Cobham waits under Λ = Σ a_i split by class shares
+  //   g(T) = class-weighted (wait + service)
+  // Λ(T) is strictly decreasing in T, so g(T) is too; the fixed point
+  // g(T) = T is unique and bracketed, and bisection is unconditionally
+  // stable — unlike naive iteration, which oscillates when the raw request
+  // load exceeds the channel and only batching keeps the system stable.
+  std::vector<PriorityClass> classes(num_classes);
+  PriorityWaits waits;
+
+  const auto entry_rate_at = [&](double t) {
+    double rate = 0.0;
+    for (std::size_t i = cutoff; i < cat_->size(); ++i) {
+      const double li =
+          arrival_rate_ * cat_->probability(static_cast<catalog::ItemId>(i));
+      rate += li / (1.0 + li * t);
+    }
+    return rate;
+  };
+  const auto response_at = [&](double t) {
+    const double rate = entry_rate_at(t);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      classes[c].lambda =
+          rate * pop_->share(static_cast<workload::ClassId>(c));
+      classes[c].mu = 1.0 / service;
+    }
+    waits = cobham_waits(classes);
+    double response = 0.0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      response += pop_->share(static_cast<workload::ClassId>(c)) *
+                  (waits.wait[c] + service);
+    }
+    return response;  // +inf while the entry load saturates the channel
+  };
+
+  // Bracket: below lo the system is overloaded (g = inf > T); batching
+  // guarantees g(T) < T for large enough T since Λ(T) ≤ (D−K)/T.
+  double lo = service;
+  double hi = std::max(
+      4.0 * service *
+          (static_cast<double>(cat_->size() - cutoff) + 1.0),
+      8.0 * service);
+  while (!(response_at(hi) < hi) && hi < 1e12) hi *= 2.0;
+  for (est.iterations = 1; est.iterations <= 200; ++est.iterations) {
+    const double mid = 0.5 * (lo + hi);
+    const double g = response_at(mid);
+    if (!std::isfinite(g) || g > mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + hi)) break;
+  }
+  const double t_mean = hi;       // smallest stable response time
+  (void)response_at(t_mean);      // leave `waits` evaluated at the solution
+  const double entry_rate = entry_rate_at(t_mean);
+  est.entry_rate = entry_rate;
+
+  // Push-side refinement: one pull transmission is woven in after every
+  // push while the pull queue is non-empty, so the effective broadcast
+  // period stretches from C_push to C_push + n_pull·L̄_pull, where n_pull
+  // pull slots per period follow from the entry throughput:
+  //   unsaturated: period = C_push / (1 − Λ·L̄_pull)
+  //   saturated:   one pull after every push.
+  if (cutoff > 0) {
+    const double cycle = cat_->push_cycle_length(cutoff);
+    const double pull_util = entry_rate * pull_len;
+    double period = cycle + static_cast<double>(cutoff) * pull_len;  // saturated
+    if (pull_util < 1.0) {
+      const double unsat = cycle / (1.0 - pull_util);
+      period = std::min(period, unsat);
+    }
+    est.broadcast_period = period;
+    const double mean_push_item = push_mass > 0.0
+                                      ? cat_->push_service_demand(cutoff) / push_mass
+                                      : 0.0;
+    est.push_delay = period / 2.0 + mean_push_item;
+  }
+
+  // Shared (class-blind) wait: by work conservation this equals the
+  // λ-weighted Cobham average when service rates are identical.
+  const double shared_wait = waits.overall_wait;
+
+  // Joiner correction: of the λ_pull request stream, Λ requests activate an
+  // entry (wait its full lifetime); the rest join an existing entry and
+  // wait roughly the residual half.
+  const double lambda_pull = arrival_rate_ * pull_mass;
+  const double initiator_frac =
+      lambda_pull > 0.0 ? std::min(1.0, entry_rate / lambda_pull) : 1.0;
+  const double join_scale = initiator_frac + (1.0 - initiator_frac) * 0.5;
+
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    // Discipline blend: with weight (1−α) the scheduler honors class
+    // priority; with weight α it is class-blind.
+    const double entry_wait =
+        (1.0 - alpha) * waits.wait[c] + alpha * shared_wait;
+    est.pull_delay[c] = join_scale * entry_wait + pull_len;
+    est.access_time[c] =
+        push_mass * est.push_delay + pull_mass * est.pull_delay[c];
+  }
+  double overall = 0.0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    overall +=
+        pop_->share(static_cast<workload::ClassId>(c)) * est.access_time[c];
+  }
+  est.overall = overall;
+  return est;
+}
+
+double HybridAccessModel::paper_eq19(std::size_t cutoff) const {
+  if (cutoff > cat_->size()) {
+    throw std::invalid_argument("HybridAccessModel: cutoff beyond catalog");
+  }
+  const double mu1 = cat_->push_service_demand(cutoff);
+  const double mu2 = cat_->pull_service_demand(cutoff);
+  const double pull_mass = cat_->pull_probability(cutoff);
+
+  double push_term = 0.0;
+  if (cutoff > 0 && mu1 > 0.0) {
+    // (1/2μ₁)·Σ_{i≤K} L_i·P_i — with the paper's own μ₁ this is exactly 1/2
+    // broadcast unit; kept verbatim for fidelity.
+    push_term = cat_->push_service_demand(cutoff) / (2.0 * mu1);
+  }
+  if (pull_mass <= 0.0 || mu2 <= 0.0) return push_term;
+
+  // Per-request Cobham waits with the paper's μ₂ used as a service rate.
+  const double lambda_pull = arrival_rate_ * pull_mass;
+  std::vector<PriorityClass> classes(pop_->num_classes());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    classes[c].lambda =
+        lambda_pull * pop_->share(static_cast<workload::ClassId>(c));
+    classes[c].mu = mu2;
+  }
+  const PriorityWaits waits = cobham_waits(classes);
+  return push_term + waits.overall_wait * pull_mass;
+}
+
+double HybridAccessModel::prioritized_cost(std::size_t cutoff,
+                                           double alpha) const {
+  const AccessTimeEstimate est = estimate(cutoff, alpha);
+  double cost = 0.0;
+  for (std::size_t c = 0; c < est.access_time.size(); ++c) {
+    cost +=
+        pop_->priority(static_cast<workload::ClassId>(c)) * est.access_time[c];
+  }
+  return cost;
+}
+
+}  // namespace pushpull::queueing

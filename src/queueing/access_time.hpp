@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "queueing/cobham.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::queueing {
+
+/// Expected delay of a flat (round-robin) push broadcast under cutoff K for
+/// a client tuning in at a random instant: half the cycle airtime until the
+/// item starts, plus the popularity-weighted item airtime until delivery
+/// completes.
+[[nodiscard]] double flat_push_delay(const catalog::Catalog& cat,
+                                     std::size_t cutoff);
+
+/// Per-class analytical access-time estimate for one cutoff.
+struct AccessTimeEstimate {
+  std::size_t cutoff = 0;
+  double push_delay = 0.0;           // expected delay of a push-item request
+  std::vector<double> pull_delay;    // per-class expected delay of a pull request
+  std::vector<double> access_time;   // per-class E[T]: mass-weighted mix
+  double overall = 0.0;              // class-share-weighted overall E[T]
+  double entry_rate = 0.0;           // activation rate of pull-queue entries
+  double broadcast_period = 0.0;     // push cycle airtime incl. pull slots
+  std::size_t iterations = 0;        // fixed-point iterations used
+};
+
+/// Analytical model of the hybrid server's expected access time (the role
+/// of the paper's Eq. 19), evaluated per service class.
+///
+/// The pull side is a non-preemptive priority queue over *pull-queue
+/// entries* (one per distinct pending item — transmission of an item clears
+/// every pending request for it). The paper plugs per-request arrival rates
+/// straight into Cobham, which ignores that batching; we close the gap with
+/// a standard renewal fixed point: an item with request rate λ_i activates a
+/// queue entry at rate λ_i / (1 + λ_i·T), where T is the entry's mean
+/// response time, and T in turn follows from Cobham under the activation
+/// load. The effective service time of an entry is its airtime plus one
+/// push transmission (the server strictly alternates push and pull).
+///
+/// Three second-order effects the simulation exhibits are also modeled:
+///  * pull interleaving stretches the broadcast period, so the push-side
+///    delay is half the *effective* period (push airtime plus the expected
+///    pull airtime woven into one cycle), not half the raw cycle;
+///  * the class discipline is only applied with weight (1−α) — at α = 1 the
+///    importance factor is class-blind — so per-class waits interpolate
+///    between the Cobham priority waits and the shared FCFS wait;
+///  * a request that finds its item already queued ("joiner") waits roughly
+///    half an entry lifetime, while the request that activates the entry
+///    waits the full lifetime.
+///
+/// `paper_eq19` reproduces the formula exactly as printed, for the
+/// analytic-vs-simulation comparison of Fig. 7 and the model-error
+/// discussion in EXPERIMENTS.md.
+class HybridAccessModel {
+ public:
+  HybridAccessModel(const catalog::Catalog& cat,
+                    const workload::ClientPopulation& pop,
+                    double arrival_rate);
+
+  /// Self-consistent estimate (recommended). `alpha` is the importance
+  /// weight of the scheduler being modeled (0 = pure priority classes,
+  /// 1 = class-blind stretch).
+  [[nodiscard]] AccessTimeEstimate estimate(std::size_t cutoff,
+                                            double alpha = 0.0) const;
+
+  /// The paper's Eq. 19 verbatim:
+  ///   E[T] = (1/2μ₁)·Σ_{i≤K} L_i·P_i + E[W_pull]·Σ_{i>K} P_i,
+  /// with μ₁ = Σ_{i≤K} P_i·L_i, μ₂ = Σ_{i>K} P_i·L_i and per-class Cobham
+  /// waits fed with per-request rates. May be infinite where the
+  /// per-request load exceeds 1 — the regime the batching fix addresses.
+  [[nodiscard]] double paper_eq19(std::size_t cutoff) const;
+
+  /// Total prioritized cost Σ_j q_j·E[T_j] from the self-consistent model.
+  [[nodiscard]] double prioritized_cost(std::size_t cutoff,
+                                        double alpha = 0.0) const;
+
+  [[nodiscard]] double arrival_rate() const noexcept { return arrival_rate_; }
+
+ private:
+  const catalog::Catalog* cat_;
+  const workload::ClientPopulation* pop_;
+  double arrival_rate_;
+};
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,179 @@
+#include "queueing/birth_death.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pushpull::queueing {
+
+HybridBirthDeath::HybridBirthDeath(double lambda, double mu1, double mu2,
+                                   std::size_t capacity)
+    : lambda_(lambda), mu1_(mu1), mu2_(mu2), capacity_(capacity) {
+  if (lambda <= 0.0 || mu1 <= 0.0 || mu2 <= 0.0) {
+    throw std::invalid_argument("HybridBirthDeath: rates must be positive");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("HybridBirthDeath: capacity must be >= 1");
+  }
+}
+
+void HybridBirthDeath::apply_uniformized_step(const std::vector<double>& from,
+                                              std::vector<double>& to) const {
+  // One application of the uniformized DTMC P = I + Q/Λ. Sparse: each state
+  // has at most three successors. (0, 1) and over-capacity states are
+  // unreachable and keep zero mass.
+  const double uniformization = lambda_ + mu1_ + mu2_;
+  std::fill(to.begin(), to.end(), 0.0);
+  for (std::size_t i = 0; i <= capacity_; ++i) {
+    for (int j = 0; j <= 1; ++j) {
+      const double mass = from[index(i, j)];
+      if (mass == 0.0) continue;
+      double out_rate = 0.0;
+      // Arrival (lost at the truncation boundary: self-loop instead).
+      if (i < capacity_) {
+        to[index(i + 1, j)] += mass * lambda_ / uniformization;
+        out_rate += lambda_;
+      }
+      if (j == 0 && i >= 1) {
+        // Push completes; the queued pull work enters service.
+        to[index(i, 1)] += mass * mu1_ / uniformization;
+        out_rate += mu1_;
+      }
+      if (j == 1 && i >= 1) {
+        // Pull completes; the next push starts.
+        to[index(i - 1, 0)] += mass * mu2_ / uniformization;
+        out_rate += mu2_;
+      }
+      // Self-loop for the residual uniformization mass.
+      to[index(i, j)] += mass * (uniformization - out_rate) / uniformization;
+    }
+  }
+}
+
+void HybridBirthDeath::solve(double tolerance, std::size_t max_iterations) {
+  const std::size_t n = (capacity_ + 1) * 2;
+  std::vector<double> pi(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  pi[index(0, 0)] = 1.0;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    apply_uniformized_step(pi, next);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      delta += std::abs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    if (delta < tolerance) break;
+  }
+
+  // Normalize (the iteration preserves total mass, but guard rounding).
+  double total = 0.0;
+  for (double v : pi) total += v;
+  for (double& v : pi) v /= total;
+  pi_ = std::move(pi);
+}
+
+std::vector<double> HybridBirthDeath::transient(double t) const {
+  if (t < 0.0) {
+    throw std::invalid_argument("HybridBirthDeath: t must be >= 0");
+  }
+  const std::size_t n = (capacity_ + 1) * 2;
+  std::vector<double> v(n, 0.0);
+  v[index(0, 0)] = 1.0;  // empty system at t = 0
+  if (t == 0.0) return v;
+
+  const double rate_t = (lambda_ + mu1_ + mu2_) * t;
+  std::vector<double> acc(n, 0.0);
+  std::vector<double> next(n, 0.0);
+
+  // Poisson(Λt) mixture over powers of the uniformized chain; weights are
+  // computed in log space so large Λt cannot underflow.
+  double cumulative = 0.0;
+  const auto max_terms = static_cast<std::size_t>(
+      rate_t + 12.0 * std::sqrt(rate_t + 1.0) + 50.0);
+  for (std::size_t k = 0; k <= max_terms; ++k) {
+    const double log_w = static_cast<double>(k) * std::log(rate_t) - rate_t -
+                         std::lgamma(static_cast<double>(k) + 1.0);
+    const double w = std::exp(log_w);
+    for (std::size_t s = 0; s < n; ++s) acc[s] += w * v[s];
+    cumulative += w;
+    if (cumulative > 1.0 - 1e-12) break;
+    apply_uniformized_step(v, next);
+    v.swap(next);
+  }
+  // Renormalize the truncated mixture.
+  for (double& p : acc) p /= cumulative;
+  return acc;
+}
+
+double HybridBirthDeath::transient_pull_len(double t) const {
+  const std::vector<double> dist = transient(t);
+  double mean = 0.0;
+  for (std::size_t i = 0; i <= capacity_; ++i) {
+    mean += static_cast<double>(i) * (dist[index(i, 0)] + dist[index(i, 1)]);
+  }
+  return mean;
+}
+
+double HybridBirthDeath::distance_to_stationary(double t) const {
+  if (pi_.empty()) {
+    throw std::logic_error("HybridBirthDeath: call solve() first");
+  }
+  const std::vector<double> dist = transient(t);
+  double tv = 0.0;
+  for (std::size_t s = 0; s < pi_.size(); ++s) {
+    tv += std::abs(dist[s] - pi_[s]);
+  }
+  return tv / 2.0;
+}
+
+double HybridBirthDeath::p(std::size_t i, int j) const {
+  if (pi_.empty()) {
+    throw std::logic_error("HybridBirthDeath: call solve() first");
+  }
+  if (i > capacity_ || j < 0 || j > 1) {
+    throw std::out_of_range("HybridBirthDeath: state out of range");
+  }
+  return pi_[index(i, j)];
+}
+
+double HybridBirthDeath::expected_pull_len() const {
+  if (pi_.empty()) {
+    throw std::logic_error("HybridBirthDeath: call solve() first");
+  }
+  double mean = 0.0;
+  for (std::size_t i = 0; i <= capacity_; ++i) {
+    mean += static_cast<double>(i) * (pi_[index(i, 0)] + pi_[index(i, 1)]);
+  }
+  return mean;
+}
+
+double HybridBirthDeath::pull_busy_fraction() const {
+  if (pi_.empty()) {
+    throw std::logic_error("HybridBirthDeath: call solve() first");
+  }
+  double busy = 0.0;
+  for (std::size_t i = 0; i <= capacity_; ++i) busy += pi_[index(i, 1)];
+  return busy;
+}
+
+double HybridBirthDeath::paper_eq5_expected_len() const {
+  const double n = mean_len_during_push();
+  const double r = rho();
+  const double ratio = f();
+  return (r + ratio) * n + (1.0 - r) -
+         (r + ratio) * (1.0 - r - r / ratio) - r * n;
+}
+
+double HybridBirthDeath::mean_len_during_push() const {
+  if (pi_.empty()) {
+    throw std::logic_error("HybridBirthDeath: call solve() first");
+  }
+  double mean = 0.0;
+  for (std::size_t i = 0; i <= capacity_; ++i) {
+    mean += static_cast<double>(i) * pi_[index(i, 0)];
+  }
+  return mean;
+}
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pushpull::queueing {
+
+/// The paper's §4.1 birth–death model of the hybrid system (Fig. 2).
+///
+/// State (i, j): i pending pull items, j = 0 while a push transmission is in
+/// service, j = 1 while a pull transmission is in service. Transitions:
+///   (i, j) → (i+1, j)  at rate λ   (pull arrival)
+///   (i, 0) → (i, 1)    at rate μ₁  (push completes; pull takes over), i ≥ 1
+///   (i, 1) → (i−1, 0)  at rate μ₂  (pull completes; next push starts)
+/// State (0, 0) only leaves via an arrival, matching the paper's first
+/// balance equation p(0,0)·λ = p(1,1)·μ₂.
+///
+/// The chain is solved two ways: the paper's closed forms (idle probability
+/// p(0,0) = 1 − ρ − ρ/f) and an exact numerical stationary solution of the
+/// truncated chain (capacity C), which also yields E[L_pull] without the
+/// under-determined 𝒩 term of Eq. 5.
+class HybridBirthDeath {
+ public:
+  /// λ: pull arrival rate; μ₁/μ₂: push/pull service rates; capacity: queue
+  /// truncation C (arrivals beyond it are dropped by the model).
+  HybridBirthDeath(double lambda, double mu1, double mu2,
+                   std::size_t capacity);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] double mu1() const noexcept { return mu1_; }
+  [[nodiscard]] double mu2() const noexcept { return mu2_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] double rho() const noexcept { return lambda_ / mu2_; }
+  [[nodiscard]] double f() const noexcept { return mu1_ / mu2_; }
+
+  /// The paper's closed-form idle probability: 1 − ρ − ρ/f. Can be negative
+  /// when the pull system is overloaded — callers should check stable().
+  [[nodiscard]] double closed_form_idle() const noexcept {
+    return 1.0 - rho() - rho() / f();
+  }
+  [[nodiscard]] bool stable() const noexcept {
+    return closed_form_idle() > 0.0;
+  }
+
+  /// Solves the truncated chain's stationary distribution numerically
+  /// (power iteration on the uniformized transition matrix).
+  void solve(double tolerance = 1e-13, std::size_t max_iterations = 500000);
+
+  /// Transient state distribution at virtual time `t`, starting from the
+  /// empty system (0, 0), via uniformization: p(t) = Σ_k Pois(Λt; k)·π₀Pᵏ.
+  /// Used to size warm-up periods — the distance to the stationary solution
+  /// quantifies how long the simulated system "remembers" its empty start.
+  /// Returns the flattened distribution indexed like p(i, j) = [2i + j].
+  [[nodiscard]] std::vector<double> transient(double t) const;
+
+  /// E[pull length] under the transient distribution at time `t`.
+  [[nodiscard]] double transient_pull_len(double t) const;
+
+  /// Total-variation distance between the transient distribution at `t`
+  /// and the stationary solution. Requires solve().
+  [[nodiscard]] double distance_to_stationary(double t) const;
+
+  /// p(i, j). Requires solve().
+  [[nodiscard]] double p(std::size_t i, int j) const;
+
+  /// Stationary p(0, 0) from the numerical solution.
+  [[nodiscard]] double idle_probability() const { return p(0, 0); }
+
+  /// E[i] — expected number of pending pull items.
+  [[nodiscard]] double expected_pull_len() const;
+
+  /// Fraction of time the pull side is in service (Σ_i p(i, 1)); the paper
+  /// equates this with ρ.
+  [[nodiscard]] double pull_busy_fraction() const;
+
+  /// E[i | j = 0] · P(j = 0)-style term: the paper's 𝒩, the average pull
+  /// queue length while a push is in service.
+  [[nodiscard]] double mean_len_during_push() const;
+
+  /// The paper's Eq. 5 *verbatim*, with 𝒩 taken from the numerical
+  /// solution:
+  ///   E[L_pull] = (ρ+f)·𝒩 + (1−ρ) − (ρ+f)(1−ρ−ρ/f) − ρ𝒩.
+  /// Documented divergence: this expression is NEGATIVE at every stable
+  /// operating point we evaluated (see test_transient.cpp and
+  /// EXPERIMENTS.md) — the paper's z-transform algebra does not balance.
+  /// expected_pull_len() from the numerical chain is the library's source
+  /// of truth. Requires solve().
+  [[nodiscard]] double paper_eq5_expected_len() const;
+
+ private:
+  void apply_uniformized_step(const std::vector<double>& from,
+                              std::vector<double>& to) const;
+
+  [[nodiscard]] std::size_t index(std::size_t i, int j) const noexcept {
+    return i * 2 + static_cast<std::size_t>(j);
+  }
+
+  double lambda_;
+  double mu1_;
+  double mu2_;
+  std::size_t capacity_;
+  std::vector<double> pi_;  // stationary distribution, empty until solve()
+};
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,46 @@
+#include "queueing/cobham.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pushpull::queueing {
+
+PriorityWaits cobham_waits(const std::vector<PriorityClass>& classes) {
+  if (classes.empty()) {
+    throw std::invalid_argument("cobham_waits: at least one class");
+  }
+  PriorityWaits out;
+  out.wait.resize(classes.size());
+  out.sigma.resize(classes.size());
+
+  double residual = 0.0;
+  double sigma = 0.0;
+  double total_lambda = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    if (c.lambda < 0.0 || c.mu <= 0.0) {
+      throw std::invalid_argument(
+          "cobham_waits: lambda must be >= 0 and mu > 0");
+    }
+    const double rho = c.lambda / c.mu;
+    residual += rho / c.mu;
+    sigma += rho;
+    out.sigma[i] = sigma;
+    total_lambda += c.lambda;
+  }
+  out.residual = residual;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double weighted = 0.0;
+  double sigma_prev = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const double denom = (1.0 - sigma_prev) * (1.0 - out.sigma[i]);
+    out.wait[i] = denom > 0.0 ? residual / denom : kInf;
+    if (classes[i].lambda > 0.0) weighted += classes[i].lambda * out.wait[i];
+    sigma_prev = out.sigma[i];
+  }
+  out.overall_wait = total_lambda > 0.0 ? weighted / total_lambda : 0.0;
+  return out;
+}
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pushpull::queueing {
+
+/// One priority class of a non-preemptive M/M/1 priority queue.
+/// Classes are ordered most-important first (index 0 = served first).
+struct PriorityClass {
+  double lambda = 0.0;  // arrival rate of this class
+  double mu = 1.0;      // service rate of this class
+};
+
+/// Per-class results of the Cobham analysis.
+struct PriorityWaits {
+  /// E[W_i]: expected wait in queue (service excluded), index = class.
+  std::vector<double> wait;
+  /// Overall expected queue wait, Σ λ_i·E[W_i] / λ (the paper's Eq. 18
+  /// second line).
+  double overall_wait = 0.0;
+  /// σ_i = Σ_{j<=i} ρ_j cumulative occupancies; σ_max must be < 1 for the
+  /// lowest class to have finite wait.
+  std::vector<double> sigma;
+  /// W₀ = Σ_j ρ_j/μ_j, the mean residual service seen on arrival.
+  double residual = 0.0;
+};
+
+/// Cobham's non-preemptive priority formula (the paper's §4.2.2, Eq. 18):
+///   E[W_i] = W₀ / ((1 − σ_{i−1})(1 − σ_i)),  W₀ = Σ_j ρ_j/μ_j.
+/// W₀ matches the classical Σ λ_j·E[S_j²]/2 under the paper's exponential
+/// service assumption. Classes whose σ reaches 1 get infinite waits rather
+/// than an exception — overload of low classes is a legitimate regime.
+[[nodiscard]] PriorityWaits cobham_waits(
+    const std::vector<PriorityClass>& classes);
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,24 @@
+#pragma once
+
+namespace pushpull::queueing {
+
+/// Little's law helpers: L = λ·W. These tie the simulator's time-weighted
+/// queue lengths to its per-request waits in the property tests, and back
+/// the paper's step from L₁/L₂ to E[W₁]/E[W₂] in §4.2.1.
+[[nodiscard]] constexpr double littles_wait(double mean_in_system,
+                                            double arrival_rate) noexcept {
+  return arrival_rate > 0.0 ? mean_in_system / arrival_rate : 0.0;
+}
+
+[[nodiscard]] constexpr double littles_length(double mean_wait,
+                                              double arrival_rate) noexcept {
+  return mean_wait * arrival_rate;
+}
+
+/// Server utilization of an M/G/1-like station.
+[[nodiscard]] constexpr double utilization(double arrival_rate,
+                                           double mean_service) noexcept {
+  return arrival_rate * mean_service;
+}
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <limits>
+
+namespace pushpull::queueing {
+
+/// M/G/1 queue via the Pollaczek–Khinchine formula. The pull side's service
+/// times are item airtimes — bounded, far from exponential — so the M/G/1
+/// view quantifies how much the §4 exponential assumption distorts the
+/// paper's model (EXPERIMENTS.md discusses the gap).
+struct MG1 {
+  double lambda = 0.0;          // arrival rate
+  double mean_service = 1.0;    // E[S]
+  double second_moment = 2.0;   // E[S²]
+
+  /// Exponential service with rate mu: E[S] = 1/mu, E[S²] = 2/mu².
+  [[nodiscard]] static MG1 exponential(double lambda, double mu) {
+    return MG1{lambda, 1.0 / mu, 2.0 / (mu * mu)};
+  }
+
+  /// Deterministic service d: E[S²] = d².
+  [[nodiscard]] static MG1 deterministic(double lambda, double d) {
+    return MG1{lambda, d, d * d};
+  }
+
+  /// Discrete service distribution given (value, probability) pairs.
+  template <typename Pairs>
+  [[nodiscard]] static MG1 discrete(double lambda, const Pairs& pairs) {
+    double m1 = 0.0;
+    double m2 = 0.0;
+    for (const auto& [value, prob] : pairs) {
+      m1 += value * prob;
+      m2 += value * value * prob;
+    }
+    return MG1{lambda, m1, m2};
+  }
+
+  [[nodiscard]] double rho() const noexcept { return lambda * mean_service; }
+  [[nodiscard]] bool stable() const noexcept { return rho() < 1.0; }
+
+  /// Mean wait in queue (P-K): λ·E[S²] / (2(1−ρ)).
+  [[nodiscard]] double mean_wait() const noexcept {
+    if (!stable()) return std::numeric_limits<double>::infinity();
+    return lambda * second_moment / (2.0 * (1.0 - rho()));
+  }
+
+  /// Mean sojourn: wait + service.
+  [[nodiscard]] double mean_sojourn() const noexcept {
+    return mean_wait() + mean_service;
+  }
+
+  /// Mean number in system (Little).
+  [[nodiscard]] double mean_in_system() const noexcept {
+    return lambda * mean_sojourn();
+  }
+
+  /// Mean number in queue (Little).
+  [[nodiscard]] double mean_in_queue() const noexcept {
+    return lambda * mean_wait();
+  }
+};
+
+}  // namespace pushpull::queueing

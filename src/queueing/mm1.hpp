@@ -1,0 +1,40 @@
+#pragma once
+
+#include <limits>
+
+namespace pushpull::queueing {
+
+/// Closed-form M/M/1 results, used as ground truth when validating the
+/// numerical chain solver and the simulator (Little's-law property tests).
+struct MM1 {
+  double lambda = 0.0;
+  double mu = 1.0;
+
+  [[nodiscard]] double rho() const noexcept { return lambda / mu; }
+  [[nodiscard]] bool stable() const noexcept { return rho() < 1.0; }
+
+  /// Mean number in system.
+  [[nodiscard]] double mean_in_system() const noexcept {
+    if (!stable()) return std::numeric_limits<double>::infinity();
+    return rho() / (1.0 - rho());
+  }
+  /// Mean number waiting (excluding the one in service).
+  [[nodiscard]] double mean_in_queue() const noexcept {
+    if (!stable()) return std::numeric_limits<double>::infinity();
+    return rho() * rho() / (1.0 - rho());
+  }
+  /// Mean sojourn time (wait + service).
+  [[nodiscard]] double mean_sojourn() const noexcept {
+    if (!stable()) return std::numeric_limits<double>::infinity();
+    return 1.0 / (mu - lambda);
+  }
+  /// Mean time waiting before service starts.
+  [[nodiscard]] double mean_wait() const noexcept {
+    if (!stable()) return std::numeric_limits<double>::infinity();
+    return rho() / (mu - lambda);
+  }
+  /// Stationary probability of an empty system.
+  [[nodiscard]] double p0() const noexcept { return 1.0 - rho(); }
+};
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,148 @@
+#include "queueing/two_class_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pushpull::queueing {
+
+TwoClassPriorityChain::TwoClassPriorityChain(double lambda1, double lambda2,
+                                             double mu, std::size_t capacity)
+    : lambda1_(lambda1), lambda2_(lambda2), mu_(mu), capacity_(capacity) {
+  if (lambda1 <= 0.0 || lambda2 <= 0.0 || mu <= 0.0) {
+    throw std::invalid_argument(
+        "TwoClassPriorityChain: rates must be positive");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument(
+        "TwoClassPriorityChain: capacity must be >= 1");
+  }
+}
+
+void TwoClassPriorityChain::apply_step(const std::vector<double>& from,
+                                       std::vector<double>& to) const {
+  const double uniformization = lambda1_ + lambda2_ + mu_;
+  std::fill(to.begin(), to.end(), 0.0);
+  for (std::size_t m = 0; m <= capacity_; ++m) {
+    for (std::size_t n = 0; n <= capacity_; ++n) {
+      for (int r = 0; r <= 2; ++r) {
+        const double mass = from[index(m, n, r)];
+        if (mass == 0.0) continue;
+        double out_rate = 0.0;
+
+        // Class-1 arrival. If the server was idle it starts service
+        // immediately (the arrival is class 1, so r' = 1).
+        if (m < capacity_) {
+          const int r_next = (r == 0) ? 1 : r;
+          to[index(m + 1, n, r_next)] += mass * lambda1_ / uniformization;
+          out_rate += lambda1_;
+        }
+        // Class-2 arrival.
+        if (n < capacity_) {
+          const int r_next = (r == 0) ? 2 : r;
+          to[index(m, n + 1, r_next)] += mass * lambda2_ / uniformization;
+          out_rate += lambda2_;
+        }
+        // Service completion; non-preemptive head-of-line pick: class 1 if
+        // any remains, else class 2, else idle.
+        if (r == 1) {
+          const std::size_t m_left = m - 1;
+          const int r_next = m_left > 0 ? 1 : (n > 0 ? 2 : 0);
+          to[index(m_left, n, r_next)] += mass * mu_ / uniformization;
+          out_rate += mu_;
+        } else if (r == 2) {
+          const std::size_t n_left = n - 1;
+          const int r_next = m > 0 ? 1 : (n_left > 0 ? 2 : 0);
+          to[index(m, n_left, r_next)] += mass * mu_ / uniformization;
+          out_rate += mu_;
+        }
+
+        to[index(m, n, r)] +=
+            mass * (uniformization - out_rate) / uniformization;
+      }
+    }
+  }
+}
+
+void TwoClassPriorityChain::solve(double tolerance,
+                                  std::size_t max_iterations) {
+  const std::size_t size = (capacity_ + 1) * (capacity_ + 1) * 3;
+  std::vector<double> pi(size, 0.0);
+  std::vector<double> next(size, 0.0);
+  pi[index(0, 0, 0)] = 1.0;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    apply_step(pi, next);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < size; ++s) delta += std::abs(next[s] - pi[s]);
+    pi.swap(next);
+    if (delta < tolerance) break;
+  }
+  double total = 0.0;
+  for (double v : pi) total += v;
+  for (double& v : pi) v /= total;
+  pi_ = std::move(pi);
+}
+
+void TwoClassPriorityChain::require_solved() const {
+  if (pi_.empty()) {
+    throw std::logic_error("TwoClassPriorityChain: call solve() first");
+  }
+}
+
+double TwoClassPriorityChain::p(std::size_t m, std::size_t n,
+                                int serving) const {
+  require_solved();
+  if (m > capacity_ || n > capacity_ || serving < 0 || serving > 2) {
+    throw std::out_of_range("TwoClassPriorityChain: state out of range");
+  }
+  return pi_[index(m, n, serving)];
+}
+
+double TwoClassPriorityChain::mean_class1() const {
+  require_solved();
+  double mean = 0.0;
+  for (std::size_t m = 0; m <= capacity_; ++m) {
+    for (std::size_t n = 0; n <= capacity_; ++n) {
+      for (int r = 0; r <= 2; ++r) {
+        mean += static_cast<double>(m) * pi_[index(m, n, r)];
+      }
+    }
+  }
+  return mean;
+}
+
+double TwoClassPriorityChain::mean_class2() const {
+  require_solved();
+  double mean = 0.0;
+  for (std::size_t m = 0; m <= capacity_; ++m) {
+    for (std::size_t n = 0; n <= capacity_; ++n) {
+      for (int r = 0; r <= 2; ++r) {
+        mean += static_cast<double>(n) * pi_[index(m, n, r)];
+      }
+    }
+  }
+  return mean;
+}
+
+double TwoClassPriorityChain::sojourn_class1() const {
+  return mean_class1() / lambda1_;
+}
+
+double TwoClassPriorityChain::sojourn_class2() const {
+  return mean_class2() / lambda2_;
+}
+
+double TwoClassPriorityChain::queue_wait_class1() const {
+  return sojourn_class1() - 1.0 / mu_;
+}
+
+double TwoClassPriorityChain::queue_wait_class2() const {
+  return sojourn_class2() - 1.0 / mu_;
+}
+
+double TwoClassPriorityChain::idle_probability() const {
+  require_solved();
+  return pi_[index(0, 0, 0)];
+}
+
+}  // namespace pushpull::queueing

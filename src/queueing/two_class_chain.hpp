@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pushpull::queueing {
+
+/// Numerical solution of the paper's §4.2.1 two-class system: a
+/// non-preemptive priority M/M/1 whose state is (m, n, r) — m class-1 and
+/// n class-2 customers present, r ∈ {0, 1, 2} the class in service (0 =
+/// idle). The paper attacks this chain with two nested z-transforms
+/// (Eqs. 7–13) and admits "obtaining a reasonable solution to these set of
+/// stationary equations is almost impossible"; here the truncated chain is
+/// solved exactly by power iteration instead, giving L₁, L₂ and — via
+/// Little — E[W₁], E[W₂] without any transform algebra.
+///
+/// Cross-validation: for exponential service the per-class *queueing*
+/// waits must match Cobham's formula (§4.2.2), which the tests assert.
+class TwoClassPriorityChain {
+ public:
+  /// λ₁/λ₂: class arrival rates (class 1 has priority); μ: service rate
+  /// (shared, exponential); capacity: per-class truncation bound.
+  TwoClassPriorityChain(double lambda1, double lambda2, double mu,
+                        std::size_t capacity);
+
+  [[nodiscard]] double lambda1() const noexcept { return lambda1_; }
+  [[nodiscard]] double lambda2() const noexcept { return lambda2_; }
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Solves the stationary distribution (idempotent).
+  void solve(double tolerance = 1e-13, std::size_t max_iterations = 2000000);
+
+  /// Stationary probability of (m, n, r). Requires solve().
+  [[nodiscard]] double p(std::size_t m, std::size_t n, int serving) const;
+
+  /// L₁, L₂ — mean customers present per class (in queue + in service).
+  [[nodiscard]] double mean_class1() const;
+  [[nodiscard]] double mean_class2() const;
+
+  /// E[W] per class via Little's law — *sojourn* (queue + service).
+  [[nodiscard]] double sojourn_class1() const;
+  [[nodiscard]] double sojourn_class2() const;
+
+  /// E[W] per class excluding own service (comparable to cobham_waits).
+  [[nodiscard]] double queue_wait_class1() const;
+  [[nodiscard]] double queue_wait_class2() const;
+
+  /// P(system empty).
+  [[nodiscard]] double idle_probability() const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t m, std::size_t n,
+                                  int serving) const noexcept {
+    return (m * (capacity_ + 1) + n) * 3 + static_cast<std::size_t>(serving);
+  }
+  void apply_step(const std::vector<double>& from,
+                  std::vector<double>& to) const;
+  void require_solved() const;
+
+  double lambda1_;
+  double lambda2_;
+  double mu_;
+  std::size_t capacity_;
+  std::vector<double> pi_;
+};
+
+}  // namespace pushpull::queueing

@@ -1,0 +1,56 @@
+#include "rng/alias_table.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace pushpull::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("AliasTable: empty weight vector");
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("AliasTable: weights must sum to > 0");
+  }
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+  }
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale so the average column holds exactly 1.0 of probability mass.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining columns are full (1.0) up to floating-point error.
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace pushpull::rng

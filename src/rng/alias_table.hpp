@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/uniform.hpp"
+
+namespace pushpull::rng {
+
+/// O(1) sampling from an arbitrary discrete distribution (Vose's alias
+/// method). Construction is O(n); each draw costs one integer draw and one
+/// uniform. Used for Zipf item selection and client-class selection, where
+/// millions of draws per simulation make inversion-by-search too slow.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from unnormalized non-negative weights.
+  /// Zero-weight entries are never sampled. Weights must not all be zero.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// Normalized probability of index i (recomputed from the input weights).
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return normalized_[i];
+  }
+
+  /// Draws an index distributed according to the weights.
+  template <typename Engine>
+  [[nodiscard]] std::size_t sample(Engine& eng) const {
+    const auto column =
+        static_cast<std::size_t>(uniform_below(eng, prob_.size()));
+    return uniform01(eng) < prob_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per column
+  std::vector<std::size_t> alias_;   // fallback index per column
+  std::vector<double> normalized_;   // exact input probabilities, for queries
+};
+
+}  // namespace pushpull::rng

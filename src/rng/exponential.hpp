@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cmath>
+
+#include "rng/uniform.hpp"
+
+namespace pushpull::rng {
+
+/// Exponential variate with the given rate (mean 1/rate), by inversion.
+/// Used for Poisson-process inter-arrival times and exponential service
+/// times in both the simulator and the analytical model's assumptions.
+template <typename Engine>
+[[nodiscard]] double exponential(Engine& eng, double rate) {
+  // 1 - u is in (0, 1], so the log is finite.
+  return -std::log1p(-uniform01(eng)) / rate;
+}
+
+}  // namespace pushpull::rng

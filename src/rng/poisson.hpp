@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "rng/uniform.hpp"
+
+namespace pushpull::rng {
+
+/// Poisson variate with the given mean.
+///
+/// Knuth's product method for small means; larger means are split in half
+/// recursively (the sum of independent Poissons is Poisson), which keeps the
+/// algorithm exact without the complexity of a rejection sampler. Means in
+/// this library (bandwidth demands, batch sizes) are small, so the split
+/// path is rarely taken.
+template <typename Engine>
+[[nodiscard]] std::uint64_t poisson(Engine& eng, double mean) {
+  std::uint64_t total = 0;
+  while (mean > 30.0) {
+    // Split: draw Poisson(mean/2) twice across loop iterations.
+    const double half = mean / 2.0;
+    total += poisson(eng, half);
+    mean -= half;
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform01(eng);
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform01(eng);
+  }
+  return total + count;
+}
+
+}  // namespace pushpull::rng

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pushpull::rng {
+
+/// SplitMix64 pseudo-random engine (Steele, Lea, Flood 2014).
+///
+/// A tiny, fast, statistically solid 64-bit generator. Its main role here is
+/// seeding: it expands a single 64-bit seed into the 256-bit state of
+/// Xoshiro256ss, and it hashes (seed, stream-id) pairs into independent
+/// substream seeds. It satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed = 0) noexcept
+      : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Stateless mix of a single value; used for hashing stream identifiers.
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pushpull::rng

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pushpull::rng {
+
+/// Converts one 64-bit draw to a double in [0, 1) using the top 53 bits.
+/// Fully specified (unlike std::uniform_real_distribution) so simulations
+/// replay identically across standard libraries.
+template <typename Engine>
+[[nodiscard]] double uniform01(Engine& eng) {
+  return static_cast<double>(eng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+template <typename Engine>
+[[nodiscard]] double uniform(Engine& eng, double lo, double hi) {
+  return lo + (hi - lo) * uniform01(eng);
+}
+
+/// Unbiased uniform integer in [0, n) via Lemire's multiply-shift rejection.
+template <typename Engine>
+[[nodiscard]] std::uint64_t uniform_below(Engine& eng, std::uint64_t n) {
+  if (n <= 1) return 0;
+  // 128-bit multiply: x * n / 2^64, rejecting the biased low region.
+  __extension__ using uint128 = unsigned __int128;
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t x = eng();
+    const uint128 m = static_cast<uint128>(x) * static_cast<uint128>(n);
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+/// Uniform integer in the closed interval [lo, hi].
+template <typename Engine>
+[[nodiscard]] std::int64_t uniform_int(Engine& eng, std::int64_t lo,
+                                       std::int64_t hi) {
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi >= lo required
+  return lo + static_cast<std::int64_t>(uniform_below(eng, span));
+}
+
+}  // namespace pushpull::rng

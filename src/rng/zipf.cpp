@@ -1,0 +1,31 @@
+#include "rng/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pushpull::rng {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta)
+    : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  if (theta < 0.0) {
+    throw std::invalid_argument("ZipfDistribution: theta must be >= 0");
+  }
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] = std::pow(1.0 / static_cast<double>(i + 1), theta);
+    norm += pmf_[i];
+  }
+  double running = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] /= norm;
+    running += pmf_[i];
+    cdf_[i] = running;
+  }
+  cdf_[n - 1] = 1.0;  // clamp accumulated rounding
+  table_ = AliasTable(pmf_);
+}
+
+}  // namespace pushpull::rng

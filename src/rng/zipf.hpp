@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+
+namespace pushpull::rng {
+
+/// Zipf distribution over ranks 1..n with skew coefficient theta:
+///   P(rank i) = (1/i)^theta / sum_j (1/j)^theta.
+///
+/// The paper drives both item popularity (theta in {0.2, 0.6, 1.0, 1.4})
+/// and the client-class population split with this law. theta = 0 is the
+/// uniform distribution; larger theta concentrates mass on low ranks.
+class ZipfDistribution {
+ public:
+  /// n >= 1, theta >= 0.
+  ZipfDistribution(std::size_t n, double theta);
+
+  [[nodiscard]] std::size_t size() const noexcept { return pmf_.size(); }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+  /// Probability of rank i (0-based index; rank = i + 1).
+  [[nodiscard]] double pmf(std::size_t i) const noexcept { return pmf_[i]; }
+
+  /// Cumulative probability of ranks 1..i+1.
+  [[nodiscard]] double cdf(std::size_t i) const noexcept { return cdf_[i]; }
+
+  /// Full probability vector, most popular rank first.
+  [[nodiscard]] const std::vector<double>& probabilities() const noexcept {
+    return pmf_;
+  }
+
+  /// Draws a 0-based rank in O(1) via the alias table.
+  template <typename Engine>
+  [[nodiscard]] std::size_t sample(Engine& eng) const {
+    return table_.sample(eng);
+  }
+
+ private:
+  double theta_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+  AliasTable table_;
+};
+
+}  // namespace pushpull::rng

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sched/pull/policy.hpp"
+
+namespace pushpull::sched {
+
+/// Aging decorator: wraps any pull policy and adds a starvation guard,
+///   score'(i) = score(i) + rate · (now − first_arrival_i).
+///
+/// The paper itself notes that priority-weighted selection "might suffer
+/// from un-fairness to the lower priority clients" — an entry that keeps
+/// losing to premium items can wait unboundedly. Linear aging bounds that
+/// wait: once an entry is old enough its aged score exceeds any newcomer's,
+/// so every item is eventually served regardless of class. `rate` trades
+/// priority fidelity (0 = wrapped policy unchanged) against the starvation
+/// bound (larger = closer to FCFS).
+class AgingPolicy final : public PullPolicy {
+ public:
+  AgingPolicy(std::unique_ptr<PullPolicy> inner, double rate)
+      : inner_(std::move(inner)), rate_(rate) {
+    if (!inner_) {
+      throw std::invalid_argument("AgingPolicy: inner policy required");
+    }
+    if (rate < 0.0) {
+      throw std::invalid_argument("AgingPolicy: rate must be >= 0");
+    }
+    name_ = "aging(" + std::string(inner_->name()) + ")";
+  }
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] const PullPolicy& inner() const noexcept { return *inner_; }
+
+  [[nodiscard]] double score(const PullEntry& entry,
+                             const PullContext& ctx) const override {
+    return inner_->score(entry, ctx) +
+           rate_ * (ctx.now - entry.first_arrival);
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+ private:
+  std::unique_ptr<PullPolicy> inner_;
+  double rate_;
+  std::string name_;
+};
+
+/// Convenience: the paper's importance policy with a starvation guard.
+[[nodiscard]] inline std::unique_ptr<PullPolicy> make_aged_importance(
+    double alpha, double aging_rate) {
+  return std::make_unique<AgingPolicy>(
+      make_pull_policy(PullPolicyKind::kImportance, alpha), aging_rate);
+}
+
+}  // namespace pushpull::sched

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "catalog/item.hpp"
+#include "des/event.hpp"
+#include "workload/request.hpp"
+
+namespace pushpull::sched {
+
+/// Aggregated pull-queue state for one item: every pending request for the
+/// item plus the running aggregates the selection policies score on.
+///
+/// The paper's quantities map as: R_i = num_requests(), L_i = length,
+/// Q_i = total_priority (Σ q_j over requesting clients), and the stretch
+/// S_i = R_i / L_i² = stretch().
+struct PullEntry {
+  catalog::ItemId item = 0;
+  double length = 1.0;
+  double popularity = 0.0;  // catalog P_i, used by the Eq. 6 variant
+  std::vector<workload::Request> pending;
+  double total_priority = 0.0;
+  des::SimTime first_arrival = 0.0;
+  /// Σ arrival times of pending requests; lets LWF compute the total
+  /// accumulated waiting Σ(now − arrival_j) in O(1).
+  double total_arrival = 0.0;
+
+  [[nodiscard]] double num_requests() const noexcept {
+    return static_cast<double>(pending.size());
+  }
+
+  /// Max-request min-service-time stretch: S_i = R_i / L_i².
+  [[nodiscard]] double stretch() const noexcept {
+    return num_requests() / (length * length);
+  }
+
+  /// Total accumulated waiting time of all pending requests at `now`.
+  [[nodiscard]] double total_wait(des::SimTime now) const noexcept {
+    return num_requests() * now - total_arrival;
+  }
+};
+
+/// Ambient values a policy may consult when scoring an entry.
+struct PullContext {
+  des::SimTime now = 0.0;
+  /// Running estimate of E[L_pull], the expected pull-queue length; the
+  /// Eq. 6 generalization weighs entries by E[L_pull]·p_i.
+  double expected_queue_len = 1.0;
+};
+
+}  // namespace pushpull::sched

@@ -1,0 +1,54 @@
+#include "sched/pull/policy.hpp"
+
+#include <stdexcept>
+
+#include "sched/pull/policies.hpp"
+
+namespace pushpull::sched {
+
+std::string_view to_string(PullPolicyKind kind) noexcept {
+  switch (kind) {
+    case PullPolicyKind::kFcfs:
+      return "fcfs";
+    case PullPolicyKind::kMrf:
+      return "mrf";
+    case PullPolicyKind::kStretch:
+      return "stretch";
+    case PullPolicyKind::kPriority:
+      return "priority";
+    case PullPolicyKind::kRxw:
+      return "rxw";
+    case PullPolicyKind::kLwf:
+      return "lwf";
+    case PullPolicyKind::kImportance:
+      return "importance";
+    case PullPolicyKind::kImportanceQueueAware:
+      return "importance-q";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PullPolicy> make_pull_policy(PullPolicyKind kind,
+                                             double alpha) {
+  switch (kind) {
+    case PullPolicyKind::kFcfs:
+      return std::make_unique<FcfsPolicy>();
+    case PullPolicyKind::kMrf:
+      return std::make_unique<MrfPolicy>();
+    case PullPolicyKind::kStretch:
+      return std::make_unique<StretchPolicy>();
+    case PullPolicyKind::kPriority:
+      return std::make_unique<PriorityPolicy>();
+    case PullPolicyKind::kRxw:
+      return std::make_unique<RxwPolicy>();
+    case PullPolicyKind::kLwf:
+      return std::make_unique<LwfPolicy>();
+    case PullPolicyKind::kImportance:
+      return std::make_unique<ImportancePolicy>(alpha);
+    case PullPolicyKind::kImportanceQueueAware:
+      return std::make_unique<ImportanceQueueAwarePolicy>(alpha);
+  }
+  throw std::invalid_argument("make_pull_policy: unknown kind");
+}
+
+}  // namespace pushpull::sched

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "sched/pull/entry.hpp"
+
+namespace pushpull::sched {
+
+/// A pull-queue selection policy: scores entries, highest score transmits
+/// next. Stateless by design — all request state lives in the PullEntry —
+/// so one policy instance can serve any number of concurrent simulations.
+class PullPolicy {
+ public:
+  virtual ~PullPolicy() = default;
+
+  /// Higher is more urgent. Ties are broken by the queue (lowest item id)
+  /// so runs are deterministic.
+  [[nodiscard]] virtual double score(const PullEntry& entry,
+                                     const PullContext& ctx) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// The selection policies available to the hybrid server.
+enum class PullPolicyKind {
+  kFcfs,        // earliest first request wins
+  kMrf,         // most pending requests first
+  kStretch,     // stretch-optimal: max R_i / L_i²  (paper's α = 1 extreme)
+  kPriority,    // max summed client priority Q_i   (paper's α = 0 extreme)
+  kRxw,         // Aksoy–Franklin RxW baseline: R_i × waiting time
+  kLwf,         // longest-total-wait-first: Σ_j (now − arrival_j)
+  kImportance,  // the paper's Eq. 1: α·S_i + (1−α)·Q_i
+  kImportanceQueueAware,  // the paper's Eq. 6 generalization
+};
+
+[[nodiscard]] std::string_view to_string(PullPolicyKind kind) noexcept;
+
+/// Creates a policy. `alpha` is only consulted by the importance policies.
+[[nodiscard]] std::unique_ptr<PullPolicy> make_pull_policy(
+    PullPolicyKind kind, double alpha = 0.5);
+
+}  // namespace pushpull::sched

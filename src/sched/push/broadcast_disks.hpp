@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/push/push_scheduler.hpp"
+
+namespace pushpull::sched {
+
+/// Broadcast Disks (Acharya, Alonso, Franklin, Zdonik — SIGMOD 1995).
+///
+/// The push set is split into `num_disks` popularity bands ("disks"); disk d
+/// spins with relative frequency `num_disks - d`, so hot items recur more
+/// often in the broadcast. The schedule is the classic chunked major cycle:
+/// each disk is divided into max_chunks(d) = L / freq(d) chunks (L = lcm of
+/// the frequencies) and minor cycle m broadcasts chunk m mod max_chunks(d)
+/// of every disk. The full major cycle is materialized at construction and
+/// then replayed.
+class BroadcastDisksPush final : public PushScheduler {
+ public:
+  BroadcastDisksPush(const catalog::Catalog& cat, std::size_t cutoff,
+                     std::size_t num_disks);
+
+  [[nodiscard]] catalog::ItemId next() override;
+  void reset() override { position_ = 0; }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "broadcast-disks";
+  }
+
+  /// The materialized major cycle (exposed for tests).
+  [[nodiscard]] const std::vector<catalog::ItemId>& major_cycle()
+      const noexcept {
+    return cycle_;
+  }
+
+ private:
+  std::vector<catalog::ItemId> cycle_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace pushpull::sched

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sched/push/push_scheduler.hpp"
+
+namespace pushpull::sched {
+
+/// Flat (round-robin) broadcast: items 0..cutoff-1 in rank order, cyclically.
+/// This is the paper's push schedule; its expected access delay for a client
+/// tuning in at a random instant is half the cycle airtime.
+class FlatPush final : public PushScheduler {
+ public:
+  explicit FlatPush(std::size_t cutoff);
+
+  [[nodiscard]] catalog::ItemId next() override;
+  void reset() override { position_ = 0; }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flat";
+  }
+
+ private:
+  std::size_t cutoff_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace pushpull::sched

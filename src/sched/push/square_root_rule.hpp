@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/push/push_scheduler.hpp"
+
+namespace pushpull::sched {
+
+/// Square-Root-Rule broadcast (Hameed & Vaidya, WINET 1999).
+///
+/// Optimal variable-length broadcast spaces item i's replicas equally with
+/// frequency ∝ sqrt(P_i / L_i). We use the authors' online decision rule:
+/// at each slot broadcast the item maximizing G_i(t) = (t − R_i)²·P_i/L_i,
+/// where R_i is the time item i was last broadcast (ties to the lower id).
+/// This greedy converges to the equal-spacing square-root optimum without
+/// materializing a cycle, and — unlike a naive "next due += spacing"
+/// realization — keeps the square-root frequency ratios even though the
+/// channel is fully subscribed.
+class SquareRootRulePush final : public PushScheduler {
+ public:
+  SquareRootRulePush(const catalog::Catalog& cat, std::size_t cutoff);
+
+  [[nodiscard]] catalog::ItemId next() override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "square-root-rule";
+  }
+
+  /// Ideal replica spacing of item i, ∝ sqrt(L_i/P_i) (exposed for tests).
+  [[nodiscard]] double spacing(catalog::ItemId id) const noexcept {
+    return spacing_[id];
+  }
+
+ private:
+  std::vector<double> spacing_;  // sqrt(L_i/P_i), indexed by item id < cutoff
+  std::vector<double> weight_;   // P_i / L_i
+  std::vector<double> last_;     // R_i: last broadcast instant
+  std::vector<double> lengths_;
+  double clock_ = 0.0;
+};
+
+}  // namespace pushpull::sched

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace pushpull::uplink {
+
+/// Slotted-ALOHA uplink (back-channel) contention model.
+///
+/// The paper inherits Acharya's hybrid architecture, where clients send
+/// pull requests over a *limited* shared back-channel. This module makes
+/// that channel explicit: requests contend in time slots; a slot carrying
+/// exactly one transmission succeeds, two or more collide and the losers
+/// retransmit in each later slot with probability `retry_probability`.
+/// The result is a delayed (and reordered) copy of the request trace — the
+/// stream the server actually sees — plus channel statistics.
+///
+/// Classic theory for validation: with Poisson offered load G per slot,
+/// throughput is S = G·e^{−G}, maximized at S ≈ 0.368 when G = 1.
+struct AlohaConfig {
+  /// Airtime of one uplink slot in broadcast time units. Requests are tiny
+  /// control packets, so slots are short relative to item airtimes.
+  double slot_duration = 0.1;
+  /// Probability that a backlogged request transmits in a given slot.
+  /// The simulator stabilizes this (pseudo-Bayesian rule): the effective
+  /// probability is min(retry_probability, 1/backlog), so the channel
+  /// drains at ~1/e per slot instead of death-spiraling under overload.
+  double retry_probability = 0.1;
+  /// New arrivals first transmit in the slot after their generation
+  /// instant; set false to make them start backlogged (p-persistent).
+  bool immediate_first_attempt = true;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of pushing one trace through the uplink.
+struct AlohaResult {
+  workload::Trace delayed_trace;  // arrival = uplink success instant
+  std::uint64_t slots_elapsed = 0;
+  std::uint64_t successful_slots = 0;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t idle_slots = 0;
+  double mean_uplink_delay = 0.0;  // generation → successful transmission
+  double max_uplink_delay = 0.0;
+
+  /// Fraction of busy slots that collided.
+  [[nodiscard]] double collision_ratio() const noexcept {
+    const std::uint64_t busy = successful_slots + collision_slots;
+    return busy ? static_cast<double>(collision_slots) /
+                      static_cast<double>(busy)
+                : 0.0;
+  }
+  /// Successes per slot — the classic ALOHA throughput S.
+  [[nodiscard]] double throughput() const noexcept {
+    return slots_elapsed ? static_cast<double>(successful_slots) /
+                               static_cast<double>(slots_elapsed)
+                         : 0.0;
+  }
+};
+
+/// Simulates the contention of every request in `trace` on the slotted
+/// uplink and returns the delayed trace the server receives.
+[[nodiscard]] AlohaResult simulate_uplink(const workload::Trace& trace,
+                                          const AlohaConfig& config);
+
+/// The infinite-population slotted-ALOHA throughput law S(G) = G·e^{−G}.
+[[nodiscard]] double aloha_throughput(double offered_load_per_slot) noexcept;
+
+}  // namespace pushpull::uplink

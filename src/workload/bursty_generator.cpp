@@ -1,0 +1,53 @@
+#include "workload/bursty_generator.hpp"
+
+#include <stdexcept>
+
+#include "rng/exponential.hpp"
+#include "rng/poisson.hpp"
+#include "rng/stream.hpp"
+
+namespace pushpull::workload {
+
+BurstyGenerator::BurstyGenerator(const catalog::Catalog& cat,
+                                 const ClientPopulation& pop,
+                                 double arrival_rate, double batch_mean,
+                                 std::uint64_t seed)
+    : catalog_(&cat),
+      population_(&pop),
+      rate_(arrival_rate),
+      batch_mean_(batch_mean),
+      batch_rate_(arrival_rate / batch_mean),
+      arrivals_(rng::StreamFactory(seed).stream("batch-arrivals")),
+      sizes_(rng::StreamFactory(seed).stream("batch-sizes")),
+      items_(rng::StreamFactory(seed).stream("items")),
+      classes_(rng::StreamFactory(seed).stream("classes")) {
+  if (arrival_rate <= 0.0) {
+    throw std::invalid_argument("BurstyGenerator: arrival rate must be > 0");
+  }
+  if (batch_mean < 1.0) {
+    throw std::invalid_argument("BurstyGenerator: batch mean must be >= 1");
+  }
+}
+
+void BurstyGenerator::refill() {
+  clock_ += rng::exponential(arrivals_, batch_rate_);
+  const std::uint64_t size =
+      1 + rng::poisson(sizes_, batch_mean_ - 1.0);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    Request req;
+    req.id = next_id_++;
+    req.arrival = clock_;
+    req.item = catalog_->sample(items_);
+    req.cls = population_->sample_class(classes_);
+    ready_.push_back(req);
+  }
+}
+
+Request BurstyGenerator::next() {
+  while (ready_.empty()) refill();
+  Request req = ready_.front();
+  ready_.pop_front();
+  return req;
+}
+
+}  // namespace pushpull::workload

@@ -1,0 +1,95 @@
+#include "workload/cached_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/exponential.hpp"
+#include "rng/stream.hpp"
+#include "rng/uniform.hpp"
+
+namespace pushpull::workload {
+
+std::vector<std::size_t> CachedRequestGenerator::split_clients(
+    const ClientPopulation& pop, std::size_t total) {
+  std::vector<std::size_t> per_class(pop.num_classes());
+  std::size_t assigned = 0;
+  for (ClassId c = 0; c < pop.num_classes(); ++c) {
+    per_class[c] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(pop.share(c) *
+                                    static_cast<double>(total)));
+    assigned += per_class[c];
+  }
+  // Give any rounding remainder to the largest (least important) class.
+  if (assigned < total) {
+    per_class[pop.num_classes() - 1] += total - assigned;
+  }
+  return per_class;
+}
+
+CachedRequestGenerator::CachedRequestGenerator(
+    const catalog::Catalog& cat, const ClientPopulation& pop,
+    double arrival_rate, std::vector<std::size_t> clients_per_class,
+    std::size_t cache_capacity, std::uint64_t seed)
+    : catalog_(&cat),
+      population_(&pop),
+      rate_(arrival_rate),
+      arrivals_(rng::StreamFactory(seed).stream("arrivals")),
+      items_(rng::StreamFactory(seed).stream("items")),
+      classes_(rng::StreamFactory(seed).stream("classes")),
+      client_pick_(rng::StreamFactory(seed).stream("client-pick")),
+      class_hits_(pop.num_classes(), 0) {
+  if (arrival_rate <= 0.0) {
+    throw std::invalid_argument(
+        "CachedRequestGenerator: arrival rate must be > 0");
+  }
+  if (clients_per_class.size() != pop.num_classes()) {
+    throw std::invalid_argument(
+        "CachedRequestGenerator: one client count per class required");
+  }
+  class_offset_.resize(pop.num_classes() + 1, 0);
+  for (ClassId c = 0; c < pop.num_classes(); ++c) {
+    if (clients_per_class[c] == 0) {
+      throw std::invalid_argument(
+          "CachedRequestGenerator: every class needs at least one client");
+    }
+    class_offset_[c + 1] = class_offset_[c] + clients_per_class[c];
+  }
+  caches_.assign(class_offset_.back(), LruCache(cache_capacity));
+}
+
+CachedRequestGenerator::CachedRequestGenerator(
+    const catalog::Catalog& cat, const ClientPopulation& pop,
+    double arrival_rate, std::size_t total_clients, std::size_t cache_capacity,
+    std::uint64_t seed)
+    : CachedRequestGenerator(cat, pop, arrival_rate,
+                             split_clients(pop, total_clients),
+                             cache_capacity, seed) {}
+
+Request CachedRequestGenerator::next() {
+  for (;;) {
+    clock_ += rng::exponential(arrivals_, rate_);
+    ++demands_;
+    const ClassId cls = population_->sample_class(classes_);
+    const std::size_t begin = class_offset_[cls];
+    const std::size_t span = class_offset_[cls + 1] - begin;
+    const std::size_t client =
+        begin + static_cast<std::size_t>(rng::uniform_below(client_pick_, span));
+    const catalog::ItemId item = catalog_->sample(items_);
+
+    if (caches_[client].touch(item)) {
+      ++hits_;
+      ++class_hits_[cls];
+      continue;  // served locally; nothing reaches the downlink
+    }
+    caches_[client].insert(item);  // the client will receive and keep it
+
+    Request req;
+    req.id = next_id_++;
+    req.arrival = clock_;
+    req.item = item;
+    req.cls = cls;
+    return req;
+  }
+}
+
+}  // namespace pushpull::workload

@@ -1,0 +1,60 @@
+#include "workload/drifting_generator.hpp"
+
+#include <stdexcept>
+
+#include "rng/exponential.hpp"
+#include "rng/stream.hpp"
+
+namespace pushpull::workload {
+
+DriftingGenerator::DriftingGenerator(const catalog::Catalog& cat,
+                                     const ClientPopulation& pop,
+                                     double arrival_rate, double epoch_length,
+                                     std::size_t shift, std::uint64_t seed)
+    : catalog_(&cat),
+      population_(&pop),
+      rate_(arrival_rate),
+      epoch_length_(epoch_length),
+      shift_(shift % cat.size()),
+      arrivals_(rng::StreamFactory(seed).stream("arrivals")),
+      items_(rng::StreamFactory(seed).stream("items")),
+      classes_(rng::StreamFactory(seed).stream("classes")) {
+  if (arrival_rate <= 0.0) {
+    throw std::invalid_argument("DriftingGenerator: arrival rate must be > 0");
+  }
+  if (epoch_length <= 0.0) {
+    throw std::invalid_argument(
+        "DriftingGenerator: epoch length must be > 0");
+  }
+}
+
+catalog::ItemId DriftingGenerator::item_at_rank(std::size_t rank,
+                                                des::SimTime when) const {
+  const std::size_t n = catalog_->size();
+  const std::size_t offset = (epoch_of(when) * shift_) % n;
+  return static_cast<catalog::ItemId>((rank + offset) % n);
+}
+
+double DriftingGenerator::probability_at(catalog::ItemId item,
+                                         des::SimTime when) const {
+  const std::size_t n = catalog_->size();
+  const std::size_t offset = (epoch_of(when) * shift_) % n;
+  // item = (rank + offset) mod n  ⇒  rank = (item − offset) mod n.
+  const std::size_t rank = (static_cast<std::size_t>(item) + n - offset) % n;
+  return catalog_->probability(static_cast<catalog::ItemId>(rank));
+}
+
+Request DriftingGenerator::next() {
+  clock_ += rng::exponential(arrivals_, rate_);
+  Request req;
+  req.id = next_id_++;
+  req.arrival = clock_;
+  // Draw a *rank* with the catalog's (stationary) popularity law, then map
+  // it to the item occupying that rank in the current epoch.
+  const auto rank = static_cast<std::size_t>(catalog_->sample(items_));
+  req.item = item_at_rank(rank, clock_);
+  req.cls = population_->sample_class(classes_);
+  return req;
+}
+
+}  // namespace pushpull::workload

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "workload/population.hpp"
+#include "workload/request.hpp"
+
+namespace pushpull::workload {
+
+/// Non-stationary request source: popularity keeps its Zipf *shape* but the
+/// identity of the hot items rotates over time.
+///
+/// The generator draws a popularity rank exactly like RequestGenerator, then
+/// maps rank → item through a permutation that advances by `shift` positions
+/// every `epoch_length` time units. A static cutoff tuned for epoch 0 turns
+/// stale as soon as the hot set moves — the workload the paper's periodic
+/// cutoff re-optimization exists for, and the one the adaptive server is
+/// benchmarked on.
+class DriftingGenerator {
+ public:
+  /// `shift`: how many positions the rank→item mapping rotates per epoch;
+  /// `epoch_length`: virtual time between rotations.
+  DriftingGenerator(const catalog::Catalog& cat, const ClientPopulation& pop,
+                    double arrival_rate, double epoch_length,
+                    std::size_t shift, std::uint64_t seed);
+
+  [[nodiscard]] double arrival_rate() const noexcept { return rate_; }
+  [[nodiscard]] double epoch_length() const noexcept { return epoch_length_; }
+  [[nodiscard]] std::size_t shift() const noexcept { return shift_; }
+
+  /// Generates the next request; arrival times are strictly increasing.
+  [[nodiscard]] Request next();
+
+  /// The item currently occupying popularity rank `rank` (0 = hottest) at
+  /// virtual time `when` — exposed so tests and the estimator bench can
+  /// check the drift mechanics.
+  [[nodiscard]] catalog::ItemId item_at_rank(std::size_t rank,
+                                             des::SimTime when) const;
+
+  /// The *instantaneous* access probability of an item at `when`.
+  [[nodiscard]] double probability_at(catalog::ItemId item,
+                                      des::SimTime when) const;
+
+ private:
+  [[nodiscard]] std::size_t epoch_of(des::SimTime when) const noexcept {
+    return epoch_length_ > 0.0
+               ? static_cast<std::size_t>(when / epoch_length_)
+               : 0;
+  }
+
+  const catalog::Catalog* catalog_;
+  const ClientPopulation* population_;
+  double rate_;
+  double epoch_length_;
+  std::size_t shift_;
+  rng::Xoshiro256ss arrivals_;
+  rng::Xoshiro256ss items_;
+  rng::Xoshiro256ss classes_;
+  des::SimTime clock_ = 0.0;
+  RequestId next_id_ = 0;
+};
+
+}  // namespace pushpull::workload

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "catalog/item.hpp"
+
+namespace pushpull::workload {
+
+/// Fixed-capacity LRU set of item ids — a wireless client's local cache.
+/// O(1) touch/insert/lookup via the classic list + index layout.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
+
+  [[nodiscard]] bool contains(catalog::ItemId item) const {
+    return index_.contains(item);
+  }
+
+  /// Looks up `item`; on a hit it becomes most-recently-used.
+  bool touch(catalog::ItemId item) {
+    const auto it = index_.find(item);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  /// Inserts `item` as most-recently-used, evicting the LRU entry if full.
+  /// Inserting an existing item just refreshes its recency.
+  void insert(catalog::ItemId item) {
+    if (capacity_ == 0) return;
+    if (touch(item)) return;
+    if (index_.size() == capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(item);
+    index_[item] = order_.begin();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<catalog::ItemId> order_;  // front = most recent
+  std::unordered_map<catalog::ItemId, std::list<catalog::ItemId>::iterator>
+      index_;
+};
+
+}  // namespace pushpull::workload

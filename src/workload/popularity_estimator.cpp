@@ -1,0 +1,76 @@
+#include "workload/popularity_estimator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pushpull::workload {
+
+PopularityEstimator::PopularityEstimator(std::size_t num_items,
+                                         double half_life)
+    : weights_(num_items, 0.0), half_life_(half_life) {
+  if (num_items == 0) {
+    throw std::invalid_argument("PopularityEstimator: need at least one item");
+  }
+  if (half_life <= 0.0) {
+    throw std::invalid_argument("PopularityEstimator: half-life must be > 0");
+  }
+}
+
+void PopularityEstimator::rebase(des::SimTime now) {
+  // Keep the lazy-decay exponent small; rebasing multiplies every stored
+  // weight by the decay accumulated since the previous origin.
+  const double factor = std::exp2(-(now - scale_origin_) / half_life_);
+  for (double& w : weights_) w *= factor;
+  scale_origin_ = now;
+}
+
+void PopularityEstimator::observe(catalog::ItemId item, des::SimTime now) {
+  if (item >= weights_.size()) {
+    throw std::out_of_range("PopularityEstimator: item out of range");
+  }
+  if (now < last_observation_) {
+    throw std::invalid_argument(
+        "PopularityEstimator: observations must be time-ordered");
+  }
+  last_observation_ = now;
+  if ((now - scale_origin_) / half_life_ > 500.0) rebase(now);
+  weights_[item] += scale_at(now);
+}
+
+double PopularityEstimator::weight(catalog::ItemId item) const {
+  return weights_[item] / scale_at(last_observation_);
+}
+
+double PopularityEstimator::total_weight() const {
+  const double scale = scale_at(last_observation_);
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return total / scale;
+}
+
+std::vector<double> PopularityEstimator::probabilities() const {
+  const double total = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  std::vector<double> probs(weights_.size());
+  if (total <= 0.0) {
+    std::fill(probs.begin(), probs.end(),
+              1.0 / static_cast<double>(weights_.size()));
+    return probs;
+  }
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    probs[i] = weights_[i] / total;
+  }
+  return probs;
+}
+
+std::vector<catalog::ItemId> PopularityEstimator::ranking() const {
+  std::vector<catalog::ItemId> order(weights_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](catalog::ItemId a, catalog::ItemId b) {
+                     return weights_[a] > weights_[b];
+                   });
+  return order;
+}
+
+}  // namespace pushpull::workload

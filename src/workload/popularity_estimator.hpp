@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "catalog/item.hpp"
+#include "des/event.hpp"
+
+namespace pushpull::workload {
+
+/// Online per-item popularity estimation with exponential forgetting.
+///
+/// Each observation adds weight 1 to its item; all weights decay with the
+/// configured half-life of *virtual* time, so the estimate tracks a
+/// drifting workload with a tunable memory. Decay is applied lazily (one
+/// global log-scale clock), making observe() O(1).
+class PopularityEstimator {
+ public:
+  /// `half_life`: virtual time for an observation's weight to halve.
+  PopularityEstimator(std::size_t num_items, double half_life);
+
+  [[nodiscard]] std::size_t num_items() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] double half_life() const noexcept { return half_life_; }
+
+  /// Records a request for `item` at virtual time `now` (non-decreasing).
+  void observe(catalog::ItemId item, des::SimTime now);
+
+  /// Decayed weight of an item as of the last observation.
+  [[nodiscard]] double weight(catalog::ItemId item) const;
+
+  /// Normalized popularity estimate (uniform if nothing observed yet).
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Item ids sorted by estimated popularity, hottest first (ties by id).
+  [[nodiscard]] std::vector<catalog::ItemId> ranking() const;
+
+  /// Total decayed observation mass.
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  // Weights are stored scaled by 2^(t/half_life) at observation time, so
+  // decay never has to touch cold items; `scale_origin_` rebases the
+  // exponent before it can overflow.
+  [[nodiscard]] double scale_at(des::SimTime now) const {
+    return std::exp2((now - scale_origin_) / half_life_);
+  }
+  void rebase(des::SimTime now);
+
+  std::vector<double> weights_;
+  double half_life_;
+  des::SimTime scale_origin_ = 0.0;
+  des::SimTime last_observation_ = 0.0;
+};
+
+}  // namespace pushpull::workload

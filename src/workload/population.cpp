@@ -1,0 +1,64 @@
+#include "workload/population.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "rng/zipf.hpp"
+
+namespace pushpull::workload {
+
+ClientPopulation::ClientPopulation(std::vector<ServiceClass> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("ClientPopulation: at least one class");
+  }
+  double total = 0.0;
+  for (const auto& c : classes_) {
+    if (c.population_share <= 0.0) {
+      throw std::invalid_argument(
+          "ClientPopulation: population shares must be positive");
+    }
+    if (c.priority <= 0.0) {
+      throw std::invalid_argument(
+          "ClientPopulation: priorities must be positive");
+    }
+    total += c.population_share;
+  }
+  std::vector<double> shares(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    classes_[i].population_share /= total;
+    shares[i] = classes_[i].population_share;
+  }
+  mix_ = rng::AliasTable(shares);
+}
+
+ClientPopulation ClientPopulation::zipf_classes(std::size_t num_classes,
+                                                double zipf_theta) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ClientPopulation: at least one class");
+  }
+  rng::ZipfDistribution zipf(num_classes, zipf_theta);
+  std::vector<ServiceClass> classes(num_classes);
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    // Class 0 is most important: largest priority weight, smallest share
+    // (Zipf rank 1, the largest mass, goes to the last = least important
+    // class).
+    classes[i].name = "class-" + std::string(1, static_cast<char>('A' + (i % 26)));
+    classes[i].priority = static_cast<double>(num_classes - i);
+    classes[i].population_share = zipf.pmf(num_classes - 1 - i);
+  }
+  return ClientPopulation(std::move(classes));
+}
+
+ClientPopulation ClientPopulation::paper_default(double zipf_theta) {
+  return zipf_classes(3, zipf_theta);
+}
+
+double ClientPopulation::max_priority() const noexcept {
+  double best = 0.0;
+  for (const auto& c : classes_) best = std::max(best, c.priority);
+  return best;
+}
+
+}  // namespace pushpull::workload

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "workload/service_class.hpp"
+
+namespace pushpull::workload {
+
+/// The client population partitioned into prioritized service classes.
+///
+/// Provides the class-mix distribution used when generating requests: each
+/// arriving request belongs to a class drawn with probability equal to that
+/// class's population share (clients are statistically identical within a
+/// class, so per-client identity is not modeled — only the class matters to
+/// the scheduler).
+class ClientPopulation {
+ public:
+  /// Builds from explicit classes; shares must be positive and are
+  /// normalized to sum to 1.
+  explicit ClientPopulation(std::vector<ServiceClass> classes);
+
+  /// Paper default: three classes A/B/C with priorities 3:2:1 and
+  /// Zipf(theta)-distributed population shares, fewest clients in Class-A.
+  [[nodiscard]] static ClientPopulation paper_default(double zipf_theta = 1.0);
+
+  /// `num_classes` classes with priority weights num_classes..1 and
+  /// Zipf(theta) population shares (rank 1 of the Zipf = the *least*
+  /// important class, matching the paper's assumption 6).
+  [[nodiscard]] static ClientPopulation zipf_classes(std::size_t num_classes,
+                                                     double zipf_theta);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] const ServiceClass& cls(ClassId id) const noexcept {
+    return classes_[id];
+  }
+  [[nodiscard]] std::span<const ServiceClass> classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] double priority(ClassId id) const noexcept {
+    return classes_[id].priority;
+  }
+  [[nodiscard]] double share(ClassId id) const noexcept {
+    return classes_[id].population_share;
+  }
+
+  /// Highest priority weight across classes (used for normalizations).
+  [[nodiscard]] double max_priority() const noexcept;
+
+  /// Draws the class of an arriving request.
+  template <typename Engine>
+  [[nodiscard]] ClassId sample_class(Engine& eng) const {
+    return static_cast<ClassId>(mix_.sample(eng));
+  }
+
+ private:
+  std::vector<ServiceClass> classes_;
+  rng::AliasTable mix_;
+};
+
+}  // namespace pushpull::workload

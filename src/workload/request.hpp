@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/item.hpp"
+#include "des/event.hpp"
+#include "workload/service_class.hpp"
+
+namespace pushpull::workload {
+
+/// Unique id of a client request within one simulation run.
+using RequestId = std::uint64_t;
+
+/// One client request: "a client of class `cls` asked for `item` at
+/// `arrival`". The server never learns more than this about a client.
+struct Request {
+  RequestId id = 0;
+  catalog::ItemId item = 0;
+  ClassId cls = 0;
+  des::SimTime arrival = 0.0;
+};
+
+}  // namespace pushpull::workload

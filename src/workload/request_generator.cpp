@@ -1,0 +1,31 @@
+#include "workload/request_generator.hpp"
+
+#include <stdexcept>
+
+namespace pushpull::workload {
+
+RequestGenerator::RequestGenerator(const catalog::Catalog& cat,
+                                   const ClientPopulation& pop,
+                                   double arrival_rate, std::uint64_t seed)
+    : catalog_(&cat),
+      population_(&pop),
+      rate_(arrival_rate),
+      arrivals_(rng::StreamFactory(seed).stream("arrivals")),
+      items_(rng::StreamFactory(seed).stream("items")),
+      classes_(rng::StreamFactory(seed).stream("classes")) {
+  if (arrival_rate <= 0.0) {
+    throw std::invalid_argument("RequestGenerator: arrival rate must be > 0");
+  }
+}
+
+Request RequestGenerator::next() {
+  clock_ += rng::exponential(arrivals_, rate_);
+  Request req;
+  req.id = next_id_++;
+  req.arrival = clock_;
+  req.item = catalog_->sample(items_);
+  req.cls = population_->sample_class(classes_);
+  return req;
+}
+
+}  // namespace pushpull::workload

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/catalog.hpp"
+#include "rng/exponential.hpp"
+#include "rng/stream.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "workload/population.hpp"
+#include "workload/request.hpp"
+
+namespace pushpull::workload {
+
+/// Poisson request source: exponential inter-arrivals at aggregate rate λ'
+/// (the paper's assumption 2, λ' = 5), item chosen by catalog popularity,
+/// class chosen by population share.
+///
+/// The three random choices draw from independent substreams of the given
+/// seed so that, e.g., two runs with different catalogs still see identical
+/// arrival instants — which is what makes cutoff sweeps paired comparisons.
+class RequestGenerator {
+ public:
+  RequestGenerator(const catalog::Catalog& cat, const ClientPopulation& pop,
+                   double arrival_rate, std::uint64_t seed);
+
+  [[nodiscard]] double arrival_rate() const noexcept { return rate_; }
+
+  /// Generates the next request; arrival times are strictly increasing.
+  [[nodiscard]] Request next();
+
+  /// Number of requests generated so far.
+  [[nodiscard]] RequestId generated() const noexcept { return next_id_; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  const ClientPopulation* population_;
+  double rate_;
+  rng::Xoshiro256ss arrivals_;
+  rng::Xoshiro256ss items_;
+  rng::Xoshiro256ss classes_;
+  des::SimTime clock_ = 0.0;
+  RequestId next_id_ = 0;
+};
+
+}  // namespace pushpull::workload

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pushpull::workload {
+
+/// Index of a service class. Class 0 is the highest-priority class
+/// (the paper's Class-A); larger indices are less important.
+using ClassId = std::uint32_t;
+
+/// A client service class.
+///
+/// `priority` is the paper's q_j: the weight a client of this class
+/// contributes to an item's total priority Q_i, and the multiplier in the
+/// prioritized cost q_j·E[T]. The paper sets A:B:C priorities in ratio
+/// 1::2::3 while calling Class-A the *highest* priority; we resolve the
+/// ambiguity by giving Class-A the largest weight (3,2,1) so that "more
+/// important ⇒ scheduled sooner" holds throughout (see DESIGN.md).
+///
+/// `population_share` is the fraction of clients in this class; the paper
+/// distributes clients across classes by a Zipf law with the *fewest*
+/// clients in the most important class.
+struct ServiceClass {
+  std::string name;
+  double priority = 1.0;
+  double population_share = 0.0;
+};
+
+}  // namespace pushpull::workload

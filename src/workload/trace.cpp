@@ -1,0 +1,54 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pushpull::workload {
+
+Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests)) {
+  for (std::size_t i = 1; i < requests_.size(); ++i) {
+    if (requests_[i].arrival < requests_[i - 1].arrival) {
+      throw std::invalid_argument("Trace: arrivals must be non-decreasing");
+    }
+  }
+}
+
+des::SimTime Trace::span() const noexcept {
+  return requests_.empty() ? 0.0 : requests_.back().arrival;
+}
+
+void Trace::save_csv(std::ostream& out) const {
+  out << "id,arrival,item,class\n";
+  for (const auto& r : requests_) {
+    out << r.id << ',' << r.arrival << ',' << r.item << ',' << r.cls << '\n';
+  }
+}
+
+Trace Trace::load_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("Trace: missing CSV header");
+  }
+  if (line != "id,arrival,item,class") {
+    throw std::invalid_argument("Trace: unexpected CSV header: " + line);
+  }
+  std::vector<Request> reqs;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Request req;
+    char c1 = 0, c2 = 0, c3 = 0;
+    if (!(fields >> req.id >> c1 >> req.arrival >> c2 >> req.item >> c3 >>
+          req.cls) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      throw std::invalid_argument("Trace: malformed CSV row: " + line);
+    }
+    reqs.push_back(req);
+  }
+  return Trace(std::move(reqs));
+}
+
+}  // namespace pushpull::workload

@@ -1,0 +1,172 @@
+// Tests for the adaptive hybrid server: conservation, migration across
+// re-partitions, cutoff tracking under drift, and superiority over a stale
+// static configuration on non-stationary workloads.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_server.hpp"
+#include "core/hybrid_server.hpp"
+#include "exp/scenario.hpp"
+#include "workload/drifting_generator.hpp"
+
+namespace pushpull::core {
+namespace {
+
+struct DriftWorld {
+  catalog::Catalog catalog;
+  workload::ClientPopulation population;
+  workload::Trace trace;
+};
+
+DriftWorld make_drift_world(double epoch, std::size_t shift,
+                            std::size_t requests, std::uint64_t seed = 99) {
+  catalog::Catalog cat(100, 1.0, catalog::LengthModel::paper_default(), 7);
+  auto pop = workload::ClientPopulation::paper_default();
+  workload::DriftingGenerator gen(cat, pop, 5.0, epoch, shift, seed);
+  workload::Trace trace = workload::Trace::record(gen, requests);
+  return DriftWorld{std::move(cat), std::move(pop), std::move(trace)};
+}
+
+AdaptiveConfig default_adaptive() {
+  AdaptiveConfig config;
+  config.initial_cutoff = 30;
+  config.alpha = 0.5;
+  config.reoptimize_interval = 300.0;
+  config.estimator_half_life = 400.0;
+  config.scan_step = 10;
+  return config;
+}
+
+TEST(AdaptiveServer, RejectsBadConfig) {
+  const auto world = make_drift_world(1000.0, 10, 10);
+  AdaptiveConfig config = default_adaptive();
+  config.initial_cutoff = 1000;
+  EXPECT_THROW(AdaptiveHybridServer(world.catalog, world.population, config),
+               std::invalid_argument);
+  config = default_adaptive();
+  config.reoptimize_interval = 0.0;
+  EXPECT_THROW(AdaptiveHybridServer(world.catalog, world.population, config),
+               std::invalid_argument);
+  config = default_adaptive();
+  config.scan_step = 0;
+  EXPECT_THROW(AdaptiveHybridServer(world.catalog, world.population, config),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveServer, ConservesRequests) {
+  const auto world = make_drift_world(500.0, 20, 15000);
+  AdaptiveHybridServer server(world.catalog, world.population,
+                              default_adaptive());
+  const AdaptiveResult r = server.run(world.trace);
+  const auto overall = r.overall();
+  EXPECT_EQ(overall.arrived, world.trace.size());
+  EXPECT_EQ(overall.served, overall.arrived);
+}
+
+TEST(AdaptiveServer, ReoptimizesPeriodically) {
+  const auto world = make_drift_world(500.0, 20, 15000);
+  AdaptiveHybridServer server(world.catalog, world.population,
+                              default_adaptive());
+  const AdaptiveResult r = server.run(world.trace);
+  EXPECT_GT(r.reoptimizations, 3u);
+  // History: initial entry plus one per re-optimization.
+  EXPECT_EQ(r.cutoff_history.size(), r.reoptimizations + 1);
+  EXPECT_DOUBLE_EQ(r.cutoff_history.front().first, 0.0);
+  EXPECT_EQ(r.cutoff_history.front().second, 30u);
+}
+
+TEST(AdaptiveServer, DeterministicAcrossRuns) {
+  const auto world = make_drift_world(500.0, 20, 8000);
+  AdaptiveHybridServer server(world.catalog, world.population,
+                              default_adaptive());
+  const AdaptiveResult a = server.run(world.trace);
+  const AdaptiveResult b = server.run(world.trace);
+  EXPECT_DOUBLE_EQ(a.overall().wait.mean(), b.overall().wait.mean());
+  EXPECT_EQ(a.reoptimizations, b.reoptimizations);
+  EXPECT_EQ(a.cutoff_history, b.cutoff_history);
+}
+
+TEST(AdaptiveServer, WorksFromPurePullStart) {
+  const auto world = make_drift_world(500.0, 20, 8000);
+  AdaptiveConfig config = default_adaptive();
+  config.initial_cutoff = 0;
+  AdaptiveHybridServer server(world.catalog, world.population, config);
+  const AdaptiveResult r = server.run(world.trace);
+  EXPECT_EQ(r.overall().served, world.trace.size());
+}
+
+TEST(AdaptiveServer, HandlesEmptyTrace) {
+  const auto world = make_drift_world(500.0, 20, 10);
+  AdaptiveHybridServer server(world.catalog, world.population,
+                              default_adaptive());
+  const AdaptiveResult r = server.run(workload::Trace{});
+  EXPECT_EQ(r.overall().arrived, 0u);
+}
+
+TEST(AdaptiveServer, BeatsStaleStaticCutoffUnderDrift) {
+  // Drift rotates the hot set by a third of the catalog every 400 units;
+  // a static rank-prefix push set goes stale after the first epoch, while
+  // the adaptive server re-learns the hot set.
+  const auto world = make_drift_world(400.0, 33, 30000);
+
+  AdaptiveConfig adaptive = default_adaptive();
+  adaptive.reoptimize_interval = 100.0;
+  adaptive.estimator_half_life = 150.0;
+  AdaptiveHybridServer dynamic(world.catalog, world.population, adaptive);
+  const AdaptiveResult ra = dynamic.run(world.trace);
+
+  HybridConfig static_config;
+  static_config.cutoff = 30;
+  static_config.alpha = 0.5;
+  HybridServer fixed(world.catalog, world.population, static_config);
+  const SimResult rs = fixed.run(world.trace);
+
+  EXPECT_LT(ra.overall().wait.mean(), rs.overall().wait.mean());
+}
+
+TEST(AdaptiveServer, MatchesStationaryWorkloadReasonably) {
+  // On a stationary workload the adaptive server should converge to a
+  // sensible cutoff and not be dramatically worse than a tuned static one.
+  exp::Scenario scenario;
+  scenario.theta = 1.0;
+  scenario.num_requests = 20000;
+  const auto built = scenario.build();
+
+  AdaptiveConfig adaptive = default_adaptive();
+  AdaptiveHybridServer dynamic(built.catalog, built.population, adaptive);
+  const AdaptiveResult ra = dynamic.run(built.trace);
+
+  HybridConfig static_config;
+  static_config.cutoff = 30;
+  static_config.alpha = 0.5;
+  const SimResult rs = exp::run_hybrid(built, static_config);
+
+  EXPECT_LT(ra.overall().wait.mean(), rs.overall().wait.mean() * 1.5);
+  EXPECT_EQ(ra.overall().served, built.trace.size());
+}
+
+TEST(AdaptiveServer, MigratesPendingRequestsAcrossRepartitions) {
+  // With aggressive re-optimization every 50 units and strong drift, items
+  // cross the push/pull boundary constantly while requests are pending; all
+  // requests must still be delivered exactly once.
+  const auto world = make_drift_world(100.0, 50, 12000);
+  AdaptiveConfig config = default_adaptive();
+  config.reoptimize_interval = 50.0;
+  config.estimator_half_life = 80.0;
+  config.scan_step = 5;
+  AdaptiveHybridServer server(world.catalog, world.population, config);
+  const AdaptiveResult r = server.run(world.trace);
+  EXPECT_EQ(r.overall().served, world.trace.size());
+  EXPECT_GT(r.reoptimizations, 10u);
+}
+
+TEST(AdaptiveServer, PremiumClassStillFavored) {
+  const auto world = make_drift_world(400.0, 33, 20000);
+  AdaptiveConfig config = default_adaptive();
+  config.alpha = 0.0;
+  AdaptiveHybridServer server(world.catalog, world.population, config);
+  const AdaptiveResult r = server.run(world.trace);
+  EXPECT_LE(r.mean_wait(0), r.mean_wait(2) * 1.10);
+}
+
+}  // namespace
+}  // namespace pushpull::core

@@ -1,0 +1,89 @@
+// Unit tests for the per-class bandwidth pools and admission control.
+#include <gtest/gtest.h>
+
+#include "core/bandwidth_manager.hpp"
+
+namespace pushpull::core {
+namespace {
+
+TEST(Bandwidth, UnconstrainedAlwaysAdmits) {
+  BandwidthManager bw;
+  EXPECT_TRUE(bw.unconstrained());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(bw.try_acquire(0, 1e9));
+  }
+  bw.release(0, 1e9);  // no-op, must not crash
+}
+
+TEST(Bandwidth, NonPositiveTotalIsUnconstrained) {
+  BandwidthManager bw(0.0, std::vector<double>{1.0, 1.0});
+  EXPECT_TRUE(bw.unconstrained());
+  BandwidthManager neg(-5.0, std::vector<double>{1.0});
+  EXPECT_TRUE(neg.unconstrained());
+}
+
+TEST(Bandwidth, FractionsPartitionTotal) {
+  BandwidthManager bw(100.0, {3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(bw.capacity(0), 30.0);
+  EXPECT_DOUBLE_EQ(bw.capacity(1), 20.0);
+  EXPECT_DOUBLE_EQ(bw.capacity(2), 50.0);
+}
+
+TEST(Bandwidth, EqualSplitConstructor) {
+  BandwidthManager bw(90.0, std::size_t{3});
+  for (workload::ClassId c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(bw.capacity(c), 30.0);
+  }
+}
+
+TEST(Bandwidth, AcquireReleaseAccounting) {
+  BandwidthManager bw(10.0, std::size_t{2});
+  EXPECT_TRUE(bw.try_acquire(0, 3.0));
+  EXPECT_DOUBLE_EQ(bw.available(0), 2.0);
+  EXPECT_DOUBLE_EQ(bw.in_use(0), 3.0);
+  // Other class untouched.
+  EXPECT_DOUBLE_EQ(bw.available(1), 5.0);
+  bw.release(0, 3.0);
+  EXPECT_DOUBLE_EQ(bw.available(0), 5.0);
+}
+
+TEST(Bandwidth, RejectsWhenPoolExhausted) {
+  BandwidthManager bw(10.0, std::size_t{2});
+  EXPECT_TRUE(bw.try_acquire(0, 5.0));
+  EXPECT_FALSE(bw.try_acquire(0, 1.0));
+  // The other class's pool is independent.
+  EXPECT_TRUE(bw.try_acquire(1, 5.0));
+}
+
+TEST(Bandwidth, CountsAdmissionOutcomes) {
+  BandwidthManager bw(4.0, std::size_t{1});
+  EXPECT_TRUE(bw.try_acquire(0, 3.0));
+  EXPECT_FALSE(bw.try_acquire(0, 2.0));
+  EXPECT_TRUE(bw.try_acquire(0, 1.0));
+  EXPECT_EQ(bw.admitted(), 2u);
+  EXPECT_EQ(bw.rejected(), 1u);
+}
+
+TEST(Bandwidth, ZeroDemandAlwaysFits) {
+  BandwidthManager bw(1.0, std::size_t{1});
+  EXPECT_TRUE(bw.try_acquire(0, 1.0));
+  EXPECT_TRUE(bw.try_acquire(0, 0.0));
+}
+
+TEST(Bandwidth, RejectsBadFractions) {
+  EXPECT_THROW(BandwidthManager(10.0, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(BandwidthManager(10.0, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(BandwidthManager(10.0, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Bandwidth, ReacquireAfterRelease) {
+  BandwidthManager bw(6.0, std::size_t{1});
+  EXPECT_TRUE(bw.try_acquire(0, 6.0));
+  EXPECT_FALSE(bw.try_acquire(0, 6.0));
+  bw.release(0, 6.0);
+  EXPECT_TRUE(bw.try_acquire(0, 6.0));
+}
+
+}  // namespace
+}  // namespace pushpull::core

@@ -1,0 +1,121 @@
+// Tests for the compound-Poisson (bursty) request source.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "core/hybrid_server.hpp"
+#include "catalog/length_model.hpp"
+#include "workload/bursty_generator.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::workload {
+namespace {
+
+catalog::Catalog test_catalog() {
+  return catalog::Catalog(50, 0.6, catalog::LengthModel::paper_default(), 3);
+}
+
+TEST(Bursty, RejectsBadArguments) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  EXPECT_THROW(BurstyGenerator(cat, pop, 0.0, 2.0, 1), std::invalid_argument);
+  EXPECT_THROW(BurstyGenerator(cat, pop, 5.0, 0.5, 1), std::invalid_argument);
+}
+
+TEST(Bursty, AggregateRateMatchesTarget) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  BurstyGenerator gen(cat, pop, 5.0, 4.0, 7);
+  const int n = 100000;
+  Request last;
+  for (int i = 0; i < n; ++i) last = gen.next();
+  EXPECT_NEAR(static_cast<double>(n) / last.arrival, 5.0, 0.2);
+}
+
+TEST(Bursty, ArrivalsNonDecreasingAndBatchesShareInstants) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  BurstyGenerator gen(cat, pop, 5.0, 3.0, 8);
+  double last = -1.0;
+  int shared = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Request r = gen.next();
+    EXPECT_GE(r.arrival, last);
+    if (r.arrival == last) ++shared;
+    last = r.arrival;
+  }
+  // Mean batch size 3 ⇒ roughly two thirds of consecutive pairs share an
+  // instant.
+  EXPECT_GT(shared, 2000);
+}
+
+TEST(Bursty, BatchMeanOneIsNearlyPoisson) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  BurstyGenerator gen(cat, pop, 5.0, 1.0, 9);
+  double last = -1.0;
+  int shared = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Request r = gen.next();
+    if (r.arrival == last) ++shared;
+    last = r.arrival;
+  }
+  EXPECT_EQ(shared, 0);  // every batch has exactly one request
+}
+
+TEST(Bursty, DispersionGrowsWithBatchMean) {
+  // Index of dispersion of counts in unit windows ≈ batch mean.
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  const auto dispersion = [&](double batch_mean, std::uint64_t seed) {
+    BurstyGenerator gen(cat, pop, 5.0, batch_mean, seed);
+    std::vector<int> counts(4000, 0);
+    for (;;) {
+      const Request r = gen.next();
+      const auto window = static_cast<std::size_t>(r.arrival);
+      if (window >= counts.size()) break;
+      ++counts[window];
+    }
+    double mean = 0.0;
+    for (int c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0.0;
+    for (int c : counts) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size() - 1);
+    return var / mean;
+  };
+  const double d1 = dispersion(1.0, 11);
+  const double d4 = dispersion(4.0, 11);
+  EXPECT_NEAR(d1, 1.0, 0.3);  // Poisson: variance == mean
+  EXPECT_GT(d4, 2.5);         // strongly over-dispersed
+}
+
+TEST(Bursty, DeterministicForSeed) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  BurstyGenerator a(cat, pop, 5.0, 3.0, 21);
+  BurstyGenerator b(cat, pop, 5.0, 3.0, 21);
+  for (int i = 0; i < 500; ++i) {
+    const Request ra = a.next();
+    const Request rb = b.next();
+    EXPECT_DOUBLE_EQ(ra.arrival, rb.arrival);
+    EXPECT_EQ(ra.item, rb.item);
+  }
+}
+
+TEST(Bursty, WorksWithTraceAndServer) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  BurstyGenerator gen(cat, pop, 5.0, 4.0, 22);
+  const Trace trace = Trace::record(gen, 5000);
+  core::HybridConfig config;
+  config.cutoff = 15;
+  core::HybridServer server(cat, pop, config);
+  const core::SimResult r = server.run(trace);
+  EXPECT_EQ(r.overall().served, trace.size());
+}
+
+}  // namespace
+}  // namespace pushpull::workload

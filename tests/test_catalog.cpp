@@ -1,0 +1,222 @@
+// Unit tests for the item catalog: the length model, Zipf popularities,
+// prefix metrics and the push/pull partition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.hpp"
+#include "catalog/length_model.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace pushpull::catalog {
+namespace {
+
+// -------------------------------------------------------------- LengthModel
+
+TEST(LengthModel, PaperDefaultHitsMeanExactly) {
+  const LengthModel model = LengthModel::paper_default();
+  EXPECT_EQ(model.min_length(), 1u);
+  EXPECT_EQ(model.max_length(), 5u);
+  EXPECT_NEAR(model.mean(), 2.0, 1e-9);
+}
+
+TEST(LengthModel, WeightsSumToOne) {
+  const LengthModel model(1, 5, 2.0);
+  double sum = 0.0;
+  for (double w : model.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LengthModel, LowMeanSkewsShort) {
+  const LengthModel model(1, 5, 2.0);
+  // Mean below the midpoint ⇒ decreasing weights.
+  const auto& w = model.weights();
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(LengthModel, HighMeanSkewsLong) {
+  const LengthModel model(1, 5, 4.0);
+  const auto& w = model.weights();
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GT(w[i], w[i - 1]);
+}
+
+TEST(LengthModel, MidpointMeanIsUniform) {
+  const LengthModel model(1, 5, 3.0);
+  for (double w : model.weights()) EXPECT_NEAR(w, 0.2, 1e-6);
+}
+
+TEST(LengthModel, DegenerateSupport) {
+  const LengthModel model(4, 4, 4.0);
+  EXPECT_NEAR(model.mean(), 4.0, 1e-12);
+  rng::Xoshiro256ss eng(1);
+  EXPECT_DOUBLE_EQ(model.sample(eng), 4.0);
+}
+
+TEST(LengthModel, RejectsInvalidMean) {
+  EXPECT_THROW(LengthModel(1, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(LengthModel(1, 5, 5.0), std::invalid_argument);
+  EXPECT_THROW(LengthModel(1, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(LengthModel(5, 1, 3.0), std::invalid_argument);
+}
+
+TEST(LengthModel, SampleMeanMatches) {
+  const LengthModel model(1, 5, 2.0);
+  rng::Xoshiro256ss eng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double len = model.sample(eng);
+    EXPECT_GE(len, 1.0);
+    EXPECT_LE(len, 5.0);
+    sum += len;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.01);
+}
+
+TEST(LengthModel, GenerateProducesCount) {
+  const LengthModel model(1, 5, 2.0);
+  rng::Xoshiro256ss eng(3);
+  const auto lengths = model.generate(eng, 1000);
+  EXPECT_EQ(lengths.size(), 1000u);
+}
+
+// ------------------------------------------------------------------ Catalog
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Catalog cat_{100, 0.6, LengthModel::paper_default(), 42};
+};
+
+TEST_F(CatalogTest, ProbabilitiesSumToOne) {
+  double sum = 0.0;
+  for (const auto& item : cat_.items()) sum += item.access_prob;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST_F(CatalogTest, RankOrderIsByPopularity) {
+  for (std::size_t i = 1; i < cat_.size(); ++i) {
+    EXPECT_GE(cat_.probability(static_cast<ItemId>(i - 1)),
+              cat_.probability(static_cast<ItemId>(i)));
+  }
+}
+
+TEST_F(CatalogTest, IdsAreDense) {
+  for (std::size_t i = 0; i < cat_.size(); ++i) {
+    EXPECT_EQ(cat_.item(static_cast<ItemId>(i)).id, i);
+  }
+}
+
+TEST_F(CatalogTest, MassesComplement) {
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{40},
+                        std::size_t{99}, std::size_t{100}}) {
+    EXPECT_NEAR(cat_.push_probability(k) + cat_.pull_probability(k), 1.0,
+                1e-12);
+  }
+}
+
+TEST_F(CatalogTest, EdgeCutoffs) {
+  EXPECT_DOUBLE_EQ(cat_.push_probability(0), 0.0);
+  EXPECT_NEAR(cat_.pull_probability(100), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(cat_.push_cycle_length(0), 0.0);
+  EXPECT_DOUBLE_EQ(cat_.pull_mean_length(100), 0.0);
+}
+
+TEST_F(CatalogTest, ServiceDemandsMatchDefinition) {
+  const std::size_t k = 30;
+  double mu1 = 0.0;
+  double mu2 = 0.0;
+  for (std::size_t i = 0; i < cat_.size(); ++i) {
+    const auto& item = cat_.item(static_cast<ItemId>(i));
+    (i < k ? mu1 : mu2) += item.access_prob * item.length;
+  }
+  EXPECT_NEAR(cat_.push_service_demand(k), mu1, 1e-12);
+  EXPECT_NEAR(cat_.pull_service_demand(k), mu2, 1e-12);
+}
+
+TEST_F(CatalogTest, CycleLengthIsSumOfPushLengths) {
+  const std::size_t k = 25;
+  double cycle = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    cycle += cat_.length(static_cast<ItemId>(i));
+  }
+  EXPECT_NEAR(cat_.push_cycle_length(k), cycle, 1e-12);
+}
+
+TEST_F(CatalogTest, PullMeanLengthIsConditionalMean) {
+  const std::size_t k = 60;
+  EXPECT_NEAR(cat_.pull_mean_length(k),
+              cat_.pull_service_demand(k) / cat_.pull_probability(k), 1e-12);
+}
+
+TEST_F(CatalogTest, SameSeedSameCatalog) {
+  Catalog other(100, 0.6, LengthModel::paper_default(), 42);
+  for (std::size_t i = 0; i < cat_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(other.length(static_cast<ItemId>(i)),
+                     cat_.length(static_cast<ItemId>(i)));
+  }
+}
+
+TEST_F(CatalogTest, DifferentSeedDifferentLengths) {
+  Catalog other(100, 0.6, LengthModel::paper_default(), 43);
+  int diff = 0;
+  for (std::size_t i = 0; i < cat_.size(); ++i) {
+    if (other.length(static_cast<ItemId>(i)) !=
+        cat_.length(static_cast<ItemId>(i))) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST_F(CatalogTest, SamplingFollowsPopularity) {
+  rng::Xoshiro256ss eng(9);
+  std::vector<int> counts(cat_.size(), 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[cat_.sample(eng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, cat_.probability(0), 0.005);
+  EXPECT_GT(counts[0], counts[99]);
+}
+
+TEST(Catalog, ExplicitLengthsConstructor) {
+  Catalog cat({2.0, 1.0, 4.0}, 1.0);
+  EXPECT_EQ(cat.size(), 3u);
+  EXPECT_DOUBLE_EQ(cat.length(0), 2.0);
+  EXPECT_DOUBLE_EQ(cat.length(2), 4.0);
+  double sum = 0.0;
+  for (const auto& item : cat.items()) sum += item.access_prob;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Catalog, RejectsBadExplicitLengths) {
+  EXPECT_THROW(Catalog(std::vector<double>{}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Catalog(std::vector<double>{1.0, 0.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(Catalog(std::vector<double>{1.0, -2.0}, 1.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Partition
+
+TEST(Partition, SplitsAtCutoff) {
+  Catalog cat({1.0, 2.0, 3.0, 4.0}, 0.5);
+  Partition part(cat, 2);
+  EXPECT_TRUE(part.is_push(0));
+  EXPECT_TRUE(part.is_push(1));
+  EXPECT_TRUE(part.is_pull(2));
+  EXPECT_TRUE(part.is_pull(3));
+  EXPECT_EQ(part.push_count(), 2u);
+  EXPECT_EQ(part.pull_count(), 2u);
+}
+
+TEST(Partition, PurePushAndPurePull) {
+  Catalog cat({1.0, 2.0}, 0.5);
+  Partition pure_pull(cat, 0);
+  EXPECT_TRUE(pure_pull.is_pull(0));
+  EXPECT_EQ(pure_pull.push_count(), 0u);
+  Partition pure_push(cat, 2);
+  EXPECT_TRUE(pure_push.is_push(1));
+  EXPECT_EQ(pure_push.pull_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pushpull::catalog

@@ -1,0 +1,79 @@
+// Tests for the command-line argument parser used by the pushpull tool.
+#include <gtest/gtest.h>
+
+#include "exp/cli.hpp"
+
+namespace pushpull::exp {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = parse({"simulate", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "simulate");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(ArgParser, KeyValueOptions) {
+  const auto args = parse({"simulate", "--theta", "0.6", "--cutoff", "40"});
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 0.6);
+  EXPECT_EQ(args.get_size("cutoff", 0), 40u);
+  EXPECT_EQ(args.positional().size(), 1u);
+}
+
+TEST(ArgParser, BooleanFlags) {
+  const auto args = parse({"optimize", "--analytic", "--csv"});
+  EXPECT_TRUE(args.has("analytic"));
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, FlagFollowedByOption) {
+  const auto args = parse({"--csv", "--theta", "1.4"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 1.4);
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  const auto args = parse({"simulate"});
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.33), 0.33);
+  EXPECT_EQ(args.get_size("cutoff", 7), 7u);
+  EXPECT_EQ(args.get_u64("seed", 9), 9u);
+  EXPECT_EQ(args.get_string("policy", "importance"), "importance");
+}
+
+TEST(ArgParser, StringValues) {
+  const auto args = parse({"--policy", "rxw", "--out", "file.csv"});
+  EXPECT_EQ(args.get_string("policy", ""), "rxw");
+  EXPECT_EQ(args.get_string("out", ""), "file.csv");
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  const auto args = parse({"--theta", "abc", "--cutoff", "xyz"});
+  EXPECT_THROW((void)args.get_double("theta", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_size("cutoff", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsBareDoubleDash) {
+  std::vector<const char*> argv = {"prog", "--"};
+  EXPECT_THROW(ArgParser(2, argv.data()), std::invalid_argument);
+}
+
+TEST(ArgParser, LastValueWinsOnRepeat) {
+  const auto args = parse({"--theta", "0.2", "--theta", "0.9"});
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 0.9);
+}
+
+TEST(ArgParser, NegativeNumbersAsValues) {
+  // A negative number after an option key is its value, not a new flag.
+  const auto args = parse({"--offset", "-3.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("offset", 0.0), -3.5);
+}
+
+}  // namespace
+}  // namespace pushpull::exp

@@ -1,0 +1,189 @@
+// Tests for the client-side caching substrate: the LRU cache and the
+// cache-filtered request generator.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.hpp"
+#include "catalog/length_model.hpp"
+#include "workload/cached_generator.hpp"
+#include "workload/lru_cache.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::workload {
+namespace {
+
+// ---------------------------------------------------------------- LruCache
+
+TEST(LruCache, BasicInsertAndLookup) {
+  LruCache cache(2);
+  EXPECT_TRUE(cache.empty());
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.contains(3));
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(3);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LruCache, TouchRefreshesRecency) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_TRUE(cache.touch(1));  // 1 becomes most recent
+  cache.insert(3);              // evicts 2, not 1
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCache, TouchMissIsFalse) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.touch(9));
+}
+
+TEST(LruCache, ReinsertRefreshesNotDuplicates) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(1);  // refresh, size stays 2
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(3);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCache, ZeroCapacityNeverStores) {
+  LruCache cache(0);
+  cache.insert(1);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_FALSE(cache.contains(1));
+}
+
+// -------------------------------------------------- CachedRequestGenerator
+
+catalog::Catalog test_catalog(double theta = 0.9) {
+  return catalog::Catalog(50, theta, catalog::LengthModel::paper_default(),
+                          11);
+}
+
+TEST(CachedGenerator, RejectsBadArguments) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  EXPECT_THROW(
+      CachedRequestGenerator(cat, pop, 0.0, std::size_t{30}, 5, 1),
+      std::invalid_argument);
+  EXPECT_THROW(CachedRequestGenerator(cat, pop, 5.0,
+                                      std::vector<std::size_t>{1, 2}, 5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CachedRequestGenerator(cat, pop, 5.0,
+                             std::vector<std::size_t>{1, 0, 2}, 5, 1),
+      std::invalid_argument);
+}
+
+TEST(CachedGenerator, SplitsClientsByShare) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{60}, 5, 1);
+  EXPECT_GE(gen.num_clients(), 60u);
+}
+
+TEST(CachedGenerator, ZeroCapacityNeverHits) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{30}, 0, 2);
+  for (int i = 0; i < 2000; ++i) (void)gen.next();
+  EXPECT_EQ(gen.hits(), 0u);
+  EXPECT_DOUBLE_EQ(gen.hit_ratio(), 0.0);
+}
+
+TEST(CachedGenerator, HitsHappenWithCapacity) {
+  const auto cat = test_catalog(1.2);  // skewed: caching pays
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{10}, 10, 3);
+  for (int i = 0; i < 5000; ++i) (void)gen.next();
+  EXPECT_GT(gen.hits(), 0u);
+  EXPECT_GT(gen.hit_ratio(), 0.05);
+}
+
+TEST(CachedGenerator, BiggerCachesHitMore) {
+  const auto cat = test_catalog(1.0);
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator small(cat, pop, 5.0, std::size_t{20}, 2, 4);
+  CachedRequestGenerator large(cat, pop, 5.0, std::size_t{20}, 20, 4);
+  for (int i = 0; i < 5000; ++i) {
+    (void)small.next();
+    (void)large.next();
+  }
+  EXPECT_GT(large.hit_ratio(), small.hit_ratio());
+}
+
+TEST(CachedGenerator, EmittedStreamIsMissesOnly) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{15}, 8, 5);
+  std::uint64_t emitted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    (void)gen.next();
+    ++emitted;
+  }
+  EXPECT_EQ(gen.demands(), emitted + gen.hits());
+}
+
+TEST(CachedGenerator, ArrivalsStrictlyIncreaseAcrossHits) {
+  const auto cat = test_catalog(1.2);
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{10}, 10, 6);
+  double last = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const Request r = gen.next();
+    EXPECT_GT(r.arrival, last);
+    last = r.arrival;
+  }
+}
+
+TEST(CachedGenerator, DeterministicForSeed) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator a(cat, pop, 5.0, std::size_t{25}, 6, 7);
+  CachedRequestGenerator b(cat, pop, 5.0, std::size_t{25}, 6, 7);
+  for (int i = 0; i < 500; ++i) {
+    const Request ra = a.next();
+    const Request rb = b.next();
+    EXPECT_DOUBLE_EQ(ra.arrival, rb.arrival);
+    EXPECT_EQ(ra.item, rb.item);
+    EXPECT_EQ(ra.cls, rb.cls);
+  }
+  EXPECT_EQ(a.hits(), b.hits());
+}
+
+TEST(CachedGenerator, TraceRecordWorks) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{25}, 6, 8);
+  const Trace trace = Trace::record(gen, 1000);
+  EXPECT_EQ(trace.size(), 1000u);
+}
+
+TEST(CachedGenerator, PerClassHitAccounting) {
+  const auto cat = test_catalog(1.2);
+  const auto pop = ClientPopulation::paper_default();
+  CachedRequestGenerator gen(cat, pop, 5.0, std::size_t{12}, 10, 9);
+  for (int i = 0; i < 5000; ++i) (void)gen.next();
+  std::uint64_t sum = 0;
+  for (ClassId c = 0; c < pop.num_classes(); ++c) {
+    sum += gen.hits_for_class(c);
+  }
+  EXPECT_EQ(sum, gen.hits());
+}
+
+}  // namespace
+}  // namespace pushpull::workload

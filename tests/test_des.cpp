@@ -1,0 +1,212 @@
+// Unit tests for the discrete-event kernel: ordering, FIFO tie-breaking,
+// cancellation, horizons, stop requests and reuse.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/simulator.hpp"
+
+namespace pushpull::des {
+namespace {
+
+// --------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(Event{5.0, 1, [] {}});
+  q.push(Event{1.0, 2, [] {}});
+  q.push(Event{3.0, 3, [] {}});
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  q.push(Event{2.0, 10, [] {}});
+  q.push(Event{2.0, 11, [] {}});
+  q.push(Event{2.0, 12, [] {}});
+  EXPECT_EQ(q.pop().id, 10u);
+  EXPECT_EQ(q.pop().id, 11u);
+  EXPECT_EQ(q.pop().id, 12u);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  q.push(Event{2.0, 2, [] {}});
+  EXPECT_TRUE(q.cancel(1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIsFalse) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  EXPECT_FALSE(q.cancel(99));
+  EXPECT_FALSE(q.cancel(1) && q.cancel(1));  // second cancel fails
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  q.push(Event{2.0, 2, [] {}});
+  q.cancel(1);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, ClearEmptiesEverything) {
+  EventQueue q;
+  q.push(Event{1.0, 1, [] {}});
+  q.push(Event{2.0, 2, [] {}});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// ---------------------------------------------------------------- Simulator
+
+TEST(Simulator, RunsEventsInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedSchedulingAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0.0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilHonorsHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // Event exactly at the horizon still fires on the next call.
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToHorizonWhenDrained) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RequestStopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // A subsequent run resumes from where we stopped.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepDispatchesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, DispatchedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched_events(), 10u);
+}
+
+TEST(Simulator, ResetDropsPendingAndClock) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.reset();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventChainTerminates) {
+  // A self-rescheduling process that stops itself after N steps — the shape
+  // of the hybrid server's push loop.
+  Simulator sim;
+  int steps = 0;
+  std::function<void()> tick = [&] {
+    if (++steps < 100) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(steps, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+}  // namespace
+}  // namespace pushpull::des

@@ -1,0 +1,211 @@
+// Tests for the non-stationary workload substrate: the drifting generator
+// and the exponential-forgetting popularity estimator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "catalog/length_model.hpp"
+#include "workload/drifting_generator.hpp"
+#include "workload/popularity_estimator.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::workload {
+namespace {
+
+catalog::Catalog test_catalog(std::size_t n = 50, double theta = 1.0) {
+  return catalog::Catalog(n, theta, catalog::LengthModel::paper_default(), 7);
+}
+
+// -------------------------------------------------------- DriftingGenerator
+
+TEST(DriftingGenerator, RejectsBadArguments) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  EXPECT_THROW(DriftingGenerator(cat, pop, 0.0, 100.0, 5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(DriftingGenerator(cat, pop, 5.0, 0.0, 5, 1),
+               std::invalid_argument);
+}
+
+TEST(DriftingGenerator, RankMappingRotatesPerEpoch) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator gen(cat, pop, 5.0, /*epoch=*/100.0, /*shift=*/7, 1);
+  EXPECT_EQ(gen.item_at_rank(0, 0.0), 0u);
+  EXPECT_EQ(gen.item_at_rank(0, 99.9), 0u);
+  EXPECT_EQ(gen.item_at_rank(0, 100.1), 7u);
+  EXPECT_EQ(gen.item_at_rank(0, 200.1), 14u);
+  EXPECT_EQ(gen.item_at_rank(3, 100.1), 10u);
+}
+
+TEST(DriftingGenerator, MappingWrapsAround) {
+  const auto cat = test_catalog(10);
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator gen(cat, pop, 5.0, 10.0, 4, 1);
+  // After 3 epochs the offset is 12 mod 10 = 2.
+  EXPECT_EQ(gen.item_at_rank(0, 30.5), 2u);
+  EXPECT_EQ(gen.item_at_rank(9, 30.5), 1u);
+}
+
+TEST(DriftingGenerator, ProbabilityAtInvertsMapping) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator gen(cat, pop, 5.0, 100.0, 7, 1);
+  for (double when : {0.0, 150.0, 730.0}) {
+    for (std::size_t rank : {std::size_t{0}, std::size_t{5}, std::size_t{49}}) {
+      const catalog::ItemId item = gen.item_at_rank(rank, when);
+      EXPECT_DOUBLE_EQ(gen.probability_at(item, when),
+                       cat.probability(static_cast<catalog::ItemId>(rank)));
+    }
+  }
+}
+
+TEST(DriftingGenerator, HotItemMovesInGeneratedStream) {
+  const auto cat = test_catalog(50, 1.2);
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator gen(cat, pop, 50.0, /*epoch=*/200.0, /*shift=*/25, 3);
+  std::vector<int> first_epoch(50, 0);
+  std::vector<int> second_epoch(50, 0);
+  for (;;) {
+    const Request r = gen.next();
+    if (r.arrival > 400.0) break;
+    if (r.arrival < 200.0) {
+      ++first_epoch[r.item];
+    } else {
+      ++second_epoch[r.item];
+    }
+  }
+  // The hottest item of epoch 0 is item 0; of epoch 1 it is item 25.
+  EXPECT_GT(first_epoch[0], first_epoch[25]);
+  EXPECT_GT(second_epoch[25], second_epoch[0]);
+}
+
+TEST(DriftingGenerator, DeterministicForSeed) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator a(cat, pop, 5.0, 100.0, 5, 42);
+  DriftingGenerator b(cat, pop, 5.0, 100.0, 5, 42);
+  for (int i = 0; i < 200; ++i) {
+    const Request ra = a.next();
+    const Request rb = b.next();
+    EXPECT_DOUBLE_EQ(ra.arrival, rb.arrival);
+    EXPECT_EQ(ra.item, rb.item);
+  }
+}
+
+TEST(DriftingGenerator, ArrivalsStrictlyIncrease) {
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator gen(cat, pop, 5.0, 100.0, 5, 11);
+  double last = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const Request r = gen.next();
+    EXPECT_GT(r.arrival, last);
+    last = r.arrival;
+  }
+}
+
+// ----------------------------------------------------- PopularityEstimator
+
+TEST(PopularityEstimator, RejectsBadArguments) {
+  EXPECT_THROW(PopularityEstimator(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(PopularityEstimator(5, 0.0), std::invalid_argument);
+}
+
+TEST(PopularityEstimator, UniformWhenEmpty) {
+  PopularityEstimator est(4, 10.0);
+  const auto probs = est.probabilities();
+  for (double p : probs) EXPECT_DOUBLE_EQ(p, 0.25);
+  EXPECT_DOUBLE_EQ(est.total_weight(), 0.0);
+}
+
+TEST(PopularityEstimator, CountsWithoutDecayAtSameInstant) {
+  PopularityEstimator est(3, 10.0);
+  est.observe(0, 0.0);
+  est.observe(0, 0.0);
+  est.observe(1, 0.0);
+  const auto probs = est.probabilities();
+  EXPECT_NEAR(probs[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(probs[1], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(probs[2], 0.0);
+}
+
+TEST(PopularityEstimator, HalfLifeHalvesOldWeight) {
+  PopularityEstimator est(2, 10.0);
+  est.observe(0, 0.0);
+  est.observe(1, 10.0);  // exactly one half-life later
+  // Item 0's weight decayed to 0.5; item 1's is 1.0.
+  EXPECT_NEAR(est.weight(0), 0.5, 1e-12);
+  EXPECT_NEAR(est.weight(1), 1.0, 1e-12);
+  const auto probs = est.probabilities();
+  EXPECT_NEAR(probs[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(probs[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(PopularityEstimator, ForgetsOldRegime) {
+  PopularityEstimator est(2, 5.0);
+  for (int i = 0; i < 100; ++i) est.observe(0, static_cast<double>(i) * 0.1);
+  // After many half-lives of observations favoring item 1, the ranking flips.
+  for (int i = 0; i < 100; ++i) {
+    est.observe(1, 100.0 + static_cast<double>(i) * 0.1);
+  }
+  const auto ranking = est.ranking();
+  EXPECT_EQ(ranking[0], 1u);
+}
+
+TEST(PopularityEstimator, RankingSortsByWeight) {
+  PopularityEstimator est(4, 10.0);
+  est.observe(2, 0.0);
+  est.observe(2, 0.0);
+  est.observe(2, 0.0);
+  est.observe(0, 0.0);
+  est.observe(0, 0.0);
+  est.observe(3, 0.0);
+  const auto ranking = est.ranking();
+  EXPECT_EQ(ranking[0], 2u);
+  EXPECT_EQ(ranking[1], 0u);
+  EXPECT_EQ(ranking[2], 3u);
+  EXPECT_EQ(ranking[3], 1u);
+}
+
+TEST(PopularityEstimator, RejectsOutOfOrderAndRange) {
+  PopularityEstimator est(2, 10.0);
+  est.observe(0, 5.0);
+  EXPECT_THROW(est.observe(0, 4.0), std::invalid_argument);
+  EXPECT_THROW(est.observe(2, 6.0), std::out_of_range);
+}
+
+TEST(PopularityEstimator, LongHorizonRebaseIsStable) {
+  // Push the lazy-decay exponent far past the rebase threshold and verify
+  // weights stay finite and correctly ordered.
+  PopularityEstimator est(2, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    est.observe(0, static_cast<double>(i));
+  }
+  est.observe(1, 2000.0);
+  EXPECT_TRUE(std::isfinite(est.weight(0)));
+  EXPECT_TRUE(std::isfinite(est.weight(1)));
+  // Item 0 was observed at t=2000-1 too... its decayed mass is a geometric
+  // series ≈ 2 at half-life 1, minus decay to t=2000; still above 0.9.
+  EXPECT_GT(est.weight(0), 0.9);
+  EXPECT_NEAR(est.weight(1), 1.0, 1e-9);
+}
+
+TEST(PopularityEstimator, TracksZipfFrequencies) {
+  const auto cat = test_catalog(20, 1.0);
+  rng::Xoshiro256ss eng(5);
+  PopularityEstimator est(20, 1e6);  // effectively no forgetting
+  double now = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    now += 0.01;
+    est.observe(cat.sample(eng), now);
+  }
+  const auto probs = est.probabilities();
+  for (catalog::ItemId id = 0; id < 20; ++id) {
+    EXPECT_NEAR(probs[id], cat.probability(id), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace pushpull::workload

@@ -1,0 +1,112 @@
+// Unit tests for the experiment infrastructure: the paper-default scenario
+// facade and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+
+namespace pushpull::exp {
+namespace {
+
+TEST(Scenario, PaperDefaults) {
+  const Scenario s;
+  EXPECT_EQ(s.num_items, 100u);
+  EXPECT_DOUBLE_EQ(s.theta, 0.60);
+  EXPECT_DOUBLE_EQ(s.arrival_rate, 5.0);
+  EXPECT_EQ(s.num_classes, 3u);
+  EXPECT_EQ(s.min_length, 1u);
+  EXPECT_EQ(s.max_length, 5u);
+  EXPECT_DOUBLE_EQ(s.mean_length, 2.0);
+}
+
+TEST(Scenario, BuildIsDeterministic) {
+  Scenario s;
+  s.num_requests = 500;
+  const auto a = s.build();
+  const auto b = s.build();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace[i].arrival, b.trace[i].arrival);
+    EXPECT_EQ(a.trace[i].item, b.trace[i].item);
+    EXPECT_EQ(a.trace[i].cls, b.trace[i].cls);
+  }
+  for (std::size_t i = 0; i < a.catalog.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.catalog.length(static_cast<catalog::ItemId>(i)),
+                     b.catalog.length(static_cast<catalog::ItemId>(i)));
+  }
+}
+
+TEST(Scenario, SeedChangesWorkload) {
+  Scenario a;
+  a.num_requests = 500;
+  Scenario b = a;
+  b.seed = a.seed + 1;
+  const auto ba = a.build();
+  const auto bb = b.build();
+  int diff = 0;
+  for (std::size_t i = 0; i < ba.trace.size(); ++i) {
+    if (ba.trace[i].item != bb.trace[i].item) ++diff;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(Scenario, ThetaPropagatesToCatalog) {
+  Scenario s;
+  s.theta = 1.4;
+  s.num_requests = 10;
+  const auto built = s.build();
+  EXPECT_DOUBLE_EQ(built.catalog.theta(), 1.4);
+}
+
+// -------------------------------------------------------------------- Table
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 2);
+  t.row().add("b").add(std::size_t{42});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add("x").add(2.0, 1);
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\nx,2.0\n");
+}
+
+TEST(Table, RowDisciplineEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add("x"), std::logic_error);  // add before row
+  t.row().add("1").add("2");
+  EXPECT_THROW(t.add("3"), std::logic_error);  // row already full
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t({"a", "b"});
+  t.row().add("only-one");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace pushpull::exp

@@ -1,0 +1,233 @@
+// Randomized oracle tests: the optimized PullQueue and EventQueue are
+// driven with long random operation sequences and compared step-by-step
+// against trivially-correct reference implementations. These catch index
+// corruption (swap-removal), tie-break drift and cancellation bugs that
+// targeted unit tests can miss.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/pull_queue.hpp"
+#include "des/event_queue.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sched/pull/policies.hpp"
+
+namespace pushpull {
+namespace {
+
+// ------------------------------------------------- PullQueue vs reference
+
+/// Reference pull queue: a plain map of item -> request list; selection is
+/// a naive scan with the identical scoring and tie-break rule.
+class ReferencePullQueue {
+ public:
+  void add(const workload::Request& r, double priority, double length,
+           double popularity) {
+    auto& e = entries_[r.item];
+    if (e.pending.empty()) {
+      e.item = r.item;
+      e.length = length;
+      e.popularity = popularity;
+      e.first_arrival = r.arrival;
+      e.total_priority = 0.0;
+      e.total_arrival = 0.0;
+    }
+    e.pending.push_back(r);
+    e.total_priority += priority;
+    e.total_arrival += r.arrival;
+  }
+
+  bool remove_request(catalog::ItemId item, workload::RequestId id,
+                      double priority) {
+    auto it = entries_.find(item);
+    if (it == entries_.end()) return false;
+    auto& e = it->second;
+    for (auto p = e.pending.begin(); p != e.pending.end(); ++p) {
+      if (p->id == id) {
+        e.total_arrival -= p->arrival;
+        e.total_priority -= priority;
+        e.pending.erase(p);
+        if (e.pending.empty()) {
+          entries_.erase(it);
+        } else {
+          e.first_arrival = e.pending.front().arrival;
+          for (const auto& q : e.pending) {
+            if (q.arrival < e.first_arrival) e.first_arrival = q.arrival;
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<sched::PullEntry> extract_best(
+      const sched::PullPolicy& policy, const sched::PullContext& ctx) {
+    if (entries_.empty()) return std::nullopt;
+    const sched::PullEntry* best = nullptr;
+    double best_score = 0.0;
+    for (const auto& [item, e] : entries_) {
+      const double s = policy.score(e, ctx);
+      if (best == nullptr || s > best_score ||
+          (s == best_score && e.item < best->item)) {
+        best = &e;
+        best_score = s;
+      }
+    }
+    sched::PullEntry out = *best;
+    entries_.erase(out.item);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t total_requests() const {
+    std::size_t n = 0;
+    for (const auto& [item, e] : entries_) n += e.pending.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t distinct_items() const { return entries_.size(); }
+
+ private:
+  std::map<catalog::ItemId, sched::PullEntry> entries_;
+};
+
+class PullQueueOracleTest
+    : public ::testing::TestWithParam<sched::PullPolicyKind> {};
+
+TEST_P(PullQueueOracleTest, RandomOpsMatchReference) {
+  core::PullQueue fast;
+  ReferencePullQueue oracle;
+  const auto policy = sched::make_pull_policy(GetParam(), 0.4);
+
+  rng::Xoshiro256ss eng(0xFACE + static_cast<std::uint64_t>(GetParam()));
+  double clock = 0.0;
+  workload::RequestId next_id = 0;
+  std::vector<workload::Request> live;  // queued requests, for removals
+
+  for (int op = 0; op < 8000; ++op) {
+    clock += 0.25;
+    const double dice = rng::uniform01(eng);
+    if (dice < 0.55) {
+      // Insert a request for a random item.
+      workload::Request r;
+      r.id = next_id++;
+      r.item = static_cast<catalog::ItemId>(rng::uniform_below(eng, 25));
+      r.cls = static_cast<workload::ClassId>(rng::uniform_below(eng, 3));
+      r.arrival = clock;
+      const double priority = static_cast<double>(3 - r.cls);
+      const double length = 1.0 + static_cast<double>(r.item % 5);
+      const double popularity = 1.0 / (1.0 + static_cast<double>(r.item));
+      fast.add(r, priority, length, popularity);
+      oracle.add(r, priority, length, popularity);
+      live.push_back(r);
+    } else if (dice < 0.75 && !live.empty()) {
+      // Remove a random queued request (impatience path).
+      const auto idx =
+          static_cast<std::size_t>(rng::uniform_below(eng, live.size()));
+      const workload::Request victim = live[idx];
+      const double priority = static_cast<double>(3 - victim.cls);
+      const bool a = fast.remove_request(victim.item, victim.id, priority);
+      const bool b = oracle.remove_request(victim.item, victim.id, priority);
+      ASSERT_EQ(a, b);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      // Extract the best entry under the policy.
+      const sched::PullContext ctx{clock, 2.0};
+      const auto a = fast.extract_best(*policy, ctx);
+      const auto b = oracle.extract_best(*policy, ctx);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a.has_value()) {
+        ASSERT_EQ(a->item, b->item) << "op " << op;
+        ASSERT_EQ(a->pending.size(), b->pending.size());
+        ASSERT_DOUBLE_EQ(a->total_priority, b->total_priority);
+        // Drop the extracted requests from the live set.
+        for (const auto& r : a->pending) {
+          for (auto it = live.begin(); it != live.end(); ++it) {
+            if (it->id == r.id) {
+              live.erase(it);
+              break;
+            }
+          }
+        }
+      }
+    }
+    ASSERT_EQ(fast.total_requests(), oracle.total_requests());
+    ASSERT_EQ(fast.distinct_items(), oracle.distinct_items());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PullQueueOracleTest,
+    ::testing::Values(sched::PullPolicyKind::kMrf,
+                      sched::PullPolicyKind::kStretch,
+                      sched::PullPolicyKind::kPriority,
+                      sched::PullPolicyKind::kRxw,
+                      sched::PullPolicyKind::kLwf,
+                      sched::PullPolicyKind::kImportance),
+    [](const ::testing::TestParamInfo<sched::PullPolicyKind>& param_info) {
+      std::string name(sched::to_string(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------ EventQueue vs multimap
+
+TEST(EventQueueOracle, RandomOpsMatchMultimap) {
+  des::EventQueue fast;
+  // Oracle: (time, id) ordered set mirrors the heap's contract exactly.
+  std::set<std::pair<double, des::EventId>> oracle;
+
+  rng::Xoshiro256ss eng(0xBEEF);
+  des::EventId next_id = 1;
+  std::vector<des::EventId> pending_ids;
+
+  for (int op = 0; op < 20000; ++op) {
+    const double dice = rng::uniform01(eng);
+    if (dice < 0.5) {
+      const double when = rng::uniform(eng, 0.0, 1000.0);
+      const des::EventId id = next_id++;
+      fast.push(des::Event{when, id, [] {}});
+      oracle.emplace(when, id);
+      pending_ids.push_back(id);
+    } else if (dice < 0.65 && !pending_ids.empty()) {
+      // Cancel a random pending event (or an already-fired id).
+      const auto idx = static_cast<std::size_t>(
+          rng::uniform_below(eng, pending_ids.size()));
+      const des::EventId id = pending_ids[idx];
+      bool oracle_had = false;
+      for (auto it = oracle.begin(); it != oracle.end(); ++it) {
+        if (it->second == id) {
+          oracle.erase(it);
+          oracle_had = true;
+          break;
+        }
+      }
+      ASSERT_EQ(fast.cancel(id), oracle_had);
+      pending_ids.erase(pending_ids.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+    } else if (!oracle.empty()) {
+      ASSERT_FALSE(fast.empty());
+      ASSERT_DOUBLE_EQ(fast.next_time(), oracle.begin()->first);
+      const des::Event event = fast.pop();
+      ASSERT_EQ(event.id, oracle.begin()->second);
+      oracle.erase(oracle.begin());
+      for (auto it = pending_ids.begin(); it != pending_ids.end(); ++it) {
+        if (*it == event.id) {
+          pending_ids.erase(it);
+          break;
+        }
+      }
+    } else {
+      ASSERT_TRUE(fast.empty());
+    }
+    ASSERT_EQ(fast.size(), oracle.size());
+  }
+}
+
+}  // namespace
+}  // namespace pushpull

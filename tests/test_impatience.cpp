@@ -1,0 +1,173 @@
+// Tests for client impatience: exponentially distributed patience timers,
+// abandonment accounting, and the interaction with push/pull delivery.
+#include <gtest/gtest.h>
+
+#include "core/pull_queue.hpp"
+#include "exp/scenario.hpp"
+
+namespace pushpull::core {
+namespace {
+
+exp::Scenario small_scenario(std::size_t requests = 15000) {
+  exp::Scenario s;
+  s.num_items = 50;
+  s.num_requests = requests;
+  return s;
+}
+
+TEST(Impatience, DisabledByDefault) {
+  const auto built = small_scenario().build();
+  HybridConfig config;
+  config.cutoff = 20;
+  const SimResult r = exp::run_hybrid(built, config);
+  EXPECT_EQ(r.overall().abandoned, 0u);
+}
+
+TEST(Impatience, ConservationIncludesAbandonment) {
+  const auto built = small_scenario().build();
+  HybridConfig config;
+  config.cutoff = 20;
+  config.mean_patience = 10.0;
+  const SimResult r = exp::run_hybrid(built, config);
+  const auto overall = r.overall();
+  EXPECT_GT(overall.abandoned, 0u);
+  EXPECT_EQ(overall.served + overall.blocked + overall.abandoned,
+            overall.arrived);
+}
+
+TEST(Impatience, ShorterPatienceDropsMore) {
+  const auto built = small_scenario().build();
+  HybridConfig impatient;
+  impatient.cutoff = 20;
+  impatient.mean_patience = 5.0;
+  HybridConfig tolerant = impatient;
+  tolerant.mean_patience = 50.0;
+  const SimResult ri = exp::run_hybrid(built, impatient);
+  const SimResult rt = exp::run_hybrid(built, tolerant);
+  EXPECT_GT(ri.overall().abandoned, rt.overall().abandoned);
+}
+
+TEST(Impatience, ServedWaitsBoundedByObservedPatience) {
+  // A served request was never abandoned, but its wait can exceed the mean
+  // patience (exponential tail); the mean wait of survivors must still be
+  // well below the no-impatience mean because long waiters left the system.
+  const auto built = small_scenario(25000).build();
+  HybridConfig patient;
+  patient.cutoff = 20;
+  HybridConfig impatient = patient;
+  impatient.mean_patience = 10.0;
+  const SimResult rp = exp::run_hybrid(built, patient);
+  const SimResult ri = exp::run_hybrid(built, impatient);
+  EXPECT_LT(ri.overall().wait.mean(), rp.overall().wait.mean());
+}
+
+TEST(Impatience, AbandonmentRatioConsistent) {
+  const auto built = small_scenario().build();
+  HybridConfig config;
+  config.cutoff = 20;
+  config.mean_patience = 8.0;
+  const SimResult r = exp::run_hybrid(built, config);
+  for (const auto& cls : r.per_class) {
+    const double ratio = cls.abandonment_ratio();
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+  const auto overall = r.overall();
+  EXPECT_NEAR(overall.abandonment_ratio(),
+              static_cast<double>(overall.abandoned) /
+                  static_cast<double>(overall.arrived),
+              1e-12);
+}
+
+TEST(Impatience, WorksInPurePushAndPurePull) {
+  const auto built = small_scenario(8000).build();
+  for (std::size_t cutoff : {std::size_t{0}, built.catalog.size()}) {
+    HybridConfig config;
+    config.cutoff = cutoff;
+    config.mean_patience = 5.0;
+    const SimResult r = exp::run_hybrid(built, config);
+    const auto overall = r.overall();
+    EXPECT_EQ(overall.served + overall.blocked + overall.abandoned,
+              overall.arrived)
+        << "cutoff=" << cutoff;
+  }
+}
+
+TEST(Impatience, DeterministicForSeed) {
+  const auto built = small_scenario(8000).build();
+  HybridConfig config;
+  config.cutoff = 20;
+  config.mean_patience = 10.0;
+  const SimResult a = exp::run_hybrid(built, config);
+  const SimResult b = exp::run_hybrid(built, config);
+  EXPECT_EQ(a.overall().abandoned, b.overall().abandoned);
+  EXPECT_DOUBLE_EQ(a.overall().wait.mean(), b.overall().wait.mean());
+}
+
+TEST(Impatience, PremiumClassAbandonsLessUnderPriorityScheduling) {
+  // Under α = 0 the premium class is served sooner, so fewer of its pull
+  // requests time out.
+  exp::Scenario s = small_scenario(30000);
+  const auto built = s.build();
+  HybridConfig config;
+  config.cutoff = 10;
+  config.alpha = 0.0;
+  config.mean_patience = 20.0;
+  const SimResult r = exp::run_hybrid(built, config);
+  EXPECT_LE(r.per_class[0].abandonment_ratio(),
+            r.per_class[2].abandonment_ratio() + 0.02);
+}
+
+// --------------------------------------------------- PullQueue::remove_request
+
+workload::Request make_request(workload::RequestId id, catalog::ItemId item,
+                               double arrival) {
+  workload::Request r;
+  r.id = id;
+  r.item = item;
+  r.cls = 0;
+  r.arrival = arrival;
+  return r;
+}
+
+TEST(PullQueueRemove, RemovesSingleRequest) {
+  PullQueue q;
+  q.add(make_request(1, 5, 1.0), 2.0, 1.0, 0.1);
+  q.add(make_request(2, 5, 2.0), 3.0, 1.0, 0.1);
+  EXPECT_TRUE(q.remove_request(5, 1, 2.0));
+  const auto* entry = q.find(5);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->pending.size(), 1u);
+  EXPECT_DOUBLE_EQ(entry->total_priority, 3.0);
+  EXPECT_DOUBLE_EQ(entry->first_arrival, 2.0);
+  EXPECT_EQ(q.total_requests(), 1u);
+}
+
+TEST(PullQueueRemove, LastRequestRemovesEntry) {
+  PullQueue q;
+  q.add(make_request(1, 5, 1.0), 2.0, 1.0, 0.1);
+  EXPECT_TRUE(q.remove_request(5, 1, 2.0));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_requests(), 0u);
+  EXPECT_EQ(q.find(5), nullptr);
+}
+
+TEST(PullQueueRemove, MissingRequestIsFalse) {
+  PullQueue q;
+  q.add(make_request(1, 5, 1.0), 2.0, 1.0, 0.1);
+  EXPECT_FALSE(q.remove_request(5, 99, 2.0));
+  EXPECT_FALSE(q.remove_request(6, 1, 2.0));
+  EXPECT_EQ(q.total_requests(), 1u);
+}
+
+TEST(PullQueueRemove, FirstArrivalRecomputed) {
+  PullQueue q;
+  q.add(make_request(1, 5, 1.0), 1.0, 1.0, 0.1);
+  q.add(make_request(2, 5, 3.0), 1.0, 1.0, 0.1);
+  q.add(make_request(3, 5, 2.0), 1.0, 1.0, 0.1);
+  EXPECT_TRUE(q.remove_request(5, 1, 1.0));
+  EXPECT_DOUBLE_EQ(q.find(5)->first_arrival, 2.0);
+}
+
+}  // namespace
+}  // namespace pushpull::core

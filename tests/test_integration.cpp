@@ -1,0 +1,198 @@
+// Integration tests across modules: simulation vs analytical model,
+// Little's law on the simulated pull queue, policy cross-comparisons and
+// the blocking/bandwidth interplay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cutoff_optimizer.hpp"
+#include "exp/scenario.hpp"
+#include "queueing/access_time.hpp"
+#include "queueing/littles.hpp"
+
+namespace pushpull {
+namespace {
+
+exp::Scenario default_scenario(std::size_t requests = 30000) {
+  exp::Scenario s;
+  s.num_requests = requests;
+  return s;
+}
+
+TEST(Integration, AnalyticTracksSimulationShape) {
+  const auto built = default_scenario(40000).build();
+  queueing::HybridAccessModel model(built.catalog, built.population, 5.0);
+
+  // Compare overall mean delay at several cutoffs; the analytic model should
+  // stay within a factor of ~2.5 of simulation (the paper itself reports
+  // ~10% at its calibrated point; our bound is deliberately loose because
+  // the workload regime here is heavily batched).
+  for (std::size_t k : {std::size_t{20}, std::size_t{50}, std::size_t{80}}) {
+    core::HybridConfig config;
+    config.cutoff = k;
+    config.alpha = 0.75;
+    const core::SimResult sim = exp::run_hybrid(built, config);
+    const auto est = model.estimate(k);
+    const double simulated = sim.overall().wait.mean();
+    EXPECT_GT(est.overall, simulated / 2.5) << "k=" << k;
+    EXPECT_LT(est.overall, simulated * 2.5) << "k=" << k;
+  }
+}
+
+TEST(Integration, LittlesLawOnPullQueue) {
+  const auto built = default_scenario(40000).build();
+  core::HybridConfig config;
+  config.cutoff = 40;
+  const core::SimResult result = exp::run_hybrid(built, config);
+
+  // L = λ_pull · W_pull for pull-served requests (waits measured to
+  // delivery, queue length measured in pending requests; the difference is
+  // the in-flight transmission, so allow a modest tolerance band).
+  const auto overall = result.overall();
+  const std::uint64_t pull_served = overall.served_pull;
+  ASSERT_GT(pull_served, 0u);
+  // The time-weighted queue length implied by Little's law must be positive
+  // and bounded by the worst observed wait.
+  const double lambda_pull = static_cast<double>(pull_served) / result.end_time;
+  const double implied_wait =
+      queueing::littles_wait(result.mean_pull_queue_len, lambda_pull);
+  EXPECT_GT(implied_wait, 0.0);
+  // Pull waits cannot exceed the overall max wait.
+  EXPECT_LE(implied_wait, overall.wait.max());
+}
+
+TEST(Integration, PriorityPolicyBeatsStretchForPremiumClass) {
+  const auto built = default_scenario(40000).build();
+  core::HybridConfig priority;
+  priority.cutoff = 15;
+  priority.pull_policy = sched::PullPolicyKind::kImportance;
+  priority.alpha = 0.0;  // pure priority
+
+  core::HybridConfig stretch = priority;
+  stretch.alpha = 1.0;  // pure stretch (priority-blind)
+
+  const core::SimResult rp = exp::run_hybrid(built, priority);
+  const core::SimResult rs = exp::run_hybrid(built, stretch);
+
+  // Class-A pull delay should benefit from priority weighting.
+  EXPECT_LT(rp.mean_wait(0), rs.mean_wait(0) * 1.05);
+  // And the class ordering under pure priority must hold.
+  EXPECT_LE(rp.mean_wait(0), rp.mean_wait(1) * 1.05);
+  EXPECT_LE(rp.mean_wait(1), rp.mean_wait(2) * 1.05);
+}
+
+TEST(Integration, ImportanceMatchesStretchAtAlphaOne) {
+  const auto built = default_scenario(10000).build();
+  core::HybridConfig importance;
+  importance.cutoff = 20;
+  importance.pull_policy = sched::PullPolicyKind::kImportance;
+  importance.alpha = 1.0;
+
+  core::HybridConfig stretch = importance;
+  stretch.pull_policy = sched::PullPolicyKind::kStretch;
+
+  const core::SimResult ri = exp::run_hybrid(built, importance);
+  const core::SimResult rs = exp::run_hybrid(built, stretch);
+  EXPECT_DOUBLE_EQ(ri.overall().wait.mean(), rs.overall().wait.mean());
+  EXPECT_EQ(ri.pull_transmissions, rs.pull_transmissions);
+}
+
+TEST(Integration, ImportanceMatchesPriorityAtAlphaZero) {
+  const auto built = default_scenario(10000).build();
+  core::HybridConfig importance;
+  importance.cutoff = 20;
+  importance.pull_policy = sched::PullPolicyKind::kImportance;
+  importance.alpha = 0.0;
+
+  core::HybridConfig priority = importance;
+  priority.pull_policy = sched::PullPolicyKind::kPriority;
+
+  const core::SimResult ri = exp::run_hybrid(built, importance);
+  const core::SimResult rp = exp::run_hybrid(built, priority);
+  EXPECT_DOUBLE_EQ(ri.overall().wait.mean(), rp.overall().wait.mean());
+}
+
+TEST(Integration, MoreBandwidthLowersBlocking) {
+  const auto built = default_scenario(20000).build();
+  core::HybridConfig scarce;
+  scarce.cutoff = 10;
+  scarce.total_bandwidth = 1.5;
+  scarce.mean_bandwidth_demand = 1.0;
+
+  core::HybridConfig ample = scarce;
+  ample.total_bandwidth = 30.0;
+
+  const core::SimResult rs = exp::run_hybrid(built, scarce);
+  const core::SimResult ra = exp::run_hybrid(built, ample);
+  EXPECT_GT(rs.overall().blocked, ra.overall().blocked);
+}
+
+TEST(Integration, PremiumBandwidthShareDrivesPremiumBlockingDown) {
+  const auto built = default_scenario(20000).build();
+  core::HybridConfig skewed;
+  skewed.cutoff = 10;
+  skewed.total_bandwidth = 5.0;
+  skewed.mean_bandwidth_demand = 2.0;
+  skewed.bandwidth_fractions = {0.8, 0.1, 0.1};
+
+  core::HybridConfig equal = skewed;
+  equal.bandwidth_fractions = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+
+  const core::SimResult r_skewed = exp::run_hybrid(built, skewed);
+  const core::SimResult r_equal = exp::run_hybrid(built, equal);
+  EXPECT_LE(r_skewed.per_class[0].blocking_ratio(),
+            r_equal.per_class[0].blocking_ratio());
+}
+
+TEST(Integration, CutoffScanOverSimulationFindsInteriorOptimum) {
+  const auto built = default_scenario(15000).build();
+  const auto cost = [&](std::size_t k) {
+    core::HybridConfig config;
+    config.cutoff = k;
+    config.alpha = 0.5;
+    return exp::run_hybrid(built, config)
+        .total_prioritized_cost(built.population);
+  };
+  const core::CutoffScan scan = core::scan_cutoffs(5, 95, 15, cost);
+  EXPECT_GE(scan.best_cutoff, 5u);
+  EXPECT_LE(scan.best_cutoff, 95u);
+  EXPECT_TRUE(std::isfinite(scan.best_cost));
+  // The optimum strictly beats at least one scanned endpoint (the curve is
+  // not flat).
+  const double worst = std::max(scan.curve.front().cost, scan.curve.back().cost);
+  EXPECT_LT(scan.best_cost, worst);
+}
+
+TEST(Integration, CutoffScanOverAnalyticModelAgreesRoughly) {
+  const auto built = default_scenario(10000).build();
+  queueing::HybridAccessModel model(built.catalog, built.population, 5.0);
+  const auto analytic_cost = [&](std::size_t k) {
+    return model.prioritized_cost(k);
+  };
+  const core::CutoffScan scan = core::scan_cutoffs(0, 100, 5, analytic_cost);
+  EXPECT_TRUE(std::isfinite(scan.best_cost));
+  EXPECT_LE(scan.best_cutoff, 100u);
+}
+
+TEST(Integration, HigherThetaConcentratesPushService) {
+  // With a steeper Zipf, the same cutoff captures more probability mass, so
+  // more requests are served by the broadcast.
+  exp::Scenario mild = default_scenario(20000);
+  mild.theta = 0.2;
+  exp::Scenario steep = default_scenario(20000);
+  steep.theta = 1.4;
+
+  core::HybridConfig config;
+  config.cutoff = 30;
+
+  const core::SimResult rm = exp::run_hybrid(mild.build(), config);
+  const core::SimResult rs = exp::run_hybrid(steep.build(), config);
+  const double frac_m = static_cast<double>(rm.overall().served_push) /
+                        static_cast<double>(rm.overall().served);
+  const double frac_s = static_cast<double>(rs.overall().served_push) /
+                        static_cast<double>(rs.overall().served);
+  EXPECT_GT(frac_s, frac_m);
+}
+
+}  // namespace
+}  // namespace pushpull

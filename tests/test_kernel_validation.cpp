@@ -1,0 +1,230 @@
+// Cross-validation of the DES kernel against closed-form queueing theory:
+// an M/M/1 and an M/D/1 queue are simulated event-by-event on the kernel
+// and compared with the exact formulas. This is the strongest evidence the
+// kernel's clock, FIFO ordering and event dispatch are correct.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "des/simulator.hpp"
+#include "metrics/welford.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/cobham.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/exponential.hpp"
+#include "rng/stream.hpp"
+
+namespace pushpull {
+namespace {
+
+/// Single-server FCFS queue simulated on the DES kernel. Service times are
+/// produced by `service_fn` (exponential, deterministic, ...).
+template <typename ServiceFn>
+metrics::Welford simulate_queue(double lambda, ServiceFn service_fn,
+                                std::size_t customers, std::uint64_t seed) {
+  des::Simulator sim;
+  rng::StreamFactory streams(seed);
+  auto arrivals_eng = streams.stream("arrivals");
+
+  metrics::Welford wait_in_queue;
+  std::deque<double> queue;  // arrival times of waiting customers
+  bool busy = false;
+  std::size_t generated = 0;
+
+  // Forward declarations via std::function to allow mutual recursion.
+  std::function<void()> start_service = [&] {
+    busy = true;
+    const double arrival = queue.front();
+    queue.pop_front();
+    wait_in_queue.add(sim.now() - arrival);
+    sim.schedule_in(service_fn(), [&] {
+      busy = false;
+      if (!queue.empty()) start_service();
+    });
+  };
+  std::function<void()> arrive = [&] {
+    queue.push_back(sim.now());
+    if (!busy) start_service();
+    if (++generated < customers) {
+      sim.schedule_in(rng::exponential(arrivals_eng, lambda), arrive);
+    }
+  };
+
+  sim.schedule_at(rng::exponential(arrivals_eng, lambda), arrive);
+  sim.run();
+  return wait_in_queue;
+}
+
+TEST(KernelValidation, MM1WaitMatchesFormula) {
+  const double lambda = 0.7;
+  const double mu = 1.0;
+  rng::StreamFactory streams(99);
+  auto service_eng = streams.stream("service");
+  const auto wait = simulate_queue(
+      lambda, [&] { return rng::exponential(service_eng, mu); }, 400000, 99);
+
+  const queueing::MM1 reference{lambda, mu};
+  EXPECT_NEAR(wait.mean(), reference.mean_wait(),
+              0.06 * reference.mean_wait());
+}
+
+TEST(KernelValidation, MM1LowLoad) {
+  const double lambda = 0.2;
+  const double mu = 1.0;
+  rng::StreamFactory streams(7);
+  auto service_eng = streams.stream("service");
+  const auto wait = simulate_queue(
+      lambda, [&] { return rng::exponential(service_eng, mu); }, 300000, 7);
+  const queueing::MM1 reference{lambda, mu};
+  EXPECT_NEAR(wait.mean(), reference.mean_wait(),
+              0.08 * reference.mean_wait());
+}
+
+TEST(KernelValidation, MD1WaitIsHalfOfMM1) {
+  // Deterministic service halves the P-K wait relative to exponential.
+  const double lambda = 0.6;
+  const double d = 1.0;
+  const auto wait =
+      simulate_queue(lambda, [&] { return d; }, 400000, 1234);
+  const queueing::MG1 reference = queueing::MG1::deterministic(lambda, d);
+  EXPECT_NEAR(wait.mean(), reference.mean_wait(),
+              0.06 * reference.mean_wait());
+  const queueing::MM1 exponential_ref{lambda, 1.0 / d};
+  EXPECT_LT(wait.mean(), exponential_ref.mean_wait());
+}
+
+// ------------------------------------------------------------------- MG1
+
+TEST(MG1, ExponentialReducesToMM1) {
+  const auto mg1 = queueing::MG1::exponential(0.5, 1.0);
+  const queueing::MM1 mm1{0.5, 1.0};
+  EXPECT_NEAR(mg1.mean_wait(), mm1.mean_wait(), 1e-12);
+  EXPECT_NEAR(mg1.mean_sojourn(), mm1.mean_sojourn(), 1e-12);
+  EXPECT_NEAR(mg1.mean_in_system(), mm1.mean_in_system(), 1e-12);
+}
+
+TEST(MG1, DeterministicIsHalfExponentialWait) {
+  const auto det = queueing::MG1::deterministic(0.5, 1.0);
+  const auto expo = queueing::MG1::exponential(0.5, 1.0);
+  EXPECT_NEAR(det.mean_wait(), 0.5 * expo.mean_wait(), 1e-12);
+}
+
+TEST(MG1, DiscreteMatchesMoments) {
+  // Lengths 1..5 with mean-2 weights (the paper's pull items as M/G/1).
+  const std::vector<std::pair<double, double>> dist = {
+      {1.0, 0.5}, {2.0, 0.25}, {3.0, 0.125}, {4.0, 0.0625}, {5.0, 0.0625}};
+  const auto mg1 = queueing::MG1::discrete(0.2, dist);
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (const auto& [v, p] : dist) {
+    m1 += v * p;
+    m2 += v * v * p;
+  }
+  EXPECT_NEAR(mg1.mean_service, m1, 1e-12);
+  EXPECT_NEAR(mg1.second_moment, m2, 1e-12);
+  EXPECT_NEAR(mg1.mean_wait(), 0.2 * m2 / (2.0 * (1.0 - 0.2 * m1)), 1e-12);
+}
+
+TEST(MG1, UnstableIsInfinite) {
+  const auto mg1 = queueing::MG1::deterministic(1.2, 1.0);
+  EXPECT_FALSE(mg1.stable());
+  EXPECT_TRUE(std::isinf(mg1.mean_wait()));
+}
+
+}  // namespace
+}  // namespace pushpull
+
+namespace pushpull {
+namespace {
+
+/// Non-preemptive multi-class priority M/M/1 on the DES kernel, validated
+/// against Cobham's formula — the same structure the paper's §4.2.2
+/// analysis assumes for the pull queue.
+std::vector<metrics::Welford> simulate_priority_queue(
+    const std::vector<queueing::PriorityClass>& classes,
+    std::size_t customers, std::uint64_t seed) {
+  des::Simulator sim;
+  rng::StreamFactory streams(seed);
+  auto arrival_eng = streams.stream("arrivals");
+  auto service_eng = streams.stream("service");
+  auto class_eng = streams.stream("class-pick");
+
+  double total_lambda = 0.0;
+  std::vector<double> weights;
+  for (const auto& c : classes) {
+    total_lambda += c.lambda;
+    weights.push_back(c.lambda);
+  }
+  rng::AliasTable class_mix(weights);
+
+  std::vector<metrics::Welford> waits(classes.size());
+  // One FIFO queue per class; service picks the highest non-empty class.
+  std::vector<std::deque<double>> queues(classes.size());
+  bool busy = false;
+  std::size_t generated = 0;
+
+  std::function<void()> start_service = [&] {
+    std::size_t cls = 0;
+    while (queues[cls].empty()) ++cls;
+    busy = true;
+    const double arrival = queues[cls].front();
+    queues[cls].pop_front();
+    waits[cls].add(sim.now() - arrival);
+    sim.schedule_in(rng::exponential(service_eng, classes[cls].mu), [&] {
+      busy = false;
+      for (const auto& queue : queues) {
+        if (!queue.empty()) {
+          start_service();
+          return;
+        }
+      }
+    });
+  };
+  std::function<void()> arrive = [&] {
+    const std::size_t cls = class_mix.sample(class_eng);
+    queues[cls].push_back(sim.now());
+    if (!busy) start_service();
+    if (++generated < customers) {
+      sim.schedule_in(rng::exponential(arrival_eng, total_lambda), arrive);
+    }
+  };
+  sim.schedule_at(rng::exponential(arrival_eng, total_lambda), arrive);
+  sim.run();
+  return waits;
+}
+
+TEST(KernelValidation, NonPreemptivePriorityMatchesCobham) {
+  const std::vector<queueing::PriorityClass> classes = {
+      {0.15, 1.0}, {0.25, 1.0}, {0.30, 1.0}};
+  const auto simulated = simulate_priority_queue(classes, 400000, 321);
+  const auto analytic = queueing::cobham_waits(classes);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_NEAR(simulated[c].mean(), analytic.wait[c],
+                0.08 * analytic.wait[c])
+        << "class " << c;
+  }
+  // Ordering: the premium class waits the least.
+  EXPECT_LT(simulated[0].mean(), simulated[1].mean());
+  EXPECT_LT(simulated[1].mean(), simulated[2].mean());
+}
+
+TEST(KernelValidation, PriorityQueueWorkConservation) {
+  // With identical service rates, the lambda-weighted mean wait equals the
+  // pooled FCFS M/M/1 wait regardless of the priority discipline.
+  const std::vector<queueing::PriorityClass> classes = {
+      {0.2, 1.0}, {0.2, 1.0}, {0.2, 1.0}};
+  const auto simulated = simulate_priority_queue(classes, 400000, 77);
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    weighted += classes[c].lambda * simulated[c].mean();
+    total += classes[c].lambda;
+  }
+  const queueing::MM1 pooled{0.6, 1.0};
+  EXPECT_NEAR(weighted / total, pooled.mean_wait(),
+              0.08 * pooled.mean_wait());
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,79 @@
+// Property sweep: the self-consistent access-time model must track the
+// simulation across the paper's whole (θ, α, K) grid — not just at the
+// Fig. 7 calibration point. Bounds here are looser than Fig. 7's ±9%
+// because the grid includes the extreme regimes (tiny/huge cutoffs, steep
+// skew) where the renewal approximation is weakest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/scenario.hpp"
+#include "queueing/access_time.hpp"
+
+namespace pushpull {
+namespace {
+
+struct ModelParam {
+  double theta;
+  double alpha;
+  std::size_t cutoff;
+};
+
+std::string model_param_name(const ::testing::TestParamInfo<ModelParam>& info) {
+  const auto& p = info.param;
+  return "theta" + std::to_string(static_cast<int>(p.theta * 100)) + "_alpha" +
+         std::to_string(static_cast<int>(p.alpha * 100)) + "_k" +
+         std::to_string(p.cutoff);
+}
+
+class ModelVsSimTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(ModelVsSimTest, OverallDelayWithinBand) {
+  const ModelParam p = GetParam();
+  exp::Scenario scenario;
+  scenario.theta = p.theta;
+  scenario.num_requests = 30000;
+  const auto built = scenario.build();
+
+  core::HybridConfig config;
+  config.cutoff = p.cutoff;
+  config.alpha = p.alpha;
+  const core::SimResult sim = exp::run_hybrid(built, config);
+
+  queueing::HybridAccessModel model(built.catalog, built.population, 5.0);
+  const auto est = model.estimate(p.cutoff, p.alpha);
+
+  const double simulated = sim.overall().wait.mean();
+  ASSERT_GT(simulated, 0.0);
+  EXPECT_TRUE(std::isfinite(est.overall));
+  // Factor-of-1.6 band across the whole grid (Fig. 7's calibration slice
+  // is within ±9%).
+  EXPECT_GT(est.overall, simulated / 1.6)
+      << "sim=" << simulated << " model=" << est.overall;
+  EXPECT_LT(est.overall, simulated * 1.6)
+      << "sim=" << simulated << " model=" << est.overall;
+}
+
+TEST_P(ModelVsSimTest, ClassOrderingAgreesWithSimulation) {
+  const ModelParam p = GetParam();
+  if (p.alpha > 0.5 || p.cutoff >= 100) return;  // ordering only when priority dominates
+  exp::Scenario scenario;
+  scenario.theta = p.theta;
+  scenario.num_requests = 20000;
+  const auto built = scenario.build();
+  queueing::HybridAccessModel model(built.catalog, built.population, 5.0);
+  const auto est = model.estimate(p.cutoff, p.alpha);
+  EXPECT_LE(est.access_time[0], est.access_time[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelVsSimTest,
+    ::testing::Values(ModelParam{0.20, 0.75, 30}, ModelParam{0.60, 0.75, 10},
+                      ModelParam{0.60, 0.75, 50}, ModelParam{0.60, 0.25, 30},
+                      ModelParam{0.60, 0.00, 60}, ModelParam{1.00, 0.75, 30},
+                      ModelParam{1.40, 0.50, 20}, ModelParam{0.60, 1.00, 40},
+                      ModelParam{0.60, 0.75, 100}),
+    model_param_name);
+
+}  // namespace
+}  // namespace pushpull

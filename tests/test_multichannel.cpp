@@ -1,0 +1,156 @@
+// Tests for the multi-channel hybrid server: conservation, concurrency
+// across pull channels, capacity scaling and the alternation-penalty
+// comparison against the single-channel server.
+#include <gtest/gtest.h>
+
+#include "core/hybrid_server.hpp"
+#include "core/multichannel_server.hpp"
+#include "exp/scenario.hpp"
+
+namespace pushpull::core {
+namespace {
+
+exp::Scenario small_scenario(std::size_t requests = 15000) {
+  exp::Scenario s;
+  s.num_items = 50;
+  s.num_requests = requests;
+  return s;
+}
+
+TEST(MultiChannel, RejectsBadConfig) {
+  const auto built = small_scenario(10).build();
+  MultiChannelConfig config;
+  config.cutoff = 1000;
+  EXPECT_THROW(MultiChannelServer(built.catalog, built.population, config),
+               std::invalid_argument);
+  config.cutoff = 10;
+  config.num_pull_channels = 0;
+  EXPECT_THROW(MultiChannelServer(built.catalog, built.population, config),
+               std::invalid_argument);
+}
+
+TEST(MultiChannel, ConservesRequests) {
+  const auto built = small_scenario().build();
+  MultiChannelConfig config;
+  config.cutoff = 20;
+  config.num_pull_channels = 2;
+  MultiChannelServer server(built.catalog, built.population, config);
+  const MultiChannelResult r = server.run(built.trace);
+  const auto overall = r.overall();
+  EXPECT_EQ(overall.arrived, built.trace.size());
+  EXPECT_EQ(overall.served, overall.arrived);
+}
+
+TEST(MultiChannel, EmptyTraceAndPureModes) {
+  const auto built = small_scenario(5000).build();
+  for (std::size_t cutoff : {std::size_t{0}, built.catalog.size()}) {
+    MultiChannelConfig config;
+    config.cutoff = cutoff;
+    config.num_pull_channels = 2;
+    MultiChannelServer server(built.catalog, built.population, config);
+    const MultiChannelResult r = server.run(built.trace);
+    EXPECT_EQ(r.overall().served, built.trace.size()) << "cutoff=" << cutoff;
+  }
+  MultiChannelConfig config;
+  config.cutoff = 10;
+  MultiChannelServer server(built.catalog, built.population, config);
+  const MultiChannelResult r = server.run(workload::Trace{});
+  EXPECT_EQ(r.overall().arrived, 0u);
+}
+
+TEST(MultiChannel, MoreChannelsNeverSlower) {
+  const auto built = small_scenario(25000).build();
+  double prev = 1e300;
+  for (std::size_t channels : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    MultiChannelConfig config;
+    config.cutoff = 10;
+    config.num_pull_channels = channels;
+    MultiChannelServer server(built.catalog, built.population, config);
+    const MultiChannelResult r = server.run(built.trace);
+    const double delay = r.overall().wait.mean();
+    EXPECT_LT(delay, prev * 1.02) << channels << " channels";
+    prev = delay;
+  }
+}
+
+TEST(MultiChannel, BeatsAlternatingSingleChannelServer) {
+  // Even with ONE pull channel, the multi-channel layout has strictly more
+  // capacity than the paper's shared channel (push no longer steals pull
+  // airtime), so delays must be lower at the same cutoff.
+  const auto built = small_scenario(25000).build();
+  MultiChannelConfig multi;
+  multi.cutoff = 15;
+  multi.num_pull_channels = 1;
+  MultiChannelServer layered(built.catalog, built.population, multi);
+  const MultiChannelResult rm = layered.run(built.trace);
+
+  HybridConfig shared;
+  shared.cutoff = 15;
+  HybridServer single(built.catalog, built.population, shared);
+  const SimResult rs = single.run(built.trace);
+
+  EXPECT_LT(rm.overall().wait.mean(), rs.overall().wait.mean());
+}
+
+TEST(MultiChannel, UtilizationAccounting) {
+  const auto built = small_scenario(20000).build();
+  MultiChannelConfig config;
+  config.cutoff = 20;
+  config.num_pull_channels = 3;
+  MultiChannelServer server(built.catalog, built.population, config);
+  const MultiChannelResult r = server.run(built.trace);
+
+  // The broadcast channel runs back-to-back: utilization ≈ 1.
+  EXPECT_GT(r.push_channel_utilization, 0.95);
+  EXPECT_LT(r.push_channel_utilization, 1.05);
+  ASSERT_EQ(r.pull_channel_utilization.size(), 3u);
+  for (double u : r.pull_channel_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.05);
+  }
+  // Channel 0 is always tried first, so utilization is non-increasing.
+  EXPECT_GE(r.pull_channel_utilization[0] + 1e-9,
+            r.pull_channel_utilization[2]);
+}
+
+TEST(MultiChannel, DeterministicAcrossRuns) {
+  const auto built = small_scenario(8000).build();
+  MultiChannelConfig config;
+  config.cutoff = 15;
+  config.num_pull_channels = 2;
+  MultiChannelServer server(built.catalog, built.population, config);
+  const MultiChannelResult a = server.run(built.trace);
+  const MultiChannelResult b = server.run(built.trace);
+  EXPECT_DOUBLE_EQ(a.overall().wait.mean(), b.overall().wait.mean());
+  EXPECT_EQ(a.pull_transmissions, b.pull_transmissions);
+}
+
+TEST(MultiChannel, PremiumClassOrderingHolds) {
+  const auto built = small_scenario(25000).build();
+  MultiChannelConfig config;
+  config.cutoff = 10;
+  config.alpha = 0.0;
+  config.num_pull_channels = 1;
+  MultiChannelServer server(built.catalog, built.population, config);
+  const MultiChannelResult r = server.run(built.trace);
+  EXPECT_LE(r.mean_wait(0), r.mean_wait(2) * 1.10);
+}
+
+TEST(MultiChannel, TailQuantilesPopulated) {
+  const auto built = small_scenario(20000).build();
+  MultiChannelConfig config;
+  config.cutoff = 20;
+  config.num_pull_channels = 2;
+  MultiChannelServer server(built.catalog, built.population, config);
+  const MultiChannelResult r = server.run(built.trace);
+  for (const auto& cls : r.per_class) {
+    if (cls.served == 0) continue;
+    EXPECT_GT(cls.wait_p50.value(), 0.0);
+    EXPECT_LE(cls.wait_p50.value(), cls.wait_p95.value());
+    EXPECT_LE(cls.wait_p95.value(), cls.wait_p99.value());
+    EXPECT_LE(cls.wait_p99.value(), cls.wait.max() * 1.001);
+  }
+}
+
+}  // namespace
+}  // namespace pushpull::core

@@ -1,0 +1,112 @@
+// Tests for the P² streaming quantile estimator, validated against exact
+// sample quantiles on known distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "metrics/p2_quantile.hpp"
+#include "rng/exponential.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace pushpull::metrics {
+namespace {
+
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile est(0.5);
+  EXPECT_DOUBLE_EQ(est.value(), 0.0);
+  EXPECT_EQ(est.count(), 0u);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  median.add(5.0);
+  // Exact median of {1,3,5} (nearest rank): 3.
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile est(0.5);
+  rng::Xoshiro256ss eng(1);
+  for (int i = 0; i < 100000; ++i) est.add(rng::uniform01(eng));
+  EXPECT_NEAR(est.value(), 0.5, 0.01);
+}
+
+TEST(P2Quantile, TailOfUniform) {
+  P2Quantile est(0.95);
+  rng::Xoshiro256ss eng(2);
+  for (int i = 0; i < 100000; ++i) est.add(rng::uniform01(eng));
+  EXPECT_NEAR(est.value(), 0.95, 0.01);
+}
+
+TEST(P2Quantile, TailOfExponential) {
+  // p99 of Exp(rate 1) is -ln(0.01) ≈ 4.605.
+  P2Quantile est(0.99);
+  rng::Xoshiro256ss eng(3);
+  for (int i = 0; i < 400000; ++i) est.add(rng::exponential(eng, 1.0));
+  EXPECT_NEAR(est.value(), 4.605, 0.25);
+}
+
+TEST(P2Quantile, MatchesExactQuantileOnMixedData) {
+  rng::Xoshiro256ss eng(4);
+  std::vector<double> data;
+  P2Quantile est(0.9);
+  for (int i = 0; i < 50000; ++i) {
+    // Bimodal: mixture of two uniforms.
+    const double x = rng::uniform01(eng) < 0.7
+                         ? rng::uniform(eng, 0.0, 1.0)
+                         : rng::uniform(eng, 5.0, 6.0);
+    data.push_back(x);
+    est.add(x);
+  }
+  const double exact = exact_quantile(data, 0.9);
+  EXPECT_NEAR(est.value(), exact, 0.15);
+}
+
+TEST(P2Quantile, MonotoneAcrossQuantiles) {
+  P2Quantile p50(0.5);
+  P2Quantile p95(0.95);
+  P2Quantile p99(0.99);
+  rng::Xoshiro256ss eng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng::exponential(eng, 0.5);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_LT(p50.value(), p95.value());
+  EXPECT_LT(p95.value(), p99.value());
+}
+
+TEST(P2Quantile, CountTracksObservations) {
+  P2Quantile est(0.5);
+  for (int i = 0; i < 42; ++i) est.add(i);
+  EXPECT_EQ(est.count(), 42u);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile est(0.9);
+  for (int i = 0; i < 1000; ++i) est.add(7.0);
+  EXPECT_DOUBLE_EQ(est.value(), 7.0);
+}
+
+}  // namespace
+}  // namespace pushpull::metrics

@@ -1,0 +1,214 @@
+// Property-style parameterized suites sweeping the paper's parameter grid:
+// conservation, QoS ordering, determinism and metric sanity must hold at
+// every (θ, α, K) combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "exp/scenario.hpp"
+
+namespace pushpull {
+namespace {
+
+struct GridParam {
+  double theta;
+  double alpha;
+  std::size_t cutoff;
+};
+
+std::string param_name(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto& p = info.param;
+  std::string s = "theta" + std::to_string(static_cast<int>(p.theta * 100)) +
+                  "_alpha" + std::to_string(static_cast<int>(p.alpha * 100)) +
+                  "_k" + std::to_string(p.cutoff);
+  return s;
+}
+
+class HybridGridTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static core::SimResult run(const GridParam& p, std::size_t requests = 8000) {
+    exp::Scenario scenario;
+    scenario.theta = p.theta;
+    scenario.num_requests = requests;
+    const auto built = scenario.build();
+    core::HybridConfig config;
+    config.cutoff = p.cutoff;
+    config.alpha = p.alpha;
+    return exp::run_hybrid(built, config);
+  }
+};
+
+TEST_P(HybridGridTest, ConservationHolds) {
+  const auto result = run(GetParam());
+  const auto overall = result.overall();
+  EXPECT_EQ(overall.served + overall.blocked, overall.arrived);
+  EXPECT_EQ(overall.blocked, 0u);  // unconstrained channel on this grid
+}
+
+TEST_P(HybridGridTest, WaitsAreSaneEverywhere) {
+  const auto result = run(GetParam());
+  for (const auto& cls : result.per_class) {
+    if (cls.wait.count() == 0) continue;
+    EXPECT_GE(cls.wait.min(), 0.0);
+    EXPECT_TRUE(std::isfinite(cls.wait.max()));
+    EXPECT_GE(cls.wait.mean(), 0.0);
+    EXPECT_LE(cls.wait.mean(), cls.wait.max());
+    EXPECT_GE(cls.wait.mean(), cls.wait.min());
+  }
+}
+
+TEST_P(HybridGridTest, PremiumClassOrderingUnderPriorityWeighting) {
+  const GridParam p = GetParam();
+  if (p.alpha > 0.5) {
+    // Ordering is only guaranteed when priority dominates the importance
+    // factor; for stretch-dominated weights the property does not apply.
+    SUCCEED();
+    return;
+  }
+  const auto result = run(p, 20000);
+  // Class A must not be slower than class C by more than simulation noise.
+  EXPECT_LE(result.mean_wait(0), result.mean_wait(2) * 1.10);
+}
+
+TEST_P(HybridGridTest, DeterministicAcrossIdenticalRuns) {
+  const auto a = run(GetParam(), 3000);
+  const auto b = run(GetParam(), 3000);
+  EXPECT_DOUBLE_EQ(a.overall().wait.mean(), b.overall().wait.mean());
+  EXPECT_EQ(a.pull_transmissions, b.pull_transmissions);
+}
+
+TEST_P(HybridGridTest, TransmissionAccountingConsistent) {
+  const auto result = run(GetParam());
+  const auto overall = result.overall();
+  if (GetParam().cutoff == 0) {
+    EXPECT_EQ(result.push_transmissions, 0u);
+    EXPECT_EQ(overall.served_push, 0u);
+  } else {
+    EXPECT_GT(result.push_transmissions, 0u);
+    EXPECT_LE(result.pull_transmissions, result.push_transmissions + 1);
+  }
+  EXPECT_EQ(overall.served_push + overall.served_pull, overall.served);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, HybridGridTest,
+    ::testing::Values(
+        // θ sweep at the paper's midpoints.
+        GridParam{0.20, 0.50, 40}, GridParam{0.60, 0.50, 40},
+        GridParam{1.00, 0.50, 40}, GridParam{1.40, 0.50, 40},
+        // α sweep (Figs. 3–4 family).
+        GridParam{0.60, 0.00, 40}, GridParam{0.60, 0.25, 40},
+        GridParam{0.60, 0.75, 40}, GridParam{0.60, 1.00, 40},
+        // cutoff extremes and interior points.
+        GridParam{0.60, 0.50, 0}, GridParam{0.60, 0.50, 5},
+        GridParam{0.60, 0.50, 70}, GridParam{0.60, 0.50, 100},
+        // skew/α interactions.
+        GridParam{1.40, 0.00, 20}, GridParam{0.20, 1.00, 80}),
+    param_name);
+
+// ---------------------------------------------------------- policy sweep
+
+class PullPolicySweepTest
+    : public ::testing::TestWithParam<sched::PullPolicyKind> {};
+
+TEST_P(PullPolicySweepTest, EveryPolicyConservesAndTerminates) {
+  exp::Scenario scenario;
+  scenario.num_requests = 8000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 25;
+  config.pull_policy = GetParam();
+  config.alpha = 0.5;
+  const auto result = exp::run_hybrid(built, config);
+  const auto overall = result.overall();
+  EXPECT_EQ(overall.served, overall.arrived);
+  EXPECT_GT(overall.wait.mean(), 0.0);
+}
+
+TEST_P(PullPolicySweepTest, PurePullAlsoWorks) {
+  exp::Scenario scenario;
+  scenario.num_requests = 5000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 0;
+  config.pull_policy = GetParam();
+  config.alpha = 0.5;
+  const auto result = exp::run_hybrid(built, config);
+  EXPECT_EQ(result.overall().served, result.overall().arrived);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PullPolicySweepTest,
+    ::testing::Values(sched::PullPolicyKind::kFcfs, sched::PullPolicyKind::kMrf,
+                      sched::PullPolicyKind::kStretch,
+                      sched::PullPolicyKind::kPriority,
+                      sched::PullPolicyKind::kRxw,
+                      sched::PullPolicyKind::kLwf,
+                      sched::PullPolicyKind::kImportance,
+                      sched::PullPolicyKind::kImportanceQueueAware),
+    [](const ::testing::TestParamInfo<sched::PullPolicyKind>& param_info) {
+      std::string name(sched::to_string(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------------- push policy sweep
+
+class PushPolicySweepTest
+    : public ::testing::TestWithParam<sched::PushPolicyKind> {};
+
+TEST_P(PushPolicySweepTest, EveryPushProgramServesAllPushRequests) {
+  exp::Scenario scenario;
+  scenario.num_requests = 8000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 30;
+  config.push_policy = GetParam();
+  const auto result = exp::run_hybrid(built, config);
+  std::uint64_t push_requests = 0;
+  for (const auto& r : built.trace.requests()) {
+    if (r.item < config.cutoff) ++push_requests;
+  }
+  EXPECT_EQ(result.overall().served_push, push_requests);
+  EXPECT_EQ(result.overall().served, result.overall().arrived);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPushPolicies, PushPolicySweepTest,
+    ::testing::Values(sched::PushPolicyKind::kFlat,
+                      sched::PushPolicyKind::kBroadcastDisks,
+                      sched::PushPolicyKind::kSquareRootRule),
+    [](const ::testing::TestParamInfo<sched::PushPolicyKind>& param_info) {
+      std::string name(sched::to_string(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// -------------------------------------------------- seed robustness sweep
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, QosOrderingRobustAcrossSeeds) {
+  exp::Scenario scenario;
+  scenario.seed = GetParam();
+  scenario.num_requests = 20000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 15;
+  config.alpha = 0.0;
+  const auto result = exp::run_hybrid(built, config);
+  EXPECT_LE(result.mean_wait(0), result.mean_wait(2) * 1.10)
+      << "seed=" << GetParam();
+  EXPECT_EQ(result.overall().served, result.overall().arrived);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace pushpull

@@ -1,0 +1,163 @@
+// Unit tests for the server's pull queue: per-item aggregation, policy
+// extraction, index integrity under swap-removal.
+#include <gtest/gtest.h>
+
+#include "core/pull_queue.hpp"
+#include "sched/pull/policies.hpp"
+
+namespace pushpull::core {
+namespace {
+
+workload::Request make_request(workload::RequestId id, catalog::ItemId item,
+                               workload::ClassId cls, double arrival) {
+  workload::Request r;
+  r.id = id;
+  r.item = item;
+  r.cls = cls;
+  r.arrival = arrival;
+  return r;
+}
+
+const sched::PullContext kCtx{100.0, 1.0};
+
+TEST(PullQueue, StartsEmpty) {
+  PullQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.distinct_items(), 0u);
+  EXPECT_EQ(q.total_requests(), 0u);
+  sched::MrfPolicy policy;
+  EXPECT_FALSE(q.extract_best(policy, kCtx).has_value());
+}
+
+TEST(PullQueue, AggregatesPerItem) {
+  PullQueue q;
+  q.add(make_request(1, 7, 0, 1.0), 3.0, 2.0, 0.05);
+  q.add(make_request(2, 7, 2, 2.0), 1.0, 2.0, 0.05);
+  q.add(make_request(3, 9, 1, 3.0), 2.0, 4.0, 0.01);
+
+  EXPECT_EQ(q.distinct_items(), 2u);
+  EXPECT_EQ(q.total_requests(), 3u);
+
+  const auto* entry = q.find(7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->pending.size(), 2u);
+  EXPECT_DOUBLE_EQ(entry->total_priority, 4.0);
+  EXPECT_DOUBLE_EQ(entry->first_arrival, 1.0);
+  EXPECT_DOUBLE_EQ(entry->length, 2.0);
+  EXPECT_DOUBLE_EQ(entry->popularity, 0.05);
+}
+
+TEST(PullQueue, FirstArrivalSticksToOldest) {
+  PullQueue q;
+  q.add(make_request(1, 3, 0, 10.0), 1.0, 1.0, 0.1);
+  q.add(make_request(2, 3, 0, 20.0), 1.0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(q.find(3)->first_arrival, 10.0);
+}
+
+TEST(PullQueue, ExtractBestFollowsPolicy) {
+  PullQueue q;
+  // Item 1: 3 requests; item 2: 1 request with huge priority.
+  for (int i = 0; i < 3; ++i) {
+    q.add(make_request(static_cast<workload::RequestId>(i), 1, 2,
+                       static_cast<double>(i)),
+          1.0, 2.0, 0.1);
+  }
+  q.add(make_request(10, 2, 0, 0.5), 9.0, 2.0, 0.1);
+
+  sched::MrfPolicy mrf;
+  sched::PriorityPolicy prio;
+
+  {
+    PullQueue copy = q;
+    const auto best = copy.extract_best(mrf, kCtx);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->item, 1u);
+  }
+  {
+    PullQueue copy = q;
+    const auto best = copy.extract_best(prio, kCtx);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->item, 2u);
+  }
+}
+
+TEST(PullQueue, ExtractRemovesEntry) {
+  PullQueue q;
+  q.add(make_request(1, 5, 0, 1.0), 1.0, 1.0, 0.1);
+  q.add(make_request(2, 6, 0, 2.0), 1.0, 1.0, 0.1);
+  const auto out = q.extract(5);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->item, 5u);
+  EXPECT_EQ(q.distinct_items(), 1u);
+  EXPECT_EQ(q.total_requests(), 1u);
+  EXPECT_EQ(q.find(5), nullptr);
+  EXPECT_NE(q.find(6), nullptr);
+}
+
+TEST(PullQueue, ExtractMissingIsNullopt) {
+  PullQueue q;
+  q.add(make_request(1, 5, 0, 1.0), 1.0, 1.0, 0.1);
+  EXPECT_FALSE(q.extract(99).has_value());
+  EXPECT_EQ(q.total_requests(), 1u);
+}
+
+TEST(PullQueue, SwapRemovalKeepsIndexConsistent) {
+  PullQueue q;
+  for (catalog::ItemId item = 0; item < 10; ++item) {
+    q.add(make_request(item, item, 0, static_cast<double>(item)), 1.0, 1.0,
+          0.1);
+  }
+  // Remove from the middle repeatedly; remaining entries stay findable.
+  EXPECT_TRUE(q.extract(4).has_value());
+  EXPECT_TRUE(q.extract(0).has_value());
+  EXPECT_TRUE(q.extract(9).has_value());
+  for (catalog::ItemId item : {1u, 2u, 3u, 5u, 6u, 7u, 8u}) {
+    const auto* entry = q.find(item);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->item, item);
+  }
+  EXPECT_EQ(q.distinct_items(), 7u);
+}
+
+TEST(PullQueue, TieBreaksTowardLowestItemId) {
+  PullQueue q;
+  q.add(make_request(1, 8, 0, 1.0), 2.0, 2.0, 0.1);
+  q.add(make_request(2, 3, 0, 1.0), 2.0, 2.0, 0.1);
+  sched::PriorityPolicy prio;  // equal scores
+  const auto best = q.extract_best(prio, kCtx);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->item, 3u);
+}
+
+TEST(PullQueue, DrainOrderUnderMrfIsDescendingRequests) {
+  PullQueue q;
+  const std::size_t sizes[] = {1, 4, 2, 7, 3};
+  workload::RequestId rid = 0;
+  for (catalog::ItemId item = 0; item < 5; ++item) {
+    for (std::size_t r = 0; r < sizes[item]; ++r) {
+      q.add(make_request(rid++, item, 0, 1.0), 1.0, 1.0, 0.1);
+    }
+  }
+  sched::MrfPolicy mrf;
+  std::size_t prev = 100;
+  while (!q.empty()) {
+    const auto entry = q.extract_best(mrf, kCtx);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_LE(entry->pending.size(), prev);
+    prev = entry->pending.size();
+  }
+}
+
+TEST(PullQueue, ClearResets) {
+  PullQueue q;
+  q.add(make_request(1, 5, 0, 1.0), 1.0, 1.0, 0.1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_requests(), 0u);
+  // Reusable after clear.
+  q.add(make_request(2, 5, 0, 2.0), 1.0, 1.0, 0.1);
+  EXPECT_EQ(q.distinct_items(), 1u);
+}
+
+}  // namespace
+}  // namespace pushpull::core

@@ -1,0 +1,256 @@
+// Unit tests for the analytical models: M/M/1, the §4.1 birth–death hybrid
+// chain, Cobham's non-preemptive priority waits, and the access-time model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "catalog/catalog.hpp"
+#include "catalog/length_model.hpp"
+#include "queueing/access_time.hpp"
+#include "queueing/birth_death.hpp"
+#include "queueing/cobham.hpp"
+#include "queueing/littles.hpp"
+#include "queueing/mm1.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::queueing {
+namespace {
+
+// --------------------------------------------------------------------- MM1
+
+TEST(MM1, TextbookValues) {
+  const MM1 q{0.5, 1.0};
+  EXPECT_TRUE(q.stable());
+  EXPECT_DOUBLE_EQ(q.rho(), 0.5);
+  EXPECT_DOUBLE_EQ(q.mean_in_system(), 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_sojourn(), 2.0);
+  EXPECT_DOUBLE_EQ(q.mean_wait(), 1.0);
+  EXPECT_DOUBLE_EQ(q.mean_in_queue(), 0.5);
+  EXPECT_DOUBLE_EQ(q.p0(), 0.5);
+}
+
+TEST(MM1, LittlesLawHolds) {
+  const MM1 q{0.7, 1.0};
+  EXPECT_NEAR(q.mean_in_system(), q.lambda * q.mean_sojourn(), 1e-12);
+  EXPECT_NEAR(q.mean_in_queue(), q.lambda * q.mean_wait(), 1e-12);
+}
+
+TEST(MM1, UnstableIsInfinite) {
+  const MM1 q{2.0, 1.0};
+  EXPECT_FALSE(q.stable());
+  EXPECT_TRUE(std::isinf(q.mean_in_system()));
+  EXPECT_TRUE(std::isinf(q.mean_sojourn()));
+}
+
+// ------------------------------------------------------------- birth-death
+
+TEST(HybridBirthDeath, RejectsBadInput) {
+  EXPECT_THROW(HybridBirthDeath(0.0, 1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(HybridBirthDeath(1.0, 0.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(HybridBirthDeath(1.0, 1.0, -1.0, 10), std::invalid_argument);
+  EXPECT_THROW(HybridBirthDeath(1.0, 1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HybridBirthDeath, RequiresSolveBeforeQuery) {
+  HybridBirthDeath chain(0.2, 2.0, 1.0, 50);
+  EXPECT_THROW((void)chain.idle_probability(), std::logic_error);
+  EXPECT_THROW((void)chain.expected_pull_len(), std::logic_error);
+}
+
+TEST(HybridBirthDeath, StationaryDistributionNormalized) {
+  HybridBirthDeath chain(0.2, 2.0, 1.0, 60);
+  chain.solve();
+  double total = 0.0;
+  for (std::size_t i = 0; i <= chain.capacity(); ++i) {
+    total += chain.p(i, 0) + chain.p(i, 1);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HybridBirthDeath, IdleMatchesClosedFormWhenLightlyLoaded) {
+  // ρ = 0.1, f = 2 ⇒ closed-form idle = 1 − 0.1 − 0.05 = 0.85. A large
+  // truncation makes the numerical chain effectively infinite.
+  HybridBirthDeath chain(0.1, 2.0, 1.0, 120);
+  chain.solve();
+  EXPECT_NEAR(chain.idle_probability(), chain.closed_form_idle(), 0.02);
+}
+
+TEST(HybridBirthDeath, PullBusyFractionApproachesRho) {
+  HybridBirthDeath chain(0.15, 1.5, 1.0, 120);
+  chain.solve();
+  EXPECT_NEAR(chain.pull_busy_fraction(), chain.rho(), 0.02);
+}
+
+TEST(HybridBirthDeath, QueueGrowsWithLoad) {
+  HybridBirthDeath light(0.05, 2.0, 1.0, 120);
+  HybridBirthDeath heavy(0.30, 2.0, 1.0, 120);
+  light.solve();
+  heavy.solve();
+  EXPECT_LT(light.expected_pull_len(), heavy.expected_pull_len());
+}
+
+TEST(HybridBirthDeath, UnreachableStatesHaveZeroMass) {
+  HybridBirthDeath chain(0.2, 2.0, 1.0, 40);
+  chain.solve();
+  // (0, 1) — pull in service with an empty queue — is unreachable.
+  EXPECT_NEAR(chain.p(0, 1), 0.0, 1e-12);
+}
+
+TEST(HybridBirthDeath, MeanLenDuringPushBelowTotalMean) {
+  HybridBirthDeath chain(0.25, 2.0, 1.0, 80);
+  chain.solve();
+  EXPECT_LE(chain.mean_len_during_push(), chain.expected_pull_len() + 1e-12);
+  EXPECT_GT(chain.mean_len_during_push(), 0.0);
+}
+
+TEST(HybridBirthDeath, StableFlagTracksClosedForm) {
+  EXPECT_TRUE(HybridBirthDeath(0.1, 2.0, 1.0, 10).stable());
+  EXPECT_FALSE(HybridBirthDeath(0.9, 1.0, 1.0, 10).stable());
+}
+
+// ------------------------------------------------------------------ Cobham
+
+TEST(Cobham, RejectsBadInput) {
+  EXPECT_THROW(cobham_waits({}), std::invalid_argument);
+  EXPECT_THROW(cobham_waits({{1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(cobham_waits({{-1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Cobham, SingleClassReducesToMm1Wait) {
+  // With one exponential class, the non-preemptive priority queue is plain
+  // M/M/1: W = ρ/(μ−λ).
+  const double lambda = 0.6;
+  const double mu = 1.0;
+  const auto waits = cobham_waits({{lambda, mu}});
+  const MM1 reference{lambda, mu};
+  EXPECT_NEAR(waits.wait[0], reference.mean_wait(), 1e-12);
+  EXPECT_NEAR(waits.overall_wait, reference.mean_wait(), 1e-12);
+}
+
+TEST(Cobham, TwoClassTextbookValues) {
+  // λ₁ = λ₂ = 0.25, μ = 1: W₀ = 0.5, σ₁ = 0.25, σ₂ = 0.5.
+  const auto waits = cobham_waits({{0.25, 1.0}, {0.25, 1.0}});
+  EXPECT_NEAR(waits.residual, 0.5, 1e-12);
+  EXPECT_NEAR(waits.wait[0], 0.5 / 0.75, 1e-12);
+  EXPECT_NEAR(waits.wait[1], 0.5 / (0.75 * 0.5), 1e-12);
+}
+
+TEST(Cobham, HigherClassNeverWaitsLonger) {
+  const auto waits =
+      cobham_waits({{0.2, 1.0}, {0.3, 1.1}, {0.25, 0.9}, {0.1, 1.3}});
+  for (std::size_t i = 1; i < waits.wait.size(); ++i) {
+    EXPECT_LE(waits.wait[i - 1], waits.wait[i]);
+  }
+}
+
+TEST(Cobham, OverloadedLowClassIsInfinite) {
+  const auto waits = cobham_waits({{0.5, 1.0}, {0.8, 1.0}});
+  EXPECT_TRUE(std::isfinite(waits.wait[0]));
+  EXPECT_TRUE(std::isinf(waits.wait[1]));
+}
+
+TEST(Cobham, PriorityOrderingBeatsSharedFcfsForTopClass) {
+  // The top class under priority scheduling waits less than the pooled
+  // FCFS M/M/1 wait for the same aggregate load.
+  const auto waits = cobham_waits({{0.3, 1.0}, {0.3, 1.0}});
+  const MM1 pooled{0.6, 1.0};
+  EXPECT_LT(waits.wait[0], pooled.mean_wait());
+  EXPECT_GT(waits.wait[1], pooled.mean_wait());
+}
+
+TEST(Cobham, ConservationLawForEqualServiceRates) {
+  // With identical μ, the λ-weighted mean wait is invariant to the priority
+  // discipline and equals the FCFS M/M/1 wait (work conservation).
+  const auto waits = cobham_waits({{0.2, 1.0}, {0.3, 1.0}, {0.1, 1.0}});
+  const MM1 pooled{0.6, 1.0};
+  EXPECT_NEAR(waits.overall_wait, pooled.mean_wait(), 1e-9);
+}
+
+TEST(Cobham, SigmaAccumulates) {
+  const auto waits = cobham_waits({{0.2, 1.0}, {0.3, 1.0}});
+  EXPECT_NEAR(waits.sigma[0], 0.2, 1e-12);
+  EXPECT_NEAR(waits.sigma[1], 0.5, 1e-12);
+}
+
+// ------------------------------------------------------------- access time
+
+class AccessModelTest : public ::testing::Test {
+ protected:
+  catalog::Catalog cat_{100, 0.6, catalog::LengthModel::paper_default(), 42};
+  workload::ClientPopulation pop_ = workload::ClientPopulation::paper_default();
+  HybridAccessModel model_{cat_, pop_, 5.0};
+};
+
+TEST_F(AccessModelTest, FlatPushDelayGrowsWithCutoff) {
+  double prev = flat_push_delay(cat_, 1);
+  for (std::size_t k = 10; k <= 100; k += 10) {
+    const double d = flat_push_delay(cat_, k);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(AccessModelTest, FlatPushDelayZeroAtZeroCutoff) {
+  EXPECT_DOUBLE_EQ(flat_push_delay(cat_, 0), 0.0);
+}
+
+TEST_F(AccessModelTest, EstimateIsFiniteAcrossCutoffs) {
+  for (std::size_t k = 0; k <= 100; k += 10) {
+    const auto est = model_.estimate(k);
+    EXPECT_TRUE(std::isfinite(est.overall)) << "k=" << k;
+    EXPECT_GE(est.overall, 0.0);
+    for (double t : est.access_time) EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+TEST_F(AccessModelTest, PurePushEqualsPushDelay) {
+  const auto est = model_.estimate(100);
+  EXPECT_DOUBLE_EQ(est.overall, est.push_delay);
+  EXPECT_DOUBLE_EQ(est.push_delay, flat_push_delay(cat_, 100));
+}
+
+TEST_F(AccessModelTest, PremiumClassNeverSlower) {
+  const auto est = model_.estimate(40);
+  EXPECT_LE(est.pull_delay[0], est.pull_delay[1]);
+  EXPECT_LE(est.pull_delay[1], est.pull_delay[2]);
+  EXPECT_LE(est.access_time[0], est.access_time[2]);
+}
+
+TEST_F(AccessModelTest, EntryRateBoundedByRequestRate) {
+  const auto est = model_.estimate(40);
+  EXPECT_GT(est.entry_rate, 0.0);
+  EXPECT_LE(est.entry_rate, 5.0 * cat_.pull_probability(40) + 1e-9);
+}
+
+TEST_F(AccessModelTest, PrioritizedCostPositive) {
+  EXPECT_GT(model_.prioritized_cost(40), 0.0);
+}
+
+TEST_F(AccessModelTest, PaperEq19PushOnlyTermIsHalf) {
+  // With the paper's own μ₁ definition the push term is identically 1/2.
+  EXPECT_NEAR(model_.paper_eq19(100), 0.5, 1e-12);
+}
+
+TEST_F(AccessModelTest, RejectsOversizedCutoff) {
+  EXPECT_THROW((void)model_.estimate(101), std::invalid_argument);
+  EXPECT_THROW((void)model_.paper_eq19(101), std::invalid_argument);
+}
+
+TEST(AccessModel, RejectsBadArrivalRate) {
+  catalog::Catalog cat(10, 0.6, catalog::LengthModel::paper_default(), 1);
+  const auto pop = workload::ClientPopulation::paper_default();
+  EXPECT_THROW(HybridAccessModel(cat, pop, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Little's law
+
+TEST(Littles, Identities) {
+  EXPECT_DOUBLE_EQ(littles_wait(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(littles_length(5.0, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(littles_wait(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(utilization(0.5, 1.5), 0.75);
+}
+
+}  // namespace
+}  // namespace pushpull::queueing

@@ -1,0 +1,81 @@
+// Tests for the multi-seed replication runner.
+#include <gtest/gtest.h>
+
+#include "exp/replication.hpp"
+
+namespace pushpull::exp {
+namespace {
+
+TEST(Replication, RejectsZeroReplications) {
+  Scenario scenario;
+  core::HybridConfig config;
+  config.cutoff = 20;
+  EXPECT_THROW(replicate_hybrid(scenario, config, 0), std::invalid_argument);
+}
+
+TEST(Replication, PoolsAcrossSeeds) {
+  Scenario scenario;
+  scenario.num_requests = 4000;
+  core::HybridConfig config;
+  config.cutoff = 30;
+  const ReplicationSummary summary = replicate_hybrid(scenario, config, 5);
+  EXPECT_EQ(summary.replications, 5u);
+  EXPECT_EQ(summary.overall_delay.count(), 5u);
+  ASSERT_EQ(summary.class_delay.size(), 3u);
+  EXPECT_EQ(summary.class_delay[0].count(), 5u);
+  EXPECT_GT(summary.overall_delay.mean(), 0.0);
+  EXPECT_GT(summary.total_cost.mean(), 0.0);
+  // Different seeds produce different runs, so there is real variance.
+  EXPECT_GT(summary.overall_delay.variance(), 0.0);
+}
+
+TEST(Replication, CiShrinksWithMoreReplications) {
+  Scenario scenario;
+  scenario.num_requests = 3000;
+  core::HybridConfig config;
+  config.cutoff = 30;
+  const auto few = replicate_hybrid(scenario, config, 3);
+  const auto many = replicate_hybrid(scenario, config, 12);
+  EXPECT_GT(few.overall_delay.ci_half_width(), 0.0);
+  EXPECT_GT(many.overall_delay.ci_half_width(), 0.0);
+  // Quadrupling the replications should clearly tighten the interval.
+  EXPECT_LT(many.overall_delay.ci_half_width(),
+            few.overall_delay.ci_half_width());
+}
+
+TEST(Replication, DeterministicGivenBaseSeed) {
+  Scenario scenario;
+  scenario.num_requests = 3000;
+  core::HybridConfig config;
+  config.cutoff = 30;
+  const auto a = replicate_hybrid(scenario, config, 4);
+  const auto b = replicate_hybrid(scenario, config, 4);
+  EXPECT_DOUBLE_EQ(a.overall_delay.mean(), b.overall_delay.mean());
+  EXPECT_DOUBLE_EQ(a.total_cost.mean(), b.total_cost.mean());
+}
+
+TEST(Replication, ClassOrderingSurvivesPooling) {
+  Scenario scenario;
+  scenario.num_requests = 8000;
+  core::HybridConfig config;
+  config.cutoff = 15;
+  config.alpha = 0.0;
+  const auto summary = replicate_hybrid(scenario, config, 5);
+  EXPECT_LE(summary.class_delay[0].mean(),
+            summary.class_delay[2].mean() * 1.05);
+}
+
+TEST(Replication, BlockingMetricTracked) {
+  Scenario scenario;
+  scenario.num_requests = 5000;
+  core::HybridConfig config;
+  config.cutoff = 10;
+  config.total_bandwidth = 1.0;
+  config.mean_bandwidth_demand = 1.5;
+  const auto summary = replicate_hybrid(scenario, config, 3);
+  EXPECT_GT(summary.blocking.mean(), 0.0);
+  EXPECT_LE(summary.blocking.max(), 1.0);
+}
+
+}  // namespace
+}  // namespace pushpull::exp

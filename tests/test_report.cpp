@@ -1,0 +1,80 @@
+// Tests for the Markdown report writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+
+namespace pushpull::exp {
+namespace {
+
+TEST(Report, ContainsConfigurationAndQoS) {
+  Scenario scenario;
+  scenario.num_requests = 5000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 25;
+  config.alpha = 0.25;
+  const core::SimResult result = run_hybrid(built, config);
+
+  ReportHeader header;
+  header.num_items = scenario.num_items;
+  header.theta = scenario.theta;
+  header.arrival_rate = scenario.arrival_rate;
+  header.num_requests = scenario.num_requests;
+  header.seed = scenario.seed;
+
+  std::ostringstream out;
+  write_markdown_report(out, header, config, built.population, result);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# pushpull simulation report"), std::string::npos);
+  EXPECT_NE(text.find("| cutoff K | 25 |"), std::string::npos);
+  EXPECT_NE(text.find("| pull policy | importance |"), std::string::npos);
+  EXPECT_NE(text.find("class-A"), std::string::npos);
+  EXPECT_NE(text.find("class-C"), std::string::npos);
+  EXPECT_NE(text.find("## Totals"), std::string::npos);
+  EXPECT_NE(text.find("push transmissions"), std::string::npos);
+}
+
+TEST(Report, QuantileColumnsOrdered) {
+  Scenario scenario;
+  scenario.num_requests = 10000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 25;
+  const core::SimResult result = run_hybrid(built, config);
+  for (const auto& cls : result.per_class) {
+    EXPECT_LE(cls.wait_p50.value(), cls.wait_p95.value());
+    EXPECT_LE(cls.wait_p95.value(), cls.wait_p99.value());
+  }
+  // And the report renders without throwing.
+  std::ostringstream out;
+  write_markdown_report(out, ReportHeader{}, config, built.population,
+                        result);
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(Report, ReflectsBlockingAndImpatience) {
+  Scenario scenario;
+  scenario.num_requests = 8000;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 10;
+  config.total_bandwidth = 1.0;
+  config.mean_bandwidth_demand = 1.5;
+  config.mean_patience = 15.0;
+  const core::SimResult result = run_hybrid(built, config);
+
+  std::ostringstream out;
+  write_markdown_report(out, ReportHeader{}, config, built.population,
+                        result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| total bandwidth | 1 |"), std::string::npos);
+  EXPECT_NE(text.find("| mean patience | 15 |"), std::string::npos);
+  EXPECT_NE(text.find("blocked transmissions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pushpull::exp

@@ -1,0 +1,362 @@
+// Unit tests for the random-number substrate: engines, uniform helpers,
+// exponential/Poisson variates, the alias table and the Zipf distribution.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/exponential.hpp"
+#include "rng/poisson.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/stream.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "rng/zipf.hpp"
+
+namespace pushpull::rng {
+namespace {
+
+// ------------------------------------------------------------------ engines
+
+TEST(SplitMix64, MatchesReferenceSequence) {
+  // Reference values from the published splitmix64.c with seed 1234567.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm(), 6457827717110365317ULL);
+  EXPECT_EQ(sm(), 3203168211198807973ULL);
+  EXPECT_EQ(sm(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, MixIsStateless) {
+  EXPECT_EQ(SplitMix64::mix(42), SplitMix64::mix(42));
+  EXPECT_NE(SplitMix64::mix(42), SplitMix64::mix(43));
+}
+
+TEST(Xoshiro256ss, DeterministicForSeed) {
+  Xoshiro256ss a(99);
+  Xoshiro256ss b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256ss, DifferentSeedsDiffer) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256ss, JumpChangesStream) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256ss, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256ss::min() == 0);
+  static_assert(Xoshiro256ss::max() == ~std::uint64_t{0});
+  SUCCEED();
+}
+
+// ------------------------------------------------------------------ uniform
+
+TEST(Uniform, Uniform01InRange) {
+  Xoshiro256ss eng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(eng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform, Uniform01MeanIsHalf) {
+  Xoshiro256ss eng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += uniform01(eng);
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Uniform, UniformRangeRespected) {
+  Xoshiro256ss eng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform(eng, -2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Uniform, UniformBelowBounds) {
+  Xoshiro256ss eng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(uniform_below(eng, 17), 17u);
+  }
+}
+
+TEST(Uniform, UniformBelowDegenerate) {
+  Xoshiro256ss eng(7);
+  EXPECT_EQ(uniform_below(eng, 0), 0u);
+  EXPECT_EQ(uniform_below(eng, 1), 0u);
+}
+
+TEST(Uniform, UniformBelowIsUnbiased) {
+  Xoshiro256ss eng(8);
+  std::array<int, 5> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[uniform_below(eng, 5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+  }
+}
+
+TEST(Uniform, UniformIntCoversClosedRange) {
+  Xoshiro256ss eng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = uniform_int(eng, -3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// -------------------------------------------------------------- exponential
+
+TEST(Exponential, MeanMatchesRate) {
+  Xoshiro256ss eng(10);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += exponential(eng, rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Exponential, AlwaysNonNegative) {
+  Xoshiro256ss eng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(exponential(eng, 0.1), 0.0);
+  }
+}
+
+TEST(Exponential, MemorylessVarianceMatches) {
+  Xoshiro256ss eng(12);
+  const double rate = 1.5;
+  const int n = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = exponential(eng, rate);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.02);
+}
+
+// ------------------------------------------------------------------ poisson
+
+TEST(Poisson, SmallMeanMatches) {
+  Xoshiro256ss eng(13);
+  const double mean = 1.0;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(poisson(eng, mean));
+  EXPECT_NEAR(sum / n, mean, 0.01);
+}
+
+TEST(Poisson, LargeMeanUsesSplitAndMatches) {
+  Xoshiro256ss eng(14);
+  const double mean = 100.0;  // forces the recursive split path
+  const int n = 20000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(poisson(eng, mean));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sumsq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.5);
+  EXPECT_NEAR(var, mean, 3.0);  // Poisson: variance == mean
+}
+
+TEST(Poisson, ZeroIsPossibleAtSmallMean) {
+  Xoshiro256ss eng(15);
+  bool saw_zero = false;
+  for (int i = 0; i < 1000 && !saw_zero; ++i) {
+    saw_zero = (poisson(eng, 0.5) == 0);
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+// -------------------------------------------------------------- alias table
+
+TEST(AliasTable, RejectsBadInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+}
+
+TEST(AliasTable, NormalizesProbabilities) {
+  const std::vector<double> w = {2.0, 6.0, 2.0};
+  AliasTable table(w);
+  EXPECT_NEAR(table.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(table.probability(2), 0.2, 1e-12);
+}
+
+TEST(AliasTable, SampleFrequenciesMatchWeights) {
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(w);
+  Xoshiro256ss eng(16);
+  std::array<int, 4> counts{};
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(eng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i] / 10.0, 0.005);
+  }
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w = {0.0, 1.0, 0.0, 1.0};
+  AliasTable table(w);
+  Xoshiro256ss eng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = table.sample(eng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, SingleColumn) {
+  AliasTable table(std::vector<double>{3.0});
+  Xoshiro256ss eng(18);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(eng), 0u);
+}
+
+// --------------------------------------------------------------------- zipf
+
+TEST(Zipf, RejectsBadInput) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  for (double theta : {0.0, 0.2, 0.6, 1.0, 1.4}) {
+    ZipfDistribution zipf(100, theta);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < zipf.size(); ++i) sum += zipf.pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(50, 0.0);
+  for (std::size_t i = 0; i < zipf.size(); ++i) {
+    EXPECT_NEAR(zipf.pmf(i), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(Zipf, PmfIsNonIncreasingInRank) {
+  ZipfDistribution zipf(100, 0.8);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GE(zipf.pmf(i - 1), zipf.pmf(i));
+  }
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  ZipfDistribution mild(100, 0.2);
+  ZipfDistribution steep(100, 1.4);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_LT(steep.pmf(99), mild.pmf(99));
+}
+
+TEST(Zipf, PmfMatchesFormula) {
+  const double theta = 0.6;
+  ZipfDistribution zipf(10, theta);
+  double norm = 0.0;
+  for (int j = 1; j <= 10; ++j) norm += std::pow(1.0 / j, theta);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double expected =
+        std::pow(1.0 / static_cast<double>(i + 1), theta) / norm;
+    EXPECT_NEAR(zipf.pmf(i), expected, 1e-12);
+  }
+}
+
+TEST(Zipf, CdfEndsAtOne) {
+  ZipfDistribution zipf(37, 1.1);
+  EXPECT_DOUBLE_EQ(zipf.cdf(36), 1.0);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GE(zipf.cdf(i), zipf.cdf(i - 1));
+  }
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(20, 0.9);
+  Xoshiro256ss eng(19);
+  std::vector<int> counts(20, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(eng)];
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.pmf(i), 0.005);
+  }
+}
+
+// ------------------------------------------------------------------ streams
+
+TEST(StreamFactory, SameNameSameStream) {
+  StreamFactory streams(77);
+  auto a = streams.stream("arrivals");
+  auto b = streams.stream("arrivals");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamFactory, DifferentNamesIndependent) {
+  StreamFactory streams(77);
+  auto a = streams.stream("arrivals");
+  auto b = streams.stream("lengths");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StreamFactory, DifferentSeedsIndependent) {
+  auto a = StreamFactory(1).stream("x");
+  auto b = StreamFactory(2).stream("x");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StreamFactory, NumberedStreamsIndependent) {
+  StreamFactory streams(5);
+  auto a = streams.stream(std::uint64_t{0});
+  auto b = streams.stream(std::uint64_t{1});
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace pushpull::rng

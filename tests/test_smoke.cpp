@@ -1,0 +1,31 @@
+// End-to-end smoke: build the paper's default scenario, run the hybrid
+// server at a mid-range cutoff, and check conservation plus the QoS
+// ordering the paper claims.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+
+namespace pushpull {
+namespace {
+
+TEST(Smoke, HybridRunCompletesAndConserves) {
+  exp::Scenario scenario;
+  scenario.num_requests = 20000;
+  const auto built = scenario.build();
+
+  core::HybridConfig config;
+  config.cutoff = 40;
+  config.alpha = 0.5;
+  const core::SimResult result = exp::run_hybrid(built, config);
+
+  const auto overall = result.overall();
+  EXPECT_EQ(overall.arrived, built.trace.size());
+  EXPECT_EQ(overall.served + overall.blocked, overall.arrived);
+  EXPECT_EQ(overall.blocked, 0u);  // unconstrained bandwidth
+
+  // Premium clients (class 0) should not wait longer than the lowest class.
+  EXPECT_LE(result.mean_wait(0), result.mean_wait(2));
+}
+
+}  // namespace
+}  // namespace pushpull

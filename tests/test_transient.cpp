@@ -1,0 +1,93 @@
+// Tests for the transient (uniformization) analysis of the hybrid
+// birth–death chain.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "queueing/birth_death.hpp"
+
+namespace pushpull::queueing {
+namespace {
+
+HybridBirthDeath chain() { return HybridBirthDeath(0.2, 2.0, 1.0, 80); }
+
+TEST(Transient, RejectsNegativeTime) {
+  const auto bd = chain();
+  EXPECT_THROW((void)bd.transient(-1.0), std::invalid_argument);
+}
+
+TEST(Transient, AtTimeZeroIsEmptySystem) {
+  const auto bd = chain();
+  const auto dist = bd.transient(0.0);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);  // state (0, 0)
+  EXPECT_DOUBLE_EQ(std::accumulate(dist.begin(), dist.end(), 0.0), 1.0);
+}
+
+TEST(Transient, DistributionNormalizedAtAllTimes) {
+  const auto bd = chain();
+  for (double t : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const auto dist = bd.transient(t);
+    EXPECT_NEAR(std::accumulate(dist.begin(), dist.end(), 0.0), 1.0, 1e-9)
+        << "t=" << t;
+    for (double p : dist) EXPECT_GE(p, -1e-15);
+  }
+}
+
+TEST(Transient, QueueGrowsFromEmptyStart) {
+  const auto bd = chain();
+  EXPECT_DOUBLE_EQ(bd.transient_pull_len(0.0), 0.0);
+  const double early = bd.transient_pull_len(1.0);
+  const double later = bd.transient_pull_len(20.0);
+  EXPECT_GT(early, 0.0);
+  EXPECT_GT(later, early);
+}
+
+TEST(Transient, ConvergesToStationary) {
+  auto bd = chain();
+  bd.solve();
+  const double early = bd.distance_to_stationary(1.0);
+  const double mid = bd.distance_to_stationary(20.0);
+  const double late = bd.distance_to_stationary(400.0);
+  EXPECT_GT(early, mid);
+  EXPECT_GT(mid, late);
+  EXPECT_LT(late, 0.01);
+}
+
+TEST(Transient, LongRunPullLenMatchesStationary) {
+  auto bd = chain();
+  bd.solve();
+  EXPECT_NEAR(bd.transient_pull_len(500.0), bd.expected_pull_len(), 0.02);
+}
+
+TEST(Transient, DistanceRequiresSolve) {
+  const auto bd = chain();
+  EXPECT_THROW((void)bd.distance_to_stationary(1.0), std::logic_error);
+}
+
+TEST(Transient, HeavierLoadWarmsUpSlower) {
+  // Warm-up sizing: the distance to stationarity at a fixed t is larger for
+  // the more loaded system.
+  HybridBirthDeath light(0.05, 2.0, 1.0, 80);
+  HybridBirthDeath heavy(0.30, 2.0, 1.0, 80);
+  light.solve();
+  heavy.solve();
+  const double t = 15.0;
+  EXPECT_LT(light.distance_to_stationary(t),
+            heavy.distance_to_stationary(t));
+}
+
+TEST(PaperEq5, DivergesFromNumericalSolution) {
+  // Documented divergence: the paper's Eq. 5 closed form for E[L_pull]
+  // evaluates NEGATIVE across the stable grid — its z-transform algebra
+  // does not balance. This test pins the observation so a future fix to
+  // the formula would be noticed.
+  for (double lam : {0.05, 0.1, 0.2, 0.3}) {
+    HybridBirthDeath bd(lam, 2.0, 1.0, 200);
+    bd.solve();
+    EXPECT_GT(bd.expected_pull_len(), 0.0);
+    EXPECT_LT(bd.paper_eq5_expected_len(), 0.0) << "lambda=" << lam;
+  }
+}
+
+}  // namespace
+}  // namespace pushpull::queueing

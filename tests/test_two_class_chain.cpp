@@ -1,0 +1,103 @@
+// Tests for the §4.2.1 two-class priority chain, cross-validated against
+// Cobham (§4.2.2) and M/M/1 work conservation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "queueing/cobham.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/two_class_chain.hpp"
+
+namespace pushpull::queueing {
+namespace {
+
+TEST(TwoClassChain, RejectsBadInput) {
+  EXPECT_THROW(TwoClassPriorityChain(0.0, 0.1, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(TwoClassPriorityChain(0.1, -1.0, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(TwoClassPriorityChain(0.1, 0.1, 0.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(TwoClassPriorityChain(0.1, 0.1, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(TwoClassChain, RequiresSolve) {
+  TwoClassPriorityChain chain(0.2, 0.2, 1.0, 20);
+  EXPECT_THROW((void)chain.mean_class1(), std::logic_error);
+  EXPECT_THROW((void)chain.p(0, 0, 0), std::logic_error);
+}
+
+TEST(TwoClassChain, DistributionNormalized) {
+  TwoClassPriorityChain chain(0.2, 0.3, 1.0, 30);
+  chain.solve();
+  double total = 0.0;
+  for (std::size_t m = 0; m <= 30; ++m) {
+    for (std::size_t n = 0; n <= 30; ++n) {
+      for (int r = 0; r <= 2; ++r) total += chain.p(m, n, r);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TwoClassChain, IdleMatchesMm1) {
+  // Aggregate load ρ = 0.5 ⇒ P(empty) = 0.5 regardless of the discipline.
+  TwoClassPriorityChain chain(0.2, 0.3, 1.0, 60);
+  chain.solve();
+  EXPECT_NEAR(chain.idle_probability(), 0.5, 0.01);
+}
+
+TEST(TwoClassChain, InconsistentStatesHaveZeroMass) {
+  TwoClassPriorityChain chain(0.2, 0.2, 1.0, 20);
+  chain.solve();
+  // r = 1 requires m >= 1; r = 2 requires n >= 1; r = 0 requires empty.
+  EXPECT_NEAR(chain.p(0, 3, 1), 0.0, 1e-12);
+  EXPECT_NEAR(chain.p(3, 0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(chain.p(2, 2, 0), 0.0, 1e-12);
+}
+
+TEST(TwoClassChain, QueueWaitsMatchCobham) {
+  // The transform-free numerical solution must agree with the closed form
+  // the paper switches to in §4.2.2.
+  const double l1 = 0.2;
+  const double l2 = 0.35;
+  const double mu = 1.0;
+  TwoClassPriorityChain chain(l1, l2, mu, 120);
+  chain.solve();
+  const auto cobham = cobham_waits({{l1, mu}, {l2, mu}});
+  EXPECT_NEAR(chain.queue_wait_class1(), cobham.wait[0],
+              0.03 * cobham.wait[0] + 0.01);
+  EXPECT_NEAR(chain.queue_wait_class2(), cobham.wait[1],
+              0.03 * cobham.wait[1] + 0.01);
+}
+
+TEST(TwoClassChain, PriorityOrderingHolds) {
+  TwoClassPriorityChain chain(0.25, 0.35, 1.0, 80);
+  chain.solve();
+  EXPECT_LT(chain.sojourn_class1(), chain.sojourn_class2());
+}
+
+TEST(TwoClassChain, WorkConservationAcrossClasses) {
+  // λ-weighted mean queue wait equals the pooled FCFS M/M/1 wait.
+  const double l1 = 0.2;
+  const double l2 = 0.3;
+  TwoClassPriorityChain chain(l1, l2, 1.0, 120);
+  chain.solve();
+  const double weighted = (l1 * chain.queue_wait_class1() +
+                           l2 * chain.queue_wait_class2()) /
+                          (l1 + l2);
+  const MM1 pooled{l1 + l2, 1.0};
+  EXPECT_NEAR(weighted, pooled.mean_wait(), 0.03 * pooled.mean_wait());
+}
+
+TEST(TwoClassChain, TotalOccupancyMatchesMm1) {
+  // L₁ + L₂ must equal the M/M/1 mean number in system (discipline-blind).
+  TwoClassPriorityChain chain(0.2, 0.3, 1.0, 120);
+  chain.solve();
+  const MM1 pooled{0.5, 1.0};
+  EXPECT_NEAR(chain.mean_class1() + chain.mean_class2(),
+              pooled.mean_in_system(), 0.03 * pooled.mean_in_system());
+}
+
+}  // namespace
+}  // namespace pushpull::queueing

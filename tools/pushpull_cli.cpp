@@ -1,0 +1,400 @@
+// pushpull — command-line driver for the hybrid-scheduling library.
+//
+//   pushpull simulate  [--theta T] [--alpha A] [--cutoff K] [--requests N]
+//                      [--seed S] [--policy NAME] [--bandwidth B]
+//                      [--demand D] [--patience P] [--csv]
+//   pushpull optimize  [--theta T] [--alpha A] [--step STEP] [--analytic]
+//   pushpull model     [--theta T] [--alpha A] [--cutoff K]
+//   pushpull replicate [--theta T] [--alpha A] [--cutoff K] [--reps R]
+//   pushpull trace     --out FILE [--requests N] [--seed S]
+//
+// All commands run the paper's §5.1 scenario (D = 100 items, λ' = 5,
+// lengths 1..5 mean 2, three classes) with the given overrides.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/adaptive_server.hpp"
+#include "core/closed_loop.hpp"
+#include "core/cutoff_optimizer.hpp"
+#include "core/multichannel_server.hpp"
+#include "exp/cli.hpp"
+#include "exp/replication.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+#include "queueing/access_time.hpp"
+#include "uplink/slotted_aloha.hpp"
+#include "workload/drifting_generator.hpp"
+#include "workload/request_generator.hpp"
+
+namespace {
+
+using namespace pushpull;
+
+exp::Scenario scenario_from(const exp::ArgParser& args) {
+  exp::Scenario s;
+  s.theta = args.get_double("theta", s.theta);
+  s.num_items = args.get_size("items", s.num_items);
+  s.arrival_rate = args.get_double("rate", s.arrival_rate);
+  s.num_requests = args.get_size("requests", 50000);
+  s.seed = args.get_u64("seed", s.seed);
+  return s;
+}
+
+sched::PullPolicyKind policy_from(const std::string& name) {
+  for (auto kind :
+       {sched::PullPolicyKind::kFcfs, sched::PullPolicyKind::kMrf,
+        sched::PullPolicyKind::kStretch, sched::PullPolicyKind::kPriority,
+        sched::PullPolicyKind::kRxw, sched::PullPolicyKind::kLwf,
+        sched::PullPolicyKind::kImportance,
+        sched::PullPolicyKind::kImportanceQueueAware}) {
+    if (name == sched::to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown pull policy: " + name);
+}
+
+core::HybridConfig config_from(const exp::ArgParser& args) {
+  core::HybridConfig config;
+  config.cutoff = args.get_size("cutoff", 40);
+  config.alpha = args.get_double("alpha", 0.5);
+  config.pull_policy =
+      policy_from(args.get_string("policy", "importance"));
+  config.total_bandwidth = args.get_double("bandwidth", 0.0);
+  config.mean_bandwidth_demand = args.get_double("demand", 1.0);
+  config.mean_patience = args.get_double("patience", 0.0);
+  config.seed = args.get_u64("seed", 1);
+  return config;
+}
+
+void print_table(const exp::Table& table, const exp::ArgParser& args) {
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+int cmd_simulate(const exp::ArgParser& args) {
+  const auto scenario = scenario_from(args);
+  const auto built = scenario.build();
+  const core::HybridConfig config = config_from(args);
+  const core::SimResult r = exp::run_hybrid(built, config);
+
+  const std::string report_path = args.get_string("report", "");
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "simulate: cannot open " << report_path << "\n";
+      return 2;
+    }
+    exp::ReportHeader header;
+    header.num_items = scenario.num_items;
+    header.theta = scenario.theta;
+    header.arrival_rate = scenario.arrival_rate;
+    header.num_requests = scenario.num_requests;
+    header.seed = scenario.seed;
+    exp::write_markdown_report(report, header, config, built.population, r);
+    std::cout << "wrote report to " << report_path << "\n";
+  }
+
+  exp::Table table({"class", "priority", "arrived", "mean delay", "max delay",
+                    "blocked", "abandoned", "p-cost"});
+  for (workload::ClassId c = 0; c < built.population.num_classes(); ++c) {
+    const auto& stats = r.per_class[c];
+    table.row()
+        .add(std::string(built.population.cls(c).name))
+        .add(built.population.priority(c), 0)
+        .add(static_cast<std::size_t>(stats.arrived))
+        .add(stats.wait.mean(), 2)
+        .add(stats.wait.max(), 2)
+        .add(static_cast<std::size_t>(stats.blocked))
+        .add(static_cast<std::size_t>(stats.abandoned))
+        .add(r.prioritized_cost(built.population, c), 2);
+  }
+  print_table(table, args);
+  std::cout << "overall delay " << r.overall().wait.mean()
+            << ", total prioritized cost "
+            << r.total_prioritized_cost(built.population) << ", push tx "
+            << r.push_transmissions << ", pull tx " << r.pull_transmissions
+            << "\n";
+  return 0;
+}
+
+int cmd_optimize(const exp::ArgParser& args) {
+  const auto scenario = scenario_from(args);
+  const double alpha = args.get_double("alpha", 0.5);
+  const std::size_t step = args.get_size("step", 5);
+
+  exp::Table table({"K", "total cost"});
+  core::CutoffScan scan;
+  if (args.has("analytic")) {
+    const auto built = scenario.build();
+    queueing::HybridAccessModel model(built.catalog, built.population,
+                                      scenario.arrival_rate);
+    scan = core::scan_cutoffs(0, built.catalog.size(), step, [&](std::size_t k) {
+      return model.prioritized_cost(k, alpha);
+    });
+  } else {
+    const auto built = scenario.build();
+    scan = core::scan_cutoffs(0, built.catalog.size(), step, [&](std::size_t k) {
+      core::HybridConfig config;
+      config.cutoff = k;
+      config.alpha = alpha;
+      return exp::run_hybrid(built, config)
+          .total_prioritized_cost(built.population);
+    });
+  }
+  for (const auto& sample : scan.curve) {
+    table.row().add(sample.cutoff).add(sample.cost, 2);
+  }
+  print_table(table, args);
+  std::cout << "optimal cutoff K* = " << scan.best_cutoff << " (cost "
+            << scan.best_cost << ")\n";
+  return 0;
+}
+
+int cmd_model(const exp::ArgParser& args) {
+  const auto scenario = scenario_from(args);
+  const auto built = scenario.build();
+  const double alpha = args.get_double("alpha", 0.5);
+  const std::size_t cutoff = args.get_size("cutoff", 40);
+  queueing::HybridAccessModel model(built.catalog, built.population,
+                                    scenario.arrival_rate);
+  const auto est = model.estimate(cutoff, alpha);
+
+  exp::Table table({"metric", "value"});
+  table.row().add("push delay").add(est.push_delay, 3);
+  table.row().add("broadcast period").add(est.broadcast_period, 3);
+  table.row().add("pull entry rate").add(est.entry_rate, 4);
+  for (std::size_t c = 0; c < est.access_time.size(); ++c) {
+    table.row()
+        .add("E[T] class " + std::string(1, static_cast<char>('A' + c)))
+        .add(est.access_time[c], 3);
+  }
+  table.row().add("E[T] overall").add(est.overall, 3);
+  const double eq19 = model.paper_eq19(cutoff);
+  table.row().add("paper Eq.19 (literal)").add(eq19, 3);
+  print_table(table, args);
+  return 0;
+}
+
+int cmd_replicate(const exp::ArgParser& args) {
+  const auto scenario = scenario_from(args);
+  const core::HybridConfig config = config_from(args);
+  const std::size_t reps = args.get_size("reps", 10);
+  const auto summary = exp::replicate_hybrid(scenario, config, reps);
+
+  exp::Table table({"metric", "mean", "ci95 +/-"});
+  table.row()
+      .add("overall delay")
+      .add(summary.overall_delay.mean(), 3)
+      .add(summary.overall_delay.ci_half_width(), 3);
+  for (std::size_t c = 0; c < summary.class_delay.size(); ++c) {
+    table.row()
+        .add("delay class " + std::string(1, static_cast<char>('A' + c)))
+        .add(summary.class_delay[c].mean(), 3)
+        .add(summary.class_delay[c].ci_half_width(), 3);
+  }
+  table.row()
+      .add("total cost")
+      .add(summary.total_cost.mean(), 3)
+      .add(summary.total_cost.ci_half_width(), 3);
+  table.row()
+      .add("blocking ratio")
+      .add(summary.blocking.mean(), 5)
+      .add(summary.blocking.ci_half_width(), 5);
+  print_table(table, args);
+  return 0;
+}
+
+int cmd_adaptive(const exp::ArgParser& args) {
+  // Runs the adaptive server on a drifting workload and prints the cutoff
+  // trajectory alongside the delivered QoS.
+  const auto scenario = scenario_from(args);
+  catalog::Catalog cat(scenario.num_items, scenario.theta,
+                       catalog::LengthModel(scenario.min_length,
+                                            scenario.max_length,
+                                            scenario.mean_length),
+                       scenario.seed);
+  const auto pop = workload::ClientPopulation::zipf_classes(
+      scenario.num_classes, scenario.class_zipf_theta);
+  const double epoch = args.get_double("epoch", 500.0);
+  const std::size_t shift = args.get_size("shift", scenario.num_items / 3);
+  workload::DriftingGenerator gen(cat, pop, scenario.arrival_rate, epoch,
+                                  shift, scenario.seed);
+  const workload::Trace trace =
+      workload::Trace::record(gen, scenario.num_requests);
+
+  core::AdaptiveConfig config;
+  config.initial_cutoff = args.get_size("cutoff", 30);
+  config.alpha = args.get_double("alpha", 0.5);
+  config.reoptimize_interval = args.get_double("interval", 200.0);
+  config.estimator_half_life = args.get_double("half-life", 300.0);
+  core::AdaptiveHybridServer server(cat, pop, config);
+  const core::AdaptiveResult r = server.run(trace);
+
+  exp::Table table({"class", "mean delay", "p-cost"});
+  for (workload::ClassId c = 0; c < pop.num_classes(); ++c) {
+    table.row()
+        .add(std::string(pop.cls(c).name))
+        .add(r.mean_wait(c), 2)
+        .add(pop.priority(c) * r.mean_wait(c), 2);
+  }
+  print_table(table, args);
+  std::cout << "re-optimizations: " << r.reoptimizations
+            << ", final push-set size: "
+            << (r.cutoff_history.empty() ? 0u : r.cutoff_history.back().second)
+            << ", total cost " << r.total_prioritized_cost(pop) << "\n";
+  return 0;
+}
+
+int cmd_multichannel(const exp::ArgParser& args) {
+  const auto built = scenario_from(args).build();
+  core::MultiChannelConfig config;
+  config.cutoff = args.get_size("cutoff", 40);
+  config.alpha = args.get_double("alpha", 0.5);
+  config.num_pull_channels = args.get_size("channels", 2);
+  core::MultiChannelServer server(built.catalog, built.population, config);
+  const core::MultiChannelResult r = server.run(built.trace);
+
+  exp::Table table({"class", "mean delay", "p99", "p-cost"});
+  for (workload::ClassId c = 0; c < built.population.num_classes(); ++c) {
+    table.row()
+        .add(std::string(built.population.cls(c).name))
+        .add(r.mean_wait(c), 2)
+        .add(r.per_class[c].wait_p99.value(), 2)
+        .add(built.population.priority(c) * r.mean_wait(c), 2);
+  }
+  print_table(table, args);
+  std::cout << "push channel util " << r.push_channel_utilization
+            << ", pull channels:";
+  for (double u : r.pull_channel_utilization) std::cout << ' ' << u;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_closedloop(const exp::ArgParser& args) {
+  const auto scenario = scenario_from(args);
+  catalog::Catalog cat(scenario.num_items, scenario.theta,
+                       catalog::LengthModel(scenario.min_length,
+                                            scenario.max_length,
+                                            scenario.mean_length),
+                       scenario.seed);
+  const auto pop = workload::ClientPopulation::zipf_classes(
+      scenario.num_classes, scenario.class_zipf_theta);
+  core::ClosedLoopConfig config;
+  config.num_clients = args.get_size("clients", 50);
+  config.think_rate = args.get_double("think-rate", 0.05);
+  config.cutoff = args.get_size("cutoff", 15);
+  config.alpha = args.get_double("alpha", 0.25);
+  config.horizon = args.get_double("horizon", 20000.0);
+  config.seed = scenario.seed;
+  core::ClosedLoopServer server(cat, pop, config);
+  const core::ClosedLoopResult r = server.run();
+
+  exp::Table table({"class", "arrived", "mean delay"});
+  for (workload::ClassId c = 0; c < pop.num_classes(); ++c) {
+    table.row()
+        .add(std::string(pop.cls(c).name))
+        .add(static_cast<std::size_t>(r.per_class[c].arrived))
+        .add(r.mean_wait(c), 2);
+  }
+  print_table(table, args);
+  std::cout << "throughput " << r.throughput << " deliveries/unit, push tx "
+            << r.push_transmissions << ", pull tx " << r.pull_transmissions
+            << "\n";
+  return 0;
+}
+
+int cmd_uplink(const exp::ArgParser& args) {
+  const auto built = scenario_from(args).build();
+  uplink::AlohaConfig config;
+  config.slot_duration = args.get_double("slot", 0.1);
+  config.retry_probability = args.get_double("retry", 0.1);
+  config.seed = args.get_u64("seed", 1);
+  const uplink::AlohaResult r = uplink::simulate_uplink(built.trace, config);
+
+  exp::Table table({"metric", "value"});
+  table.row().add("requests").add(static_cast<std::size_t>(
+      r.delayed_trace.size()));
+  table.row().add("mean uplink delay").add(r.mean_uplink_delay, 3);
+  table.row().add("max uplink delay").add(r.max_uplink_delay, 3);
+  table.row().add("collision ratio").add(r.collision_ratio(), 4);
+  table.row().add("throughput / slot").add(r.throughput(), 4);
+  print_table(table, args);
+  return 0;
+}
+
+int cmd_trace(const exp::ArgParser& args) {
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "trace: --out FILE is required\n";
+    return 2;
+  }
+  const auto scenario = scenario_from(args);
+  const auto built = scenario.build();
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "trace: cannot open " << out << "\n";
+    return 2;
+  }
+  built.trace.save_csv(file);
+  std::cout << "wrote " << built.trace.size() << " requests spanning "
+            << built.trace.span() << " broadcast units to " << out << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      R"(pushpull — hybrid push/pull broadcast scheduling (ICPP 2005 reproduction)
+
+commands:
+  simulate     run the hybrid server once, print per-class QoS
+  optimize     scan cutoffs for the minimum total prioritized cost
+  model        evaluate the analytical access-time model at one cutoff
+  replicate    run many seeds, report means with 95% confidence intervals
+  adaptive     adaptive server on a drifting workload (--epoch, --shift)
+  multichannel dedicated broadcast channel + N pull channels (--channels)
+  uplink       push the trace through the slotted-ALOHA back-channel
+  closedloop   finite client population (--clients, --think-rate)
+  trace        record the scenario's request trace to CSV
+
+common options:
+  --theta T --alpha A --cutoff K --requests N --seed S --items D --rate L
+  --policy {fcfs,mrf,stretch,priority,rxw,lwf,importance,importance-q}
+  --bandwidth B --demand D --patience P --csv --report FILE (simulate)
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const exp::ArgParser args(argc, argv);
+    if (args.positional().empty()) {
+      usage();
+      return 2;
+    }
+    const std::string& command = args.positional().front();
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "model") return cmd_model(args);
+    if (command == "replicate") return cmd_replicate(args);
+    if (command == "adaptive") return cmd_adaptive(args);
+    if (command == "multichannel") return cmd_multichannel(args);
+    if (command == "uplink") return cmd_uplink(args);
+    if (command == "closedloop") return cmd_closedloop(args);
+    if (command == "trace") return cmd_trace(args);
+    if (command == "help") {
+      usage();
+      return 0;
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
