@@ -17,14 +17,21 @@ int main(int argc, char** argv) {
 
   exp::Table table({"aging rate", "mean A", "mean C", "p99 C", "max C",
                     "total cost"});
-  for (double rate : {0.0, 0.05, 0.2, 0.5, 2.0, 10.0}) {
-    core::HybridConfig config;
-    config.cutoff = 10;
-    config.alpha = 0.0;
-    config.aging_rate = rate;
-    const core::SimResult r = exp::run_hybrid(built, config);
+  const double rates[] = {0.0, 0.05, 0.2, 0.5, 2.0, 10.0};
+  const auto results = exp::sweep(
+      std::size(rates),
+      [&](std::size_t i) {
+        core::HybridConfig config;
+        config.cutoff = 10;
+        config.alpha = 0.0;
+        config.aging_rate = rates[i];
+        return exp::run_hybrid(built, config);
+      },
+      bench::sweep_options(opts, "abl_aging"));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SimResult& r = results[i];
     table.row()
-        .add(rate, 2)
+        .add(rates[i], 2)
         .add(r.mean_wait(0), 2)
         .add(r.mean_wait(2), 2)
         .add(r.per_class[2].wait_p99.value(), 2)

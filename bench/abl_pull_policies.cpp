@@ -16,19 +16,26 @@ int main(int argc, char** argv) {
 
   exp::Table table({"policy", "delay A", "delay B", "delay C", "overall",
                     "total cost", "pull tx"});
-  for (auto kind :
-       {sched::PullPolicyKind::kFcfs, sched::PullPolicyKind::kMrf,
-        sched::PullPolicyKind::kStretch, sched::PullPolicyKind::kPriority,
-        sched::PullPolicyKind::kRxw, sched::PullPolicyKind::kLwf,
-        sched::PullPolicyKind::kImportance,
-        sched::PullPolicyKind::kImportanceQueueAware}) {
-    core::HybridConfig config;
-    config.cutoff = 20;
-    config.alpha = 0.5;
-    config.pull_policy = kind;
-    const core::SimResult r = exp::run_hybrid(built, config);
+  const sched::PullPolicyKind kinds[] = {
+      sched::PullPolicyKind::kFcfs,       sched::PullPolicyKind::kMrf,
+      sched::PullPolicyKind::kStretch,    sched::PullPolicyKind::kPriority,
+      sched::PullPolicyKind::kRxw,        sched::PullPolicyKind::kLwf,
+      sched::PullPolicyKind::kImportance,
+      sched::PullPolicyKind::kImportanceQueueAware};
+  const auto results = exp::sweep(
+      std::size(kinds),
+      [&](std::size_t i) {
+        core::HybridConfig config;
+        config.cutoff = 20;
+        config.alpha = 0.5;
+        config.pull_policy = kinds[i];
+        return exp::run_hybrid(built, config);
+      },
+      bench::sweep_options(opts, "abl_pull_policies"));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SimResult& r = results[i];
     table.row()
-        .add(std::string(sched::to_string(kind)))
+        .add(std::string(sched::to_string(kinds[i])))
         .add(r.mean_wait(0), 2)
         .add(r.mean_wait(1), 2)
         .add(r.mean_wait(2), 2)

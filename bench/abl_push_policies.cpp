@@ -13,27 +13,35 @@ int main(int argc, char** argv) {
   exp::Table table({"push policy", "K", "delay A", "delay C", "overall",
                     "push-served delay", "total cost"});
   const auto built = bench::paper_scenario(opts, 0.60).build();
-  for (std::size_t k : {std::size_t{20}, std::size_t{40}, std::size_t{60}}) {
-    for (auto kind : {sched::PushPolicyKind::kFlat,
-                      sched::PushPolicyKind::kBroadcastDisks,
-                      sched::PushPolicyKind::kSquareRootRule}) {
-      core::HybridConfig config;
-      config.cutoff = k;
-      config.alpha = 0.5;
-      config.push_policy = kind;
-      const core::SimResult r = exp::run_hybrid(built, config);
-      // Approximate push-side delay: aggregate wait over requests served by
-      // the broadcast is not split out per transmission kind in ClassStats,
-      // so report the overall mean alongside the totals.
-      table.row()
-          .add(std::string(sched::to_string(kind)))
-          .add(k)
-          .add(r.mean_wait(0), 2)
-          .add(r.mean_wait(2), 2)
-          .add(r.overall().wait.mean(), 2)
-          .add(static_cast<std::size_t>(r.overall().served_push))
-          .add(r.total_prioritized_cost(built.population), 2);
-    }
+  const std::size_t cutoffs[] = {20, 40, 60};
+  const sched::PushPolicyKind kinds[] = {
+      sched::PushPolicyKind::kFlat, sched::PushPolicyKind::kBroadcastDisks,
+      sched::PushPolicyKind::kSquareRootRule};
+  // Cutoff-major, policy-minor point index — same order the serial loops
+  // printed.
+  const auto results = exp::sweep(
+      std::size(cutoffs) * std::size(kinds),
+      [&](std::size_t i) {
+        core::HybridConfig config;
+        config.cutoff = cutoffs[i / std::size(kinds)];
+        config.alpha = 0.5;
+        config.push_policy = kinds[i % std::size(kinds)];
+        return exp::run_hybrid(built, config);
+      },
+      bench::sweep_options(opts, "abl_push_policies"));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SimResult& r = results[i];
+    // Approximate push-side delay: aggregate wait over requests served by
+    // the broadcast is not split out per transmission kind in ClassStats,
+    // so report the overall mean alongside the totals.
+    table.row()
+        .add(std::string(sched::to_string(kinds[i % std::size(kinds)])))
+        .add(cutoffs[i / std::size(kinds)])
+        .add(r.mean_wait(0), 2)
+        .add(r.mean_wait(2), 2)
+        .add(r.overall().wait.mean(), 2)
+        .add(static_cast<std::size_t>(r.overall().served_push))
+        .add(r.total_prioritized_cost(built.population), 2);
   }
   bench::emit(table, opts);
   return 0;

@@ -8,9 +8,11 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "exp/plots.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "exp/table.hpp"
 
 namespace pushpull::bench {
@@ -19,6 +21,10 @@ struct BenchOptions {
   bool csv = false;
   std::size_t num_requests = 60000;
   std::uint64_t seed = 20050614;
+  /// Worker threads for grid sweeps: 0 = one per hardware thread (the
+  /// default), 1 = serial. Output is identical for any value — sweeps
+  /// collect results in grid order.
+  std::size_t jobs = 0;
   /// When non-empty, benches additionally emit <prefix>.dat/.gp gnuplot
   /// files rendering the figure.
   std::string plot_prefix;
@@ -34,15 +40,28 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opts.num_requests = static_cast<std::size_t>(std::stoull(argv[++i]));
     } else if (arg == "--seed" && i + 1 < argc) {
       opts.seed = std::stoull(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = static_cast<std::size_t>(std::stoull(argv[++i]));
     } else if (arg == "--plot" && i + 1 < argc) {
       opts.plot_prefix = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: [--csv] [--requests N] [--seed S] "
+      std::cout << "options: [--csv] [--requests N] [--seed S] [--jobs N] "
                    "[--plot PREFIX]\n";
       std::exit(0);
     }
   }
   return opts;
+}
+
+/// exp::sweep options for a bench grid: worker count from --jobs, no
+/// progress sink (benches print tables, not telemetry). `label` must be a
+/// string literal or otherwise outlive the sweep.
+inline exp::SweepOptions sweep_options(const BenchOptions& opts,
+                                       std::string_view label) {
+  exp::SweepOptions sweep_opts;
+  sweep_opts.jobs = opts.jobs;
+  sweep_opts.label = label;
+  return sweep_opts;
 }
 
 inline exp::Scenario paper_scenario(const BenchOptions& opts, double theta) {

@@ -15,23 +15,31 @@ int main(int argc, char** argv) {
   exp::Table table({"alpha", "K", "delay A", "delay B", "delay C", "overall",
                     "A/C ratio"});
   const auto built = bench::paper_scenario(opts, 0.60).build();
-  for (double alpha : {0.25, 0.50, 0.75}) {
-    for (std::size_t k : bench::kCutoffGrid) {
-      core::HybridConfig config;
-      config.cutoff = k;
-      config.alpha = alpha;
-      const core::SimResult r = exp::run_hybrid(built, config);
-      const double a = r.mean_wait(0);
-      const double c = r.mean_wait(2);
-      table.row()
-          .add(alpha, 2)
-          .add(k)
-          .add(a, 2)
-          .add(r.mean_wait(1), 2)
-          .add(c, 2)
-          .add(r.overall().wait.mean(), 2)
-          .add(c > 0.0 ? a / c : 1.0, 3);
-    }
+  // One sweep across the full (alpha, K) grid: point index decomposes into
+  // alpha-major, cutoff-minor, matching the serial loop's row order.
+  const double alphas[] = {0.25, 0.50, 0.75};
+  const std::size_t grid_size = std::size(bench::kCutoffGrid);
+  const auto results = exp::sweep(
+      std::size(alphas) * grid_size,
+      [&](std::size_t i) {
+        core::HybridConfig config;
+        config.cutoff = bench::kCutoffGrid[i % grid_size];
+        config.alpha = alphas[i / grid_size];
+        return exp::run_hybrid(built, config);
+      },
+      bench::sweep_options(opts, "fig34"));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SimResult& r = results[i];
+    const double a = r.mean_wait(0);
+    const double c = r.mean_wait(2);
+    table.row()
+        .add(alphas[i / grid_size], 2)
+        .add(bench::kCutoffGrid[i % grid_size])
+        .add(a, 2)
+        .add(r.mean_wait(1), 2)
+        .add(c, 2)
+        .add(r.overall().wait.mean(), 2)
+        .add(c > 0.0 ? a / c : 1.0, 3);
   }
   bench::emit(table, opts);
   return 0;

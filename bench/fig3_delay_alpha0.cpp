@@ -21,11 +21,20 @@ int main(int argc, char** argv) {
   plot.series = {{"class A", {}}, {"class B", {}}, {"class C", {}}};
   for (double theta : {0.20, 0.60, 1.00, 1.40}) {
     const auto built = bench::paper_scenario(opts, theta).build();
-    for (std::size_t k : bench::kCutoffGrid) {
-      core::HybridConfig config;
-      config.cutoff = k;
-      config.alpha = 0.0;
-      const core::SimResult r = exp::run_hybrid(built, config);
+    // All cutoffs of one theta run concurrently against the shared trace;
+    // results come back in grid order, so the table is jobs-independent.
+    const auto results = exp::sweep(
+        std::size(bench::kCutoffGrid),
+        [&](std::size_t i) {
+          core::HybridConfig config;
+          config.cutoff = bench::kCutoffGrid[i];
+          config.alpha = 0.0;
+          return exp::run_hybrid(built, config);
+        },
+        bench::sweep_options(opts, "fig3"));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::size_t k = bench::kCutoffGrid[i];
+      const core::SimResult& r = results[i];
       table.row()
           .add(theta, 2)
           .add(k)

@@ -16,14 +16,20 @@ int main(int argc, char** argv) {
   exp::Table table({"theta", "K", "delay A", "delay B", "delay C", "overall"});
   for (double theta : {0.20, 0.60, 1.00, 1.40}) {
     const auto built = bench::paper_scenario(opts, theta).build();
-    for (std::size_t k : bench::kCutoffGrid) {
-      core::HybridConfig config;
-      config.cutoff = k;
-      config.alpha = 1.0;
-      const core::SimResult r = exp::run_hybrid(built, config);
+    const auto results = exp::sweep(
+        std::size(bench::kCutoffGrid),
+        [&](std::size_t i) {
+          core::HybridConfig config;
+          config.cutoff = bench::kCutoffGrid[i];
+          config.alpha = 1.0;
+          return exp::run_hybrid(built, config);
+        },
+        bench::sweep_options(opts, "fig4"));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const core::SimResult& r = results[i];
       table.row()
           .add(theta, 2)
-          .add(k)
+          .add(bench::kCutoffGrid[i])
           .add(r.mean_wait(0), 2)
           .add(r.mean_wait(1), 2)
           .add(r.mean_wait(2), 2)

@@ -16,14 +16,21 @@ int main(int argc, char** argv) {
   exp::Table table(
       {"alpha", "K", "cost A", "cost B", "cost C", "total cost"});
   for (double alpha : {0.25, 0.75}) {
+    const auto results = exp::sweep(
+        std::size(bench::kCutoffGrid),
+        [&](std::size_t i) {
+          core::HybridConfig config;
+          config.cutoff = bench::kCutoffGrid[i];
+          config.alpha = alpha;
+          return exp::run_hybrid(built, config);
+        },
+        bench::sweep_options(opts, "fig5"));
     std::size_t best_k = 0;
     double best_cost = 0.0;
     bool first = true;
-    for (std::size_t k : bench::kCutoffGrid) {
-      core::HybridConfig config;
-      config.cutoff = k;
-      config.alpha = alpha;
-      const core::SimResult r = exp::run_hybrid(built, config);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const std::size_t k = bench::kCutoffGrid[i];
+      const core::SimResult& r = results[i];
       const double total = r.total_prioritized_cost(built.population);
       table.row()
           .add(alpha, 2)

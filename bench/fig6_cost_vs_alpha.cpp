@@ -15,22 +15,30 @@ int main(int argc, char** argv) {
 
   std::cout << "# Figure 6 — total optimal prioritized cost vs alpha\n";
   exp::Table table({"theta", "alpha", "K*", "optimal total cost"});
+  const double alphas[] = {0.0, 0.25, 0.50, 0.75, 1.0};
   for (double theta : {0.20, 0.60, 1.40}) {
     const auto built = bench::paper_scenario(opts, theta).build();
-    for (double alpha : {0.0, 0.25, 0.50, 0.75, 1.0}) {
-      const auto cost = [&](std::size_t k) {
-        core::HybridConfig config;
-        config.cutoff = k;
-        config.alpha = alpha;
-        return exp::run_hybrid(built, config)
-            .total_prioritized_cost(built.population);
-      };
-      const core::CutoffScan scan = core::scan_cutoffs(5, 100, 10, cost);
+    // Each grid point is a full cutoff scan (10 simulations) — coarse
+    // enough that parallelizing across alphas keeps every worker busy.
+    const auto scans = exp::sweep(
+        std::size(alphas),
+        [&](std::size_t i) {
+          const double alpha = alphas[i];
+          return core::scan_cutoffs(5, 100, 10, [&](std::size_t k) {
+            core::HybridConfig config;
+            config.cutoff = k;
+            config.alpha = alpha;
+            return exp::run_hybrid(built, config)
+                .total_prioritized_cost(built.population);
+          });
+        },
+        bench::sweep_options(opts, "fig6"));
+    for (std::size_t i = 0; i < scans.size(); ++i) {
       table.row()
           .add(theta, 2)
-          .add(alpha, 2)
-          .add(scan.best_cutoff)
-          .add(scan.best_cost, 2);
+          .add(alphas[i], 2)
+          .add(scans[i].best_cutoff)
+          .add(scans[i].best_cost, 2);
     }
   }
   bench::emit(table, opts);

@@ -1,6 +1,7 @@
 #include "exp/cli.hpp"
 
 #include <stdexcept>
+#include <thread>
 
 namespace pushpull::exp {
 
@@ -66,6 +67,13 @@ std::uint64_t ArgParser::get_u64(const std::string& key,
                                 " expects an integer, got '" + it->second +
                                 "'");
   }
+}
+
+std::size_t ArgParser::get_jobs(const std::string& key) const {
+  const std::size_t jobs = get_size(key, 0);
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
 }  // namespace pushpull::exp

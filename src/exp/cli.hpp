@@ -33,6 +33,11 @@ class ArgParser {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const;
 
+  /// Worker-count option (`--jobs N`): absent or 0 means "one worker per
+  /// hardware thread" (std::thread::hardware_concurrency, at least 1);
+  /// `--jobs 1` forces the legacy serial path. Never returns 0.
+  [[nodiscard]] std::size_t get_jobs(const std::string& key) const;
+
  private:
   std::unordered_map<std::string, std::string> options_;
   std::vector<std::string> positional_;

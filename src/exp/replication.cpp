@@ -1,39 +1,119 @@
 #include "exp/replication.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "rng/splitmix64.hpp"
+#include "runtime/runtime.hpp"
 
 namespace pushpull::exp {
+
+namespace {
+
+/// One replication's pooled metrics, each a single-sample Welford. Partials
+/// are produced by workers in any order and merged into the summary strictly
+/// by replication index, which keeps parallel runs bit-identical to serial
+/// ones (the summary sees the same merge sequence either way).
+struct RepPartial {
+  metrics::Welford overall_delay;
+  std::vector<metrics::Welford> class_delay;
+  metrics::Welford total_cost;
+  metrics::Welford blocking;
+  metrics::Welford pull_queue_len;
+};
+
+RepPartial run_one(const Scenario& scenario, const core::HybridConfig& config,
+                   std::size_t rep) {
+  Scenario s = scenario;
+  // Decorrelate replications without risking accidental seed reuse.
+  s.seed = rng::SplitMix64::mix(scenario.seed + rep);
+  core::HybridConfig c = config;
+  c.seed = rng::SplitMix64::mix(s.seed ^ 0x5EEDCAFEULL);
+
+  const auto built = s.build();
+  if (built.population.num_classes() != scenario.num_classes) {
+    // class_delay is indexed by the *built* population's class ids; a
+    // scenario whose build() disagrees with its declared num_classes would
+    // silently mis-slot (or overrun) the per-class pools.
+    throw std::runtime_error(
+        "replicate_hybrid: scenario declares " +
+        std::to_string(scenario.num_classes) +
+        " classes but the built population has " +
+        std::to_string(built.population.num_classes()));
+  }
+  const core::SimResult result = run_hybrid(built, c);
+
+  RepPartial partial;
+  partial.overall_delay.add(result.overall().wait.mean());
+  partial.class_delay.resize(built.population.num_classes());
+  for (workload::ClassId cls = 0; cls < built.population.num_classes();
+       ++cls) {
+    partial.class_delay[cls].add(result.mean_wait(cls));
+  }
+  partial.total_cost.add(result.total_prioritized_cost(built.population));
+  partial.blocking.add(result.overall().blocking_ratio());
+  partial.pull_queue_len.add(result.mean_pull_queue_len);
+  return partial;
+}
+
+}  // namespace
 
 ReplicationSummary replicate_hybrid(const Scenario& scenario,
                                     const core::HybridConfig& config,
                                     std::size_t replications) {
+  ReplicateOptions options;
+  options.jobs = scenario.jobs;
+  return replicate_hybrid(scenario, config, replications, options);
+}
+
+ReplicationSummary replicate_hybrid(const Scenario& scenario,
+                                    const core::HybridConfig& config,
+                                    std::size_t replications,
+                                    const ReplicateOptions& options) {
   if (replications == 0) {
     throw std::invalid_argument("replicate_hybrid: need >= 1 replication");
   }
+  std::size_t jobs = options.jobs == 0
+                         ? runtime::ThreadPool::default_concurrency()
+                         : options.jobs;
+  jobs = std::min(jobs, replications);
+
+  const runtime::StopWatch watch;
+  if (options.reporter) {
+    options.reporter->run_started("replicate", replications, jobs);
+  }
+  auto job = [&](std::size_t rep) { return run_one(scenario, config, rep); };
+  std::vector<RepPartial> partials;
+  if (jobs <= 1) {
+    partials = runtime::serial_map(replications, job, options.reporter);
+  } else {
+    runtime::ThreadPool pool(jobs);
+    partials = runtime::parallel_map(pool, replications, job,
+                                     options.reporter);
+  }
+
+  // Merge in replication-index order — never completion order.
   ReplicationSummary summary;
   summary.replications = replications;
-  summary.class_delay.resize(scenario.num_classes);
-
-  for (std::size_t rep = 0; rep < replications; ++rep) {
-    Scenario s = scenario;
-    // Decorrelate replications without risking accidental seed reuse.
-    s.seed = rng::SplitMix64::mix(scenario.seed + rep);
-    core::HybridConfig c = config;
-    c.seed = rng::SplitMix64::mix(s.seed ^ 0x5EEDCAFEULL);
-
-    const auto built = s.build();
-    const core::SimResult result = run_hybrid(built, c);
-
-    summary.overall_delay.add(result.overall().wait.mean());
-    for (workload::ClassId cls = 0; cls < built.population.num_classes();
-         ++cls) {
-      summary.class_delay[cls].add(result.mean_wait(cls));
+  summary.class_delay.resize(partials.front().class_delay.size());
+  for (const RepPartial& partial : partials) {
+    if (partial.class_delay.size() != summary.class_delay.size()) {
+      throw std::runtime_error(
+          "replicate_hybrid: replications disagree on class count");
     }
-    summary.total_cost.add(result.total_prioritized_cost(built.population));
-    summary.blocking.add(result.overall().blocking_ratio());
-    summary.pull_queue_len.add(result.mean_pull_queue_len);
+    summary.overall_delay.merge(partial.overall_delay);
+    for (std::size_t cls = 0; cls < summary.class_delay.size(); ++cls) {
+      summary.class_delay[cls].merge(partial.class_delay[cls]);
+    }
+    summary.total_cost.merge(partial.total_cost);
+    summary.blocking.merge(partial.blocking);
+    summary.pull_queue_len.merge(partial.pull_queue_len);
+  }
+  if (options.reporter) {
+    options.reporter->run_finished("replicate", replications,
+                                   watch.elapsed_ms());
   }
   return summary;
 }

@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/welford.hpp"
+#include "runtime/run_reporter.hpp"
 
 namespace pushpull::exp {
 
@@ -26,11 +27,29 @@ struct ReplicationSummary {
   }
 };
 
+/// Execution knobs for replicate_hybrid. None of them change the numbers —
+/// replications always derive their seeds from their replication index and
+/// merge in index order, so any `jobs` value produces the same summary.
+struct ReplicateOptions {
+  /// 1 = run serially on the calling thread (legacy path), 0 = one worker
+  /// per hardware thread, N = N workers (clamped to the replication count).
+  std::size_t jobs = 1;
+  /// Optional JSONL progress sink (one line per finished replication); may
+  /// be null. See runtime::RunReporter for the line format.
+  runtime::RunReporter* reporter = nullptr;
+};
+
 /// Runs `replications` independent copies of (scenario, config), varying
 /// both the workload seed and the server seed, and pools the results.
 /// This is how EXPERIMENTS.md distinguishes real effects from seed noise.
+/// Uses `scenario.jobs` worker threads (default 1 = serial).
 [[nodiscard]] ReplicationSummary replicate_hybrid(
     const Scenario& scenario, const core::HybridConfig& config,
     std::size_t replications);
+
+/// Same, with explicit execution options (worker count, progress sink).
+[[nodiscard]] ReplicationSummary replicate_hybrid(
+    const Scenario& scenario, const core::HybridConfig& config,
+    std::size_t replications, const ReplicateOptions& options);
 
 }  // namespace pushpull::exp

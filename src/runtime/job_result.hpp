@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pushpull::runtime {
+
+/// Ordered collection point for a batch of indexed jobs.
+///
+/// Workers fulfill (or fail) their own slot in any completion order;
+/// collect() blocks until every slot is settled and then returns the values
+/// in **job-index order**, which is what makes parallel sweeps bit-identical
+/// to their serial counterparts. If any job failed, collect() rethrows the
+/// error of the lowest-indexed failure — again independent of the order in
+/// which jobs actually finished.
+template <typename T>
+class JobResult {
+ public:
+  explicit JobResult(std::size_t num_jobs)
+      : slots_(num_jobs), errors_(num_jobs), remaining_(num_jobs) {}
+
+  JobResult(const JobResult&) = delete;
+  JobResult& operator=(const JobResult&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  void fulfill(std::size_t index, T value) {
+    settle(index, std::optional<T>(std::move(value)), nullptr);
+  }
+
+  void fail(std::size_t index, std::exception_ptr error) {
+    settle(index, std::nullopt, std::move(error));
+  }
+
+  /// True once every job has settled (no blocking).
+  [[nodiscard]] bool done() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return remaining_ == 0;
+  }
+
+  /// Blocks until all jobs settle; rethrows the lowest-index failure, else
+  /// returns all values in index order. Call at most once.
+  [[nodiscard]] std::vector<T> collect() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+    for (std::size_t i = 0; i < errors_.size(); ++i) {
+      if (errors_[i]) std::rethrow_exception(errors_[i]);
+    }
+    std::vector<T> values;
+    values.reserve(slots_.size());
+    for (auto& slot : slots_) values.push_back(std::move(*slot));
+    return values;
+  }
+
+ private:
+  void settle(std::size_t index, std::optional<T> value,
+              std::exception_ptr error) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (index >= slots_.size()) {
+      throw std::out_of_range("JobResult: job index out of range");
+    }
+    if (slots_[index].has_value() || errors_[index]) {
+      throw std::logic_error("JobResult: job settled twice");
+    }
+    slots_[index] = std::move(value);
+    errors_[index] = std::move(error);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::optional<T>> slots_;
+  std::vector<std::exception_ptr> errors_;
+  std::size_t remaining_;
+};
+
+}  // namespace pushpull::runtime

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/job_result.hpp"
+#include "runtime/run_reporter.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pushpull::runtime {
+
+namespace detail {
+
+/// Runs one indexed job with timing + telemetry, routing the value or the
+/// exception into its JobResult slot. Shared by every execution strategy so
+/// serial and parallel runs observe identical job semantics.
+template <typename T, typename Fn>
+void run_job(JobResult<T>& result, Fn& fn, std::size_t index,
+             RunReporter* reporter) {
+  const StopWatch watch;
+  try {
+    T value = fn(index);
+    // Report BEFORE settling: collect() may return the instant the last
+    // slot settles, and every job's telemetry must already be on the wire
+    // by then (the caller may tear down the reporter right after).
+    if (reporter) reporter->job_finished(index, watch.elapsed_ms(), true);
+    result.fulfill(index, std::move(value));
+  } catch (const std::exception& e) {
+    if (reporter) {
+      reporter->job_finished(index, watch.elapsed_ms(), false, e.what());
+    }
+    result.fail(index, std::current_exception());
+  } catch (...) {
+    if (reporter) {
+      reporter->job_finished(index, watch.elapsed_ms(), false,
+                             "unknown exception");
+    }
+    result.fail(index, std::current_exception());
+  }
+}
+
+}  // namespace detail
+
+/// Applies `fn(i)` to every i in [0, num_jobs) on the pool and returns the
+/// results **in index order** regardless of completion order. Blocks until
+/// every job settles; rethrows the lowest-indexed failure. `fn` must be
+/// safe to invoke concurrently from multiple threads.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t num_jobs,
+                                Fn&& fn, RunReporter* reporter = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using T = std::invoke_result_t<Fn&, std::size_t>;
+  JobResult<T> result(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    pool.submit([&result, &fn, i, reporter] {
+      detail::run_job(result, fn, i, reporter);
+    });
+  }
+  return result.collect();
+}
+
+/// The inline twin of parallel_map: same per-job timing, telemetry and
+/// lowest-index error semantics, but runs on the calling thread. This is the
+/// `--jobs 1` legacy-serial path; keeping it on the same JobResult plumbing
+/// is what guarantees serial and parallel output stay bit-identical.
+template <typename Fn>
+[[nodiscard]] auto serial_map(std::size_t num_jobs, Fn&& fn,
+                              RunReporter* reporter = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using T = std::invoke_result_t<Fn&, std::size_t>;
+  JobResult<T> result(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    detail::run_job(result, fn, i, reporter);
+  }
+  return result.collect();
+}
+
+/// Side-effect fan-out: runs `fn(i)` for every i in [0, num_jobs) and blocks
+/// until all complete (or rethrows the lowest-indexed failure). `fn(i)` may
+/// only touch state owned by index i — per-slot writes, no shared mutation.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t num_jobs, Fn&& fn,
+                  RunReporter* reporter = nullptr) {
+  auto wrapped = [&fn](std::size_t i) {
+    fn(i);
+    return true;  // JobResult needs a value; the payload is the side effect
+  };
+  (void)parallel_map(pool, num_jobs, wrapped, reporter);
+}
+
+}  // namespace pushpull::runtime

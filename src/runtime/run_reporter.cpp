@@ -1,0 +1,92 @@
+#include "runtime/run_reporter.hpp"
+
+#include <cstdio>
+
+namespace pushpull::runtime {
+
+void RunReporter::run_started(std::string_view label, std::size_t num_jobs,
+                              std::size_t workers) {
+  std::string line = R"({"event":"run_start","label":")";
+  append_escaped(line, label);
+  line += R"(","jobs":)";
+  line += std::to_string(num_jobs);
+  line += R"(,"workers":)";
+  line += std::to_string(workers);
+  line += '}';
+  write_line(line);
+}
+
+void RunReporter::job_finished(std::size_t job_id, double wall_ms, bool ok,
+                               std::string_view detail) {
+  std::string line = R"({"event":"job","id":)";
+  line += std::to_string(job_id);
+  line += R"(,"wall_ms":)";
+  line += format_ms(wall_ms);
+  line += R"(,"outcome":")";
+  line += ok ? "ok" : "error";
+  line += '"';
+  if (!detail.empty()) {
+    line += R"(,"detail":")";
+    append_escaped(line, detail);
+    line += '"';
+  }
+  line += '}';
+  write_line(line);
+}
+
+void RunReporter::run_finished(std::string_view label, std::size_t num_jobs,
+                               double wall_ms) {
+  std::string line = R"({"event":"run_end","label":")";
+  append_escaped(line, label);
+  line += R"(","jobs":)";
+  line += std::to_string(num_jobs);
+  line += R"(,"wall_ms":)";
+  line += format_ms(wall_ms);
+  line += '}';
+  write_line(line);
+}
+
+void RunReporter::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+  out_->flush();  // progress lines must be visible while the run is live
+}
+
+void RunReporter::append_escaped(std::string& buf, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        buf += "\\\"";
+        break;
+      case '\\':
+        buf += "\\\\";
+        break;
+      case '\n':
+        buf += "\\n";
+        break;
+      case '\r':
+        buf += "\\r";
+        break;
+      case '\t':
+        buf += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          buf += hex;
+        } else {
+          buf += ch;
+        }
+    }
+  }
+}
+
+std::string RunReporter::format_ms(double ms) {
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.3f", ms);
+  return out;
+}
+
+}  // namespace pushpull::runtime

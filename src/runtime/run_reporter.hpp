@@ -1,0 +1,64 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace pushpull::runtime {
+
+/// Monotonic stopwatch for job/run wall times.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Structured progress/telemetry sink for parallel runs.
+///
+/// Emits one JSON object per line (JSONL) so long sweeps can be tailed and
+/// machine-parsed while they run:
+///
+///   {"event":"run_start","label":"replicate","jobs":20,"workers":4}
+///   {"event":"job","id":3,"wall_ms":12.504,"outcome":"ok"}
+///   {"event":"job","id":5,"wall_ms":0.291,"outcome":"error","detail":"..."}
+///   {"event":"run_end","label":"replicate","jobs":20,"wall_ms":131.882}
+///
+/// Thread-safe: workers report concurrently and each line is written under
+/// a lock in one piece. The reporter observes completion order (telemetry),
+/// never influences result order (determinism lives in JobResult).
+class RunReporter {
+ public:
+  /// Writes to `out`, which must outlive the reporter. Not owned.
+  explicit RunReporter(std::ostream& out) : out_(&out) {}
+
+  RunReporter(const RunReporter&) = delete;
+  RunReporter& operator=(const RunReporter&) = delete;
+
+  void run_started(std::string_view label, std::size_t num_jobs,
+                   std::size_t workers);
+  void job_finished(std::size_t job_id, double wall_ms, bool ok,
+                    std::string_view detail = {});
+  void run_finished(std::string_view label, std::size_t num_jobs,
+                    double wall_ms);
+
+ private:
+  void write_line(const std::string& line);
+  /// Appends `s` JSON-escaped (quotes, backslashes, control chars).
+  static void append_escaped(std::string& buf, std::string_view s);
+  /// Fixed-point, locale-independent "%.3f" formatting for wall times.
+  static std::string format_ms(double ms);
+
+  std::mutex mu_;
+  std::ostream* out_;
+};
+
+}  // namespace pushpull::runtime

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pushpull::runtime {
+
+/// Bounded, work-stealing-free thread pool: a fixed set of workers drains a
+/// single FIFO job queue. Deliberately minimal — simulation jobs here are
+/// coarse (one full replication or grid point each), so a shared queue with
+/// no stealing is both simple and contention-free in practice.
+///
+/// The pool never reorders completion-order-sensitive state itself; callers
+/// that need deterministic output collect results by job index (see
+/// JobResult / parallel_map), never by completion order.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means default_concurrency().
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains nothing: pending jobs still queued at destruction are discarded,
+  /// but jobs already running are joined. Callers that care about results
+  /// must block on them (JobResult::collect) before the pool dies.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a job. Jobs must not throw out of the callable itself —
+  /// wrap user code and capture exceptions (parallel_map does this).
+  void submit(std::function<void()> job);
+
+  /// max(1, std::thread::hardware_concurrency()) — the `--jobs 0` default.
+  [[nodiscard]] static std::size_t default_concurrency() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pushpull::runtime

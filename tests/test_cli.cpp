@@ -75,5 +75,25 @@ TEST(ArgParser, NegativeNumbersAsValues) {
   EXPECT_DOUBLE_EQ(args.get_double("offset", 0.0), -3.5);
 }
 
+TEST(ArgParser, GetJobsDefaultsToHardwareConcurrency) {
+  const auto args = parse({"replicate"});
+  EXPECT_GE(args.get_jobs("jobs"), 1u);
+}
+
+TEST(ArgParser, GetJobsExplicitValue) {
+  const auto args = parse({"replicate", "--jobs", "4"});
+  EXPECT_EQ(args.get_jobs("jobs"), 4u);
+}
+
+TEST(ArgParser, GetJobsZeroMeansAuto) {
+  const auto args = parse({"replicate", "--jobs", "0"});
+  EXPECT_GE(args.get_jobs("jobs"), 1u);
+}
+
+TEST(ArgParser, GetJobsRejectsGarbage) {
+  const auto args = parse({"replicate", "--jobs", "lots"});
+  EXPECT_THROW((void)args.get_jobs("jobs"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pushpull::exp

@@ -1,10 +1,41 @@
 // Tests for the multi-seed replication runner.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "exp/replication.hpp"
+#include "metrics/welford.hpp"
+#include "runtime/run_reporter.hpp"
 
 namespace pushpull::exp {
 namespace {
+
+// Bit-exact equality — the parallel engine promises the worker count is
+// invisible in the numbers, so no tolerance is allowed.
+void expect_identical(const metrics::Welford& a, const metrics::Welford& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.count(), b.count()) << label;
+  EXPECT_EQ(a.mean(), b.mean()) << label;
+  EXPECT_EQ(a.variance(), b.variance()) << label;
+  EXPECT_EQ(a.sum(), b.sum()) << label;
+  EXPECT_EQ(a.min(), b.min()) << label;
+  EXPECT_EQ(a.max(), b.max()) << label;
+}
+
+void expect_identical(const ReplicationSummary& a,
+                      const ReplicationSummary& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  expect_identical(a.overall_delay, b.overall_delay, "overall_delay");
+  ASSERT_EQ(a.class_delay.size(), b.class_delay.size());
+  for (std::size_t c = 0; c < a.class_delay.size(); ++c) {
+    expect_identical(a.class_delay[c], b.class_delay[c],
+                     "class_delay[" + std::to_string(c) + "]");
+  }
+  expect_identical(a.total_cost, b.total_cost, "total_cost");
+  expect_identical(a.blocking, b.blocking, "blocking");
+  expect_identical(a.pull_queue_len, b.pull_queue_len, "pull_queue_len");
+}
 
 TEST(Replication, RejectsZeroReplications) {
   Scenario scenario;
@@ -75,6 +106,83 @@ TEST(Replication, BlockingMetricTracked) {
   const auto summary = replicate_hybrid(scenario, config, 3);
   EXPECT_GT(summary.blocking.mean(), 0.0);
   EXPECT_LE(summary.blocking.max(), 1.0);
+}
+
+TEST(Replication, ParallelIsBitIdenticalToSerial) {
+  Scenario scenario;
+  scenario.num_requests = 2000;
+  core::HybridConfig config;
+  config.cutoff = 30;
+
+  ReplicateOptions serial_opts;
+  serial_opts.jobs = 1;
+  const auto serial = replicate_hybrid(scenario, config, 8, serial_opts);
+
+  ReplicateOptions parallel_opts;
+  parallel_opts.jobs = 8;
+  const auto parallel = replicate_hybrid(scenario, config, 8, parallel_opts);
+
+  expect_identical(serial, parallel);
+}
+
+TEST(Replication, AutoJobsMatchesSerialToo) {
+  Scenario scenario;
+  scenario.num_requests = 1500;
+  scenario.jobs = 0;  // hardware concurrency via the Scenario knob
+  core::HybridConfig config;
+  config.cutoff = 20;
+  const auto auto_jobs = replicate_hybrid(scenario, config, 6);
+
+  scenario.jobs = 1;
+  const auto serial = replicate_hybrid(scenario, config, 6);
+  expect_identical(serial, auto_jobs);
+}
+
+TEST(Replication, ClassDelaySizedFromBuiltPopulation) {
+  // The summary's per-class pools must track the *built* population, not
+  // blindly trust the scenario's declared class count (the two are
+  // validated against each other inside each replication).
+  Scenario scenario;
+  scenario.num_classes = 5;
+  scenario.num_requests = 2000;
+  core::HybridConfig config;
+  config.cutoff = 25;
+  const auto summary = replicate_hybrid(scenario, config, 3);
+  ASSERT_EQ(summary.class_delay.size(), 5u);
+  for (const auto& w : summary.class_delay) {
+    EXPECT_EQ(w.count(), 3u);
+  }
+}
+
+TEST(Replication, ParallelRunEmitsProgressJsonl) {
+  Scenario scenario;
+  scenario.num_requests = 1000;
+  core::HybridConfig config;
+  config.cutoff = 30;
+
+  std::ostringstream sink;
+  runtime::RunReporter reporter(sink);
+  ReplicateOptions options;
+  options.jobs = 4;
+  options.reporter = &reporter;
+  (void)replicate_hybrid(scenario, config, 4, options);
+
+  std::istringstream lines(sink.str());
+  std::size_t jobs = 0;
+  bool saw_start = false;
+  bool saw_end = false;
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find(R"("event":"run_start")") != std::string::npos) {
+      saw_start = true;
+    } else if (line.find(R"("event":"run_end")") != std::string::npos) {
+      saw_end = true;
+    } else if (line.find(R"("event":"job")") != std::string::npos) {
+      ++jobs;
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_end);
+  EXPECT_EQ(jobs, 4u);
 }
 
 }  // namespace

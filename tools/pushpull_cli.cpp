@@ -6,12 +6,14 @@
 //   pushpull optimize  [--theta T] [--alpha A] [--step STEP] [--analytic]
 //   pushpull model     [--theta T] [--alpha A] [--cutoff K]
 //   pushpull replicate [--theta T] [--alpha A] [--cutoff K] [--reps R]
+//                      [--jobs N] [--progress FILE]
 //   pushpull trace     --out FILE [--requests N] [--seed S]
 //
 // All commands run the paper's §5.1 scenario (D = 100 items, λ' = 5,
 // lengths 1..5 mean 2, three classes) with the given overrides.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/adaptive_server.hpp"
@@ -20,6 +22,7 @@
 #include "core/multichannel_server.hpp"
 #include "exp/cli.hpp"
 #include "exp/replication.hpp"
+#include "runtime/run_reporter.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "exp/table.hpp"
@@ -39,6 +42,7 @@ exp::Scenario scenario_from(const exp::ArgParser& args) {
   s.arrival_rate = args.get_double("rate", s.arrival_rate);
   s.num_requests = args.get_size("requests", 50000);
   s.seed = args.get_u64("seed", s.seed);
+  s.jobs = args.get_jobs("jobs");
   return s;
 }
 
@@ -183,7 +187,22 @@ int cmd_replicate(const exp::ArgParser& args) {
   const auto scenario = scenario_from(args);
   const core::HybridConfig config = config_from(args);
   const std::size_t reps = args.get_size("reps", 10);
-  const auto summary = exp::replicate_hybrid(scenario, config, reps);
+
+  exp::ReplicateOptions options;
+  options.jobs = scenario.jobs;
+  std::ofstream progress;
+  std::unique_ptr<runtime::RunReporter> reporter;
+  const std::string progress_path = args.get_string("progress", "");
+  if (!progress_path.empty()) {
+    progress.open(progress_path);
+    if (!progress) {
+      std::cerr << "replicate: cannot open " << progress_path << "\n";
+      return 2;
+    }
+    reporter = std::make_unique<runtime::RunReporter>(progress);
+    options.reporter = reporter.get();
+  }
+  const auto summary = exp::replicate_hybrid(scenario, config, reps, options);
 
   exp::Table table({"metric", "mean", "ci95 +/-"});
   table.row()
@@ -354,6 +373,7 @@ commands:
   optimize     scan cutoffs for the minimum total prioritized cost
   model        evaluate the analytical access-time model at one cutoff
   replicate    run many seeds, report means with 95% confidence intervals
+               (--jobs N parallel workers; output is bit-identical for any N)
   adaptive     adaptive server on a drifting workload (--epoch, --shift)
   multichannel dedicated broadcast channel + N pull channels (--channels)
   uplink       push the trace through the slotted-ALOHA back-channel
@@ -364,6 +384,10 @@ common options:
   --theta T --alpha A --cutoff K --requests N --seed S --items D --rate L
   --policy {fcfs,mrf,stretch,priority,rxw,lwf,importance,importance-q}
   --bandwidth B --demand D --patience P --csv --report FILE (simulate)
+  --jobs N     worker threads for replicate (default: all hardware threads;
+               --jobs 1 = serial). Seeds derive from the replication index,
+               so results are identical for every N.
+  --progress FILE  write JSONL progress lines (one per finished replication)
 )";
 }
 
