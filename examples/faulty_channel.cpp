@@ -1,0 +1,66 @@
+// Faulty channel: the same hybrid schedule over a clean downlink and over a
+// Gilbert–Elliott burst-error downlink, side by side. Shows how to enable
+// fault injection, what corruption does to each service class, and how the
+// bounded-retry recovery and overload shedding show up in the counters.
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace pushpull;
+
+  // The paper's workload, replayed identically through both servers so the
+  // only difference is the channel.
+  exp::Scenario scenario;
+  scenario.num_requests = 50000;
+  const auto built = scenario.build();
+
+  core::HybridConfig clean;
+  clean.cutoff = 40;
+  clean.alpha = 0.5;
+
+  core::HybridConfig noisy = clean;
+  noisy.fault.enabled = true;
+  noisy.fault.channel.p_good_to_bad = 0.10;  // bursts start often...
+  noisy.fault.channel.p_bad_to_good = 0.30;  // ...and last ~3 transmissions
+  noisy.fault.channel.corrupt_bad = 0.75;    // most bad-state tx are garbage
+  noisy.fault.retry.max_retries = 3;         // then the request is lost
+  noisy.fault.retry.backoff_base = 1.0;      // retry after 1, 2, 4 units
+  noisy.fault.queue_capacity = 64;           // shed if the queue overflows
+  noisy.fault.shed_policy = fault::ShedPolicy::kDropLowestPriority;
+
+  const core::SimResult before = exp::run_hybrid(built, clean);
+  const core::SimResult after = exp::run_hybrid(built, noisy);
+
+  std::cout << "faulty_channel — hybrid scheduling over a burst-error "
+               "downlink\n(stationary bad-state fraction: "
+            << noisy.fault.channel.stationary_bad() << ")\n\n";
+
+  exp::Table table({"class", "clean delay", "noisy delay", "corrupted",
+                    "retries", "shed", "lost", "goodput"});
+  for (workload::ClassId c = 0; c < built.population.num_classes(); ++c) {
+    const auto& n = after.per_class[c];
+    table.row()
+        .add(std::string(built.population.cls(c).name))
+        .add(before.per_class[c].wait.mean(), 2)
+        .add(n.wait.mean(), 2)
+        .add(static_cast<std::size_t>(n.corrupted))
+        .add(static_cast<std::size_t>(n.retries))
+        .add(static_cast<std::size_t>(n.shed))
+        .add(static_cast<std::size_t>(n.lost))
+        .add(n.goodput_ratio(), 4);
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncorrupted transmissions: push "
+            << after.corrupted_push_transmissions << ", pull "
+            << after.corrupted_pull_transmissions << " of "
+            << after.total_transmissions() << " (ratio "
+            << after.corruption_ratio() << ")\n"
+            << "Class A keeps the best goodput and the smallest delay "
+               "inflation: corrupted pushes cost one extra cycle for "
+               "everyone, but the priority shedding policy protects "
+               "high-importance pulls when the bounded queue overflows.\n";
+  return 0;
+}

@@ -44,13 +44,7 @@ struct ClosedLoopResult {
 
   [[nodiscard]] metrics::ClassStats overall() const {
     metrics::ClassStats total;
-    for (const auto& s : per_class) {
-      total.wait.merge(s.wait);
-      total.arrived += s.arrived;
-      total.served += s.served;
-      total.served_push += s.served_push;
-      total.served_pull += s.served_pull;
-    }
+    for (const auto& s : per_class) total.merge_counters(s);
     return total;
   }
   [[nodiscard]] double mean_wait(workload::ClassId cls) const {

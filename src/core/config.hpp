@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_config.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
 
@@ -43,9 +44,14 @@ struct HybridConfig {
   /// impatience (clients wait forever), which is the paper's base setting.
   double mean_patience = 0.0;
 
-  /// Seed for the server's own randomness (bandwidth demand and patience
-  /// draws).
+  /// Seed for the server's own randomness (bandwidth demand, patience and
+  /// fault-channel draws).
   std::uint64_t seed = 1;
+
+  /// Fault-injection layer: unreliable downlink, retry recovery and
+  /// pull-queue overload shedding. The default is the paper's perfect
+  /// channel and is bit-invisible in simulation output.
+  fault::FaultConfig fault;
 
   /// Fraction of each run treated as warm-up: requests arriving before this
   /// fraction of the trace span are simulated but excluded from statistics.

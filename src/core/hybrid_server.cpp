@@ -1,7 +1,8 @@
 #include "core/hybrid_server.hpp"
 
-#include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "rng/exponential.hpp"
@@ -25,6 +26,11 @@ HybridServer::HybridServer(const catalog::Catalog& cat,
   if (config_.warmup_fraction < 0.0 || config_.warmup_fraction >= 1.0) {
     throw std::invalid_argument(
         "HybridServer: warmup_fraction must be in [0, 1)");
+  }
+  config_.fault.validate();
+  if (config_.fault.enabled) {
+    channel_.emplace(config_.fault.channel,
+                     rng::StreamFactory(config_.seed).stream("fault-channel"));
   }
   if (config_.cutoff > 0) {
     push_sched_ =
@@ -104,10 +110,91 @@ void HybridServer::on_patience_expired(const workload::Request& request) {
   }
   // The timer is disarmed whenever the request is committed or dropped, so
   // an expired timer must always find its request still waiting.
-  assert(removed);
-  (void)removed;
+  if (!removed) {
+    throw std::logic_error(
+        "HybridServer: patience timer fired for request " +
+        std::to_string(request.id) + " (item " +
+        std::to_string(request.item) +
+        ") that is no longer waiting; timers must be disarmed when a "
+        "request is committed to a transmission or dropped");
+  }
+  retry_count_.erase(request.id);
   if (measured(request)) collector_->record_abandoned(request.cls);
   settle_one();
+}
+
+bool HybridServer::transmission_corrupted() {
+  return channel_.has_value() && channel_->corrupts();
+}
+
+void HybridServer::shed_request(const workload::Request& request) {
+  retry_count_.erase(request.id);
+  if (measured(request)) collector_->record_shed(request.cls);
+  settle_one();
+}
+
+bool HybridServer::admit_pull(const workload::Request& request) {
+  const std::size_t capacity = config_.fault.queue_capacity;
+  if (capacity == 0 || pull_queue_.total_requests() < capacity) return true;
+  if (config_.fault.shed_policy == fault::ShedPolicy::kDropTail) {
+    shed_request(request);
+    return false;
+  }
+  // Drop-lowest-priority: sacrifice the least important queued request.
+  // Ties prefer the youngest (highest id) victim, and an arrival that is
+  // itself no more important than the minimum is the one shed — both rules
+  // are deterministic, so runs replay identically.
+  const workload::Request* victim = nullptr;
+  double victim_priority = std::numeric_limits<double>::infinity();
+  for (const auto& entry : pull_queue_.entries()) {
+    for (const auto& r : entry.pending) {
+      const double priority = population_->priority(r.cls);
+      if (priority < victim_priority ||
+          (priority == victim_priority && victim && r.id > victim->id)) {
+        victim = &r;
+        victim_priority = priority;
+      }
+    }
+  }
+  if (!victim || population_->priority(request.cls) <= victim_priority) {
+    shed_request(request);
+    return false;
+  }
+  const workload::Request evicted = *victim;  // copy before queue mutation
+  disarm_patience(evicted.id);
+  pull_queue_.remove_request(evicted.item, evicted.id, victim_priority);
+  shed_request(evicted);
+  return true;
+}
+
+void HybridServer::requeue_pull(const workload::Request& request) {
+  note_queue_len();
+  if (admit_pull(request)) {
+    pull_queue_.add(request, population_->priority(request.cls),
+                    catalog_->length(request.item),
+                    catalog_->probability(request.item));
+    arm_patience(request);
+  }
+  if (!server_busy_) {
+    server_busy_ = true;
+    serve_next(/*just_did_push=*/true);
+  }
+}
+
+void HybridServer::on_pull_corrupted(const sched::PullEntry& entry) {
+  for (const auto& r : entry.pending) {
+    if (measured(r)) collector_->record_corrupted(r.cls);
+    const std::uint32_t attempt = ++retry_count_[r.id];
+    if (attempt > config_.fault.retry.max_retries) {
+      retry_count_.erase(r.id);
+      if (measured(r)) collector_->record_lost(r.cls);
+      settle_one();
+      continue;
+    }
+    if (measured(r)) collector_->record_retry(r.cls);
+    sim_.schedule_in(config_.fault.retry.backoff_delay(attempt),
+                     [this, r]() { requeue_pull(r); });
+  }
 }
 
 void HybridServer::deliver(const workload::Request& request, bool via_push) {
@@ -128,6 +215,7 @@ void HybridServer::on_arrival(const workload::Request& request) {
     return;
   }
   note_queue_len();
+  if (!admit_pull(request)) return;  // shed by the bounded-queue policy
   pull_queue_.add(request, population_->priority(request.cls),
                   catalog_->length(request.item),
                   catalog_->probability(request.item));
@@ -168,12 +256,24 @@ void HybridServer::start_push() {
   push_waiters_[item].clear();
   // Once the item is on air, the waiting clients are committed to it.
   for (const auto& r : catching) disarm_patience(r.id);
-  sim_.schedule_in(catalog_->length(item),
-                   [this, catching = std::move(catching)]() {
-                     ++push_transmissions_;
-                     for (const auto& r : catching) deliver(r, true);
-                     serve_next(/*just_did_push=*/true);
-                   });
+  sim_.schedule_in(
+      catalog_->length(item), [this, item, catching = std::move(catching)]() {
+        ++push_transmissions_;
+        if (transmission_corrupted()) {
+          // A corrupted broadcast needs no re-request: the item comes
+          // around again next cycle, so the waiters just rejoin the
+          // (re-armed) park and their delay grows by one period.
+          ++corrupted_push_transmissions_;
+          for (const auto& r : catching) {
+            if (measured(r)) collector_->record_corrupted(r.cls);
+            push_waiters_[item].push_back(r);
+            arm_patience(r);
+          }
+        } else {
+          for (const auto& r : catching) deliver(r, true);
+        }
+        serve_next(/*just_did_push=*/true);
+      });
 }
 
 void HybridServer::start_pull() {
@@ -184,7 +284,11 @@ void HybridServer::start_pull() {
   ctx.expected_queue_len =
       now > 0.0 ? queue_len_area_ / now : 1.0;
   auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
-  assert(entry.has_value());
+  if (!entry.has_value()) {
+    throw std::logic_error(
+        "HybridServer: start_pull on an empty pull queue; serve_next must "
+        "only schedule a pull opportunity while entries are pending");
+  }
   note_queue_len();
   for (const auto& r : entry->pending) disarm_patience(r.id);
 
@@ -196,6 +300,7 @@ void HybridServer::start_pull() {
   if (!bandwidth_.try_acquire(cls, demand)) {
     ++blocked_transmissions_;
     for (const auto& r : entry->pending) {
+      retry_count_.erase(r.id);
       if (measured(r)) collector_->record_blocked(r.cls);
       settle_one();
     }
@@ -206,7 +311,15 @@ void HybridServer::start_pull() {
                    [this, entry = std::move(*entry), cls, demand]() {
                      bandwidth_.release(cls, demand);
                      ++pull_transmissions_;
-                     for (const auto& r : entry.pending) deliver(r, false);
+                     if (transmission_corrupted()) {
+                       ++corrupted_pull_transmissions_;
+                       on_pull_corrupted(entry);
+                     } else {
+                       for (const auto& r : entry.pending) {
+                         retry_count_.erase(r.id);
+                         deliver(r, false);
+                       }
+                     }
                      serve_next(/*just_did_push=*/false);
                    });
 }
@@ -217,8 +330,12 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   sim_.reset();
   demand_eng_ = rng::StreamFactory(config_.seed).stream("bandwidth-demand");
   patience_eng_ = rng::StreamFactory(config_.seed).stream("patience");
+  if (channel_) {
+    channel_->reset(rng::StreamFactory(config_.seed).stream("fault-channel"));
+  }
   pull_queue_.clear();
   patience_.clear();
+  retry_count_.clear();
   if (push_sched_) push_sched_->reset();
   for (auto& waiters : push_waiters_) waiters.clear();
   collector_ =
@@ -228,6 +345,8 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   push_transmissions_ = 0;
   pull_transmissions_ = 0;
   blocked_transmissions_ = 0;
+  corrupted_push_transmissions_ = 0;
+  corrupted_pull_transmissions_ = 0;
   queue_len_area_ = 0.0;
   queue_len_last_t_ = 0.0;
   warmup_time_ = config_.warmup_fraction * trace.span();
@@ -250,6 +369,8 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   result.push_transmissions = push_transmissions_;
   result.pull_transmissions = pull_transmissions_;
   result.blocked_transmissions = blocked_transmissions_;
+  result.corrupted_push_transmissions = corrupted_push_transmissions_;
+  result.corrupted_pull_transmissions = corrupted_pull_transmissions_;
   result.mean_pull_queue_len =
       sim_.now() > 0.0 ? queue_len_area_ / sim_.now() : 0.0;
   return result;

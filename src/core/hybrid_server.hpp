@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/pull_queue.hpp"
 #include "core/result.hpp"
 #include "des/simulator.hpp"
+#include "fault/channel.hpp"
 #include "metrics/class_stats.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "sched/pull/policy.hpp"
@@ -36,7 +38,19 @@ namespace pushpull::core {
 ///  * delivery is at transmission *end*, and only requests that arrived
 ///    before the transmission started are satisfied by it.
 ///
-/// The server is deterministic given (catalog, population, config, trace).
+/// On top of the paper's model the server carries an optional
+/// fault-injection layer (config.fault):
+///  * every transmission end samples a Gilbert–Elliott burst-error channel;
+///    a corrupted *push* item is simply caught on its next broadcast cycle,
+///    while a corrupted *pull* item triggers a client re-request after an
+///    exponential backoff, bounded by `fault.retry.max_retries` attempts
+///    (then the request counts as lost);
+///  * a bounded pull queue (`fault.queue_capacity`) sheds requests under
+///    overload, by drop-tail or by evicting the lowest-priority client.
+///
+/// The server is deterministic given (catalog, population, config, trace);
+/// the fault channel draws from its own named stream, so enabling it never
+/// perturbs the bandwidth-demand or patience draws.
 class HybridServer {
  public:
   HybridServer(const catalog::Catalog& cat,
@@ -62,6 +76,22 @@ class HybridServer {
   void disarm_patience(workload::RequestId request);
   void on_patience_expired(const workload::Request& request);
 
+  /// Samples the fault channel for one finished transmission; always false
+  /// when fault injection is disabled (and consumes no randomness).
+  [[nodiscard]] bool transmission_corrupted();
+  /// Handles a corrupted pull transmission: schedules bounded-backoff
+  /// re-requests and settles requests that exhausted their retries.
+  void on_pull_corrupted(const sched::PullEntry& entry);
+  /// Re-enters a request into the pull queue after its backoff, waking the
+  /// server if it went idle in the meantime.
+  void requeue_pull(const workload::Request& request);
+  /// Admission control of the bounded pull queue. Returns true when
+  /// `request` may enter (possibly after evicting a lower-priority victim);
+  /// false when it was shed — in that case the request is already settled.
+  [[nodiscard]] bool admit_pull(const workload::Request& request);
+  /// Settles a request removed by admission control.
+  void shed_request(const workload::Request& request);
+
   [[nodiscard]] bool measured(const workload::Request& request) const noexcept {
     return request.arrival >= warmup_time_;
   }
@@ -82,11 +112,17 @@ class HybridServer {
   BandwidthManager bandwidth_;
   rng::Xoshiro256ss demand_eng_;
   rng::Xoshiro256ss patience_eng_;
+  // Present iff config_.fault.enabled; samples one state transition and one
+  // corruption draw per downlink transmission.
+  std::optional<fault::GilbertElliottChannel> channel_;
 
   std::vector<std::vector<workload::Request>> push_waiters_;
   // Pending abandonment timers, keyed by request id; a timer is disarmed
   // the moment its request is committed to a transmission (or dropped).
   std::unordered_map<workload::RequestId, des::EventId> patience_;
+  // Re-requests already issued per pull request, keyed by request id; an
+  // entry exists only while the request has suffered >= 1 corruption.
+  std::unordered_map<workload::RequestId, std::uint32_t> retry_count_;
   std::unique_ptr<metrics::ClassCollector> collector_;
 
   // Run-scoped state.
@@ -97,6 +133,8 @@ class HybridServer {
   std::uint64_t push_transmissions_ = 0;
   std::uint64_t pull_transmissions_ = 0;
   std::uint64_t blocked_transmissions_ = 0;
+  std::uint64_t corrupted_push_transmissions_ = 0;
+  std::uint64_t corrupted_pull_transmissions_ = 0;
   // Time-weighted pull-queue-length integral (for E[L_pull]).
   double queue_len_area_ = 0.0;
   des::SimTime queue_len_last_t_ = 0.0;

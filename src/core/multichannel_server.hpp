@@ -39,13 +39,7 @@ struct MultiChannelResult {
   [[nodiscard]] metrics::ClassStats overall() const {
     metrics::ClassStats total;
     for (const auto& s : per_class) {
-      total.wait.merge(s.wait);
-      total.arrived += s.arrived;
-      total.served += s.served;
-      total.served_push += s.served_push;
-      total.served_pull += s.served_pull;
-      total.blocked += s.blocked;
-      total.abandoned += s.abandoned;
+      total.merge_counters(s);
     }
     return total;
   }

@@ -1,6 +1,7 @@
 #include "core/pull_queue.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pushpull::core {
 
@@ -54,7 +55,13 @@ std::optional<sched::PullEntry> PullQueue::extract(catalog::ItemId item) {
     slot_of_[entries_[slot].item] = slot;
   }
   entries_.pop_back();
-  assert(total_requests_ >= out.pending.size());
+  if (total_requests_ < out.pending.size()) {
+    throw std::logic_error(
+        "PullQueue: extracting item " + std::to_string(item) + " with " +
+        std::to_string(out.pending.size()) +
+        " pending requests but only " + std::to_string(total_requests_) +
+        " tracked in total; add/remove accounting is corrupt");
+  }
   total_requests_ -= out.pending.size();
   return out;
 }

@@ -15,21 +15,33 @@ struct SimResult {
   std::uint64_t push_transmissions = 0;
   std::uint64_t pull_transmissions = 0;
   std::uint64_t blocked_transmissions = 0;
+  /// Downlink transmissions voided by the fault layer's burst-error
+  /// channel, split by phase (both zero on a perfect channel).
+  std::uint64_t corrupted_push_transmissions = 0;
+  std::uint64_t corrupted_pull_transmissions = 0;
   /// Time-weighted mean number of pending pull requests (the simulated
   /// counterpart of the model's E[L_pull]).
   double mean_pull_queue_len = 0.0;
 
+  /// Transmissions that actually carried data to clients, corrupted or not
+  /// (the server's *throughput* in airtime slots).
+  [[nodiscard]] std::uint64_t total_transmissions() const noexcept {
+    return push_transmissions + pull_transmissions;
+  }
+
+  /// Fraction of transmissions the channel voided — airtime the difference
+  /// between item throughput and user-perceived goodput.
+  [[nodiscard]] double corruption_ratio() const noexcept {
+    const std::uint64_t total = total_transmissions();
+    return total ? static_cast<double>(corrupted_push_transmissions +
+                                       corrupted_pull_transmissions) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+
   [[nodiscard]] metrics::ClassStats overall() const {
     metrics::ClassStats total;
-    for (const auto& s : per_class) {
-      total.wait.merge(s.wait);
-      total.arrived += s.arrived;
-      total.served += s.served;
-      total.served_push += s.served_push;
-      total.served_pull += s.served_pull;
-      total.blocked += s.blocked;
-      total.abandoned += s.abandoned;
-    }
+    for (const auto& s : per_class) total.merge_counters(s);
     return total;
   }
 

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "des/event.hpp"
@@ -30,8 +32,17 @@ class Simulator {
   }
 
   /// Schedules `action` at absolute virtual time `when` (>= now()).
+  /// A past or NaN time throws std::invalid_argument — scheduling into the
+  /// past would silently rewind the clock on dispatch, so the invariant is
+  /// enforced in every build type, not just with asserts.
   template <typename Fn>
   EventId schedule_at(SimTime when, Fn&& action) {
+    if (!(when >= now_)) {
+      throw std::invalid_argument("Simulator: schedule_at(" +
+                                  std::to_string(when) +
+                                  ") is in the past (now = " +
+                                  std::to_string(now_) + ") or NaN");
+    }
     const EventId id = next_id_++;
     queue_.push(Event{when, id, std::forward<Fn>(action)});
     return id;

@@ -1,9 +1,39 @@
 #include "exp/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
 namespace pushpull::exp {
+
+namespace {
+
+/// Full-token unsigned parse: rejects empty strings, signs, and trailing
+/// garbage ("12abc"), all of which std::stoull would silently accept or
+/// wrap. Throws std::invalid_argument naming the flag.
+std::uint64_t parse_unsigned(const std::string& key,
+                             const std::string& value) {
+  std::size_t pos = 0;
+  std::uint64_t parsed = 0;
+  try {
+    if (value.empty() || value[0] == '-' || value[0] == '+') {
+      throw std::invalid_argument("sign");
+    }
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -35,45 +65,58 @@ std::string ArgParser::get_string(const std::string& key,
 double ArgParser::get_double(const std::string& key, double fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
+  std::size_t pos = 0;
+  double parsed = 0.0;
   try {
-    return std::stod(it->second);
+    parsed = std::stod(it->second, &pos);
   } catch (const std::exception&) {
+    pos = std::string::npos;  // unify the two failure paths below
+  }
+  if (pos != it->second.size()) {
     throw std::invalid_argument("ArgParser: --" + key +
                                 " expects a number, got '" + it->second + "'");
   }
+  return parsed;
 }
 
 std::size_t ArgParser::get_size(const std::string& key,
                                 std::size_t fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  try {
-    return static_cast<std::size_t>(std::stoull(it->second));
-  } catch (const std::exception&) {
-    throw std::invalid_argument("ArgParser: --" + key +
-                                " expects an integer, got '" + it->second +
-                                "'");
-  }
+  return static_cast<std::size_t>(parse_unsigned(key, it->second));
 }
 
 std::uint64_t ArgParser::get_u64(const std::string& key,
                                  std::uint64_t fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
-  try {
-    return std::stoull(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("ArgParser: --" + key +
-                                " expects an integer, got '" + it->second +
-                                "'");
-  }
+  return parse_unsigned(key, it->second);
 }
 
 std::size_t ArgParser::get_jobs(const std::string& key) const {
-  const std::size_t jobs = get_size(key, 0);
-  if (jobs != 0) return jobs;
+  if (options_.contains(key)) {
+    const std::size_t jobs = get_size(key, 0);
+    if (jobs == 0) {
+      throw std::invalid_argument(
+          "ArgParser: --" + key +
+          " must be >= 1 (omit the flag for one worker per hardware thread)");
+    }
+    return jobs;
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ArgParser::require_known(
+    std::initializer_list<std::string_view> allowed,
+    std::initializer_list<std::string_view> extra) const {
+  for (const auto& [key, value] : options_) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end() &&
+        std::find(extra.begin(), extra.end(), key) == extra.end()) {
+      throw std::invalid_argument("unknown option --" + key +
+                                  " (run with no arguments for usage)");
+    }
+  }
 }
 
 }  // namespace pushpull::exp

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -9,8 +11,10 @@ namespace pushpull::exp {
 
 /// Minimal command-line parser for the CLI tool and bench binaries:
 /// `--key value` options, `--flag` booleans, and positional arguments.
-/// Unknown keys are kept (callers may validate); values are parsed on
-/// access with clear errors.
+/// Unknown keys are kept until the caller validates them with
+/// require_known(); values are parsed on access with clear errors (a
+/// malformed value — "abc", "12abc", a negative count — throws
+/// std::invalid_argument naming the flag, never silently truncates).
 class ArgParser {
  public:
   ArgParser(int argc, const char* const* argv);
@@ -33,10 +37,20 @@ class ArgParser {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const;
 
-  /// Worker-count option (`--jobs N`): absent or 0 means "one worker per
+  /// Worker-count option (`--jobs N`): absent means "one worker per
   /// hardware thread" (std::thread::hardware_concurrency, at least 1);
-  /// `--jobs 1` forces the legacy serial path. Never returns 0.
+  /// `--jobs 1` forces the legacy serial path. An explicit `--jobs 0` (or
+  /// any non-positive/garbled value) throws std::invalid_argument — omit
+  /// the flag to request auto. Never returns 0.
   [[nodiscard]] std::size_t get_jobs(const std::string& key) const;
+
+  /// Validates that every `--option` the user passed is in `allowed` (or
+  /// the optional `extra` list — convenient for "common + per-command"
+  /// option sets); throws std::invalid_argument naming an unknown option
+  /// otherwise. Call once per command so typos fail loudly instead of
+  /// being silently ignored.
+  void require_known(std::initializer_list<std::string_view> allowed,
+                     std::initializer_list<std::string_view> extra = {}) const;
 
  private:
   std::unordered_map<std::string, std::string> options_;

@@ -1,6 +1,7 @@
 #include "exp/replication.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -58,6 +59,65 @@ RepPartial run_one(const Scenario& scenario, const core::HybridConfig& config,
   return partial;
 }
 
+// --- checkpoint payload format -------------------------------------------
+// "rp1 <num_classes>" followed by the Welford states of overall_delay, each
+// class_delay, total_cost, blocking and pull_queue_len, each serialized as
+// "<count> <mean> <m2> <sum> <min> <max>" with hexfloat doubles. Hexfloat
+// round-trips bit-exactly, which is what keeps a resumed summary identical
+// to an uninterrupted one.
+
+void append_welford(std::string& out, const metrics::Welford& w) {
+  out += ' ';
+  out += std::to_string(w.count());
+  for (const double v : {w.mean(), w.m2(), w.sum(), w.min(), w.max()}) {
+    out += ' ';
+    out += runtime::encode_double(v);
+  }
+}
+
+metrics::Welford read_welford(std::istringstream& in) {
+  std::uint64_t count = 0;
+  std::string mean, m2, sum, min, max;
+  if (!(in >> count >> mean >> m2 >> sum >> min >> max)) {
+    throw std::runtime_error(
+        "replicate_hybrid: truncated checkpoint payload");
+  }
+  return metrics::Welford::restore(
+      count, runtime::decode_double(mean), runtime::decode_double(m2),
+      runtime::decode_double(sum), runtime::decode_double(min),
+      runtime::decode_double(max));
+}
+
+std::string serialize_partial(const RepPartial& partial) {
+  std::string out = "rp1 " + std::to_string(partial.class_delay.size());
+  append_welford(out, partial.overall_delay);
+  for (const auto& w : partial.class_delay) append_welford(out, w);
+  append_welford(out, partial.total_cost);
+  append_welford(out, partial.blocking);
+  append_welford(out, partial.pull_queue_len);
+  return out;
+}
+
+RepPartial parse_partial(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  std::size_t num_classes = 0;
+  if (!(in >> tag >> num_classes) || tag != "rp1") {
+    throw std::runtime_error(
+        "replicate_hybrid: unrecognized checkpoint payload (expected 'rp1', "
+        "got '" + tag + "') — was the progress file produced by an older "
+        "version or a different run?");
+  }
+  RepPartial partial;
+  partial.overall_delay = read_welford(in);
+  partial.class_delay.resize(num_classes);
+  for (auto& w : partial.class_delay) w = read_welford(in);
+  partial.total_cost = read_welford(in);
+  partial.blocking = read_welford(in);
+  partial.pull_queue_len = read_welford(in);
+  return partial;
+}
+
 }  // namespace
 
 ReplicationSummary replicate_hybrid(const Scenario& scenario,
@@ -84,7 +144,18 @@ ReplicationSummary replicate_hybrid(const Scenario& scenario,
   if (options.reporter) {
     options.reporter->run_started("replicate", replications, jobs);
   }
-  auto job = [&](std::size_t rep) { return run_one(scenario, config, rep); };
+  auto job = [&](std::size_t rep) {
+    if (options.resume) {
+      if (const std::string* payload = options.resume->find(rep)) {
+        return parse_partial(*payload);  // completed before the crash
+      }
+    }
+    RepPartial partial = run_one(scenario, config, rep);
+    if (options.reporter) {
+      options.reporter->job_payload(rep, serialize_partial(partial));
+    }
+    return partial;
+  };
   std::vector<RepPartial> partials;
   if (jobs <= 1) {
     partials = runtime::serial_map(replications, job, options.reporter);

@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/welford.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/run_reporter.hpp"
 
 namespace pushpull::exp {
@@ -35,8 +36,16 @@ struct ReplicateOptions {
   /// per hardware thread, N = N workers (clamped to the replication count).
   std::size_t jobs = 1;
   /// Optional JSONL progress sink (one line per finished replication); may
-  /// be null. See runtime::RunReporter for the line format.
+  /// be null. When set, each replication also records a `payload` line with
+  /// its serialized partial, making a killed run resumable.
   runtime::RunReporter* reporter = nullptr;
+  /// Optional checkpoint loaded from a previous (killed) run's JSONL:
+  /// replications with a stored payload are restored instead of recomputed.
+  /// The caller must pass the *same* scenario, config and replication count
+  /// as the original run — resume skips work, it cannot detect a changed
+  /// experiment. The summary is bit-identical to an uninterrupted run for
+  /// any jobs value.
+  const runtime::CheckpointStore* resume = nullptr;
 };
 
 /// Runs `replications` independent copies of (scenario, config), varying

@@ -28,12 +28,37 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
   out << "| push policy | " << sched::to_string(config.push_policy) << " |\n";
   out << "| aging rate | " << config.aging_rate << " |\n";
   out << "| total bandwidth | " << config.total_bandwidth << " |\n";
-  out << "| mean patience | " << config.mean_patience << " |\n\n";
+  out << "| mean patience | " << config.mean_patience << " |\n";
+  if (config.fault.active()) {
+    out << "| fault channel | "
+        << (config.fault.enabled ? "gilbert-elliott" : "off") << " |\n";
+    if (config.fault.enabled) {
+      out << "| p(good->bad) | " << config.fault.channel.p_good_to_bad
+          << " |\n";
+      out << "| p(bad->good) | " << config.fault.channel.p_bad_to_good
+          << " |\n";
+      out << "| corrupt(good) | " << config.fault.channel.corrupt_good
+          << " |\n";
+      out << "| corrupt(bad) | " << config.fault.channel.corrupt_bad
+          << " |\n";
+      out << "| max retries | " << config.fault.retry.max_retries << " |\n";
+      out << "| backoff base x mult | " << config.fault.retry.backoff_base
+          << " x " << config.fault.retry.backoff_multiplier << " |\n";
+    }
+    if (config.fault.queue_capacity > 0) {
+      out << "| pull-queue capacity | " << config.fault.queue_capacity
+          << " (shed: " << fault::to_string(config.fault.shed_policy)
+          << ") |\n";
+    }
+  }
+  out << "\n";
 
   out << "## Per-class QoS\n\n";
   out << "| class | priority | arrived | served | mean | p50 | p95 | p99 | "
-         "max | blocked | abandoned | p-cost |\n";
-  out << "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+         "max | blocked | abandoned | corrupted | retries | shed | lost | "
+         "goodput | p-cost |\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+         "---|\n";
   const auto fixed2 = [&out](double v) -> std::ostream& {
     out << std::fixed << std::setprecision(2) << v;
     return out;
@@ -48,7 +73,9 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
     fixed2(s.wait_p95.value()) << " | ";
     fixed2(s.wait_p99.value()) << " | ";
     fixed2(s.wait.max()) << " | " << s.blocked << " | " << s.abandoned
-                         << " | ";
+                         << " | " << s.corrupted << " | " << s.retries
+                         << " | " << s.shed << " | " << s.lost << " | ";
+    fixed2(s.goodput_ratio()) << " | ";
     fixed2(result.prioritized_cost(population, c)) << " |\n";
   }
 
@@ -63,6 +90,15 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
       << ", blocked transmissions: " << result.blocked_transmissions << "\n";
   out << "- mean pull-queue length: ";
   fixed2(result.mean_pull_queue_len) << "\n";
+  if (config.fault.enabled) {
+    out << "- corrupted transmissions: push "
+        << result.corrupted_push_transmissions << ", pull "
+        << result.corrupted_pull_transmissions << " (ratio ";
+    out << std::fixed << std::setprecision(4) << result.corruption_ratio()
+        << ")\n";
+    out << "- requests shed: " << overall.shed
+        << ", lost after retries: " << overall.lost << "\n";
+  }
   out << "- virtual end time: ";
   fixed2(result.end_time) << "\n";
 }

@@ -1,11 +1,47 @@
 #include "exp/scenario.hpp"
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "catalog/length_model.hpp"
 #include "workload/request_generator.hpp"
 
 namespace pushpull::exp {
 
+void Scenario::validate() const {
+  if (num_items == 0) {
+    throw std::invalid_argument("Scenario: num_items must be >= 1");
+  }
+  if (num_classes == 0) {
+    throw std::invalid_argument("Scenario: num_classes must be >= 1");
+  }
+  if (num_requests == 0) {
+    throw std::invalid_argument("Scenario: num_requests must be >= 1");
+  }
+  if (!(arrival_rate > 0.0) || !std::isfinite(arrival_rate)) {
+    throw std::invalid_argument(
+        "Scenario: arrival_rate must be a positive finite number, got " +
+        std::to_string(arrival_rate));
+  }
+  if (min_length == 0) {
+    throw std::invalid_argument(
+        "Scenario: min_length must be >= 1 (zero-length items never finish "
+        "transmitting)");
+  }
+  if (max_length < min_length) {
+    throw std::invalid_argument(
+        "Scenario: max_length (" + std::to_string(max_length) +
+        ") must be >= min_length (" + std::to_string(min_length) + ")");
+  }
+  if (!(theta >= 0.0) || !std::isfinite(theta)) {
+    throw std::invalid_argument(
+        "Scenario: theta must be a non-negative finite number");
+  }
+}
+
 Scenario::Built Scenario::build() const {
+  validate();
   catalog::LengthModel lengths(min_length, max_length, mean_length);
   catalog::Catalog cat(num_items, theta, lengths, seed);
   workload::ClientPopulation pop =

@@ -46,6 +46,12 @@ struct Scenario {
     workload::Trace trace;
   };
 
+  /// Rejects unusable parameter combinations (zero counts, non-positive
+  /// arrival rate, zero-length items, max_length < min_length, non-finite
+  /// theta) with a std::invalid_argument naming the offending field.
+  /// build() calls this first, so a bad scenario fails before any work.
+  void validate() const;
+
   [[nodiscard]] Built build() const;
 };
 

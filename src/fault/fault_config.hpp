@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "fault/channel.hpp"
+#include "fault/retry.hpp"
+#include "fault/shedding.hpp"
+
+namespace pushpull::fault {
+
+/// Everything the fault-injection layer can do to a hybrid run, in one
+/// value. The default is the perfect channel the paper assumes: no
+/// corruption, no shedding — and, crucially, *no extra random draws*, so a
+/// default-constructed FaultConfig is bit-invisible in simulation output.
+struct FaultConfig {
+  /// Master switch for the unreliable downlink. When false the channel is
+  /// never constructed and no fault stream is consumed.
+  bool enabled = false;
+
+  /// Gilbert–Elliott burst-error channel (used only when `enabled`).
+  ChannelConfig channel;
+
+  /// Recovery policy for corrupted pull transmissions.
+  RetryConfig retry;
+
+  /// Pull-queue capacity in *pending requests*; 0 = unbounded (no
+  /// shedding). Shedding is orthogonal to corruption: a bounded queue
+  /// protects the server under overload even on a perfect channel.
+  std::size_t queue_capacity = 0;
+
+  /// Which request to sacrifice when the bounded queue is full.
+  ShedPolicy shed_policy = ShedPolicy::kDropTail;
+
+  /// True when any fault mechanism (channel or bounded queue) is active.
+  [[nodiscard]] bool active() const noexcept {
+    return enabled || queue_capacity > 0;
+  }
+
+  /// Validates the channel and retry parameters; throws
+  /// std::invalid_argument with context on the first violation.
+  void validate() const {
+    channel.validate();
+    retry.validate();
+  }
+};
+
+}  // namespace pushpull::fault

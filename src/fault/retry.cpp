@@ -1,0 +1,27 @@
+#include "fault/retry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pushpull::fault {
+
+void RetryConfig::validate() const {
+  if (!(backoff_base > 0.0)) {
+    throw std::invalid_argument(
+        "RetryConfig: backoff_base must be positive, got " +
+        std::to_string(backoff_base));
+  }
+  if (!(backoff_multiplier >= 1.0)) {
+    throw std::invalid_argument(
+        "RetryConfig: backoff_multiplier must be >= 1, got " +
+        std::to_string(backoff_multiplier));
+  }
+}
+
+double RetryConfig::backoff_delay(std::uint32_t attempt) const noexcept {
+  double delay = backoff_base;
+  for (std::uint32_t i = 1; i < attempt; ++i) delay *= backoff_multiplier;
+  return delay;
+}
+
+}  // namespace pushpull::fault

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pushpull::fault {
+
+/// Client-side recovery policy for corrupted *pull* transmissions: the
+/// client re-requests the item after an exponentially growing backoff, up
+/// to `max_retries` attempts; a request whose last retry is also corrupted
+/// is counted as lost. (Corrupted *push* transmissions need no policy —
+/// the item simply comes around again on the broadcast program.)
+struct RetryConfig {
+  /// Re-requests a client issues before giving the item up as lost.
+  std::uint32_t max_retries = 3;
+  /// Backoff before the first re-request, in broadcast units.
+  double backoff_base = 1.0;
+  /// Multiplier applied per further attempt (2.0 = classic binary
+  /// exponential backoff). Must be >= 1 so retries never get tighter.
+  double backoff_multiplier = 2.0;
+
+  /// Throws std::invalid_argument on a non-positive base or a multiplier
+  /// below 1.
+  void validate() const;
+
+  /// Delay before re-request number `attempt` (1-based):
+  /// backoff_base · backoff_multiplier^(attempt-1). Deterministic — jitter
+  /// would add nothing here because each simulated client already has a
+  /// unique corruption history.
+  [[nodiscard]] double backoff_delay(std::uint32_t attempt) const noexcept;
+};
+
+}  // namespace pushpull::fault

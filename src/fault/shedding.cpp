@@ -1,0 +1,24 @@
+#include "fault/shedding.hpp"
+
+#include <stdexcept>
+
+namespace pushpull::fault {
+
+std::string_view to_string(ShedPolicy policy) noexcept {
+  switch (policy) {
+    case ShedPolicy::kDropTail:
+      return "tail";
+    case ShedPolicy::kDropLowestPriority:
+      return "priority";
+  }
+  return "?";
+}
+
+ShedPolicy parse_shed_policy(const std::string& name) {
+  if (name == "tail") return ShedPolicy::kDropTail;
+  if (name == "priority") return ShedPolicy::kDropLowestPriority;
+  throw std::invalid_argument("unknown shed policy '" + name +
+                              "' (expected 'tail' or 'priority')");
+}
+
+}  // namespace pushpull::fault

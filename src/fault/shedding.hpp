@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pushpull::fault {
+
+/// Admission policy of a bounded pull queue under overload.
+enum class ShedPolicy {
+  /// Reject the arriving request when the queue is at capacity.
+  kDropTail,
+  /// Evict the queued request with the lowest client priority (the paper's
+  /// q_j); the arriving request is only rejected when it is itself the
+  /// least important. Premium classes keep their QoS under overload.
+  kDropLowestPriority,
+};
+
+[[nodiscard]] std::string_view to_string(ShedPolicy policy) noexcept;
+
+/// Parses "tail" / "priority"; throws std::invalid_argument otherwise.
+[[nodiscard]] ShedPolicy parse_shed_policy(const std::string& name);
+
+}  // namespace pushpull::fault

@@ -24,9 +24,14 @@ struct ClassStats {
   std::uint64_t served_pull = 0;
   std::uint64_t blocked = 0;    // dropped by bandwidth admission
   std::uint64_t abandoned = 0;  // impatient clients that gave up waiting
+  // Fault-layer outcomes (all zero on a perfect channel / unbounded queue).
+  std::uint64_t corrupted = 0;  // request-deliveries voided by channel errors
+  std::uint64_t retries = 0;    // pull re-requests issued after corruption
+  std::uint64_t shed = 0;       // rejected/evicted by pull-queue admission
+  std::uint64_t lost = 0;       // pull requests that exhausted their retries
 
   [[nodiscard]] std::uint64_t outstanding() const noexcept {
-    return arrived - served - blocked - abandoned;
+    return arrived - served - blocked - abandoned - shed - lost;
   }
   [[nodiscard]] double blocking_ratio() const noexcept {
     const std::uint64_t settled = served + blocked + abandoned;
@@ -37,10 +42,45 @@ struct ClassStats {
 
   /// Fraction of settled requests whose client gave up before delivery.
   [[nodiscard]] double abandonment_ratio() const noexcept {
-    const std::uint64_t settled = served + blocked + abandoned;
+    const std::uint64_t settled = served + blocked + abandoned + shed + lost;
     return settled ? static_cast<double>(abandoned) /
                          static_cast<double>(settled)
                    : 0.0;
+  }
+
+  /// Fraction of settled requests actually delivered intact — the
+  /// user-perceived *goodput* as opposed to the server's transmission
+  /// throughput (which also counts corrupted airtime).
+  [[nodiscard]] double goodput_ratio() const noexcept {
+    const std::uint64_t settled = served + blocked + abandoned + shed + lost;
+    return settled ? static_cast<double>(served) /
+                         static_cast<double>(settled)
+                   : 0.0;
+  }
+
+  /// Fraction of settled requests removed by the fault layer (shed by
+  /// admission control or lost after exhausting retries).
+  [[nodiscard]] double loss_ratio() const noexcept {
+    const std::uint64_t settled = served + blocked + abandoned + shed + lost;
+    return settled ? static_cast<double>(shed + lost) /
+                         static_cast<double>(settled)
+                   : 0.0;
+  }
+
+  /// Pools counters and waiting-time moments from `other` (quantile
+  /// sketches cannot merge and are left untouched).
+  void merge_counters(const ClassStats& other) noexcept {
+    wait.merge(other.wait);
+    arrived += other.arrived;
+    served += other.served;
+    served_push += other.served_push;
+    served_pull += other.served_pull;
+    blocked += other.blocked;
+    abandoned += other.abandoned;
+    corrupted += other.corrupted;
+    retries += other.retries;
+    shed += other.shed;
+    lost += other.lost;
   }
 };
 
@@ -83,18 +123,20 @@ class ClassCollector {
     ++stats_[cls].abandoned;
   }
 
+  void record_corrupted(workload::ClassId cls) noexcept {
+    ++stats_[cls].corrupted;
+  }
+
+  void record_retry(workload::ClassId cls) noexcept { ++stats_[cls].retries; }
+
+  void record_shed(workload::ClassId cls) noexcept { ++stats_[cls].shed; }
+
+  void record_lost(workload::ClassId cls) noexcept { ++stats_[cls].lost; }
+
   /// All classes merged (waiting-time stats pooled over every request).
   [[nodiscard]] ClassStats aggregate() const noexcept {
     ClassStats total;
-    for (const auto& s : stats_) {
-      total.wait.merge(s.wait);
-      total.arrived += s.arrived;
-      total.served += s.served;
-      total.served_push += s.served_push;
-      total.served_pull += s.served_pull;
-      total.blocked += s.blocked;
-      total.abandoned += s.abandoned;
-    }
+    for (const auto& s : stats_) total.merge_counters(s);
     return total;
   }
 

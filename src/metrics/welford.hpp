@@ -41,10 +41,33 @@ class Welford {
     if (other.max_ > max_) max_ = other.max_;
   }
 
+  /// Rebuilds an accumulator from previously observed internal state
+  /// (count, mean, m2, sum, min, max — exactly what the accessors expose
+  /// for a non-empty accumulator). Used by checkpoint/resume to restore a
+  /// partial bit-for-bit; a zero count yields a fresh accumulator.
+  [[nodiscard]] static Welford restore(std::uint64_t count, double mean,
+                                       double m2, double sum, double min,
+                                       double max) noexcept {
+    Welford w;
+    if (count == 0) return w;
+    w.count_ = count;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    w.sum_ = sum;
+    w.min_ = min;
+    w.max_ = max;
+    return w;
+  }
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Raw second central moment Σ(x−mean)² — exposed (alongside mean/sum/
+  /// min/max) so checkpointing can round-trip the exact internal state;
+  /// prefer variance() for statistics.
+  [[nodiscard]] double m2() const noexcept { return m2_; }
 
   /// Sample variance (n-1 denominator); 0 with fewer than two samples.
   [[nodiscard]] double variance() const noexcept {

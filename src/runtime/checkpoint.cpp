@@ -1,0 +1,119 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <string_view>
+
+namespace pushpull::runtime {
+
+std::string encode_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+double decode_double(const std::string& token) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    throw std::invalid_argument("decode_double: malformed token '" + token +
+                                "'");
+  }
+  return value;
+}
+
+namespace {
+
+/// Reverses RunReporter's JSON escaping. Payload strings the library writes
+/// contain no escapes, but a hand-edited file should still parse.
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          out += static_cast<char>(
+              std::strtoul(std::string(s.substr(i + 1, 4)).c_str(), nullptr,
+                           16));
+          i += 4;
+        }
+        break;
+      default: out += s[i]; break;  // \" and \\ and anything unknown
+    }
+  }
+  return out;
+}
+
+/// Parses one JSONL line into (id, payload) if it is a complete payload
+/// record; returns false otherwise (wrong event, malformed, or truncated).
+bool parse_payload_line(const std::string& line, std::size_t& id,
+                        std::string& payload) {
+  // A record interrupted by a crash lacks its closing brace — the cheapest
+  // possible completeness check, and exact because payloads never contain
+  // '}' (RunReporter escapes nothing that could embed one un-quoted).
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  if (line.find(R"("event":"payload")") == std::string::npos) return false;
+
+  const std::size_t id_key = line.find(R"("id":)");
+  if (id_key == std::string::npos) return false;
+  const char* id_begin = line.c_str() + id_key + 5;
+  char* id_end = nullptr;
+  const unsigned long long parsed = std::strtoull(id_begin, &id_end, 10);
+  if (id_end == id_begin) return false;
+
+  const std::size_t key = line.find(R"("payload":")");
+  if (key == std::string::npos) return false;
+  const std::size_t begin = key + 11;
+  // Find the closing quote, skipping escaped characters.
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != '"') {
+    end += line[end] == '\\' ? std::size_t{2} : std::size_t{1};
+  }
+  if (end >= line.size()) return false;  // unterminated → truncated line
+
+  id = static_cast<std::size_t>(parsed);
+  payload = unescape(std::string_view(line).substr(begin, end - begin));
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore CheckpointStore::load(std::istream& in) {
+  CheckpointStore store;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A line without a trailing '\n' (crash mid-append) still reaches here
+    // via the final getline; parse_payload_line rejects it if incomplete.
+    std::size_t id = 0;
+    std::string payload;
+    if (parse_payload_line(line, id, payload)) {
+      store.payloads_[id] = std::move(payload);
+    }
+  }
+  return store;
+}
+
+CheckpointStore CheckpointStore::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return CheckpointStore{};
+  return load(in);
+}
+
+const std::string* CheckpointStore::find(std::size_t job_id) const {
+  const auto it = payloads_.find(job_id);
+  return it == payloads_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pushpull::runtime

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+namespace pushpull::runtime {
+
+/// Bit-exact, locale-independent double encoding for checkpoint payloads:
+/// C99 hexadecimal floating point ("0x1.91eb851eb851fp+1"). Encoding and
+/// decoding round-trip every finite double exactly, which is what lets a
+/// resumed run reproduce an uninterrupted one byte-for-byte.
+[[nodiscard]] std::string encode_double(double value);
+
+/// Inverse of encode_double (also accepts plain decimal). Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] double decode_double(const std::string& token);
+
+/// Completed-job index loaded from a RunReporter JSONL file, used to resume
+/// a killed run.
+///
+/// A job counts as completed when the file holds a *complete* line
+/// `{"event":"payload","id":N,"payload":"..."}` for it — the payload is the
+/// job's serialized result, written by the job itself before its telemetry
+/// line. The reader is deliberately forgiving: a crash mid-append leaves a
+/// truncated final line, and any line that does not parse as a whole
+/// payload record is skipped rather than trusted, so that job simply
+/// re-runs on resume.
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+
+  /// Parses JSONL from `in`, keeping the last payload seen per job id
+  /// (a resumed run may have appended newer records).
+  [[nodiscard]] static CheckpointStore load(std::istream& in);
+
+  /// Convenience: load from a file path; a missing file yields an empty
+  /// store (nothing to resume).
+  [[nodiscard]] static CheckpointStore load_file(const std::string& path);
+
+  /// Payload of a completed job, or nullptr if the job must (re)run.
+  [[nodiscard]] const std::string* find(std::size_t job_id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return payloads_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return payloads_.empty(); }
+
+ private:
+  std::unordered_map<std::size_t, std::string> payloads_;
+};
+
+}  // namespace pushpull::runtime

@@ -34,6 +34,15 @@ void RunReporter::job_finished(std::size_t job_id, double wall_ms, bool ok,
   write_line(line);
 }
 
+void RunReporter::job_payload(std::size_t job_id, std::string_view payload) {
+  std::string line = R"({"event":"payload","id":)";
+  line += std::to_string(job_id);
+  line += R"(,"payload":")";
+  append_escaped(line, payload);
+  line += "\"}";
+  write_line(line);
+}
+
 void RunReporter::run_finished(std::string_view label, std::size_t num_jobs,
                                double wall_ms) {
   std::string line = R"({"event":"run_end","label":")";
@@ -48,8 +57,13 @@ void RunReporter::run_finished(std::string_view label, std::size_t num_jobs,
 
 void RunReporter::write_line(const std::string& line) {
   const std::lock_guard<std::mutex> lock(mu_);
-  *out_ << line << '\n';
-  out_->flush();  // progress lines must be visible while the run is live
+  // One write call for record + newline, then a flush: a crash between
+  // records loses nothing, a crash mid-record truncates only the final
+  // line — exactly what CheckpointStore's tolerant reader expects.
+  std::string record = line;
+  record += '\n';
+  out_->write(record.data(), static_cast<std::streamsize>(record.size()));
+  out_->flush();
 }
 
 void RunReporter::append_escaped(std::string& buf, std::string_view s) {

@@ -28,13 +28,20 @@ class StopWatch {
 /// machine-parsed while they run:
 ///
 ///   {"event":"run_start","label":"replicate","jobs":20,"workers":4}
+///   {"event":"payload","id":3,"payload":"rp1 3 ..."}
 ///   {"event":"job","id":3,"wall_ms":12.504,"outcome":"ok"}
 ///   {"event":"job","id":5,"wall_ms":0.291,"outcome":"error","detail":"..."}
 ///   {"event":"run_end","label":"replicate","jobs":20,"wall_ms":131.882}
 ///
-/// Thread-safe: workers report concurrently and each line is written under
-/// a lock in one piece. The reporter observes completion order (telemetry),
-/// never influences result order (determinism lives in JobResult).
+/// `payload` records carry a job's serialized result, which is what makes a
+/// killed run resumable (see runtime::CheckpointStore).
+///
+/// Thread-safe: workers report concurrently and each line (text plus its
+/// newline) is written under a lock as a single buffered write followed by
+/// a flush, so a crash can truncate at most the final record — never
+/// interleave or tear earlier ones. The reporter observes completion order
+/// (telemetry), never influences result order (determinism lives in
+/// JobResult).
 class RunReporter {
  public:
   /// Writes to `out`, which must outlive the reporter. Not owned.
@@ -47,6 +54,9 @@ class RunReporter {
                    std::size_t workers);
   void job_finished(std::size_t job_id, double wall_ms, bool ok,
                     std::string_view detail = {});
+  /// Records a job's serialized result so a killed run can resume without
+  /// recomputing it. Written by the job itself, before its `job` line.
+  void job_payload(std::size_t job_id, std::string_view payload);
   void run_finished(std::string_view label, std::size_t num_jobs,
                     double wall_ms);
 

@@ -10,6 +10,7 @@
 /// a run is a pure function of (inputs, seed, job count = N jobs or 1), and
 /// parallel runs are bit-identical to serial ones.
 
+#include "runtime/checkpoint.hpp"      // IWYU pragma: export
 #include "runtime/job_result.hpp"      // IWYU pragma: export
 #include "runtime/parallel_for.hpp"    // IWYU pragma: export
 #include "runtime/run_reporter.hpp"    // IWYU pragma: export

@@ -1,0 +1,300 @@
+// Crash-safe checkpoint/resume: hexfloat round-trip, tolerant JSONL
+// parsing (truncated final lines), Welford state restoration, and
+// kill-and-resume producing bit-identical replication summaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/replication.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/welford.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/run_reporter.hpp"
+
+namespace pushpull {
+namespace {
+
+// --- double encoding ------------------------------------------------------
+
+TEST(EncodeDouble, RoundTripsExactly) {
+  for (const double v : {0.0, 1.0, -1.0, 1.0 / 3.0, 76.82771234567891,
+                         1e-300, -1e300, 0.1, std::nextafter(2.0, 3.0)}) {
+    EXPECT_EQ(runtime::decode_double(runtime::encode_double(v)), v)
+        << "value " << v;
+  }
+}
+
+TEST(EncodeDouble, AcceptsPlainDecimal) {
+  EXPECT_DOUBLE_EQ(runtime::decode_double("2.5"), 2.5);
+}
+
+TEST(EncodeDouble, RejectsMalformedTokens) {
+  EXPECT_THROW((void)runtime::decode_double(""), std::invalid_argument);
+  EXPECT_THROW((void)runtime::decode_double("abc"), std::invalid_argument);
+  EXPECT_THROW((void)runtime::decode_double("1.5junk"),
+               std::invalid_argument);
+}
+
+// --- Welford restore ------------------------------------------------------
+
+TEST(WelfordRestore, RoundTripsInternalStateBitExactly) {
+  metrics::Welford w;
+  for (const double x : {3.1, -2.7, 0.4, 19.0, 5.5}) w.add(x);
+  const metrics::Welford r = metrics::Welford::restore(
+      w.count(), w.mean(), w.m2(), w.sum(), w.min(), w.max());
+  EXPECT_EQ(r.count(), w.count());
+  EXPECT_EQ(r.mean(), w.mean());
+  EXPECT_EQ(r.m2(), w.m2());
+  EXPECT_EQ(r.sum(), w.sum());
+  EXPECT_EQ(r.min(), w.min());
+  EXPECT_EQ(r.max(), w.max());
+  // Merging restored state must behave exactly like merging the original.
+  metrics::Welford a, b;
+  a.add(1.0);
+  b.add(1.0);
+  a.merge(w);
+  b.merge(r);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+}
+
+TEST(WelfordRestore, ZeroCountYieldsFreshAccumulator) {
+  const metrics::Welford w = metrics::Welford::restore(0, 9.9, 9.9, 9.9,
+                                                       9.9, 9.9);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.mean(), 0.0);
+  metrics::Welford other;
+  other.add(2.0);
+  metrics::Welford merged = w;
+  merged.merge(other);
+  EXPECT_EQ(merged.count(), 1u);
+}
+
+// --- JSONL parsing --------------------------------------------------------
+
+TEST(CheckpointStore, LoadsPayloadRecords) {
+  std::istringstream in(
+      "{\"event\":\"run_start\",\"label\":\"replicate\",\"jobs\":3,"
+      "\"workers\":1}\n"
+      "{\"event\":\"payload\",\"id\":0,\"payload\":\"alpha\"}\n"
+      "{\"event\":\"job\",\"id\":0,\"wall_ms\":1.000,\"outcome\":\"ok\"}\n"
+      "{\"event\":\"payload\",\"id\":2,\"payload\":\"gamma\"}\n");
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.find(0), nullptr);
+  EXPECT_EQ(*store.find(0), "alpha");
+  EXPECT_EQ(store.find(1), nullptr);
+  ASSERT_NE(store.find(2), nullptr);
+  EXPECT_EQ(*store.find(2), "gamma");
+}
+
+TEST(CheckpointStore, SkipsTruncatedFinalLine) {
+  // A crash mid-append leaves the last record without its closing brace
+  // (or even mid-payload); the reader must drop it, not trust it.
+  std::istringstream in(
+      "{\"event\":\"payload\",\"id\":0,\"payload\":\"alpha\"}\n"
+      "{\"event\":\"payload\",\"id\":1,\"payload\":\"bet");
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+TEST(CheckpointStore, SkipsGarbageAndNonPayloadLines) {
+  std::istringstream in(
+      "not json at all\n"
+      "{\"event\":\"job\",\"id\":7,\"wall_ms\":1.000,\"outcome\":\"ok\"}\n"
+      "{\"event\":\"payload\",\"id\":5}\n"
+      "\n"
+      "{\"event\":\"payload\",\"id\":4,\"payload\":\"ok\"}\n");
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.find(4), nullptr);
+  EXPECT_EQ(*store.find(4), "ok");
+}
+
+TEST(CheckpointStore, LastPayloadWinsOnRepeatedId) {
+  // A resumed run appends to the same file, so a job that re-ran after an
+  // unparseable checkpoint has two records; the newest is the valid one.
+  std::istringstream in(
+      "{\"event\":\"payload\",\"id\":3,\"payload\":\"old\"}\n"
+      "{\"event\":\"payload\",\"id\":3,\"payload\":\"new\"}\n");
+  const auto store = runtime::CheckpointStore::load(in);
+  ASSERT_NE(store.find(3), nullptr);
+  EXPECT_EQ(*store.find(3), "new");
+}
+
+TEST(CheckpointStore, MissingFileYieldsEmptyStore) {
+  const auto store =
+      runtime::CheckpointStore::load_file("/nonexistent/progress.jsonl");
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(CheckpointStore, RoundTripsThroughRunReporter) {
+  std::ostringstream out;
+  runtime::RunReporter reporter(out);
+  reporter.run_started("replicate", 2, 1);
+  reporter.job_payload(0, "rp1 3 " + runtime::encode_double(1.0 / 3.0));
+  reporter.job_finished(0, 1.0, true);
+  reporter.job_payload(1, "with \"quotes\" and \\slashes\\");
+  std::istringstream in(out.str());
+  const auto store = runtime::CheckpointStore::load(in);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(*store.find(0), "rp1 3 " + runtime::encode_double(1.0 / 3.0));
+  EXPECT_EQ(*store.find(1), "with \"quotes\" and \\slashes\\");
+}
+
+// --- kill-and-resume ------------------------------------------------------
+
+exp::Scenario tiny_scenario() {
+  exp::Scenario s;
+  s.num_items = 40;
+  s.num_requests = 2000;
+  return s;
+}
+
+void expect_same_summary(const exp::ReplicationSummary& a,
+                         const exp::ReplicationSummary& b) {
+  EXPECT_EQ(a.overall_delay.mean(), b.overall_delay.mean());
+  EXPECT_EQ(a.overall_delay.variance(), b.overall_delay.variance());
+  EXPECT_EQ(a.total_cost.mean(), b.total_cost.mean());
+  EXPECT_EQ(a.blocking.mean(), b.blocking.mean());
+  EXPECT_EQ(a.pull_queue_len.mean(), b.pull_queue_len.mean());
+  ASSERT_EQ(a.class_delay.size(), b.class_delay.size());
+  for (std::size_t c = 0; c < a.class_delay.size(); ++c) {
+    EXPECT_EQ(a.class_delay[c].mean(), b.class_delay[c].mean());
+    EXPECT_EQ(a.class_delay[c].variance(), b.class_delay[c].variance());
+  }
+}
+
+/// Runs replicate_hybrid with a reporter, "kills" the run by keeping only
+/// the first `keep_chars` characters of the JSONL (as a crash would), then
+/// resumes with `resume_jobs` workers and checks bit-identity.
+void kill_and_resume(std::size_t jobs, std::size_t resume_jobs) {
+  const auto scenario = tiny_scenario();
+  core::HybridConfig config;
+  config.cutoff = 15;
+  const std::size_t reps = 6;
+
+  exp::ReplicateOptions plain;
+  plain.jobs = jobs;
+  const auto expected =
+      exp::replicate_hybrid(scenario, config, reps, plain);
+
+  // Full instrumented run to obtain a realistic JSONL...
+  std::ostringstream log;
+  {
+    runtime::RunReporter reporter(log);
+    exp::ReplicateOptions opts;
+    opts.jobs = jobs;
+    opts.reporter = &reporter;
+    const auto logged =
+        exp::replicate_hybrid(scenario, config, reps, opts);
+    expect_same_summary(expected, logged);
+  }
+
+  // ...then truncate it mid-record, as a kill -9 would.
+  const std::string full = log.str();
+  const std::string truncated = full.substr(0, (2 * full.size()) / 3);
+  std::istringstream in(truncated);
+  const auto checkpoint = runtime::CheckpointStore::load(in);
+  EXPECT_LT(checkpoint.size(), reps);  // some work genuinely remains
+
+  std::ostringstream resumed_log;
+  runtime::RunReporter reporter(resumed_log);
+  exp::ReplicateOptions resume_opts;
+  resume_opts.jobs = resume_jobs;
+  resume_opts.reporter = &reporter;
+  resume_opts.resume = &checkpoint;
+  const auto resumed =
+      exp::replicate_hybrid(scenario, config, reps, resume_opts);
+  expect_same_summary(expected, resumed);
+}
+
+TEST(Resume, KilledSerialRunResumesBitIdentically) {
+  kill_and_resume(/*jobs=*/1, /*resume_jobs=*/1);
+}
+
+TEST(Resume, KilledParallelRunResumesBitIdentically) {
+  kill_and_resume(/*jobs=*/3, /*resume_jobs=*/3);
+}
+
+TEST(Resume, WorkerCountMayChangeAcrossResume) {
+  kill_and_resume(/*jobs=*/1, /*resume_jobs=*/4);
+}
+
+TEST(Resume, FullCheckpointRecomputesNothing) {
+  const auto scenario = tiny_scenario();
+  core::HybridConfig config;
+  config.cutoff = 15;
+  const std::size_t reps = 4;
+
+  std::ostringstream log;
+  exp::ReplicationSummary expected;
+  {
+    runtime::RunReporter reporter(log);
+    exp::ReplicateOptions opts;
+    opts.reporter = &reporter;
+    expected = exp::replicate_hybrid(scenario, config, reps, opts);
+  }
+  std::istringstream in(log.str());
+  const auto checkpoint = runtime::CheckpointStore::load(in);
+  ASSERT_EQ(checkpoint.size(), reps);
+
+  // No reporter this time: if a replication re-ran it could not be
+  // checkpointed, and the summaries must still match from payloads alone.
+  exp::ReplicateOptions resume_opts;
+  resume_opts.resume = &checkpoint;
+  const auto resumed =
+      exp::replicate_hybrid(scenario, config, reps, resume_opts);
+  expect_same_summary(expected, resumed);
+}
+
+TEST(Resume, CorruptPayloadFailsLoudly) {
+  const auto scenario = tiny_scenario();
+  core::HybridConfig config;
+  config.cutoff = 15;
+  std::istringstream in(
+      "{\"event\":\"payload\",\"id\":0,\"payload\":\"zz9 not-a-partial\"}\n");
+  const auto checkpoint = runtime::CheckpointStore::load(in);
+  exp::ReplicateOptions opts;
+  opts.resume = &checkpoint;
+  EXPECT_THROW((void)exp::replicate_hybrid(scenario, config, 2, opts),
+               std::runtime_error);
+}
+
+// --- resumable_sweep ------------------------------------------------------
+
+TEST(Resume, ResumableSweepRestoresCheckpointedPoints) {
+  auto fn = [](std::size_t i) { return static_cast<double>(i) * 1.5; };
+  auto ser = [](double v) { return runtime::encode_double(v); };
+  auto de = [](const std::string& p) { return runtime::decode_double(p); };
+
+  std::ostringstream log;
+  std::vector<double> expected;
+  {
+    runtime::RunReporter reporter(log);
+    exp::SweepOptions opts;
+    opts.reporter = &reporter;
+    expected = exp::resumable_sweep(5, fn, ser, de, opts);
+  }
+  std::istringstream in(log.str());
+  const auto checkpoint = runtime::CheckpointStore::load(in);
+  ASSERT_EQ(checkpoint.size(), 5u);
+
+  // Resume with a poisoned fn: any recomputation would be visible.
+  auto poisoned = [](std::size_t) -> double {
+    throw std::runtime_error("should not recompute");
+  };
+  exp::SweepOptions resume_opts;
+  resume_opts.resume = &checkpoint;
+  const auto resumed =
+      exp::resumable_sweep(5, poisoned, ser, de, resume_opts);
+  EXPECT_EQ(resumed, expected);
+}
+
+}  // namespace
+}  // namespace pushpull

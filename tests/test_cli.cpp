@@ -85,14 +85,61 @@ TEST(ArgParser, GetJobsExplicitValue) {
   EXPECT_EQ(args.get_jobs("jobs"), 4u);
 }
 
-TEST(ArgParser, GetJobsZeroMeansAuto) {
+TEST(ArgParser, GetJobsRejectsExplicitZero) {
+  // Auto is requested by *omitting* the flag; an explicit --jobs 0 is a
+  // mistake and must fail loudly rather than silently meaning "auto".
   const auto args = parse({"replicate", "--jobs", "0"});
-  EXPECT_GE(args.get_jobs("jobs"), 1u);
+  try {
+    (void)args.get_jobs("jobs");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+  }
 }
 
 TEST(ArgParser, GetJobsRejectsGarbage) {
   const auto args = parse({"replicate", "--jobs", "lots"});
   EXPECT_THROW((void)args.get_jobs("jobs"), std::invalid_argument);
+}
+
+TEST(ArgParser, GetJobsRejectsMissingValue) {
+  // `--jobs` with no value parses as a boolean flag; get_jobs must reject
+  // the empty value instead of defaulting.
+  const auto args = parse({"replicate", "--jobs"});
+  EXPECT_THROW((void)args.get_jobs("jobs"), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsTrailingGarbageOnIntegers) {
+  // std::stoull would silently parse "12abc" as 12; the parser must not.
+  const auto args = parse({"--cutoff", "12abc"});
+  EXPECT_THROW((void)args.get_size("cutoff", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsNegativeCounts) {
+  // std::stoull wraps "-5" to a huge unsigned value; the parser must not.
+  const auto args = parse({"--cutoff", "-5"});
+  EXPECT_THROW((void)args.get_size("cutoff", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsTrailingGarbageOnDoubles) {
+  const auto args = parse({"--theta", "0.6x"});
+  EXPECT_THROW((void)args.get_double("theta", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, RequireKnownAcceptsListedOptions) {
+  const auto args = parse({"simulate", "--theta", "0.6", "--csv"});
+  EXPECT_NO_THROW(args.require_known({"theta", "csv"}));
+  EXPECT_NO_THROW(args.require_known({"theta"}, {"csv"}));
+}
+
+TEST(ArgParser, RequireKnownRejectsUnknownOption) {
+  const auto args = parse({"simulate", "--cutof", "40"});
+  try {
+    args.require_known({"cutoff", "theta"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--cutof"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 // facade and the table printer.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "exp/scenario.hpp"
 #include "exp/table.hpp"
@@ -61,6 +64,61 @@ TEST(Scenario, ThetaPropagatesToCatalog) {
 }
 
 // -------------------------------------------------------------------- Table
+
+TEST(Scenario, ValidateRejectsNonPositiveArrivalRate) {
+  Scenario s;
+  s.arrival_rate = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.arrival_rate = -2.0;
+  EXPECT_THROW((void)s.build(), std::invalid_argument);
+  s.arrival_rate = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, ValidateRejectsZeroLengthItems) {
+  Scenario s;
+  s.min_length = 0;
+  try {
+    s.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("min_length"), std::string::npos);
+  }
+}
+
+TEST(Scenario, ValidateRejectsInvertedLengthBounds) {
+  Scenario s;
+  s.min_length = 4;
+  s.max_length = 2;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, ValidateRejectsZeroCounts) {
+  Scenario items;
+  items.num_items = 0;
+  EXPECT_THROW(items.validate(), std::invalid_argument);
+  Scenario classes;
+  classes.num_classes = 0;
+  EXPECT_THROW(classes.validate(), std::invalid_argument);
+  Scenario requests;
+  requests.num_requests = 0;
+  EXPECT_THROW(requests.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, ValidateAcceptsPaperDefaults) {
+  EXPECT_NO_THROW(Scenario{}.validate());
+}
+
+TEST(Scenario, CutoffBeyondCatalogRejectedByServer) {
+  Scenario s;
+  s.num_items = 20;
+  s.num_requests = 100;
+  const auto built = s.build();
+  core::HybridConfig config;
+  config.cutoff = 21;  // one past the catalog
+  EXPECT_THROW(core::HybridServer(built.catalog, built.population, config),
+               std::invalid_argument);
+}
 
 TEST(Table, AlignsColumns) {
   Table t({"name", "value"});

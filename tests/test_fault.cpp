@@ -1,0 +1,293 @@
+// Fault-injection layer: Gilbert–Elliott channel statistics, bit-invisible
+// defaults, bounded-retry recovery, overload shedding and the conservation
+// law arrived = served + blocked + abandoned + shed + lost.
+#include <gtest/gtest.h>
+
+#include "core/hybrid_server.hpp"
+#include "exp/scenario.hpp"
+#include "fault/channel.hpp"
+#include "fault/fault_config.hpp"
+#include "fault/retry.hpp"
+#include "fault/shedding.hpp"
+#include "rng/stream.hpp"
+
+namespace pushpull {
+namespace {
+
+exp::Scenario small_scenario() {
+  exp::Scenario s;
+  s.num_items = 50;
+  s.num_requests = 5000;
+  return s;
+}
+
+void expect_identical(const core::SimResult& a, const core::SimResult& b) {
+  EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.push_transmissions, b.push_transmissions);
+  EXPECT_EQ(a.pull_transmissions, b.pull_transmissions);
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    EXPECT_EQ(a.per_class[c].arrived, b.per_class[c].arrived);
+    EXPECT_EQ(a.per_class[c].served, b.per_class[c].served);
+    EXPECT_DOUBLE_EQ(a.per_class[c].wait.mean(), b.per_class[c].wait.mean());
+    EXPECT_DOUBLE_EQ(a.per_class[c].wait.max(), b.per_class[c].wait.max());
+  }
+}
+
+// --- channel --------------------------------------------------------------
+
+TEST(GilbertElliottChannel, AllGoodChannelNeverCorrupts) {
+  fault::ChannelConfig config;  // defaults: never leaves the good state
+  fault::GilbertElliottChannel channel(config,
+                                       rng::StreamFactory(1).stream("c"));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(channel.corrupts());
+  EXPECT_EQ(channel.transmissions(), 1000u);
+  EXPECT_EQ(channel.corrupted(), 0u);
+  EXPECT_EQ(channel.bad_state_transmissions(), 0u);
+}
+
+TEST(GilbertElliottChannel, AlwaysBadAlwaysCorrupts) {
+  fault::ChannelConfig config;
+  config.p_good_to_bad = 1.0;
+  config.p_bad_to_good = 0.0;
+  config.corrupt_bad = 1.0;
+  fault::GilbertElliottChannel channel(config,
+                                       rng::StreamFactory(1).stream("c"));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(channel.corrupts());
+  EXPECT_EQ(channel.bad_state_transmissions(), 100u);
+}
+
+TEST(GilbertElliottChannel, BadStateFractionTracksStationaryDistribution) {
+  fault::ChannelConfig config;
+  config.p_good_to_bad = 0.1;
+  config.p_bad_to_good = 0.3;
+  config.corrupt_bad = 1.0;
+  fault::GilbertElliottChannel channel(config,
+                                       rng::StreamFactory(7).stream("c"));
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) (void)channel.corrupts();
+  const double fraction =
+      static_cast<double>(channel.bad_state_transmissions()) / n;
+  EXPECT_NEAR(fraction, config.stationary_bad(), 0.01);  // 0.25 exactly
+}
+
+TEST(GilbertElliottChannel, ResetRestoresGoodStateAndCounters) {
+  fault::ChannelConfig config;
+  config.p_good_to_bad = 1.0;
+  config.corrupt_bad = 1.0;
+  fault::GilbertElliottChannel channel(config,
+                                       rng::StreamFactory(1).stream("c"));
+  (void)channel.corrupts();
+  channel.reset(rng::StreamFactory(1).stream("c"));
+  EXPECT_EQ(channel.transmissions(), 0u);
+  EXPECT_EQ(channel.corrupted(), 0u);
+}
+
+TEST(ChannelConfig, RejectsOutOfRangeProbabilities) {
+  fault::ChannelConfig config;
+  config.p_good_to_bad = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.p_good_to_bad = 0.5;
+  config.corrupt_bad = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(RetryConfig, BackoffGrowsExponentially) {
+  fault::RetryConfig retry;
+  retry.backoff_base = 1.5;
+  retry.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(retry.backoff_delay(1), 1.5);
+  EXPECT_DOUBLE_EQ(retry.backoff_delay(2), 3.0);
+  EXPECT_DOUBLE_EQ(retry.backoff_delay(3), 6.0);
+}
+
+TEST(ShedPolicy, ParseRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(fault::parse_shed_policy("tail"), fault::ShedPolicy::kDropTail);
+  EXPECT_EQ(fault::parse_shed_policy("priority"),
+            fault::ShedPolicy::kDropLowestPriority);
+  EXPECT_THROW((void)fault::parse_shed_policy("random"),
+               std::invalid_argument);
+}
+
+// --- determinism guarantees ----------------------------------------------
+
+TEST(FaultInjection, DisabledFaultConfigIsBitInvisible) {
+  const auto built = small_scenario().build();
+  core::HybridConfig plain;
+  plain.cutoff = 20;
+  core::HybridConfig with_default_fault = plain;
+  with_default_fault.fault = fault::FaultConfig{};  // explicit default
+  expect_identical(exp::run_hybrid(built, plain),
+                   exp::run_hybrid(built, with_default_fault));
+}
+
+TEST(FaultInjection, ZeroErrorChannelMatchesFaultFreeRunExactly) {
+  // Enabling the channel with zero corruption probability draws from its
+  // own named rng stream, so the demand/patience streams are untouched and
+  // the results are *exactly* equal, not just within tolerance.
+  const auto built = small_scenario().build();
+  core::HybridConfig plain;
+  plain.cutoff = 20;
+  core::HybridConfig zero_error = plain;
+  zero_error.fault.enabled = true;
+  zero_error.fault.channel.p_good_to_bad = 0.2;  // visits the bad state...
+  zero_error.fault.channel.corrupt_good = 0.0;   // ...but never corrupts
+  zero_error.fault.channel.corrupt_bad = 0.0;
+  expect_identical(exp::run_hybrid(built, plain),
+                   exp::run_hybrid(built, zero_error));
+}
+
+TEST(FaultInjection, FaultyRunIsDeterministic) {
+  const auto built = small_scenario().build();
+  core::HybridConfig config;
+  config.cutoff = 20;
+  config.fault.enabled = true;
+  config.fault.channel.p_good_to_bad = 0.1;
+  config.fault.channel.p_bad_to_good = 0.3;
+  config.fault.channel.corrupt_bad = 0.7;
+  expect_identical(exp::run_hybrid(built, config),
+                   exp::run_hybrid(built, config));
+}
+
+// --- recovery accounting --------------------------------------------------
+
+TEST(FaultInjection, CorruptionDelaysButStillServesWithoutPatience) {
+  const auto built = small_scenario().build();
+  core::HybridConfig clean;
+  clean.cutoff = 20;
+  core::HybridConfig noisy = clean;
+  noisy.fault.enabled = true;
+  noisy.fault.channel.p_good_to_bad = 0.1;
+  noisy.fault.channel.p_bad_to_good = 0.3;
+  noisy.fault.channel.corrupt_bad = 0.7;
+  noisy.fault.retry.max_retries = 50;  // effectively unbounded
+
+  const auto before = exp::run_hybrid(built, clean);
+  const auto after = exp::run_hybrid(built, noisy);
+  EXPECT_EQ(after.overall().served, after.overall().arrived);
+  EXPECT_GT(after.overall().wait.mean(), before.overall().wait.mean());
+  EXPECT_GT(after.overall().corrupted, 0u);
+  EXPECT_GT(after.corrupted_push_transmissions +
+                after.corrupted_pull_transmissions,
+            0u);
+}
+
+TEST(FaultInjection, BoundedRetriesProduceLostRequests) {
+  const auto built = small_scenario().build();
+  core::HybridConfig config;
+  config.cutoff = 20;
+  config.fault.enabled = true;
+  config.fault.channel.p_good_to_bad = 0.5;
+  config.fault.channel.p_bad_to_good = 0.2;
+  config.fault.channel.corrupt_bad = 0.9;
+  config.fault.retry.max_retries = 1;
+
+  const auto result = exp::run_hybrid(built, config);
+  const auto overall = result.overall();
+  EXPECT_GT(overall.lost, 0u);
+  EXPECT_GT(overall.retries, 0u);
+  EXPECT_LT(overall.goodput_ratio(), 1.0);
+  EXPECT_EQ(overall.served + overall.blocked + overall.abandoned +
+                overall.shed + overall.lost,
+            overall.arrived);
+}
+
+TEST(FaultInjection, ConservationHoldsWithPatienceAndFaults) {
+  const auto built = small_scenario().build();
+  core::HybridConfig config;
+  config.cutoff = 20;
+  config.mean_patience = 30.0;
+  config.fault.enabled = true;
+  config.fault.channel.p_good_to_bad = 0.2;
+  config.fault.channel.p_bad_to_good = 0.3;
+  config.fault.channel.corrupt_bad = 0.6;
+  config.fault.retry.max_retries = 2;
+  config.fault.queue_capacity = 16;
+
+  const auto result = exp::run_hybrid(built, config);
+  for (const auto& s : result.per_class) {
+    EXPECT_EQ(s.served + s.blocked + s.abandoned + s.shed + s.lost,
+              s.arrived);
+  }
+}
+
+// --- overload shedding ----------------------------------------------------
+
+TEST(FaultInjection, BoundedQueueShedsUnderLoadDropTail) {
+  auto scenario = small_scenario();
+  scenario.arrival_rate = 10.0;  // overload a pure-pull server
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 0;
+  config.fault.queue_capacity = 4;
+  config.fault.shed_policy = fault::ShedPolicy::kDropTail;
+
+  const auto result = exp::run_hybrid(built, config);
+  const auto overall = result.overall();
+  EXPECT_GT(overall.shed, 0u);
+  EXPECT_EQ(overall.served + overall.shed + overall.blocked, overall.arrived);
+  EXPECT_LT(overall.goodput_ratio(), 1.0);
+}
+
+TEST(FaultInjection, PrioritySheddingProtectsHighPriorityClass) {
+  auto scenario = small_scenario();
+  scenario.arrival_rate = 10.0;
+  const auto built = scenario.build();
+  core::HybridConfig config;
+  config.cutoff = 0;
+  config.fault.queue_capacity = 4;
+  config.fault.shed_policy = fault::ShedPolicy::kDropLowestPriority;
+
+  const auto result = exp::run_hybrid(built, config);
+  // Class A (priority 3) must lose a smaller fraction than class C
+  // (priority 1) — that is the whole point of the policy.
+  const auto& a = result.per_class[0];
+  const auto& c = result.per_class[2];
+  ASSERT_GT(a.arrived, 0u);
+  ASSERT_GT(c.arrived, 0u);
+  const double shed_a =
+      static_cast<double>(a.shed) / static_cast<double>(a.arrived);
+  const double shed_c =
+      static_cast<double>(c.shed) / static_cast<double>(c.arrived);
+  EXPECT_LT(shed_a, shed_c);
+  EXPECT_GT(result.overall().shed, 0u);
+}
+
+TEST(FaultInjection, ShedCountMonotoneInOfferedLoad) {
+  std::uint64_t previous = 0;
+  for (const double rate : {2.0, 5.0, 10.0}) {
+    auto scenario = small_scenario();
+    scenario.arrival_rate = rate;
+    const auto built = scenario.build();
+    core::HybridConfig config;
+    config.cutoff = 0;
+    config.fault.queue_capacity = 4;
+    const auto result = exp::run_hybrid(built, config);
+    EXPECT_GE(result.overall().shed, previous);
+    previous = result.overall().shed;
+  }
+}
+
+TEST(FaultConfig, ValidatesNestedConfigs) {
+  fault::FaultConfig config;
+  EXPECT_FALSE(config.active());
+  EXPECT_NO_THROW(config.validate());
+  config.queue_capacity = 5;
+  EXPECT_TRUE(config.active());
+  config.retry.backoff_base = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FaultConfig, HybridServerRejectsInvalidFaultConfig) {
+  const auto built = small_scenario().build();
+  core::HybridConfig config;
+  config.cutoff = 10;
+  config.fault.enabled = true;
+  config.fault.channel.p_bad_to_good = 2.0;
+  EXPECT_THROW(
+      core::HybridServer(built.catalog, built.population, config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pushpull

@@ -6,15 +6,20 @@
 //   pushpull optimize  [--theta T] [--alpha A] [--step STEP] [--analytic]
 //   pushpull model     [--theta T] [--alpha A] [--cutoff K]
 //   pushpull replicate [--theta T] [--alpha A] [--cutoff K] [--reps R]
-//                      [--jobs N] [--progress FILE]
+//                      [--jobs N] [--progress FILE] [--resume]
 //   pushpull trace     --out FILE [--requests N] [--seed S]
 //
 // All commands run the paper's §5.1 scenario (D = 100 items, λ' = 5,
-// lengths 1..5 mean 2, three classes) with the given overrides.
+// lengths 1..5 mean 2, three classes) with the given overrides. Fault
+// injection (`--fault*`, `--queue-cap`, `--shed`) applies wherever the
+// hybrid server runs; see `pushpull help`.
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/adaptive_server.hpp"
 #include "core/closed_loop.hpp"
@@ -22,6 +27,8 @@
 #include "core/multichannel_server.hpp"
 #include "exp/cli.hpp"
 #include "exp/replication.hpp"
+#include "fault/fault_config.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/run_reporter.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
@@ -58,6 +65,23 @@ sched::PullPolicyKind policy_from(const std::string& name) {
   throw std::invalid_argument("unknown pull policy: " + name);
 }
 
+fault::FaultConfig fault_from(const exp::ArgParser& args) {
+  fault::FaultConfig f;
+  f.enabled = args.has("fault");
+  f.channel.p_good_to_bad = args.get_double("fault-p-gb", 0.05);
+  f.channel.p_bad_to_good = args.get_double("fault-p-bg", 0.30);
+  f.channel.corrupt_good = args.get_double("fault-corrupt-good", 0.0);
+  f.channel.corrupt_bad = args.get_double("fault-corrupt-bad", 0.5);
+  f.retry.max_retries =
+      static_cast<std::uint32_t>(args.get_size("fault-retries", 3));
+  f.retry.backoff_base = args.get_double("fault-backoff", 1.0);
+  f.retry.backoff_multiplier = args.get_double("fault-backoff-mult", 2.0);
+  f.queue_capacity = args.get_size("queue-cap", 0);
+  f.shed_policy = fault::parse_shed_policy(args.get_string("shed", "tail"));
+  f.validate();
+  return f;
+}
+
 core::HybridConfig config_from(const exp::ArgParser& args) {
   core::HybridConfig config;
   config.cutoff = args.get_size("cutoff", 40);
@@ -68,8 +92,21 @@ core::HybridConfig config_from(const exp::ArgParser& args) {
   config.mean_bandwidth_demand = args.get_double("demand", 1.0);
   config.mean_patience = args.get_double("patience", 0.0);
   config.seed = args.get_u64("seed", 1);
+  config.fault = fault_from(args);
   return config;
 }
+
+// Options shared by scenario_from / config_from / print_table; each command
+// passes these plus its own extras to require_known so a typo fails with a
+// one-line diagnostic instead of silently running the default experiment.
+const std::initializer_list<std::string_view> kScenarioOpts = {
+    "theta", "items", "rate", "requests", "seed", "jobs", "csv"};
+const std::initializer_list<std::string_view> kConfigOpts = {
+    "theta", "items", "rate", "requests", "seed", "jobs", "csv",
+    "cutoff", "alpha", "policy", "bandwidth", "demand", "patience",
+    "fault", "fault-p-gb", "fault-p-bg", "fault-corrupt-good",
+    "fault-corrupt-bad", "fault-retries", "fault-backoff",
+    "fault-backoff-mult", "queue-cap", "shed"};
 
 void print_table(const exp::Table& table, const exp::ArgParser& args) {
   if (args.has("csv")) {
@@ -80,6 +117,7 @@ void print_table(const exp::Table& table, const exp::ArgParser& args) {
 }
 
 int cmd_simulate(const exp::ArgParser& args) {
+  args.require_known(kConfigOpts, {"report"});
   const auto scenario = scenario_from(args);
   const auto built = scenario.build();
   const core::HybridConfig config = config_from(args);
@@ -102,30 +140,53 @@ int cmd_simulate(const exp::ArgParser& args) {
     std::cout << "wrote report to " << report_path << "\n";
   }
 
-  exp::Table table({"class", "priority", "arrived", "mean delay", "max delay",
-                    "blocked", "abandoned", "p-cost"});
+  // Fault columns appear only when fault injection is on, so the default
+  // output stays byte-identical to a fault-free build.
+  const bool faulty = config.fault.active();
+  std::vector<std::string> columns = {"class",     "priority",  "arrived",
+                                      "mean delay", "max delay", "blocked",
+                                      "abandoned"};
+  if (faulty) {
+    for (const char* c : {"corrupted", "retries", "shed", "lost", "goodput"})
+      columns.emplace_back(c);
+  }
+  columns.emplace_back("p-cost");
+  exp::Table table(columns);
   for (workload::ClassId c = 0; c < built.population.num_classes(); ++c) {
     const auto& stats = r.per_class[c];
-    table.row()
+    auto& row = table.row()
         .add(std::string(built.population.cls(c).name))
         .add(built.population.priority(c), 0)
         .add(static_cast<std::size_t>(stats.arrived))
         .add(stats.wait.mean(), 2)
         .add(stats.wait.max(), 2)
         .add(static_cast<std::size_t>(stats.blocked))
-        .add(static_cast<std::size_t>(stats.abandoned))
-        .add(r.prioritized_cost(built.population, c), 2);
+        .add(static_cast<std::size_t>(stats.abandoned));
+    if (faulty) {
+      row.add(static_cast<std::size_t>(stats.corrupted))
+          .add(static_cast<std::size_t>(stats.retries))
+          .add(static_cast<std::size_t>(stats.shed))
+          .add(static_cast<std::size_t>(stats.lost))
+          .add(stats.goodput_ratio(), 4);
+    }
+    row.add(r.prioritized_cost(built.population, c), 2);
   }
   print_table(table, args);
   std::cout << "overall delay " << r.overall().wait.mean()
             << ", total prioritized cost "
             << r.total_prioritized_cost(built.population) << ", push tx "
-            << r.push_transmissions << ", pull tx " << r.pull_transmissions
-            << "\n";
+            << r.push_transmissions << ", pull tx " << r.pull_transmissions;
+  if (faulty) {
+    std::cout << ", corrupted tx " << r.corrupted_push_transmissions << "+"
+              << r.corrupted_pull_transmissions << ", shed "
+              << r.overall().shed << ", lost " << r.overall().lost;
+  }
+  std::cout << "\n";
   return 0;
 }
 
 int cmd_optimize(const exp::ArgParser& args) {
+  args.require_known(kScenarioOpts, {"alpha", "step", "analytic"});
   const auto scenario = scenario_from(args);
   const double alpha = args.get_double("alpha", 0.5);
   const std::size_t step = args.get_size("step", 5);
@@ -159,6 +220,7 @@ int cmd_optimize(const exp::ArgParser& args) {
 }
 
 int cmd_model(const exp::ArgParser& args) {
+  args.require_known(kScenarioOpts, {"alpha", "cutoff"});
   const auto scenario = scenario_from(args);
   const auto built = scenario.build();
   const double alpha = args.get_double("alpha", 0.5);
@@ -184,6 +246,7 @@ int cmd_model(const exp::ArgParser& args) {
 }
 
 int cmd_replicate(const exp::ArgParser& args) {
+  args.require_known(kConfigOpts, {"reps", "progress", "resume"});
   const auto scenario = scenario_from(args);
   const core::HybridConfig config = config_from(args);
   const std::size_t reps = args.get_size("reps", 10);
@@ -192,9 +255,27 @@ int cmd_replicate(const exp::ArgParser& args) {
   options.jobs = scenario.jobs;
   std::ofstream progress;
   std::unique_ptr<runtime::RunReporter> reporter;
+  runtime::CheckpointStore checkpoint;
   const std::string progress_path = args.get_string("progress", "");
+  const bool resume = args.has("resume");
+  if (resume && progress_path.empty()) {
+    std::cerr << "replicate: --resume needs --progress FILE (the JSONL file "
+                 "of the interrupted run)\n";
+    return 2;
+  }
   if (!progress_path.empty()) {
-    progress.open(progress_path);
+    if (resume) {
+      // Restore completed replications, then append new records to the same
+      // file so a second crash is also resumable.
+      checkpoint = runtime::CheckpointStore::load_file(progress_path);
+      options.resume = &checkpoint;
+      std::cout << "resuming: " << checkpoint.size() << "/" << reps
+                << " replications already checkpointed in " << progress_path
+                << "\n";
+      progress.open(progress_path, std::ios::app);
+    } else {
+      progress.open(progress_path);
+    }
     if (!progress) {
       std::cerr << "replicate: cannot open " << progress_path << "\n";
       return 2;
@@ -230,6 +311,8 @@ int cmd_replicate(const exp::ArgParser& args) {
 int cmd_adaptive(const exp::ArgParser& args) {
   // Runs the adaptive server on a drifting workload and prints the cutoff
   // trajectory alongside the delivered QoS.
+  args.require_known(kScenarioOpts, {"epoch", "shift", "cutoff", "alpha",
+                                     "interval", "half-life"});
   const auto scenario = scenario_from(args);
   catalog::Catalog cat(scenario.num_items, scenario.theta,
                        catalog::LengthModel(scenario.min_length,
@@ -269,6 +352,7 @@ int cmd_adaptive(const exp::ArgParser& args) {
 }
 
 int cmd_multichannel(const exp::ArgParser& args) {
+  args.require_known(kScenarioOpts, {"cutoff", "alpha", "channels"});
   const auto built = scenario_from(args).build();
   core::MultiChannelConfig config;
   config.cutoff = args.get_size("cutoff", 40);
@@ -294,6 +378,8 @@ int cmd_multichannel(const exp::ArgParser& args) {
 }
 
 int cmd_closedloop(const exp::ArgParser& args) {
+  args.require_known(kScenarioOpts, {"clients", "think-rate", "cutoff",
+                                     "alpha", "horizon"});
   const auto scenario = scenario_from(args);
   catalog::Catalog cat(scenario.num_items, scenario.theta,
                        catalog::LengthModel(scenario.min_length,
@@ -327,6 +413,7 @@ int cmd_closedloop(const exp::ArgParser& args) {
 }
 
 int cmd_uplink(const exp::ArgParser& args) {
+  args.require_known(kScenarioOpts, {"slot", "retry"});
   const auto built = scenario_from(args).build();
   uplink::AlohaConfig config;
   config.slot_duration = args.get_double("slot", 0.1);
@@ -346,6 +433,7 @@ int cmd_uplink(const exp::ArgParser& args) {
 }
 
 int cmd_trace(const exp::ArgParser& args) {
+  args.require_known(kScenarioOpts, {"out"});
   const std::string out = args.get_string("out", "");
   if (out.empty()) {
     std::cerr << "trace: --out FILE is required\n";
@@ -387,7 +475,24 @@ common options:
   --jobs N     worker threads for replicate (default: all hardware threads;
                --jobs 1 = serial). Seeds derive from the replication index,
                so results are identical for every N.
-  --progress FILE  write JSONL progress lines (one per finished replication)
+  --progress FILE  write JSONL progress + checkpoint lines (one per finished
+               replication); also the input for --resume
+  --resume     with --progress FILE: restore replications already
+               checkpointed in FILE (from a killed run) and compute only the
+               rest; the summary is bit-identical to an uninterrupted run
+
+fault injection (simulate / replicate):
+  --fault      enable the Gilbert-Elliott burst-error downlink channel
+  --fault-p-gb P / --fault-p-bg P   good->bad / bad->good transition
+               probabilities per transmission (default 0.05 / 0.30)
+  --fault-corrupt-good P / --fault-corrupt-bad P   corruption probability in
+               the good / bad state (default 0.0 / 0.5)
+  --fault-retries N    re-request attempts before a pull item is lost (3)
+  --fault-backoff B / --fault-backoff-mult M   exponential backoff: retry k
+               waits B*M^(k-1) broadcast units (default 1.0 / 2.0)
+  --queue-cap N    bound the pull queue at N requests (0 = unbounded)
+  --shed {tail,priority}   overload policy at the cap: refuse the newcomer
+               (tail) or evict the lowest-importance request (priority)
 )";
 }
 
