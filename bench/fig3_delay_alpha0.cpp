@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "metrics/float_compare.hpp"
 
 int main(int argc, char** argv) {
   using namespace pushpull;
@@ -42,7 +43,9 @@ int main(int argc, char** argv) {
           .add(r.mean_wait(1), 2)
           .add(r.mean_wait(2), 2)
           .add(r.overall().wait.mean(), 2);
-      if (theta == 0.60) {
+      // Grid values come from the same literal list, so bit-exact match
+      // is the right selector (approved helper, detlint D4).
+      if (metrics::exactly_equal(theta, 0.60)) {
         const auto x = static_cast<double>(k);
         plot.series[0].points.emplace_back(x, r.mean_wait(0));
         plot.series[1].points.emplace_back(x, r.mean_wait(1));

@@ -1,8 +1,8 @@
 #include "core/adaptive_server.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "core/cutoff_optimizer.hpp"
 #include "queueing/access_time.hpp"
@@ -153,7 +153,10 @@ void AdaptiveHybridServer::serve_next(bool just_did_push) {
 }
 
 void AdaptiveHybridServer::start_push() {
-  assert(!push_list_.empty());
+  if (push_list_.empty()) {
+    throw std::logic_error(
+        "AdaptiveHybridServer: start_push() with an empty push list");
+  }
   if (push_pos_ >= push_list_.size()) push_pos_ = 0;
   const catalog::ItemId item = push_list_[push_pos_++];
   std::vector<workload::Request> catching = std::move(push_waiters_[item]);
@@ -175,7 +178,10 @@ void AdaptiveHybridServer::start_pull() {
   ctx.now = now;
   ctx.expected_queue_len = now > 0.0 ? queue_len_area_ / now : 1.0;
   auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
-  assert(entry.has_value());
+  if (!entry.has_value()) {
+    throw std::logic_error(
+        "AdaptiveHybridServer: non-empty pull queue yielded no entry");
+  }
   sim_.schedule_in(entry->length, [this, entry = std::move(*entry)]() {
     ++pull_transmissions_;
     for (const auto& r : entry.pending) deliver(r, false);

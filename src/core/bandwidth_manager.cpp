@@ -1,7 +1,7 @@
 #include "core/bandwidth_manager.hpp"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace pushpull::core {
 
@@ -31,7 +31,11 @@ BandwidthManager::BandwidthManager(double total, std::size_t num_classes)
 
 bool BandwidthManager::try_acquire(workload::ClassId cls, double demand) {
   if (unconstrained()) return true;
-  assert(cls < capacity_.size());
+  if (cls >= capacity_.size()) {
+    throw std::logic_error("BandwidthManager: class " + std::to_string(cls) +
+                           " out of range (" +
+                           std::to_string(capacity_.size()) + " classes)");
+  }
   if (demand > available_[cls]) {
     ++rejected_;
     return false;
@@ -43,9 +47,18 @@ bool BandwidthManager::try_acquire(workload::ClassId cls, double demand) {
 
 void BandwidthManager::release(workload::ClassId cls, double demand) {
   if (unconstrained()) return;
-  assert(cls < capacity_.size());
+  if (cls >= capacity_.size()) {
+    throw std::logic_error("BandwidthManager: class " + std::to_string(cls) +
+                           " out of range (" +
+                           std::to_string(capacity_.size()) + " classes)");
+  }
   available_[cls] += demand;
-  assert(available_[cls] <= capacity_[cls] + 1e-9);
+  if (available_[cls] > capacity_[cls] + 1e-9) {
+    throw std::logic_error(
+        "BandwidthManager: release exceeds class " + std::to_string(cls) +
+        " capacity (available " + std::to_string(available_[cls]) +
+        " > capacity " + std::to_string(capacity_[cls]) + ")");
+  }
 }
 
 }  // namespace pushpull::core

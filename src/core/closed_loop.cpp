@@ -1,7 +1,7 @@
 #include "core/closed_loop.hpp"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "rng/exponential.hpp"
 #include "rng/stream.hpp"
@@ -69,7 +69,12 @@ void ClosedLoopServer::issue_request(std::size_t client) {
   // The request id doubles as the key back to its client: ids are dense,
   // so a vector indexed by id works as the owner map.
   owners_.push_back(client);
-  assert(owners_.size() == request.id + 1);
+  if (owners_.size() != request.id + 1) {
+    throw std::logic_error(
+        "ClosedLoopServer: request ids are not dense (id " +
+        std::to_string(request.id) + ", owners " +
+        std::to_string(owners_.size()) + ")");
+  }
 
   if (measured(request.arrival)) collector_->record_arrival(request.cls);
   if (request.item < config_.cutoff) {
@@ -128,7 +133,10 @@ void ClosedLoopServer::start_pull() {
   ctx.now = sim_.now();
   ctx.expected_queue_len = static_cast<double>(pull_queue_.total_requests());
   auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
-  assert(entry.has_value());
+  if (!entry.has_value()) {
+    throw std::logic_error(
+        "ClosedLoopServer: non-empty pull queue yielded no entry");
+  }
   sim_.schedule_in(entry->length, [this, entry = std::move(*entry)]() {
     ++pull_transmissions_;
     for (const auto& r : entry.pending) deliver(r, false);

@@ -1,7 +1,7 @@
 #include "core/multichannel_server.hpp"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace pushpull::core {
 
@@ -75,7 +75,11 @@ void MultiChannelServer::try_dispatch_pulls() {
 }
 
 void MultiChannelServer::dispatch_pull(std::size_t channel) {
-  assert(!channel_busy_[channel]);
+  if (channel_busy_[channel]) {
+    throw std::logic_error(
+        "MultiChannelServer: dispatch on busy pull channel " +
+        std::to_string(channel));
+  }
   const des::SimTime now = sim_.now();
   queue_len_area_ += static_cast<double>(pull_queue_.total_requests()) *
                      (now - queue_len_last_t_);
@@ -84,7 +88,10 @@ void MultiChannelServer::dispatch_pull(std::size_t channel) {
   ctx.now = now;
   ctx.expected_queue_len = now > 0.0 ? queue_len_area_ / now : 1.0;
   auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
-  assert(entry.has_value());
+  if (!entry.has_value()) {
+    throw std::logic_error(
+        "MultiChannelServer: non-empty pull queue yielded no entry");
+  }
   channel_busy_[channel] = true;
   channel_airtime_[channel] += entry->length;
   sim_.schedule_in(entry->length,

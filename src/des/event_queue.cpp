@@ -1,12 +1,16 @@
 #include "des/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pushpull::des {
 
 void EventQueue::push(Event event) {
-  assert(!pending_.contains(event.id));
+  if (pending_.contains(event.id)) {
+    throw std::logic_error("EventQueue: duplicate event id " +
+                           std::to_string(event.id));
+  }
   pending_.insert(event.id);
   heap_.push_back(std::move(event));
   std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
@@ -23,7 +27,9 @@ void EventQueue::drop_cancelled_top() {
 
 Event EventQueue::pop() {
   drop_cancelled_top();
-  assert(!heap_.empty());
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: pop() on an empty queue");
+  }
   std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
   Event event = std::move(heap_.back());
   heap_.pop_back();
@@ -34,7 +40,9 @@ Event EventQueue::pop() {
 
 SimTime EventQueue::next_time() {
   drop_cancelled_top();
-  assert(!heap_.empty());
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: next_time() on an empty queue");
+  }
   return heap_.front().time;
 }
 

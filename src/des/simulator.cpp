@@ -1,13 +1,19 @@
 #include "des/simulator.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pushpull::des {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
   Event event = queue_.pop();
-  assert(event.time >= now_ && "event scheduled in the past");
+  if (event.time < now_) {
+    throw std::logic_error("Simulator: event " + std::to_string(event.id) +
+                           " scheduled in the past (t=" +
+                           std::to_string(event.time) + ", now=" +
+                           std::to_string(now_) + ")");
+  }
   now_ = event.time;
   ++dispatched_;
   event.action();

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "metrics/sorted_view.hpp"
+
 namespace pushpull::exp {
 
 namespace {
@@ -110,12 +112,19 @@ std::size_t ArgParser::get_jobs(const std::string& key) const {
 void ArgParser::require_known(
     std::initializer_list<std::string_view> allowed,
     std::initializer_list<std::string_view> extra) const {
-  for (const auto& [key, value] : options_) {
+  // Iterate a key-sorted view, not the unordered map: the diagnostic names
+  // the offending option(s), and which one leads must not depend on hash
+  // order (detlint D3).
+  std::string unknown;
+  for (const auto& [key, value] : metrics::sorted_view(options_)) {
     if (std::find(allowed.begin(), allowed.end(), key) == allowed.end() &&
         std::find(extra.begin(), extra.end(), key) == extra.end()) {
-      throw std::invalid_argument("unknown option --" + key +
-                                  " (run with no arguments for usage)");
+      unknown += (unknown.empty() ? "" : ", ") + ("--" + key);
     }
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown option " + unknown +
+                                " (run with no arguments for usage)");
   }
 }
 

@@ -1,0 +1,33 @@
+#pragma once
+
+namespace pushpull::metrics {
+
+/// Approved floating-point comparison helpers (detlint rule D4).
+///
+/// A raw `==`/`!=` on doubles is almost always a bug in metric code — but
+/// a handful of sites legitimately need bit-exact comparison (skipping
+/// states with exactly-zero probability mass, matching a grid value that
+/// was produced by the same expression). Routing those through these
+/// helpers names the intent and gives the linter a single approved home
+/// for the raw operator.
+
+/// Intentional bit-exact equality. Use only when both operands come from
+/// the same computation (grid values, sentinels, exact zeros) — never to
+/// compare independently-accumulated results.
+[[nodiscard]] constexpr bool exactly_equal(double a, double b) noexcept {
+  return a == b;  // detlint:allow(D4): the approved helper itself
+}
+
+/// Intentional bit-exact test against zero (e.g. "no probability mass").
+[[nodiscard]] constexpr bool exactly_zero(double a) noexcept {
+  return exactly_equal(a, 0.0);
+}
+
+/// Tolerance comparison for independently-computed values.
+[[nodiscard]] constexpr bool approx_equal(double a, double b,
+                                          double tolerance) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  return diff <= tolerance;
+}
+
+}  // namespace pushpull::metrics

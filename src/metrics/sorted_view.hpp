@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace pushpull::metrics {
+
+/// Key-ordered snapshot of an associative container.
+///
+/// Iterating an unordered_map/unordered_set directly produces a
+/// platform- and libc++-dependent order, which silently breaks byte-exact
+/// reports, JSONL replay and error messages (detlint rule D3). Any output
+/// path that walks an unordered container must route through here:
+///
+///   for (const auto& [key, value] : metrics::sorted_view(counters_)) ...
+///
+/// For map-like containers (those with a mapped_type) the view is a vector
+/// of (key, value) pairs sorted by key; for sets it is a sorted vector of
+/// keys. Values are copied — the view is a snapshot for emission, not a
+/// live reference, so use it at output boundaries rather than in hot loops.
+template <typename Container>
+[[nodiscard]] auto sorted_view(const Container& container) {
+  constexpr bool is_map = requires { typename Container::mapped_type; };
+  if constexpr (is_map) {
+    std::vector<std::pair<typename Container::key_type,
+                          typename Container::mapped_type>>
+        view;
+    view.reserve(container.size());
+    for (const auto& [key, value] : container) view.emplace_back(key, value);
+    std::sort(view.begin(), view.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return view;
+  } else {
+    std::vector<typename Container::key_type> view(container.begin(),
+                                                   container.end());
+    std::sort(view.begin(), view.end());
+    return view;
+  }
+}
+
+}  // namespace pushpull::metrics

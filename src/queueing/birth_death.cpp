@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "metrics/float_compare.hpp"
+
 namespace pushpull::queueing {
 
 HybridBirthDeath::HybridBirthDeath(double lambda, double mu1, double mu2,
@@ -27,7 +29,7 @@ void HybridBirthDeath::apply_uniformized_step(const std::vector<double>& from,
   for (std::size_t i = 0; i <= capacity_; ++i) {
     for (int j = 0; j <= 1; ++j) {
       const double mass = from[index(i, j)];
-      if (mass == 0.0) continue;
+      if (metrics::exactly_zero(mass)) continue;
       double out_rate = 0.0;
       // Arrival (lost at the truncation boundary: self-loop instead).
       if (i < capacity_) {
@@ -80,7 +82,7 @@ std::vector<double> HybridBirthDeath::transient(double t) const {
   const std::size_t n = (capacity_ + 1) * 2;
   std::vector<double> v(n, 0.0);
   v[index(0, 0)] = 1.0;  // empty system at t = 0
-  if (t == 0.0) return v;
+  if (metrics::exactly_zero(t)) return v;
 
   const double rate_t = (lambda_ + mu1_ + mu2_) * t;
   std::vector<double> acc(n, 0.0);

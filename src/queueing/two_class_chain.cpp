@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "metrics/float_compare.hpp"
+
 namespace pushpull::queueing {
 
 TwoClassPriorityChain::TwoClassPriorityChain(double lambda1, double lambda2,
@@ -27,7 +29,7 @@ void TwoClassPriorityChain::apply_step(const std::vector<double>& from,
     for (std::size_t n = 0; n <= capacity_; ++n) {
       for (int r = 0; r <= 2; ++r) {
         const double mass = from[index(m, n, r)];
-        if (mass == 0.0) continue;
+        if (metrics::exactly_zero(mass)) continue;
         double out_rate = 0.0;
 
         // Class-1 arrival. If the server was idle it starts service

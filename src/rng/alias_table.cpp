@@ -1,6 +1,5 @@
 #include "rng/alias_table.hpp"
 
-#include <cassert>
 #include <numeric>
 #include <stdexcept>
 

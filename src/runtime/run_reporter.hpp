@@ -9,17 +9,22 @@
 
 namespace pushpull::runtime {
 
-/// Monotonic stopwatch for job/run wall times.
+/// Monotonic stopwatch for job/run wall times. This is the one sanctioned
+/// wall-clock reader in the tree: it feeds telemetry (wall_ms fields in
+/// JSONL progress lines) and never simulation state, so replay stays
+/// bit-exact — hence the detlint D1 exemptions below.
 class StopWatch {
  public:
+  // detlint:allow(D1): wall-clock telemetry only, never feeds sim state
   StopWatch() : start_(std::chrono::steady_clock::now()) {}
   [[nodiscard]] double elapsed_ms() const {
+    // detlint:allow(D1): wall-clock telemetry only, never feeds sim state
     const auto dt = std::chrono::steady_clock::now() - start_;
     return std::chrono::duration<double, std::milli>(dt).count();
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point start_;  // detlint:allow(D1): telemetry
 };
 
 /// Structured progress/telemetry sink for parallel runs.

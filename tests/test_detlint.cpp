@@ -1,0 +1,291 @@
+// detlint's own test suite: every rule fires on its fixture exactly at the
+// marked lines, path scoping works (D2/R1/R2), the clean fixture is
+// silent, suppressions and the baseline filter findings, and the tree-wide
+// D3 declaration merge catches cross-file header/impl splits.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+#ifndef DETLINT_FIXTURE_DIR
+#error "DETLINT_FIXTURE_DIR must point at tools/detlint/fixtures"
+#endif
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(DETLINT_FIXTURE_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// (line, rule) pairs declared by `DETLINT-EXPECT: <rule>` markers.
+std::set<std::pair<std::size_t, std::string>> expected_findings(
+    const std::string& text) {
+  std::set<std::pair<std::size_t, std::string>> expected;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string marker = "DETLINT-EXPECT: ";
+    const std::size_t pos = line.find(marker);
+    if (pos == std::string::npos) continue;
+    std::string rule;
+    for (std::size_t i = pos + marker.size();
+         i < line.size() && (std::isalnum(line[i]) != 0); ++i) {
+      rule += line[i];
+    }
+    expected.emplace(lineno, rule);
+  }
+  return expected;
+}
+
+std::set<std::pair<std::size_t, std::string>> actual_findings(
+    const std::vector<detlint::Diagnostic>& diags) {
+  std::set<std::pair<std::size_t, std::string>> actual;
+  for (const auto& d : diags) actual.emplace(d.line, d.rule);
+  return actual;
+}
+
+/// The fixture must produce exactly its marked findings — no more, no
+/// fewer, at exactly the marked lines.
+void expect_matches_markers(const std::string& fixture,
+                            const std::string& pretend_path) {
+  const std::string text = read_fixture(fixture);
+  const auto expected = expected_findings(text);
+  ASSERT_FALSE(expected.empty()) << fixture << " has no markers";
+  const auto diags = detlint::analyze_source(pretend_path, text);
+  EXPECT_EQ(actual_findings(diags), expected) << fixture;
+}
+
+TEST(DetlintRules, D1FiresOnWallClockSources) {
+  expect_matches_markers("bad_d1.cpp", "src/sim/bad_d1.cpp");
+}
+
+TEST(DetlintRules, D2FiresOnRawEnginesOutsideRng) {
+  expect_matches_markers("bad_d2.cpp", "src/sim/bad_d2.cpp");
+}
+
+TEST(DetlintRules, D2IsAllowedInsideRngSubsystem) {
+  const std::string text = read_fixture("bad_d2.cpp");
+  const auto diags = detlint::analyze_source("src/rng/bad_d2.cpp", text);
+  EXPECT_TRUE(diags.empty())
+      << "engines are legal inside src/rng/, got " << diags.size();
+}
+
+TEST(DetlintRules, D3FiresOnUnorderedIteration) {
+  expect_matches_markers("bad_d3.cpp", "src/exp/bad_d3.cpp");
+}
+
+TEST(DetlintRules, D3AcceptsSortedViewRouting) {
+  // The fixture's second loop routes through sorted_view; the marker set
+  // (exactly one D3) proves it stays silent. Belt-and-braces: no D3 on the
+  // sorted_view line.
+  const std::string text = read_fixture("bad_d3.cpp");
+  const auto diags = detlint::analyze_source("src/exp/bad_d3.cpp", text);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D3");
+}
+
+TEST(DetlintRules, D3SeesCrossFileDeclarationsViaExtraNames) {
+  const std::string body =
+      "void emit(const Options& options_) {\n"
+      "  for (const auto& kv : options_) {\n"
+      "    (void)kv;\n"
+      "  }\n"
+      "}\n";
+  // Without the tree-wide declaration set the lexical pass cannot know
+  // options_ is unordered.
+  EXPECT_TRUE(detlint::analyze_source("src/exp/emit.cpp", body).empty());
+  const auto diags =
+      detlint::analyze_source("src/exp/emit.cpp", body, {"options_"});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D3");
+  EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(DetlintRules, CollectUnorderedNamesFindsHeaderDeclarations) {
+  const auto names = detlint::collect_unordered_names(
+      "class ArgParser {\n"
+      "  std::unordered_map<std::string, std::string> options_;\n"
+      "  std::unordered_set<int> seen_;\n"
+      "  std::map<int, int> ordered_;\n"
+      "};\n");
+  EXPECT_EQ(names, (std::set<std::string>{"options_", "seen_"}));
+}
+
+TEST(DetlintRules, D4FiresOnFloatAndRawLiteralComparison) {
+  expect_matches_markers("bad_d4.cpp", "src/metrics/bad_d4.cpp");
+}
+
+TEST(DetlintRules, D4SkipsApprovedHelperFile) {
+  const std::string helper =
+      "constexpr bool exactly_equal(double a, double b) {\n"
+      "  return a == b;\n"
+      "}\n"
+      "constexpr bool is_zero(double a) { return a == 0.0; }\n";
+  // Same text: flagged anywhere else, approved in the helper's home.
+  EXPECT_FALSE(
+      detlint::analyze_source("src/metrics/other.hpp", helper).empty());
+  EXPECT_TRUE(
+      detlint::analyze_source("src/metrics/float_compare.hpp", helper)
+          .empty());
+}
+
+TEST(DetlintRules, R1FiresOnAssertInLibraryCode) {
+  expect_matches_markers("bad_r1.cpp", "src/core/bad_r1.cpp");
+}
+
+TEST(DetlintRules, R1ScopesToSrcOnly) {
+  const std::string text = read_fixture("bad_r1.cpp");
+  const auto diags = detlint::analyze_source("bench/bad_r1.cpp", text);
+  EXPECT_TRUE(diags.empty())
+      << "assert() is legal outside src/, got " << diags.size();
+}
+
+TEST(DetlintRules, R2FiresOnUsingNamespaceInHeader) {
+  expect_matches_markers("bad_r2.hpp", "src/core/bad_r2.hpp");
+}
+
+TEST(DetlintRules, R2ScopesToHeadersOnly) {
+  const std::string text = read_fixture("bad_r2.hpp");
+  const auto diags = detlint::analyze_source("src/core/bad_r2.cpp", text);
+  EXPECT_TRUE(diags.empty())
+      << "using namespace is legal in a .cpp, got " << diags.size();
+}
+
+TEST(DetlintClean, CleanFixtureProducesNoFindings) {
+  const std::string text = read_fixture("clean.cpp");
+  for (const char* path : {"src/sim/clean.cpp", "src/sim/clean.hpp"}) {
+    const auto diags = detlint::analyze_source(path, text);
+    std::string listing;
+    for (const auto& d : diags) {
+      listing += d.file + ":" + std::to_string(d.line) + ": " + d.rule + "\n";
+    }
+    EXPECT_TRUE(diags.empty()) << "unexpected findings:\n" << listing;
+  }
+}
+
+TEST(DetlintSuppression, SuppressedFixtureIsSilent) {
+  const std::string text = read_fixture("suppressed.cpp");
+  const auto diags = detlint::analyze_source("src/sim/suppressed.cpp", text);
+  std::string listing;
+  for (const auto& d : diags) {
+    listing += d.file + ":" + std::to_string(d.line) + ": " + d.rule + "\n";
+  }
+  EXPECT_TRUE(diags.empty()) << "unexpected findings:\n" << listing;
+}
+
+TEST(DetlintSuppression, FindingsReappearWithoutSuppressions) {
+  std::string text = read_fixture("suppressed.cpp");
+  // Neutralize every directive; the violations are still in the code.
+  const std::string directive = "detlint:allow";
+  std::size_t pos = 0;
+  std::size_t neutralized = 0;
+  while ((pos = text.find(directive, pos)) != std::string::npos) {
+    text.replace(pos, directive.size(), "detlint:nope!");
+    ++neutralized;
+  }
+  ASSERT_GE(neutralized, 3u);
+  const auto diags = detlint::analyze_source("src/sim/suppressed.cpp", text);
+  std::set<std::string> rules;
+  for (const auto& d : diags) rules.insert(d.rule);
+  EXPECT_TRUE(rules.count("D1") != 0) << "steady_clock should resurface";
+  EXPECT_TRUE(rules.count("D3") != 0) << "unordered loop should resurface";
+  EXPECT_TRUE(rules.count("D4") != 0) << "sentinel == should resurface";
+}
+
+TEST(DetlintSuppression, FileWideAllowCoversWholeFile) {
+  const std::string body =
+      "// detlint:allow-file(D4): fixture-wide exemption\n"
+      "bool a(double x) { return x == 1.0; }\n"
+      "bool b(double x) { return x != 2.5; }\n";
+  EXPECT_TRUE(detlint::analyze_source("src/metrics/f.cpp", body).empty());
+}
+
+TEST(DetlintSuppression, StandaloneCommentCoversNextLineOnly) {
+  const std::string body =
+      "// detlint:allow(D4): covers the next line\n"
+      "bool a(double x) { return x == 1.0; }\n"
+      "bool b(double x) { return x == 1.0; }\n";
+  const auto diags = detlint::analyze_source("src/metrics/f.cpp", body);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(DetlintBaseline, BaselineMarksButDoesNotDrop) {
+  std::istringstream baseline_text(
+      "# comment\n"
+      "\n"
+      "src/sim/old.cpp:D1\n");
+  const auto baseline = detlint::Baseline::parse(baseline_text);
+  EXPECT_EQ(baseline.size(), 1u);
+
+  std::vector<detlint::Diagnostic> diags = detlint::analyze_source(
+      "src/sim/old.cpp", "long seed() { return time(nullptr); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+
+  detlint::apply_baseline(diags, baseline);
+  EXPECT_TRUE(diags[0].baselined);
+  EXPECT_EQ(detlint::fresh_count(diags), 0u);
+
+  // A different file with the same finding is NOT covered.
+  std::vector<detlint::Diagnostic> other = detlint::analyze_source(
+      "src/sim/new.cpp", "long seed() { return time(nullptr); }\n");
+  detlint::apply_baseline(other, baseline);
+  EXPECT_EQ(detlint::fresh_count(other), 1u);
+}
+
+TEST(DetlintMeta, RuleTableListsAllSixRules) {
+  const auto& rules = detlint::rules();
+  ASSERT_EQ(rules.size(), 6u);
+  std::vector<std::string> ids;
+  ids.reserve(rules.size());
+  for (const auto& r : rules) ids.emplace_back(r.id);
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "R1",
+                                           "R2"}));
+}
+
+TEST(DetlintMeta, CommentsAndStringsNeverFire) {
+  const std::string body =
+      "// rand() time(nullptr) float x == 1.0 assert(x)\n"
+      "/* std::mt19937 engine; using namespace std; */\n"
+      "const char* s = \"rand() assert(true) == 0.5\";\n"
+      "const char* r = R\"(time(nullptr) float)\";\n";
+  for (const char* path : {"src/sim/c.cpp", "src/sim/c.hpp"}) {
+    EXPECT_TRUE(detlint::analyze_source(path, body).empty()) << path;
+  }
+}
+
+TEST(DetlintTree, RepositoryIsCleanWithEmptyBaseline) {
+  // The same invariant the detlint_tree ctest enforces, checked in-process
+  // so a failure names the findings in the gtest log.
+  const std::filesystem::path root = DETLINT_REPO_ROOT;
+  auto diags = detlint::analyze_tree(root);
+  const auto baseline = detlint::Baseline::load_file(
+      (root / "tools" / "detlint" / "baseline.txt").string());
+  EXPECT_EQ(baseline.size(), 0u) << "baseline must stay empty";
+  detlint::apply_baseline(diags, baseline);
+  std::string listing;
+  for (const auto& d : diags) {
+    if (!d.baselined) {
+      listing += d.file + ":" + std::to_string(d.line) + ": " + d.rule + "\n";
+    }
+  }
+  EXPECT_EQ(detlint::fresh_count(diags), 0u) << "tree findings:\n" << listing;
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// detlint — determinism/invariant linter for the pushpull tree.
+//
+//   detlint [--root DIR] [--baseline FILE] [--check] [--rules] [FILE...]
+//
+// With no FILE arguments, scans <root>/{src,tools,bench}. Prints one
+// `file:line: rule: message` diagnostic per finding and exits 1 if any
+// finding is not covered by the baseline (0 when clean, 2 on usage/IO
+// error). `--rules` prints the rule table and exits; `--check` additionally
+// prints the rule table and baseline statistics before scanning.
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+#ifndef DETLINT_DEFAULT_ROOT
+#define DETLINT_DEFAULT_ROOT "."
+#endif
+
+namespace {
+
+void usage() {
+  std::cout <<
+      R"(detlint — determinism/invariant linter (rules D1-D4, R1-R2)
+
+usage: detlint [--root DIR] [--baseline FILE] [--check] [--rules] [FILE...]
+
+  --root DIR       repo root to scan (default: the source tree detlint was
+                   built from); FILE arguments are reported relative to it
+  --baseline FILE  grandfathered findings, one `path:rule` per line
+  --rules          print the rule table and exit
+  --check          print the rule table and baseline stats, then scan
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = DETLINT_DEFAULT_ROOT;
+  std::string baseline_path;
+  bool check = false;
+  std::vector<std::filesystem::path> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--rules") {
+      detlint::print_rule_table(std::cout);
+      return 0;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "detlint: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "detlint: --root " << root.string()
+              << " is not a directory\n";
+    return 2;
+  }
+  if (baseline_path.empty()) {
+    const std::filesystem::path candidate =
+        root / "tools" / "detlint" / "baseline.txt";
+    if (std::filesystem::exists(candidate)) {
+      baseline_path = candidate.string();
+    }
+  }
+  const detlint::Baseline baseline =
+      detlint::Baseline::load_file(baseline_path);
+
+  std::vector<detlint::Diagnostic> diags;
+  if (files.empty()) {
+    diags = detlint::analyze_tree(root);
+  } else {
+    for (const auto& file : files) {
+      auto file_diags = detlint::analyze_file(root, file);
+      diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+    }
+  }
+  detlint::apply_baseline(diags, baseline);
+
+  if (check) {
+    detlint::print_rule_table(std::cout);
+    std::cout << "baseline: " << baseline.size() << " entr"
+              << (baseline.size() == 1 ? "y" : "ies")
+              << (baseline_path.empty() ? " (no baseline file)"
+                                        : " (" + baseline_path + ")")
+              << "\n\n";
+  }
+
+  std::size_t baselined = 0;
+  for (const auto& d : diags) {
+    if (d.baselined) {
+      ++baselined;
+      continue;
+    }
+    std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
+              << d.message << "\n";
+  }
+  const std::size_t fresh = detlint::fresh_count(diags);
+  if (check || fresh != 0) {
+    std::cout << "detlint: " << fresh << " finding"
+              << (fresh == 1 ? "" : "s") << ", " << baselined
+              << " baselined\n";
+  }
+  return fresh == 0 ? 0 : 1;
+}

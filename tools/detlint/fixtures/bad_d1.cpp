@@ -1,0 +1,42 @@
+// Fixture: rule D1 (no-wall-clock) must fire on every wall-clock /
+// environment read below, and nowhere else. Analyzed by test_detlint under
+// the pretend path src/sim/bad_d1.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned long seed_from_entropy() {
+  std::random_device entropy;               // DETLINT-EXPECT: D1
+  return entropy();
+}
+
+inline long seed_from_wall_clock() {
+  return time(nullptr);                     // DETLINT-EXPECT: D1
+}
+
+inline double now_ms() {
+  using clock_type = std::chrono::system_clock;  // DETLINT-EXPECT: D1
+  const auto t = clock_type::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+
+inline int legacy_draw() {
+  return rand();                            // DETLINT-EXPECT: D1
+}
+
+inline const char* config_override() {
+  return std::getenv("PUSHPULL_SEED");      // DETLINT-EXPECT: D1
+}
+
+// Member accessors named like libc functions must NOT fire: the rule only
+// matches free-function calls.
+struct Sim {
+  double time_ = 0.0;
+  [[nodiscard]] double time() const { return time_; }
+};
+inline double ok_member_call(const Sim& sim) { return sim.time(); }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: rule D2 (named-rng-streams) must fire on raw std engine use
+// outside src/rng/. Analyzed under the pretend path src/sim/bad_d2.cpp;
+// test_detlint also re-analyzes it as src/rng/bad_d2.cpp and expects
+// silence, proving the path scoping.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+inline std::uint64_t ad_hoc_engine(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);             // DETLINT-EXPECT: D2
+  return engine();
+}
+
+inline std::uint32_t legacy_engine(std::uint32_t seed) {
+  std::minstd_rand engine(seed);            // DETLINT-EXPECT: D2
+  return engine();
+}
+
+}  // namespace fixture

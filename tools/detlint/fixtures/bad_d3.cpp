@@ -1,0 +1,30 @@
+// Fixture: rule D3 (ordered-emission) must fire on the raw range-for over
+// an unordered container, and stay silent on the sorted_view-routed loop.
+// Analyzed under the pretend path src/exp/bad_d3.cpp.
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Stand-in for metrics::sorted_view so the fixture is self-contained.
+inline std::vector<std::pair<std::string, std::size_t>> sorted_view(
+    const std::unordered_map<std::string, std::size_t>& counters);
+
+inline void emit_report(
+    const std::unordered_map<std::string, std::size_t>& counters) {
+  for (const auto& [key, count] : counters) {  // DETLINT-EXPECT: D3
+    std::cout << key << "=" << count << "\n";
+  }
+}
+
+inline void emit_report_ordered(
+    const std::unordered_map<std::string, std::size_t>& counters) {
+  for (const auto& [key, count] : sorted_view(counters)) {  // ok: routed
+    std::cout << key << "=" << count << "\n";
+  }
+}
+
+}  // namespace fixture

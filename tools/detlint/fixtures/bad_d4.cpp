@@ -1,0 +1,25 @@
+// Fixture: rule D4 (double-metrics) must fire on the float accumulator and
+// on the raw floating-point-literal comparisons. Analyzed under the pretend
+// path src/metrics/bad_d4.cpp.
+#include <vector>
+
+namespace fixture {
+
+inline double mean(const std::vector<double>& xs) {
+  float acc = 0;                            // DETLINT-EXPECT: D4
+  for (const double x : xs) acc += static_cast<int>(x);
+  return xs.empty() ? 0.0 : acc / static_cast<double>(xs.size());
+}
+
+inline bool converged(double mass) {
+  return mass == 0.0;                       // DETLINT-EXPECT: D4
+}
+
+inline bool drifted(double theta) {
+  return 0.60 != theta;                     // DETLINT-EXPECT: D4
+}
+
+// Integer comparisons must NOT fire.
+inline bool ok_integer_compare(int n) { return n == 0; }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: rule R1 (throw-not-assert) must fire on assert() in library
+// code. Analyzed under the pretend path src/core/bad_r1.cpp; test_detlint
+// also re-analyzes it as bench/bad_r1.cpp and expects silence (R1 scopes
+// to src/ only).
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline double at(const std::vector<double>& xs, std::size_t i) {
+  assert(i < xs.size());                    // DETLINT-EXPECT: R1
+  return xs[i];
+}
+
+// static_assert is a different token and must NOT fire.
+static_assert(sizeof(double) == 8, "IEEE-754 doubles assumed");
+
+}  // namespace fixture

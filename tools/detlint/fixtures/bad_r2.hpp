@@ -1,0 +1,18 @@
+// Fixture: rule R2 (no-using-namespace-in-headers) must fire on the
+// directive below. Analyzed under the pretend path src/core/bad_r2.hpp;
+// test_detlint also re-analyzes the same text as a .cpp and expects
+// silence (R2 scopes to headers only).
+#pragma once
+
+#include <string>
+
+using namespace std;                        // DETLINT-EXPECT: R2
+
+namespace fixture {
+
+// A using-declaration (not a directive) must NOT fire.
+using std::string;
+
+inline string greet() { return "hello"; }
+
+}  // namespace fixture

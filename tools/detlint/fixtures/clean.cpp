@@ -1,0 +1,52 @@
+// Fixture: representative clean simulation code — detlint must report
+// nothing under any pretend path (test_detlint analyzes it as
+// src/sim/clean.cpp and as a header).
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+/// Draws flow through a named-stream seed derivation, never a std engine.
+struct StreamHandle {
+  std::uint64_t state;
+  std::uint64_t next() { return state += 0x9E3779B97F4A7C15ULL; }
+};
+
+inline StreamHandle named_stream(std::uint64_t master_seed,
+                                 const std::string& name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return StreamHandle{master_seed ^ h};
+}
+
+/// Ordered containers iterate deterministically — no D3.
+inline double total(const std::map<std::string, double>& by_class) {
+  double sum = 0.0;
+  for (const auto& [name, value] : by_class) sum += value;
+  return sum;
+}
+
+/// Library code throws with context instead of asserting — no R1.
+inline double checked_at(const std::vector<double>& xs, std::size_t i) {
+  if (i >= xs.size()) {
+    throw std::logic_error("checked_at: index " + std::to_string(i) +
+                           " out of range " + std::to_string(xs.size()));
+  }
+  return xs[i];
+}
+
+/// Tolerance comparison, not raw ==. Mentions of rules inside comments and
+/// strings (rand(), time(), float, "assert(x)") must not fire either.
+inline bool close(double a, double b) {
+  const double scale = 1.0;
+  const char* note = "guarded by assert(x) upstream";
+  return (a > b ? a - b : b - a) <= 1e-12 * scale && note != nullptr;
+}
+
+}  // namespace fixture

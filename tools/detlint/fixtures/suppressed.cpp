@@ -1,0 +1,33 @@
+// Fixture: every violation below carries a detlint suppression, so the
+// file must analyze clean; test_detlint also strips the suppressions and
+// expects the findings to reappear. Analyzed under src/sim/suppressed.cpp.
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+/// Trailing suppression on the offending line.
+inline double wall_ms() {
+  const auto t0 = std::chrono::steady_clock::now();  // detlint:allow(D1): wall-clock telemetry only
+  return std::chrono::duration<double, std::milli>(t0.time_since_epoch())
+      .count();
+}
+
+/// Standalone suppression on the line above.
+inline bool is_sentinel(double x) {
+  // detlint:allow(D4): exact sentinel comparison, bit pattern intended
+  return x == -1.0;
+}
+
+/// Multi-rule suppression list.
+inline std::size_t count_all(
+    const std::unordered_map<int, int>& m) {
+  std::size_t n = 0;
+  for (const auto& [k, v] : m) n += 1;  // detlint:allow(D3, D4): order-free fold
+  return n;
+}
+
+}  // namespace fixture
+
+// File-wide suppression example lives in test_detlint (allow-file),
+// exercised on a synthetic snippet.

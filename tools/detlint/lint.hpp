@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// detlint — the repo's determinism/invariant linter.
+///
+/// A token/lexer-based analyzer (no libclang) that enforces the project's
+/// determinism contract on `src/`, `tools/` and `bench/`:
+///
+///   D1  no wall-clock / environment nondeterminism in simulation code
+///       (std::random_device, time(), system_clock/steady_clock, rand(),
+///       getenv, ...)
+///   D2  no raw standard-library RNG engine construction outside src/rng/
+///       — all randomness flows through rng::StreamFactory named streams
+///   D3  no iteration over unordered_map/unordered_set (platform-dependent
+///       order) unless routed through metrics::sorted_view
+///   D4  no `float` (metrics accumulate in double) and no raw ==/!= against
+///       floating-point literals outside approved helpers
+///   R1  no assert() in library code (src/) — throw std::logic_error with
+///       context instead, so Release builds keep the check
+///   R2  no `using namespace` in headers
+///
+/// Suppression: `// detlint:allow(RULE[,RULE...]): reason` on the offending
+/// line (trailing) or on the line above (standalone comment);
+/// `// detlint:allow-file(RULE): reason` anywhere suppresses the rule for
+/// the whole file. A checked-in baseline file (`path:rule` lines)
+/// grandfathers findings without touching the source.
+namespace detlint {
+
+struct RuleInfo {
+  std::string_view id;       ///< "D1" ... "R2"
+  std::string_view name;     ///< short kebab-case name
+  std::string_view summary;  ///< one-line description for the rule table
+};
+
+/// The rule table, in fixed D1..R2 order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Diagnostic {
+  std::string file;  ///< repo-relative path, '/'-separated
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  bool baselined = false;  ///< matched a baseline entry — reported, not fatal
+};
+
+/// Grandfathered findings: one `path:rule` per line, `#` comments and blank
+/// lines ignored. Paths are repo-relative with '/' separators.
+class Baseline {
+ public:
+  [[nodiscard]] static Baseline parse(std::istream& in);
+  /// Missing file loads as an empty baseline.
+  [[nodiscard]] static Baseline load_file(const std::string& path);
+
+  [[nodiscard]] bool covers(const Diagnostic& d) const {
+    return entries_.count(d.file + ":" + d.rule) != 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::set<std::string> entries_;
+};
+
+/// Names declared with an unordered_map/unordered_set type in `text`.
+/// analyze_tree unions these across all scanned files so a .cpp iterating
+/// a member its header declared unordered (the common split) still trips
+/// D3.
+[[nodiscard]] std::set<std::string> collect_unordered_names(
+    std::string_view text);
+
+/// Analyzes one translation unit's text. `path` must be repo-relative with
+/// '/' separators — it drives the path-scoped rules (D2 is allowed under
+/// src/rng/, R1 applies only under src/, R2 only to headers, D4's ==/!=
+/// check skips approved helper files). `extra_unordered_names` extends
+/// D3's locally-collected declaration set (see collect_unordered_names).
+/// Diagnostics come back sorted by (line, rule).
+[[nodiscard]] std::vector<Diagnostic> analyze_source(
+    std::string_view path, std::string_view text,
+    const std::set<std::string>& extra_unordered_names = {});
+
+/// Reads and analyzes `file`, reporting it relative to `root`.
+[[nodiscard]] std::vector<Diagnostic> analyze_file(
+    const std::filesystem::path& root, const std::filesystem::path& file,
+    const std::set<std::string>& extra_unordered_names = {});
+
+/// Walks root/{src,tools,bench} (skipping `fixtures`, `build` and hidden
+/// directories), analyzing every .hpp/.h/.hh/.cpp/.cc file in sorted path
+/// order so output is byte-stable across platforms.
+[[nodiscard]] std::vector<Diagnostic> analyze_tree(
+    const std::filesystem::path& root);
+
+/// Flags diagnostics covered by `baseline` (sets Diagnostic::baselined).
+void apply_baseline(std::vector<Diagnostic>& diags, const Baseline& baseline);
+
+/// Count of diagnostics with baselined == false.
+[[nodiscard]] std::size_t fresh_count(const std::vector<Diagnostic>& diags);
+
+/// Pretty rule table (id, name, summary) for `detlint --check` and
+/// `pushpull lint`.
+void print_rule_table(std::ostream& out);
+
+}  // namespace detlint

@@ -13,6 +13,7 @@
 // lengths 1..5 mean 2, three classes) with the given overrides. Fault
 // injection (`--fault*`, `--queue-cap`, `--shed`) applies wherever the
 // hybrid server runs; see `pushpull help`.
+#include <filesystem>
 #include <fstream>
 #include <initializer_list>
 #include <iostream>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "core/adaptive_server.hpp"
+#include "lint.hpp"
 #include "core/closed_loop.hpp"
 #include "core/cutoff_optimizer.hpp"
 #include "core/multichannel_server.hpp"
@@ -432,6 +434,46 @@ int cmd_uplink(const exp::ArgParser& args) {
   return 0;
 }
 
+int cmd_lint(const exp::ArgParser& args) {
+  // Prints the determinism-contract rule table and baseline statistics,
+  // then scans the tree — the same pass the `detlint` binary and the
+  // detlint_tree ctest run, embedded here so EXPERIMENTS.md can document
+  // one entry point.
+  args.require_known({"root", "baseline"});
+#ifdef DETLINT_DEFAULT_ROOT
+  const std::string default_root = DETLINT_DEFAULT_ROOT;
+#else
+  const std::string default_root = ".";
+#endif
+  const std::filesystem::path root = args.get_string("root", default_root);
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "lint: --root " << root.string() << " is not a directory\n";
+    return 2;
+  }
+  const std::string baseline_path = args.get_string(
+      "baseline", (root / "tools" / "detlint" / "baseline.txt").string());
+  const detlint::Baseline baseline =
+      detlint::Baseline::load_file(baseline_path);
+
+  detlint::print_rule_table(std::cout);
+  std::cout << "baseline: " << baseline.size() << " grandfathered entr"
+            << (baseline.size() == 1 ? "y" : "ies") << " (" << baseline_path
+            << ")\n\n";
+
+  auto diags = detlint::analyze_tree(root);
+  detlint::apply_baseline(diags, baseline);
+  for (const auto& d : diags) {
+    if (!d.baselined) {
+      std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
+                << d.message << "\n";
+    }
+  }
+  const std::size_t fresh = detlint::fresh_count(diags);
+  std::cout << "lint: " << fresh << " finding" << (fresh == 1 ? "" : "s")
+            << ", " << diags.size() - fresh << " baselined\n";
+  return fresh == 0 ? 0 : 1;
+}
+
 int cmd_trace(const exp::ArgParser& args) {
   args.require_known(kScenarioOpts, {"out"});
   const std::string out = args.get_string("out", "");
@@ -467,6 +509,9 @@ commands:
   uplink       push the trace through the slotted-ALOHA back-channel
   closedloop   finite client population (--clients, --think-rate)
   trace        record the scenario's request trace to CSV
+  lint         print the determinism-contract rules (D1-D4, R1-R2) and
+               baseline stats, then run detlint over the tree
+               (--root DIR, --baseline FILE)
 
 common options:
   --theta T --alpha A --cutoff K --requests N --seed S --items D --rate L
@@ -515,6 +560,7 @@ int main(int argc, char** argv) {
     if (command == "uplink") return cmd_uplink(args);
     if (command == "closedloop") return cmd_closedloop(args);
     if (command == "trace") return cmd_trace(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "help") {
       usage();
       return 0;
