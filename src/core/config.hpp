@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fault/fault_config.hpp"
+#include "resilience/resilience_config.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
 
@@ -52,6 +53,12 @@ struct HybridConfig {
   /// pull-queue overload shedding. The default is the paper's perfect
   /// channel and is bit-invisible in simulation output.
   fault::FaultConfig fault;
+
+  /// Robustness layer: seeded server crash/recovery plus the overload
+  /// degradation ladder. Default-inert — with crashes disabled and the
+  /// ladder off, no events are scheduled and no RNG streams are derived, so
+  /// output is bit-identical to builds without the layer.
+  resilience::ResilienceConfig resilience;
 
   /// Fraction of each run treated as warm-up: requests arriving before this
   /// fraction of the trace span are simulated but excluded from statistics.

@@ -1,14 +1,20 @@
 #include "core/hybrid_server.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
+#include "resilience/crash.hpp"
+#include "resilience/snapshot.hpp"
 #include "rng/exponential.hpp"
+#include "rng/splitmix64.hpp"
 #include "sched/pull/aging.hpp"
 #include "rng/poisson.hpp"
 #include "rng/stream.hpp"
+#include "rng/uniform.hpp"
 
 namespace pushpull::core {
 
@@ -28,10 +34,12 @@ HybridServer::HybridServer(const catalog::Catalog& cat,
         "HybridServer: warmup_fraction must be in [0, 1)");
   }
   config_.fault.validate();
+  config_.resilience.validate();
   if (config_.fault.enabled) {
     channel_.emplace(config_.fault.channel,
                      rng::StreamFactory(config_.seed).stream("fault-channel"));
   }
+  overload_ = resilience::OverloadController(config_.resilience.overload);
   if (config_.cutoff > 0) {
     push_sched_ =
         sched::make_push_scheduler(config_.push_policy, cat, config_.cutoff);
@@ -93,17 +101,19 @@ void HybridServer::disarm_patience(workload::RequestId request) {
 
 void HybridServer::on_patience_expired(const workload::Request& request) {
   patience_.erase(request.id);
+  // The ladder's widen-push can move a request between the pull queue and
+  // the push park while its timer is armed, so look in both places rather
+  // than trusting the static cutoff test.
   bool removed = false;
-  if (request.item < config_.cutoff) {
-    auto& waiters = push_waiters_[request.item];
-    for (auto it = waiters.begin(); it != waiters.end(); ++it) {
-      if (it->id == request.id) {
-        waiters.erase(it);
-        removed = true;
-        break;
-      }
+  auto& waiters = push_waiters_[request.item];
+  for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+    if (it->id == request.id) {
+      waiters.erase(it);
+      removed = true;
+      break;
     }
-  } else {
+  }
+  if (!removed) {
     note_queue_len();
     removed = pull_queue_.remove_request(request.item, request.id,
                                          population_->priority(request.cls));
@@ -134,45 +144,45 @@ void HybridServer::shed_request(const workload::Request& request) {
 }
 
 bool HybridServer::admit_pull(const workload::Request& request) {
-  const std::size_t capacity = config_.fault.queue_capacity;
+  const std::size_t capacity = effective_queue_capacity();
   if (capacity == 0 || pull_queue_.total_requests() < capacity) return true;
-  if (config_.fault.shed_policy == fault::ShedPolicy::kDropTail) {
+  if (effective_shed_policy() == fault::ShedPolicy::kDropTail) {
     shed_request(request);
     return false;
   }
-  // Drop-lowest-priority: sacrifice the least important queued request.
-  // Ties prefer the youngest (highest id) victim, and an arrival that is
-  // itself no more important than the minimum is the one shed — both rules
-  // are deterministic, so runs replay identically.
-  const workload::Request* victim = nullptr;
-  double victim_priority = std::numeric_limits<double>::infinity();
+  // Drop-lowest-priority: sacrifice the least important queued request
+  // (ties prefer the youngest; an arrival no more important than the victim
+  // is the one shed — see fault::LowestPriorityVictim for the exact rule).
+  fault::LowestPriorityVictim<workload::Request> scan;
   for (const auto& entry : pull_queue_.entries()) {
     for (const auto& r : entry.pending) {
-      const double priority = population_->priority(r.cls);
-      if (priority < victim_priority ||
-          (priority == victim_priority && victim && r.id > victim->id)) {
-        victim = &r;
-        victim_priority = priority;
-      }
+      scan.consider(r, population_->priority(r.cls), r.id);
     }
   }
-  if (!victim || population_->priority(request.cls) <= victim_priority) {
+  if (scan.arrival_yields_to(population_->priority(request.cls))) {
     shed_request(request);
     return false;
   }
-  const workload::Request evicted = *victim;  // copy before queue mutation
+  const workload::Request evicted = *scan.victim();  // copy before mutation
   disarm_patience(evicted.id);
-  pull_queue_.remove_request(evicted.item, evicted.id, victim_priority);
+  pull_queue_.remove_request(evicted.item, evicted.id, scan.priority());
   shed_request(evicted);
   return true;
 }
 
 void HybridServer::requeue_pull(const workload::Request& request) {
+  if (down_) {
+    // The uplink is dark with the server; the re-request lands once the
+    // server is back.
+    downtime_parked_.push_back(request);
+    return;
+  }
   note_queue_len();
   if (admit_pull(request)) {
     pull_queue_.add(request, population_->priority(request.cls),
                     catalog_->length(request.item),
                     catalog_->probability(request.item));
+    max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
     arm_patience(request);
   }
   if (!server_busy_) {
@@ -207,11 +217,25 @@ void HybridServer::deliver(const workload::Request& request, bool via_push) {
 
 void HybridServer::on_arrival(const workload::Request& request) {
   if (measured(request)) collector_->record_arrival(request.cls);
-  if (request.item < config_.cutoff) {
+  if (request.item < effective_cutoff()) {
     // Push item: the request is "ignored" by the scheduler (the item is on
     // the broadcast program anyway); park it to measure its delay.
     push_waiters_[request.item].push_back(request);
     arm_patience(request);
+    return;
+  }
+  if (uplink_rejected(request.cls)) {
+    // The ladder's admission control refuses the class at the uplink; the
+    // request never enters server state.
+    if (measured(request)) collector_->record_rejected(request.cls);
+    settle_one();
+    return;
+  }
+  if (down_) {
+    // The server is dark; the request reaches it at recovery. Clients do
+    // not abandon while parked (no patience armed until the queue admits
+    // them).
+    downtime_parked_.push_back(request);
     return;
   }
   note_queue_len();
@@ -219,6 +243,7 @@ void HybridServer::on_arrival(const workload::Request& request) {
   pull_queue_.add(request, population_->priority(request.cls),
                   catalog_->length(request.item),
                   catalog_->probability(request.item));
+  max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
   arm_patience(request);
   if (!server_busy_) {
     // Pure-pull server (cutoff 0) sleeping on an empty queue: wake it.
@@ -232,7 +257,7 @@ void HybridServer::serve_next(bool just_did_push) {
     server_busy_ = false;
     return;
   }
-  if (config_.cutoff == 0) {
+  if (effective_cutoff() == 0) {
     if (pull_queue_.empty()) {
       server_busy_ = false;  // idle until the next pull arrival wakes us
       return;
@@ -256,8 +281,13 @@ void HybridServer::start_push() {
   push_waiters_[item].clear();
   // Once the item is on air, the waiting clients are committed to it.
   for (const auto& r : catching) disarm_patience(r.id);
+  if (crash_active_) inflight_push_ = InFlightPush{item, catching};
+  const std::uint64_t epoch = server_epoch_;
   sim_.schedule_in(
-      catalog_->length(item), [this, item, catching = std::move(catching)]() {
+      catalog_->length(item),
+      [this, item, epoch, catching = std::move(catching)]() {
+        if (epoch != server_epoch_) return;  // voided by a crash
+        inflight_push_.reset();
         ++push_transmissions_;
         if (transmission_corrupted()) {
           // A corrupted broadcast needs no re-request: the item comes
@@ -297,7 +327,13 @@ void HybridServer::start_pull() {
                                   demand_eng_, config_.mean_bandwidth_demand))
                             : 0.0;
   const workload::ClassId cls = owning_class(*entry);
-  if (!bandwidth_.try_acquire(cls, demand)) {
+  const bool admitted = bandwidth_.try_acquire(cls, demand);
+  if (config_.resilience.overload.enabled) {
+    const double alpha = config_.resilience.overload.ewma_alpha;
+    blocking_ewma_[cls] = alpha * (admitted ? 0.0 : 1.0) +
+                          (1.0 - alpha) * blocking_ewma_[cls];
+  }
+  if (!admitted) {
     ++blocked_transmissions_;
     for (const auto& r : entry->pending) {
       retry_count_.erase(r.id);
@@ -307,8 +343,12 @@ void HybridServer::start_pull() {
     serve_next(/*just_did_push=*/false);
     return;
   }
+  if (crash_active_) inflight_pull_ = InFlightPull{*entry, cls, demand};
+  const std::uint64_t epoch = server_epoch_;
   sim_.schedule_in(entry->length,
-                   [this, entry = std::move(*entry), cls, demand]() {
+                   [this, epoch, entry = std::move(*entry), cls, demand]() {
+                     if (epoch != server_epoch_) return;  // voided by a crash
+                     inflight_pull_.reset();
                      bandwidth_.release(cls, demand);
                      ++pull_transmissions_;
                      if (transmission_corrupted()) {
@@ -324,6 +364,211 @@ void HybridServer::start_pull() {
                    });
 }
 
+std::size_t HybridServer::effective_cutoff() const noexcept {
+  return std::min(config_.cutoff + cutoff_boost_, catalog_->size());
+}
+
+std::size_t HybridServer::effective_queue_capacity() const noexcept {
+  if (config_.fault.queue_capacity > 0) return config_.fault.queue_capacity;
+  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
+    return config_.resilience.overload.capacity_ref;  // ladder soft cap
+  }
+  return 0;
+}
+
+fault::ShedPolicy HybridServer::effective_shed_policy() const noexcept {
+  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
+    return fault::ShedPolicy::kDropLowestPriority;
+  }
+  return config_.fault.shed_policy;
+}
+
+bool HybridServer::uplink_rejected(workload::ClassId cls) const noexcept {
+  const std::size_t classes = population_->num_classes();
+  if (classes < 2) return false;  // never starve a single-class population
+  if (overload_.level() >= resilience::OverloadLevel::kBrownout) {
+    return cls >= 1;  // only the most important class is admitted
+  }
+  if (overload_.level() >= resilience::OverloadLevel::kAdmissionControl) {
+    return cls == classes - 1;
+  }
+  return false;
+}
+
+void HybridServer::on_crash() {
+  if (settled_ == to_settle_) return;  // the run already drained
+  const double crash_time = sim_.now();
+  const double recovery_time = crash_time + config_.resilience.crash.downtime;
+  ++crash_count_;
+  total_downtime_ += config_.resilience.crash.downtime;
+  ++server_epoch_;  // voids the in-flight transmission-end event
+  down_ = true;
+  server_busy_ = false;
+  // Recovery is scheduled before any storm re-request so that, at equal
+  // instants, the server is back up before the first re-request lands.
+  sim_.schedule_at(recovery_time, [this]() { on_recovered(); });
+
+  // Clients committed to the on-air broadcast never got the item; their
+  // state is client-side, so they simply rejoin the park and wait for the
+  // next cycle after recovery.
+  if (inflight_push_.has_value()) {
+    for (const auto& r : inflight_push_->catching) {
+      push_waiters_[inflight_push_->item].push_back(r);
+      arm_patience(r);
+    }
+    inflight_push_.reset();
+  }
+
+  std::vector<workload::Request> storm;
+  // The on-air pull transmission is lost with the server; its bandwidth
+  // grant must be returned to the pool (the end event will never fire).
+  if (inflight_pull_.has_value()) {
+    bandwidth_.release(inflight_pull_->cls, inflight_pull_->demand);
+    for (const auto& r : inflight_pull_->entry.pending) storm.push_back(r);
+    inflight_pull_.reset();
+  }
+
+  // Queue state is server-side and dies with it. Warm recovery restores
+  // the requests covered by the latest snapshot (decoded through the
+  // versioned codec — the same path a process restart would take); cold
+  // recovery loses everything, including the broadcast-cycle position.
+  std::unordered_set<std::uint64_t> restored;
+  if (config_.resilience.crash.recovery == resilience::RecoveryMode::kWarm &&
+      !latest_snapshot_.empty()) {
+    const resilience::QueueSnapshot snap =
+        resilience::decode_snapshot(latest_snapshot_, snapshot_fingerprint_);
+    for (const std::uint64_t id : snap.queued) restored.insert(id);
+  } else if (config_.resilience.crash.recovery ==
+             resilience::RecoveryMode::kCold) {
+    if (push_sched_) push_sched_->reset();
+  }
+  std::vector<workload::Request> wiped;
+  for (const auto& entry : pull_queue_.entries()) {
+    for (const auto& r : entry.pending) {
+      if (!restored.contains(r.id)) wiped.push_back(r);
+    }
+  }
+  note_queue_len();
+  for (const auto& r : wiped) {
+    disarm_patience(r.id);
+    pull_queue_.remove_request(r.item, r.id, population_->priority(r.cls));
+    storm.push_back(r);
+  }
+
+  storm_rerequests_ += storm.size();
+  largest_storm_ = std::max(largest_storm_, storm.size());
+  for (const auto& r : storm) storm_rerequest(r, crash_time, recovery_time);
+}
+
+void HybridServer::storm_rerequest(const workload::Request& request,
+                                   double crash_time, double recovery_time) {
+  if (measured(request)) collector_->record_stormed(request.cls);
+  const double spread = config_.resilience.crash.storm_spread;
+  // At zero spread no draw is consumed, so a deliberately synchronized
+  // storm replays identically with or without the jitter stream advanced.
+  const double jitter =
+      spread > 0.0 ? rng::uniform(*storm_eng_, 0.0, spread) : 0.0;
+  const double when =
+      recovery_time + config_.resilience.crash.rerequest_timeout + jitter;
+  sim_.schedule_at(when, [this, request, crash_time]() {
+    recovery_latency_.add(sim_.now() - crash_time);
+    requeue_pull(request);
+  });
+}
+
+void HybridServer::on_recovered() {
+  down_ = false;
+  // Requests that arrived (or matured from retry backoffs) while the
+  // server was dark land now, in arrival order.
+  std::vector<workload::Request> parked = std::move(downtime_parked_);
+  downtime_parked_.clear();
+  for (const auto& r : parked) requeue_pull(r);
+  if (!server_busy_ && settled_ < to_settle_) {
+    server_busy_ = true;
+    serve_next(/*just_did_push=*/true);
+  }
+}
+
+void HybridServer::take_snapshot() {
+  if (settled_ == to_settle_) return;
+  if (!down_) {
+    resilience::QueueSnapshot snap;
+    snap.time = sim_.now();
+    for (const auto& entry : pull_queue_.entries()) {
+      for (const auto& r : entry.pending) snap.queued.push_back(r.id);
+    }
+    latest_snapshot_ = resilience::encode_snapshot(snap, snapshot_fingerprint_);
+  }
+  sim_.schedule_in(config_.resilience.crash.snapshot_interval,
+                   [this]() { take_snapshot(); });
+}
+
+void HybridServer::evaluate_overload() {
+  if (settled_ == to_settle_) return;
+  const std::size_t cap = config_.fault.queue_capacity > 0
+                              ? config_.fault.queue_capacity
+                              : config_.resilience.overload.capacity_ref;
+  const double occupancy = static_cast<double>(pull_queue_.total_requests()) /
+                           static_cast<double>(cap);
+  double worst_ewma = 0.0;
+  for (const double e : blocking_ewma_) worst_ewma = std::max(worst_ewma, e);
+  const resilience::OverloadLevel before = overload_.level();
+  const resilience::OverloadLevel after =
+      overload_.update(sim_.now(), occupancy, worst_ewma);
+  if (after != before) apply_overload_level(after);
+  sim_.schedule_in(config_.resilience.overload.eval_interval,
+                   [this]() { evaluate_overload(); });
+}
+
+void HybridServer::apply_overload_level(resilience::OverloadLevel level) {
+  // Shedding policy and soft cap are consulted on the fly by
+  // effective_shed_policy()/effective_queue_capacity(); the only action
+  // with state to migrate is the widen-push cutoff boost.
+  const std::size_t boost =
+      level >= resilience::OverloadLevel::kWidenPush
+          ? config_.resilience.overload.cutoff_step
+          : 0;
+  if (boost != cutoff_boost_) apply_cutoff_boost(boost);
+}
+
+void HybridServer::apply_cutoff_boost(std::size_t boost) {
+  const std::size_t old_cut = effective_cutoff();
+  cutoff_boost_ = boost;
+  const std::size_t new_cut = effective_cutoff();
+  if (new_cut == old_cut) return;
+  push_sched_ = new_cut > 0 ? sched::make_push_scheduler(config_.push_policy,
+                                                         *catalog_, new_cut)
+                            : nullptr;
+  if (new_cut > old_cut) {
+    // Widened: the hottest pull items now ride the broadcast. Their queued
+    // requests become push waiters; patience timers stay armed (the client
+    // is still waiting for the same item).
+    note_queue_len();
+    for (std::size_t item = old_cut; item < new_cut; ++item) {
+      auto entry = pull_queue_.extract(static_cast<catalog::ItemId>(item));
+      if (!entry.has_value()) continue;
+      for (const auto& r : entry->pending) push_waiters_[r.item].push_back(r);
+    }
+  } else {
+    // Shrunk back: parked waiters of de-widened items are pull requests
+    // again and re-enter through admission control.
+    for (std::size_t item = new_cut; item < old_cut; ++item) {
+      std::vector<workload::Request> waiters = std::move(push_waiters_[item]);
+      push_waiters_[item].clear();
+      for (const auto& r : waiters) {
+        disarm_patience(r.id);
+        requeue_pull(r);
+      }
+    }
+  }
+  if (!server_busy_ && !down_ && settled_ < to_settle_ && new_cut > 0) {
+    // A pure-pull server asleep on an empty queue now has a broadcast
+    // program to run.
+    server_busy_ = true;
+    serve_next(/*just_did_push=*/true);
+  }
+}
+
 SimResult HybridServer::run(const workload::Trace& trace) {
   // Reset run-scoped state so a server can be reused across traces,
   // including the per-run random engines (bandwidth demands, patience).
@@ -336,6 +581,14 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   pull_queue_.clear();
   patience_.clear();
   retry_count_.clear();
+  if (cutoff_boost_ > 0) {
+    // Undo a widen-push left over from the previous run.
+    cutoff_boost_ = 0;
+    push_sched_ = config_.cutoff > 0
+                      ? sched::make_push_scheduler(config_.push_policy,
+                                                   *catalog_, config_.cutoff)
+                      : nullptr;
+  }
   if (push_sched_) push_sched_->reset();
   for (auto& waiters : push_waiters_) waiters.clear();
   collector_ =
@@ -349,7 +602,52 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   corrupted_pull_transmissions_ = 0;
   queue_len_area_ = 0.0;
   queue_len_last_t_ = 0.0;
+  max_queue_len_ = 0;
   warmup_time_ = config_.warmup_fraction * trace.span();
+
+  // Resilience state. With crashes disabled and the ladder off nothing
+  // below derives a stream or schedules an event, keeping the fault-free
+  // path bit-identical.
+  const resilience::CrashConfig& crash = config_.resilience.crash;
+  down_ = false;
+  server_epoch_ = 0;
+  inflight_push_.reset();
+  inflight_pull_.reset();
+  downtime_parked_.clear();
+  storm_eng_.reset();
+  latest_snapshot_.clear();
+  crash_count_ = 0;
+  total_downtime_ = 0.0;
+  storm_rerequests_ = 0;
+  largest_storm_ = 0;
+  recovery_latency_ = metrics::Welford{};
+  overload_.reset();
+  blocking_ewma_.assign(population_->num_classes(), 0.0);
+  crash_active_ = crash.enabled && crash.rate > 0.0;
+  if (crash_active_) {
+    storm_eng_ = rng::StreamFactory(config_.seed).stream("crash-storm");
+    snapshot_fingerprint_ = rng::SplitMix64::mix(
+        config_.seed ^
+        rng::SplitMix64::mix((static_cast<std::uint64_t>(catalog_->size())
+                              << 32) ^
+                             population_->num_classes() ^
+                             (static_cast<std::uint64_t>(config_.cutoff)
+                              << 16)));
+    const resilience::CrashSchedule schedule = resilience::CrashSchedule::
+        poisson(crash, trace.span(),
+                rng::StreamFactory(config_.seed).stream("crash-schedule"));
+    for (const double t : schedule.times()) {
+      sim_.schedule_at(t, [this]() { on_crash(); });
+    }
+    if (crash.recovery == resilience::RecoveryMode::kWarm &&
+        !schedule.empty()) {
+      sim_.schedule_at(crash.snapshot_interval, [this]() { take_snapshot(); });
+    }
+  }
+  if (config_.resilience.overload.enabled) {
+    sim_.schedule_at(config_.resilience.overload.eval_interval,
+                     [this]() { evaluate_overload(); });
+  }
 
   for (const auto& request : trace.requests()) {
     sim_.schedule_at(request.arrival, [this, request]() { on_arrival(request); });
@@ -373,6 +671,15 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   result.corrupted_pull_transmissions = corrupted_pull_transmissions_;
   result.mean_pull_queue_len =
       sim_.now() > 0.0 ? queue_len_area_ / sim_.now() : 0.0;
+  result.max_pull_queue_len = max_queue_len_;
+  result.crashes = crash_count_;
+  result.total_downtime = total_downtime_;
+  result.storm_rerequests = storm_rerequests_;
+  result.largest_storm = largest_storm_;
+  result.recovery_latency = recovery_latency_;
+  result.overload_transitions = overload_.transitions();
+  result.max_overload_level = overload_.max_level();
+  result.event_order_violations = sim_.order_violations();
   return result;
 }
 

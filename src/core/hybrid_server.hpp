@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "des/simulator.hpp"
 #include "fault/channel.hpp"
 #include "metrics/class_stats.hpp"
+#include "metrics/welford.hpp"
+#include "resilience/overload.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
@@ -48,9 +51,25 @@ namespace pushpull::core {
 ///  * a bounded pull queue (`fault.queue_capacity`) sheds requests under
 ///    overload, by drop-tail or by evicting the lowest-priority client.
 ///
+/// And an optional resilience layer (config.resilience):
+///  * a seeded crash schedule kills the server at simulated instants; an
+///    in-flight transmission is voided, the pull queue's server-side state
+///    is wiped (cold) or restored from the latest periodic snapshot (warm),
+///    and the clients whose work was lost re-request in a storm after the
+///    recovery plus a per-client timeout/jitter. Clients parked for push
+///    items simply keep waiting (their state is client-side); a cold
+///    restart additionally forgets the broadcast-cycle position;
+///  * an overload degradation ladder watches pull-queue occupancy and the
+///    per-class blocking EWMA and escalates normal → shed-low-priority →
+///    widen-push → admission-control → brownout with hysteresis, logging
+///    every move. Widening temporarily grows the push cutoff, admission
+///    control rejects the least important class(es) at the uplink.
+///
 /// The server is deterministic given (catalog, population, config, trace);
-/// the fault channel draws from its own named stream, so enabling it never
-/// perturbs the bandwidth-demand or patience draws.
+/// the fault channel, crash schedule and storm jitter each draw from their
+/// own named stream, so enabling any of them never perturbs the
+/// bandwidth-demand or patience draws — and with the whole resilience layer
+/// disabled the output is bit-identical to builds that predate it.
 class HybridServer {
  public:
   HybridServer(const catalog::Catalog& cat,
@@ -91,6 +110,37 @@ class HybridServer {
   [[nodiscard]] bool admit_pull(const workload::Request& request);
   /// Settles a request removed by admission control.
   void shed_request(const workload::Request& request);
+
+  // --- resilience layer ---------------------------------------------------
+
+  /// Push cutoff currently in force: the configured K plus the ladder's
+  /// widen-push boost, clamped to the catalog.
+  [[nodiscard]] std::size_t effective_cutoff() const noexcept;
+  /// Pull-queue capacity in force (hard fault cap, or the ladder's soft cap
+  /// at shed-low-priority and above; 0 = unbounded).
+  [[nodiscard]] std::size_t effective_queue_capacity() const noexcept;
+  /// Shed policy in force (the ladder forces drop-lowest-priority at
+  /// shed-low-priority and above).
+  [[nodiscard]] fault::ShedPolicy effective_shed_policy() const noexcept;
+  /// True when the ladder's admission control refuses this class.
+  [[nodiscard]] bool uplink_rejected(workload::ClassId cls) const noexcept;
+
+  /// The server dies: void the in-flight transmission, wipe (cold) or
+  /// restore (warm) the queue, storm the lost clients, schedule recovery.
+  void on_crash();
+  void on_recovered();
+  /// One client whose pending work a crash wiped: re-requests at
+  /// `recovery + rerequest_timeout + U(0, storm_spread)`.
+  void storm_rerequest(const workload::Request& request, double crash_time,
+                       double recovery_time);
+  /// Periodic warm-recovery snapshot of the pull queue (versioned codec).
+  void take_snapshot();
+  /// Periodic ladder evaluation; applies level actions on transitions.
+  void evaluate_overload();
+  void apply_overload_level(resilience::OverloadLevel level);
+  /// Rebuilds the push scheduler for a new widen-push boost and migrates
+  /// queued/parked requests across the moved cutoff.
+  void apply_cutoff_boost(std::size_t boost);
 
   [[nodiscard]] bool measured(const workload::Request& request) const noexcept {
     return request.arrival >= warmup_time_;
@@ -138,6 +188,50 @@ class HybridServer {
   // Time-weighted pull-queue-length integral (for E[L_pull]).
   double queue_len_area_ = 0.0;
   des::SimTime queue_len_last_t_ = 0.0;
+  std::size_t max_queue_len_ = 0;
+
+  // --- resilience state ---------------------------------------------------
+  // True while a non-empty crash schedule is in force this run; in-flight
+  // transmissions are tracked (and the storm engine derived) only then, so
+  // the fault-free path stays untouched.
+  bool crash_active_ = false;
+  bool down_ = false;
+  // Bumped by every crash; a transmission-end event whose captured epoch is
+  // stale was voided by a crash and must not deliver.
+  std::uint64_t server_epoch_ = 0;
+  // The transmission on air, kept here so a crash can unwind it. At most
+  // one exists at a time (the downlink is serial).
+  struct InFlightPush {
+    catalog::ItemId item = 0;
+    std::vector<workload::Request> catching;
+  };
+  struct InFlightPull {
+    sched::PullEntry entry;
+    workload::ClassId cls = 0;
+    double demand = 0.0;
+  };
+  std::optional<InFlightPush> inflight_push_;
+  std::optional<InFlightPull> inflight_pull_;
+  // Pull work that arrived (or matured from a retry backoff) while the
+  // server was dark; drained at recovery.
+  std::vector<workload::Request> downtime_parked_;
+  // Storm jitter; derived iff crash_active_ (own named stream).
+  std::optional<rng::Xoshiro256ss> storm_eng_;
+  std::uint64_t snapshot_fingerprint_ = 0;
+  // Latest encoded warm-recovery snapshot ("" = none taken yet).
+  std::string latest_snapshot_;
+  std::uint64_t crash_count_ = 0;
+  double total_downtime_ = 0.0;
+  std::uint64_t storm_rerequests_ = 0;
+  std::uint64_t largest_storm_ = 0;
+  metrics::Welford recovery_latency_;
+
+  resilience::OverloadController overload_;
+  // Per-class blocking EWMA (ladder input); updated per pull service
+  // attempt, only while the ladder is enabled.
+  std::vector<double> blocking_ewma_;
+  // Extra push-cutoff items granted by widen-push (0 at normal).
+  std::size_t cutoff_boost_ = 0;
 };
 
 }  // namespace pushpull::core

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "metrics/class_stats.hpp"
+#include "metrics/welford.hpp"
+#include "resilience/overload.hpp"
 #include "workload/population.hpp"
 
 namespace pushpull::core {
@@ -22,6 +24,29 @@ struct SimResult {
   /// Time-weighted mean number of pending pull requests (the simulated
   /// counterpart of the model's E[L_pull]).
   double mean_pull_queue_len = 0.0;
+  /// Largest instantaneous pull-queue length observed (for the queue-cap
+  /// invariant).
+  std::size_t max_pull_queue_len = 0;
+
+  // Resilience layer (all zero/empty with crashes and ladder disabled).
+  std::uint64_t crashes = 0;
+  /// Total virtual time the server spent dark.
+  double total_downtime = 0.0;
+  /// Re-requests issued by clients whose pending work a crash wiped out.
+  std::uint64_t storm_rerequests = 0;
+  /// Largest single-crash re-request storm.
+  std::uint64_t largest_storm = 0;
+  /// Per-request recovery latency: crash instant → the re-request landing
+  /// back in the pull queue.
+  metrics::Welford recovery_latency;
+  /// Every degradation-ladder move, in event order.
+  std::vector<resilience::OverloadTransition> overload_transitions;
+  /// Highest ladder level reached during the run.
+  resilience::OverloadLevel max_overload_level =
+      resilience::OverloadLevel::kNormal;
+  /// Out-of-order event dispatches observed by the kernel (the event-time
+  /// monotonicity invariant; always 0 for a completed run).
+  std::uint64_t event_order_violations = 0;
 
   /// Transmissions that actually carried data to clients, corrupted or not
   /// (the server's *throughput* in airtime slots).

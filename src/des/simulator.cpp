@@ -9,6 +9,7 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   Event event = queue_.pop();
   if (event.time < now_) {
+    ++order_violations_;
     throw std::logic_error("Simulator: event " + std::to_string(event.id) +
                            " scheduled in the past (t=" +
                            std::to_string(event.time) + ", now=" +

@@ -31,6 +31,14 @@ class Simulator {
     return dispatched_;
   }
 
+  /// Times a popped event carried a timestamp before the current clock.
+  /// step() still throws on the first one, so this reads 0 for any run that
+  /// completed — the counter exists so harnesses can assert the property
+  /// machine-verifiably instead of trusting the kernel.
+  [[nodiscard]] std::uint64_t order_violations() const noexcept {
+    return order_violations_;
+  }
+
   /// Schedules `action` at absolute virtual time `when` (>= now()).
   /// A past or NaN time throws std::invalid_argument — scheduling into the
   /// past would silently rewind the clock on dispatch, so the invariant is
@@ -80,6 +88,7 @@ class Simulator {
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t order_violations_ = 0;
   bool stop_requested_ = false;
 };
 

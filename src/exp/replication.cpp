@@ -1,6 +1,7 @@
 #include "exp/replication.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -120,6 +121,80 @@ RepPartial parse_partial(const std::string& payload) {
 
 }  // namespace
 
+std::uint64_t replication_fingerprint(const Scenario& scenario,
+                                      const core::HybridConfig& config,
+                                      std::size_t replications) {
+  // SplitMix64 absorption chain: each field perturbs the state through the
+  // full mixer, so swapping two fields or dropping one changes the hash.
+  // Doubles enter via their bit pattern — two configs fingerprint equal
+  // exactly when every double is bit-identical, matching the bit-exact
+  // resume guarantee the fingerprint protects.
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  const auto mix = [&h](std::uint64_t v) { h = rng::SplitMix64::mix(h ^ v); };
+  const auto mix_d = [&mix](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+
+  mix(static_cast<std::uint64_t>(scenario.num_items));
+  mix_d(scenario.theta);
+  mix_d(scenario.arrival_rate);
+  mix(static_cast<std::uint64_t>(scenario.num_classes));
+  mix_d(scenario.class_zipf_theta);
+  mix(scenario.min_length);
+  mix(scenario.max_length);
+  mix_d(scenario.mean_length);
+  mix(scenario.seed);
+  mix(static_cast<std::uint64_t>(scenario.num_requests));
+  // scenario.jobs deliberately excluded: worker count never changes numbers.
+
+  mix(static_cast<std::uint64_t>(config.cutoff));
+  mix_d(config.alpha);
+  mix(static_cast<std::uint64_t>(config.pull_policy));
+  mix(static_cast<std::uint64_t>(config.push_policy));
+  mix_d(config.aging_rate);
+  mix_d(config.total_bandwidth);
+  mix(static_cast<std::uint64_t>(config.bandwidth_fractions.size()));
+  for (const double f : config.bandwidth_fractions) mix_d(f);
+  mix_d(config.mean_bandwidth_demand);
+  mix_d(config.mean_patience);
+  mix(config.seed);
+  mix_d(config.warmup_fraction);
+
+  const fault::FaultConfig& fault = config.fault;
+  mix(static_cast<std::uint64_t>(fault.enabled));
+  mix_d(fault.channel.p_good_to_bad);
+  mix_d(fault.channel.p_bad_to_good);
+  mix_d(fault.channel.corrupt_good);
+  mix_d(fault.channel.corrupt_bad);
+  mix(fault.retry.max_retries);
+  mix_d(fault.retry.backoff_base);
+  mix_d(fault.retry.backoff_multiplier);
+  mix_d(fault.retry.max_backoff);
+  mix(static_cast<std::uint64_t>(fault.queue_capacity));
+  mix(static_cast<std::uint64_t>(fault.shed_policy));
+
+  const resilience::CrashConfig& crash = config.resilience.crash;
+  mix(static_cast<std::uint64_t>(crash.enabled));
+  mix_d(crash.rate);
+  mix_d(crash.downtime);
+  mix(static_cast<std::uint64_t>(crash.recovery));
+  mix_d(crash.snapshot_interval);
+  mix_d(crash.rerequest_timeout);
+  mix_d(crash.storm_spread);
+  mix(static_cast<std::uint64_t>(crash.max_crashes));
+
+  const resilience::OverloadConfig& overload = config.resilience.overload;
+  mix(static_cast<std::uint64_t>(overload.enabled));
+  mix_d(overload.eval_interval);
+  mix_d(overload.ewma_alpha);
+  mix_d(overload.blocking_ref);
+  mix(static_cast<std::uint64_t>(overload.capacity_ref));
+  mix(static_cast<std::uint64_t>(overload.cutoff_step));
+  for (const double v : overload.enter) mix_d(v);
+  for (const double v : overload.exit) mix_d(v);
+
+  mix(static_cast<std::uint64_t>(replications));
+  return h;
+}
+
 ReplicationSummary replicate_hybrid(const Scenario& scenario,
                                     const core::HybridConfig& config,
                                     std::size_t replications) {
@@ -140,9 +215,20 @@ ReplicationSummary replicate_hybrid(const Scenario& scenario,
                          : options.jobs;
   jobs = std::min(jobs, replications);
 
+  const std::uint64_t fingerprint =
+      (options.reporter != nullptr || options.resume != nullptr)
+          ? replication_fingerprint(scenario, config, replications)
+          : 0;
+  if (options.resume) {
+    // Refuse to splice a checkpoint from a different experiment; a file
+    // without a context record (pre-versioning) is accepted unchecked.
+    options.resume->require(kReplicationSchema, fingerprint);
+  }
+
   const runtime::StopWatch watch;
   if (options.reporter) {
     options.reporter->run_started("replicate", replications, jobs);
+    options.reporter->run_context(kReplicationSchema, fingerprint);
   }
   auto job = [&](std::size_t rep) {
     if (options.resume) {

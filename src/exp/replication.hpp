@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
@@ -28,6 +30,21 @@ struct ReplicationSummary {
   }
 };
 
+/// Schema tag of the per-replication checkpoint payload format, stamped
+/// into every progress file (RunReporter::run_context) and checked before
+/// resuming from one.
+inline constexpr std::string_view kReplicationSchema = "rp1";
+
+/// Stable hash of everything that determines replicate_hybrid's numbers:
+/// the scenario, the server configuration (including fault and resilience
+/// layers) and the replication count. Execution knobs that provably do not
+/// change results (worker count) are excluded, so a checkpoint taken at
+/// --jobs 4 resumes cleanly at --jobs 1. Used to stamp checkpoint files and
+/// to reject a resume against a file from a different experiment.
+[[nodiscard]] std::uint64_t replication_fingerprint(
+    const Scenario& scenario, const core::HybridConfig& config,
+    std::size_t replications);
+
 /// Execution knobs for replicate_hybrid. None of them change the numbers —
 /// replications always derive their seeds from their replication index and
 /// merge in index order, so any `jobs` value produces the same summary.
@@ -41,10 +58,11 @@ struct ReplicateOptions {
   runtime::RunReporter* reporter = nullptr;
   /// Optional checkpoint loaded from a previous (killed) run's JSONL:
   /// replications with a stored payload are restored instead of recomputed.
-  /// The caller must pass the *same* scenario, config and replication count
-  /// as the original run — resume skips work, it cannot detect a changed
-  /// experiment. The summary is bit-identical to an uninterrupted run for
-  /// any jobs value.
+  /// The store's context record (schema + replication_fingerprint) is
+  /// verified against this run's inputs first — a checkpoint from a
+  /// different scenario, config or replication count is rejected with
+  /// std::runtime_error instead of silently splicing wrong results. The
+  /// summary is bit-identical to an uninterrupted run for any jobs value.
   const runtime::CheckpointStore* resume = nullptr;
 };
 

@@ -4,6 +4,8 @@
 #include <ostream>
 
 #include "exp/table.hpp"
+#include "resilience/crash.hpp"
+#include "resilience/overload.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
 
@@ -49,6 +51,25 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
       out << "| pull-queue capacity | " << config.fault.queue_capacity
           << " (shed: " << fault::to_string(config.fault.shed_policy)
           << ") |\n";
+    }
+  }
+  if (config.resilience.active()) {
+    const auto& crash = config.resilience.crash;
+    if (crash.enabled && crash.rate > 0.0) {
+      out << "| crash rate | " << crash.rate << " (downtime "
+          << crash.downtime << ", recovery "
+          << resilience::to_string(crash.recovery) << ") |\n";
+      out << "| re-request timeout | " << crash.rerequest_timeout
+          << " (+U(0, " << crash.storm_spread << ") jitter) |\n";
+      if (crash.recovery == resilience::RecoveryMode::kWarm) {
+        out << "| snapshot interval | " << crash.snapshot_interval << " |\n";
+      }
+    }
+    if (config.resilience.overload.enabled) {
+      out << "| degradation ladder | on (eval every "
+          << config.resilience.overload.eval_interval << ", capacity ref "
+          << config.resilience.overload.capacity_ref << ", cutoff step "
+          << config.resilience.overload.cutoff_step << ") |\n";
     }
   }
   out << "\n";
@@ -98,6 +119,44 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
         << ")\n";
     out << "- requests shed: " << overall.shed
         << ", lost after retries: " << overall.lost << "\n";
+  }
+  if (config.resilience.active()) {
+    out << "\n## Resilience\n\n";
+    out << "- crashes: " << result.crashes << ", total downtime: ";
+    fixed2(result.total_downtime) << "\n";
+    out << "- storm re-requests: " << result.storm_rerequests
+        << " (largest single storm: " << result.largest_storm << ")\n";
+    if (result.recovery_latency.count() > 0) {
+      out << "- recovery latency: mean ";
+      fixed2(result.recovery_latency.mean()) << ", max ";
+      fixed2(result.recovery_latency.max()) << "\n";
+    }
+    out << "- stormed per class:";
+    for (workload::ClassId c = 0; c < population.num_classes(); ++c) {
+      out << ' ' << population.cls(c).name << '='
+          << result.per_class[c].stormed;
+    }
+    out << "\n- rejected per class:";
+    for (workload::ClassId c = 0; c < population.num_classes(); ++c) {
+      out << ' ' << population.cls(c).name << '='
+          << result.per_class[c].rejected;
+    }
+    out << "\n- peak pull-queue length: " << result.max_pull_queue_len << "\n";
+    out << "- ladder: max level "
+        << resilience::to_string(result.max_overload_level) << ", "
+        << result.overload_transitions.size() << " transitions\n";
+    if (!result.overload_transitions.empty()) {
+      out << "\n| time | from | to | occupancy | blocking EWMA |\n"
+             "|---|---|---|---|---|\n";
+      for (const auto& t : result.overload_transitions) {
+        out << "| ";
+        fixed2(t.time) << " | " << resilience::to_string(t.from) << " | "
+                       << resilience::to_string(t.to) << " | ";
+        fixed2(t.occupancy) << " | ";
+        out << std::fixed << std::setprecision(4) << t.blocking_ewma
+            << " |\n";
+      }
+    }
   }
   out << "- virtual end time: ";
   fixed2(result.end_time) << "\n";

@@ -1,27 +1,39 @@
 #include "fault/retry.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
 namespace pushpull::fault {
 
 void RetryConfig::validate() const {
-  if (!(backoff_base > 0.0)) {
+  if (!(backoff_base > 0.0) || !std::isfinite(backoff_base)) {
     throw std::invalid_argument(
-        "RetryConfig: backoff_base must be positive, got " +
+        "RetryConfig: backoff_base must be positive and finite, got " +
         std::to_string(backoff_base));
   }
-  if (!(backoff_multiplier >= 1.0)) {
+  if (!(backoff_multiplier >= 1.0) || !std::isfinite(backoff_multiplier)) {
     throw std::invalid_argument(
-        "RetryConfig: backoff_multiplier must be >= 1, got " +
+        "RetryConfig: backoff_multiplier must be >= 1 and finite, got " +
         std::to_string(backoff_multiplier));
+  }
+  if (!(max_backoff >= backoff_base) || !std::isfinite(max_backoff)) {
+    throw std::invalid_argument(
+        "RetryConfig: max_backoff must be finite and >= backoff_base "
+        "(otherwise the very first retry would already exceed the cap), "
+        "got " + std::to_string(max_backoff));
   }
 }
 
 double RetryConfig::backoff_delay(std::uint32_t attempt) const noexcept {
   double delay = backoff_base;
-  for (std::uint32_t i = 1; i < attempt; ++i) delay *= backoff_multiplier;
-  return delay;
+  for (std::uint32_t i = 1; i < attempt; ++i) {
+    // Stop multiplying once past the cap: with a large attempt count the
+    // repeated product would overflow to inf before the final clamp.
+    if (delay >= max_backoff) break;
+    delay *= backoff_multiplier;
+  }
+  return delay < max_backoff ? delay : max_backoff;
 }
 
 }  // namespace pushpull::fault

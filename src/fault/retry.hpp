@@ -17,15 +17,21 @@ struct RetryConfig {
   /// Multiplier applied per further attempt (2.0 = classic binary
   /// exponential backoff). Must be >= 1 so retries never get tighter.
   double backoff_multiplier = 2.0;
+  /// Ceiling on any single backoff delay. Without it, a large attempt
+  /// count times a multiplier > 1 overflows double multiplication to
+  /// infinity, and an event scheduled at t = inf deadlocks the run. The
+  /// default is far above any default-config delay, so existing configs
+  /// are numerically unchanged.
+  double max_backoff = 1.0e6;
 
-  /// Throws std::invalid_argument on a non-positive base or a multiplier
-  /// below 1.
+  /// Throws std::invalid_argument on a non-positive base, a multiplier
+  /// below 1, or a max_backoff below backoff_base (or non-finite).
   void validate() const;
 
   /// Delay before re-request number `attempt` (1-based):
-  /// backoff_base · backoff_multiplier^(attempt-1). Deterministic — jitter
-  /// would add nothing here because each simulated client already has a
-  /// unique corruption history.
+  /// min(backoff_base · backoff_multiplier^(attempt-1), max_backoff).
+  /// Deterministic — jitter would add nothing here because each simulated
+  /// client already has a unique corruption history. Always finite.
   [[nodiscard]] double backoff_delay(std::uint32_t attempt) const noexcept;
 };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -19,5 +20,51 @@ enum class ShedPolicy {
 
 /// Parses "tail" / "priority"; throws std::invalid_argument otherwise.
 [[nodiscard]] ShedPolicy parse_shed_policy(const std::string& name);
+
+/// Streaming victim selection for kDropLowestPriority: feed every queued
+/// request through consider() and read back the one to evict. The rule is
+/// exact and deterministic so runs replay identically:
+///
+///  * the candidate with the strictly lowest priority wins;
+///  * priority ties prefer the *youngest* candidate (highest request id) —
+///    the one that has invested the least waiting time;
+///  * an arrival that is itself no more important than the selected victim
+///    (arrival priority <= victim priority) should be shed instead — see
+///    arrival_yields_to().
+///
+/// Templated on the candidate type so the accumulator stays in the fault
+/// layer (below workload in the dependency order) yet serves the server's
+/// workload::Request scan and the property tests' plain structs alike.
+template <typename Candidate>
+class LowestPriorityVictim {
+ public:
+  /// Offers one queued candidate. `candidate` must outlive the scan (the
+  /// accumulator stores a pointer, not a copy).
+  void consider(const Candidate& candidate, double priority,
+                std::uint64_t id) noexcept {
+    if (victim_ == nullptr || priority < priority_ ||
+        (priority == priority_ && id > id_)) {
+      victim_ = &candidate;
+      priority_ = priority;
+      id_ = id;
+    }
+  }
+
+  /// The selected victim, or nullptr when nothing was offered.
+  [[nodiscard]] const Candidate* victim() const noexcept { return victim_; }
+  [[nodiscard]] double priority() const noexcept { return priority_; }
+
+  /// True when an arrival with `arrival_priority` should be shed in place
+  /// of the selected victim: nothing is queued, or the arrival is no more
+  /// important than the victim.
+  [[nodiscard]] bool arrival_yields_to(double arrival_priority) const noexcept {
+    return victim_ == nullptr || arrival_priority <= priority_;
+  }
+
+ private:
+  const Candidate* victim_ = nullptr;
+  double priority_ = 0.0;  // meaningful only while victim_ != nullptr
+  std::uint64_t id_ = 0;
+};
 
 }  // namespace pushpull::fault

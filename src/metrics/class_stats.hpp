@@ -29,9 +29,12 @@ struct ClassStats {
   std::uint64_t retries = 0;    // pull re-requests issued after corruption
   std::uint64_t shed = 0;       // rejected/evicted by pull-queue admission
   std::uint64_t lost = 0;       // pull requests that exhausted their retries
+  // Resilience-layer outcomes (all zero with crashes and ladder disabled).
+  std::uint64_t rejected = 0;   // refused at the uplink by admission control
+  std::uint64_t stormed = 0;    // re-requests issued after a server crash
 
   [[nodiscard]] std::uint64_t outstanding() const noexcept {
-    return arrived - served - blocked - abandoned - shed - lost;
+    return arrived - served - blocked - abandoned - shed - lost - rejected;
   }
   [[nodiscard]] double blocking_ratio() const noexcept {
     const std::uint64_t settled = served + blocked + abandoned;
@@ -40,9 +43,19 @@ struct ClassStats {
                    : 0.0;
   }
 
+  /// Fraction of settled requests refused by overload admission control.
+  [[nodiscard]] double rejection_ratio() const noexcept {
+    const std::uint64_t settled =
+        served + blocked + abandoned + shed + lost + rejected;
+    return settled ? static_cast<double>(rejected) /
+                         static_cast<double>(settled)
+                   : 0.0;
+  }
+
   /// Fraction of settled requests whose client gave up before delivery.
   [[nodiscard]] double abandonment_ratio() const noexcept {
-    const std::uint64_t settled = served + blocked + abandoned + shed + lost;
+    const std::uint64_t settled =
+        served + blocked + abandoned + shed + lost + rejected;
     return settled ? static_cast<double>(abandoned) /
                          static_cast<double>(settled)
                    : 0.0;
@@ -52,7 +65,8 @@ struct ClassStats {
   /// user-perceived *goodput* as opposed to the server's transmission
   /// throughput (which also counts corrupted airtime).
   [[nodiscard]] double goodput_ratio() const noexcept {
-    const std::uint64_t settled = served + blocked + abandoned + shed + lost;
+    const std::uint64_t settled =
+        served + blocked + abandoned + shed + lost + rejected;
     return settled ? static_cast<double>(served) /
                          static_cast<double>(settled)
                    : 0.0;
@@ -61,7 +75,8 @@ struct ClassStats {
   /// Fraction of settled requests removed by the fault layer (shed by
   /// admission control or lost after exhausting retries).
   [[nodiscard]] double loss_ratio() const noexcept {
-    const std::uint64_t settled = served + blocked + abandoned + shed + lost;
+    const std::uint64_t settled =
+        served + blocked + abandoned + shed + lost + rejected;
     return settled ? static_cast<double>(shed + lost) /
                          static_cast<double>(settled)
                    : 0.0;
@@ -81,6 +96,8 @@ struct ClassStats {
     retries += other.retries;
     shed += other.shed;
     lost += other.lost;
+    rejected += other.rejected;
+    stormed += other.stormed;
   }
 };
 
@@ -132,6 +149,14 @@ class ClassCollector {
   void record_shed(workload::ClassId cls) noexcept { ++stats_[cls].shed; }
 
   void record_lost(workload::ClassId cls) noexcept { ++stats_[cls].lost; }
+
+  void record_rejected(workload::ClassId cls) noexcept {
+    ++stats_[cls].rejected;
+  }
+
+  void record_stormed(workload::ClassId cls) noexcept {
+    ++stats_[cls].stormed;
+  }
 
   /// All classes merged (waiting-time stats pooled over every request).
   [[nodiscard]] ClassStats aggregate() const noexcept {

@@ -1,0 +1,92 @@
+#include "resilience/crash.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/float_compare.hpp"
+#include "rng/exponential.hpp"
+
+namespace pushpull::resilience {
+
+std::string_view to_string(RecoveryMode mode) noexcept {
+  switch (mode) {
+    case RecoveryMode::kCold: return "cold";
+    case RecoveryMode::kWarm: return "warm";
+  }
+  return "?";
+}
+
+RecoveryMode parse_recovery_mode(const std::string& name) {
+  if (name == "cold") return RecoveryMode::kCold;
+  if (name == "warm") return RecoveryMode::kWarm;
+  throw std::invalid_argument("unknown recovery mode '" + name +
+                              "' (expected cold or warm)");
+}
+
+void CrashConfig::validate() const {
+  if (!(rate >= 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument(
+        "CrashConfig: rate must be a non-negative finite number, got " +
+        std::to_string(rate));
+  }
+  if (!(downtime > 0.0) || !std::isfinite(downtime)) {
+    throw std::invalid_argument(
+        "CrashConfig: downtime must be positive and finite, got " +
+        std::to_string(downtime));
+  }
+  if (!(snapshot_interval > 0.0) || !std::isfinite(snapshot_interval)) {
+    throw std::invalid_argument(
+        "CrashConfig: snapshot_interval must be positive and finite, got " +
+        std::to_string(snapshot_interval));
+  }
+  if (!(rerequest_timeout >= 0.0) || !std::isfinite(rerequest_timeout)) {
+    throw std::invalid_argument(
+        "CrashConfig: rerequest_timeout must be non-negative and finite, "
+        "got " + std::to_string(rerequest_timeout));
+  }
+  if (!(storm_spread >= 0.0) || !std::isfinite(storm_spread)) {
+    throw std::invalid_argument(
+        "CrashConfig: storm_spread must be non-negative and finite, got " +
+        std::to_string(storm_spread));
+  }
+  if (max_crashes == 0) {
+    throw std::invalid_argument(
+        "CrashConfig: max_crashes must be >= 1 (set enabled=false or rate=0 "
+        "to disable crashes)");
+  }
+}
+
+CrashSchedule::CrashSchedule(std::vector<double> times)
+    : times_(std::move(times)) {
+  double prev = 0.0;
+  for (const double t : times_) {
+    if (!(t >= prev) || !std::isfinite(t)) {
+      throw std::invalid_argument(
+          "CrashSchedule: instants must be sorted, non-negative and finite");
+    }
+    prev = t;
+  }
+}
+
+CrashSchedule CrashSchedule::poisson(const CrashConfig& config,
+                                     double horizon,
+                                     rng::Xoshiro256ss engine) {
+  config.validate();
+  CrashSchedule schedule;
+  if (!config.enabled || metrics::exactly_zero(config.rate) ||
+      !(horizon > 0.0)) {
+    return schedule;
+  }
+  double t = 0.0;
+  while (schedule.times_.size() < config.max_crashes) {
+    t += rng::exponential(engine, config.rate);
+    if (t > horizon) break;
+    schedule.times_.push_back(t);
+    // The server is dark until t + downtime; a crash cannot hit a server
+    // that is already down, so the process resumes at recovery.
+    t += config.downtime;
+  }
+  return schedule;
+}
+
+}  // namespace pushpull::resilience

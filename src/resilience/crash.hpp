@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace pushpull::resilience {
+
+/// What the server remembers when it comes back after a crash.
+enum class RecoveryMode {
+  /// Pull queue and pending-request state are lost. Every queued client
+  /// notices the silence after `rerequest_timeout` and re-requests — the
+  /// re-request storm. The broadcast program also restarts from the top.
+  kCold,
+  /// State is restored from the latest periodic in-sim snapshot (see
+  /// resilience::encode_snapshot); only requests that arrived after the
+  /// snapshot storm, so the storm shrinks with the snapshot interval.
+  kWarm,
+};
+
+[[nodiscard]] std::string_view to_string(RecoveryMode mode) noexcept;
+
+/// Parses "cold" / "warm"; throws std::invalid_argument otherwise.
+[[nodiscard]] RecoveryMode parse_recovery_mode(const std::string& name);
+
+/// Seeded server crash/recovery model. Disabled by default and, when
+/// disabled, bit-invisible: no crash stream is constructed and no events
+/// are scheduled, so simulation output matches a build without it.
+struct CrashConfig {
+  /// Master switch: when false nothing below is consulted.
+  bool enabled = false;
+
+  /// Crash arrival rate (Poisson process, crashes per broadcast unit of
+  /// the trace span). 0 with `enabled` means "armed but never fires" —
+  /// useful for the warm-recovery ≡ fault-free equivalence check.
+  double rate = 0.0;
+
+  /// How long the server stays dark after each crash, in broadcast units.
+  double downtime = 50.0;
+
+  RecoveryMode recovery = RecoveryMode::kCold;
+
+  /// Warm recovery: how often the server snapshots its pull-queue state.
+  double snapshot_interval = 100.0;
+
+  /// How long a client whose request vanished in the crash waits before
+  /// re-requesting (it cannot tell a crash from a long queue any earlier).
+  double rerequest_timeout = 20.0;
+
+  /// Re-requests are jittered uniformly over [0, storm_spread) so the storm
+  /// is a burst, not a single instant; 0 = everyone hits at once.
+  double storm_spread = 10.0;
+
+  /// Hard bound on crashes per run, so an adversarial rate cannot wedge a
+  /// simulation in a crash/recover loop forever.
+  std::size_t max_crashes = 64;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// The deterministic list of crash instants for one run: a Poisson process
+/// over [0, horizon], thinned so no crash lands inside the previous crash's
+/// downtime, drawn from the run's own named RNG stream.
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+
+  /// Explicit instants (tests, replayed schedules). Must be sorted and
+  /// non-negative; throws std::invalid_argument otherwise.
+  explicit CrashSchedule(std::vector<double> times);
+
+  /// Samples the schedule for one run. `engine` should come from
+  /// rng::StreamFactory::stream("crash-schedule") so crash draws never
+  /// perturb any other stochastic component.
+  [[nodiscard]] static CrashSchedule poisson(const CrashConfig& config,
+                                             double horizon,
+                                             rng::Xoshiro256ss engine);
+
+  [[nodiscard]] const std::vector<double>& times() const noexcept {
+    return times_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return times_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+
+ private:
+  std::vector<double> times_;
+};
+
+}  // namespace pushpull::resilience

@@ -1,0 +1,94 @@
+#include "resilience/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pushpull::resilience {
+
+namespace {
+
+char class_letter(std::size_t cls) {
+  return static_cast<char>('A' + (cls % 26));
+}
+
+}  // namespace
+
+bool InvariantReport::all_pass() const noexcept {
+  return std::all_of(checks.begin(), checks.end(),
+                     [](const InvariantCheck& c) { return c.pass; });
+}
+
+std::size_t InvariantReport::failures() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(checks.begin(), checks.end(),
+                    [](const InvariantCheck& c) { return !c.pass; }));
+}
+
+void InvariantReport::merge(const InvariantReport& other) {
+  checks.insert(checks.end(), other.checks.begin(), other.checks.end());
+}
+
+InvariantReport check_invariants(const InvariantInputs& inputs) {
+  InvariantReport report;
+
+  std::uint64_t total_arrived = 0;
+  std::uint64_t total_settled = 0;
+  for (std::size_t cls = 0; cls < inputs.per_class.size(); ++cls) {
+    const metrics::ClassStats& s = inputs.per_class[cls];
+    const std::uint64_t settled = s.served + s.blocked + s.abandoned + s.shed +
+                                  s.lost + s.rejected;
+    total_arrived += s.arrived;
+    total_settled += settled;
+    InvariantCheck check;
+    check.name = std::string("conservation-class-") + class_letter(cls);
+    check.pass = s.arrived == settled;
+    check.detail = "arrived=" + std::to_string(s.arrived) +
+                   " served=" + std::to_string(s.served) +
+                   " blocked=" + std::to_string(s.blocked) +
+                   " abandoned=" + std::to_string(s.abandoned) +
+                   " shed=" + std::to_string(s.shed) +
+                   " lost=" + std::to_string(s.lost) +
+                   " rejected=" + std::to_string(s.rejected);
+    report.checks.push_back(std::move(check));
+  }
+  report.checks.push_back(InvariantCheck{
+      "conservation-total", total_arrived == total_settled,
+      "arrived=" + std::to_string(total_arrived) +
+          " settled=" + std::to_string(total_settled)});
+
+  const std::size_t cap = std::max(inputs.queue_capacity, inputs.soft_capacity);
+  const bool cap_ok = cap == 0 || inputs.max_queue_len <= cap;
+  report.checks.push_back(InvariantCheck{
+      "queue-cap-bound", cap_ok,
+      cap == 0 ? "no cap in force; peak=" + std::to_string(inputs.max_queue_len)
+               : "peak=" + std::to_string(inputs.max_queue_len) +
+                     " cap=" + std::to_string(cap)});
+
+  report.checks.push_back(InvariantCheck{
+      "event-time-monotone", inputs.event_order_violations == 0,
+      std::to_string(inputs.event_order_violations) +
+          " out-of-order dispatches"});
+
+  const bool end_ok = std::isfinite(inputs.end_time) && inputs.end_time >= 0.0;
+  report.checks.push_back(InvariantCheck{
+      "end-time-finite", end_ok,
+      "end_time=" + std::to_string(inputs.end_time)});
+
+  return report;
+}
+
+std::string format_report(const InvariantReport& report) {
+  std::string out;
+  for (const InvariantCheck& check : report.checks) {
+    out += check.pass ? "PASS " : "FAIL ";
+    out += check.name;
+    if (!check.detail.empty()) {
+      out += " — ";
+      out += check.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pushpull::resilience

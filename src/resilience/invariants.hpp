@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/class_stats.hpp"
+
+namespace pushpull::resilience {
+
+/// Everything the invariant suite needs to audit one finished run. Kept
+/// free of any core/exp dependency so the checks can run against raw
+/// counters from any harness (ctest, the chaos CLI, the soak workflow).
+struct InvariantInputs {
+  std::vector<metrics::ClassStats> per_class;
+  /// Hard pull-queue capacity in force (0 = unbounded).
+  std::size_t queue_capacity = 0;
+  /// Soft cap that engaged under overload, if any (0 = none). The queue-cap
+  /// bound uses max(queue_capacity, soft_capacity) as the admissible peak:
+  /// a soft cap may engage after the queue already grew past it.
+  std::size_t soft_capacity = 0;
+  /// Largest pull-queue length observed during the run.
+  std::size_t max_queue_len = 0;
+  /// Times the simulator popped an event scheduled before current time.
+  std::uint64_t event_order_violations = 0;
+  double end_time = 0.0;
+};
+
+/// One named check with a human-readable verdict.
+struct InvariantCheck {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::vector<InvariantCheck> checks;
+
+  [[nodiscard]] bool all_pass() const noexcept;
+  [[nodiscard]] std::size_t failures() const noexcept;
+
+  /// Appends another report's checks (used to pool replications).
+  void merge(const InvariantReport& other);
+};
+
+/// Runs the machine-verified invariant suite:
+///
+///  * conservation — per class and in aggregate,
+///      arrived == served + blocked + abandoned + shed + lost + rejected
+///    (every admitted request is accounted for exactly once, crashes and
+///    degradation included);
+///  * queue-cap — with a cap in force the observed peak never exceeds it;
+///  * event-order — simulated time never ran backwards;
+///  * end-time — the run finished at a finite, non-negative instant.
+[[nodiscard]] InvariantReport check_invariants(const InvariantInputs& inputs);
+
+/// Formats a report as aligned "PASS/FAIL name — detail" lines.
+[[nodiscard]] std::string format_report(const InvariantReport& report);
+
+}  // namespace pushpull::resilience

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "resilience/crash.hpp"
+#include "resilience/overload.hpp"
+
+namespace pushpull::resilience {
+
+/// Umbrella knob block for the robustness features: the crash/recovery
+/// model and the overload degradation ladder. Default-constructed it is
+/// fully inert — no events scheduled, no RNG streams derived — so a config
+/// that never mentions resilience produces bit-identical output to builds
+/// that predate it.
+struct ResilienceConfig {
+  CrashConfig crash;
+  OverloadConfig overload;
+
+  /// True when any resilience machinery will actually run.
+  [[nodiscard]] bool active() const noexcept {
+    return (crash.enabled && crash.rate > 0.0) || overload.enabled;
+  }
+
+  void validate() const {
+    crash.validate();
+    overload.validate();
+  }
+};
+
+}  // namespace pushpull::resilience

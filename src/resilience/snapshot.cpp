@@ -1,0 +1,67 @@
+#include "resilience/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/checkpoint.hpp"
+
+namespace pushpull::resilience {
+
+std::string encode_snapshot(const QueueSnapshot& snapshot,
+                            std::uint64_t fingerprint) {
+  std::string out(kSnapshotSchema);
+  out += ' ';
+  out += std::to_string(fingerprint);
+  out += ' ';
+  out += runtime::encode_double(snapshot.time);
+  out += ' ';
+  out += std::to_string(snapshot.queued.size());
+  for (const std::uint64_t id : snapshot.queued) {
+    out += ' ';
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+QueueSnapshot decode_snapshot(const std::string& record,
+                              std::uint64_t expected_fingerprint) {
+  std::istringstream in(record);
+  std::string tag;
+  std::uint64_t fingerprint = 0;
+  std::string time_token;
+  std::size_t count = 0;
+  if (!(in >> tag)) {
+    throw std::runtime_error("decode_snapshot: empty snapshot record");
+  }
+  if (tag != kSnapshotSchema) {
+    throw std::runtime_error(
+        "decode_snapshot: schema mismatch — record is tagged '" + tag +
+        "' but this build reads '" + std::string(kSnapshotSchema) +
+        "'; refusing to restore state written by a different version");
+  }
+  if (!(in >> fingerprint >> time_token >> count)) {
+    throw std::runtime_error("decode_snapshot: truncated snapshot header");
+  }
+  if (fingerprint != expected_fingerprint) {
+    throw std::runtime_error(
+        "decode_snapshot: fingerprint mismatch (record " +
+        std::to_string(fingerprint) + ", expected " +
+        std::to_string(expected_fingerprint) +
+        ") — the snapshot was taken under a different catalog/scenario/"
+        "config; refusing to mis-restore the pull queue");
+  }
+  QueueSnapshot snapshot;
+  snapshot.time = runtime::decode_double(time_token);
+  snapshot.queued.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> snapshot.queued[i])) {
+      throw std::runtime_error(
+          "decode_snapshot: truncated snapshot body (expected " +
+          std::to_string(count) + " request ids, got " + std::to_string(i) +
+          ")");
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace pushpull::resilience

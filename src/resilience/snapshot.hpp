@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pushpull::resilience {
+
+/// Schema tag of the queue-snapshot record format. Bumped whenever the
+/// layout changes, so a warm restore can never silently mis-parse a record
+/// produced by a different version.
+inline constexpr std::string_view kSnapshotSchema = "snap1";
+
+/// The server's periodically checkpointed pull-queue state: which requests
+/// were queued, and when the snapshot was taken. Warm recovery restores
+/// exactly the requests covered by the latest snapshot; everything newer
+/// storms.
+struct QueueSnapshot {
+  double time = 0.0;
+  std::vector<std::uint64_t> queued;  // request ids, in queue order
+};
+
+/// Serializes a snapshot as a single-line record:
+///
+///   snap1 <fingerprint> <time-hexfloat> <count> <id> <id> ...
+///
+/// `fingerprint` identifies the (catalog, scenario, config) the snapshot
+/// belongs to; the time is hexfloat (runtime::encode_double) so restores
+/// are bit-exact. The record is also valid as a runtime::RunReporter
+/// payload, so crash-safe persistence gets the same tolerant-reader
+/// semantics as replication checkpoints.
+[[nodiscard]] std::string encode_snapshot(const QueueSnapshot& snapshot,
+                                          std::uint64_t fingerprint);
+
+/// Inverse of encode_snapshot. Throws std::runtime_error when the schema
+/// tag or the fingerprint does not match `expected_fingerprint`, or on a
+/// truncated/malformed record — restoring a snapshot from a different
+/// catalog or config would silently mis-restore the queue.
+[[nodiscard]] QueueSnapshot decode_snapshot(const std::string& record,
+                                            std::uint64_t expected_fingerprint);
+
+}  // namespace pushpull::resilience

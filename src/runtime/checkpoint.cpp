@@ -1,5 +1,6 @@
 #include "runtime/checkpoint.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -88,6 +89,34 @@ bool parse_payload_line(const std::string& line, std::size_t& id,
   return true;
 }
 
+/// Parses one JSONL line into (schema, fingerprint) if it is a complete
+/// context record; returns false otherwise.
+bool parse_context_line(const std::string& line, std::string& schema,
+                        std::uint64_t& fingerprint) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  if (line.find(R"("event":"context")") == std::string::npos) return false;
+
+  const std::size_t skey = line.find(R"("schema":")");
+  if (skey == std::string::npos) return false;
+  const std::size_t sbegin = skey + 10;
+  std::size_t send = sbegin;
+  while (send < line.size() && line[send] != '"') {
+    send += line[send] == '\\' ? std::size_t{2} : std::size_t{1};
+  }
+  if (send >= line.size()) return false;
+
+  const std::size_t fkey = line.find(R"("fingerprint":)");
+  if (fkey == std::string::npos) return false;
+  const char* fbegin = line.c_str() + fkey + 14;
+  char* fend = nullptr;
+  const unsigned long long parsed = std::strtoull(fbegin, &fend, 10);
+  if (fend == fbegin) return false;
+
+  schema = unescape(std::string_view(line).substr(sbegin, send - sbegin));
+  fingerprint = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
 }  // namespace
 
 CheckpointStore CheckpointStore::load(std::istream& in) {
@@ -100,6 +129,16 @@ CheckpointStore CheckpointStore::load(std::istream& in) {
     std::string payload;
     if (parse_payload_line(line, id, payload)) {
       store.payloads_[id] = std::move(payload);
+      continue;
+    }
+    // Keep the last context seen: an appended resume restates it, and the
+    // restated one is the run the payloads after it belong to.
+    std::string schema;
+    std::uint64_t fingerprint = 0;
+    if (parse_context_line(line, schema, fingerprint)) {
+      store.has_context_ = true;
+      store.schema_ = std::move(schema);
+      store.fingerprint_ = fingerprint;
     }
   }
   return store;
@@ -114,6 +153,24 @@ CheckpointStore CheckpointStore::load_file(const std::string& path) {
 const std::string* CheckpointStore::find(std::size_t job_id) const {
   const auto it = payloads_.find(job_id);
   return it == payloads_.end() ? nullptr : &it->second;
+}
+
+void CheckpointStore::require(std::string_view schema,
+                              std::uint64_t fingerprint) const {
+  if (!has_context_) return;  // pre-versioning file: accept as before
+  if (schema_ != schema) {
+    throw std::runtime_error(
+        "CheckpointStore: cannot resume — checkpoint file has payload "
+        "schema '" + schema_ + "' but this run expects '" +
+        std::string(schema) + "'");
+  }
+  if (fingerprint_ != fingerprint) {
+    throw std::runtime_error(
+        "CheckpointStore: cannot resume — checkpoint file was written for a "
+        "different run (fingerprint " + std::to_string(fingerprint_) +
+        ", expected " + std::to_string(fingerprint) +
+        "); the scenario, config, or replication count differs");
+  }
 }
 
 }  // namespace pushpull::runtime

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace pushpull::runtime {
@@ -28,6 +29,12 @@ namespace pushpull::runtime {
 /// truncated final line, and any line that does not parse as a whole
 /// payload record is skipped rather than trusted, so that job simply
 /// re-runs on resume.
+///
+/// Versioning: a `{"event":"context","schema":"...","fingerprint":N}`
+/// record (see RunReporter::run_context) identifies the payload format and
+/// the run's inputs. `require()` rejects a resume against a file written
+/// for a different schema or experiment. Files without a context record
+/// (written before versioning existed) are accepted as-is.
 class CheckpointStore {
  public:
   CheckpointStore() = default;
@@ -46,8 +53,23 @@ class CheckpointStore {
   [[nodiscard]] std::size_t size() const noexcept { return payloads_.size(); }
   [[nodiscard]] bool empty() const noexcept { return payloads_.empty(); }
 
+  /// True when the file carried a context record (schema + fingerprint).
+  [[nodiscard]] bool has_context() const noexcept { return has_context_; }
+  [[nodiscard]] const std::string& schema() const noexcept { return schema_; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  /// Verifies this store was written by a run with the same payload schema
+  /// and input fingerprint. Throws std::runtime_error naming both sides on
+  /// any mismatch; a store with no context record passes (legacy file).
+  void require(std::string_view schema, std::uint64_t fingerprint) const;
+
  private:
   std::unordered_map<std::size_t, std::string> payloads_;
+  bool has_context_ = false;
+  std::string schema_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace pushpull::runtime

@@ -16,6 +16,16 @@ void RunReporter::run_started(std::string_view label, std::size_t num_jobs,
   write_line(line);
 }
 
+void RunReporter::run_context(std::string_view schema,
+                              std::uint64_t fingerprint) {
+  std::string line = R"({"event":"context","schema":")";
+  append_escaped(line, schema);
+  line += R"(","fingerprint":)";
+  line += std::to_string(fingerprint);
+  line += '}';
+  write_line(line);
+}
+
 void RunReporter::job_finished(std::size_t job_id, double wall_ms, bool ok,
                                std::string_view detail) {
   std::string line = R"({"event":"job","id":)";

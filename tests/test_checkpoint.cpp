@@ -266,6 +266,111 @@ TEST(Resume, CorruptPayloadFailsLoudly) {
                std::runtime_error);
 }
 
+// --- checkpoint format versioning ----------------------------------------
+
+TEST(CheckpointStore, ParsesContextRecord) {
+  std::ostringstream out;
+  runtime::RunReporter reporter(out);
+  reporter.run_started("replicate", 2, 1);
+  reporter.run_context("rp1", 0xDEADBEEFCAFEULL);
+  reporter.job_payload(0, "rp1 stub");
+  std::istringstream in(out.str());
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_TRUE(store.has_context());
+  EXPECT_EQ(store.schema(), "rp1");
+  EXPECT_EQ(store.fingerprint(), 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NO_THROW(store.require("rp1", 0xDEADBEEFCAFEULL));
+}
+
+TEST(CheckpointStore, RequireAcceptsLegacyFileWithoutContext) {
+  std::istringstream in(
+      "{\"event\":\"payload\",\"id\":0,\"payload\":\"rp1 stub\"}\n");
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_FALSE(store.has_context());
+  // Pre-versioning files carry no context; they must keep resuming.
+  EXPECT_NO_THROW(store.require("rp1", 12345));
+}
+
+TEST(CheckpointStore, RequireRejectsSchemaAndFingerprintMismatch) {
+  std::ostringstream out;
+  runtime::RunReporter reporter(out);
+  reporter.run_context("rp1", 42);
+  std::istringstream in(out.str());
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_THROW(store.require("rp2", 42), std::runtime_error);
+  EXPECT_THROW(store.require("rp1", 43), std::runtime_error);
+  EXPECT_NO_THROW(store.require("rp1", 42));
+}
+
+TEST(CheckpointStore, TruncatedContextRecordIsIgnored) {
+  std::istringstream in(
+      "{\"event\":\"context\",\"schema\":\"rp1\",\"fingerprint\":42");
+  const auto store = runtime::CheckpointStore::load(in);
+  EXPECT_FALSE(store.has_context());  // no closing brace → not trusted
+}
+
+TEST(Fingerprint, IgnoresWorkerCountButTracksEverythingElse) {
+  exp::Scenario scenario = tiny_scenario();
+  core::HybridConfig config;
+  config.cutoff = 15;
+  const auto base = exp::replication_fingerprint(scenario, config, 6);
+
+  exp::Scenario other_jobs = scenario;
+  other_jobs.jobs = 8;  // execution knob: provably result-neutral
+  EXPECT_EQ(exp::replication_fingerprint(other_jobs, config, 6), base);
+
+  exp::Scenario other_seed = scenario;
+  other_seed.seed ^= 1;
+  EXPECT_NE(exp::replication_fingerprint(other_seed, config, 6), base);
+
+  core::HybridConfig other_cutoff = config;
+  other_cutoff.cutoff = 16;
+  EXPECT_NE(exp::replication_fingerprint(scenario, other_cutoff, 6), base);
+
+  core::HybridConfig other_crash = config;
+  other_crash.resilience.crash.enabled = true;
+  other_crash.resilience.crash.rate = 0.01;
+  EXPECT_NE(exp::replication_fingerprint(scenario, other_crash, 6), base);
+
+  EXPECT_NE(exp::replication_fingerprint(scenario, config, 7), base);
+}
+
+TEST(Resume, CheckpointFromDifferentExperimentIsRejected) {
+  const auto scenario = tiny_scenario();
+  core::HybridConfig config;
+  config.cutoff = 15;
+
+  std::ostringstream log;
+  {
+    runtime::RunReporter reporter(log);
+    exp::ReplicateOptions opts;
+    opts.reporter = &reporter;
+    (void)exp::replicate_hybrid(scenario, config, 3, opts);
+  }
+  std::istringstream in(log.str());
+  const auto checkpoint = runtime::CheckpointStore::load(in);
+  ASSERT_TRUE(checkpoint.has_context());
+
+  // Same file, different experiment: changed config, changed scenario and
+  // changed replication count must all refuse to resume...
+  exp::ReplicateOptions opts;
+  opts.resume = &checkpoint;
+  core::HybridConfig other = config;
+  other.cutoff = 20;
+  EXPECT_THROW((void)exp::replicate_hybrid(scenario, other, 3, opts),
+               std::runtime_error);
+  exp::Scenario other_scenario = scenario;
+  other_scenario.num_requests += 1;
+  EXPECT_THROW((void)exp::replicate_hybrid(other_scenario, config, 3, opts),
+               std::runtime_error);
+  EXPECT_THROW((void)exp::replicate_hybrid(scenario, config, 4, opts),
+               std::runtime_error);
+
+  // ...while the matching experiment still resumes cleanly.
+  EXPECT_NO_THROW((void)exp::replicate_hybrid(scenario, config, 3, opts));
+}
+
 // --- resumable_sweep ------------------------------------------------------
 
 TEST(Resume, ResumableSweepRestoresCheckpointedPoints) {

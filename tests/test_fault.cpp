@@ -3,6 +3,11 @@
 // law arrived = served + blocked + abandoned + shed + lost.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "core/hybrid_server.hpp"
 #include "exp/scenario.hpp"
 #include "fault/channel.hpp"
@@ -10,6 +15,7 @@
 #include "fault/retry.hpp"
 #include "fault/shedding.hpp"
 #include "rng/stream.hpp"
+#include "rng/uniform.hpp"
 
 namespace pushpull {
 namespace {
@@ -99,6 +105,30 @@ TEST(RetryConfig, BackoffGrowsExponentially) {
   EXPECT_DOUBLE_EQ(retry.backoff_delay(1), 1.5);
   EXPECT_DOUBLE_EQ(retry.backoff_delay(2), 3.0);
   EXPECT_DOUBLE_EQ(retry.backoff_delay(3), 6.0);
+}
+
+TEST(RetryConfig, BackoffDelayClampsAtMaxBackoff) {
+  fault::RetryConfig retry;
+  retry.backoff_base = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff = 10.0;
+  EXPECT_NO_THROW(retry.validate());
+  EXPECT_DOUBLE_EQ(retry.backoff_delay(3), 4.0);   // below the cap: exact
+  EXPECT_DOUBLE_EQ(retry.backoff_delay(5), 10.0);  // 16 clamps to 10
+  // An adversarial attempt count must not overflow the repeated product to
+  // infinity — the whole point of the cap (an event at t = inf deadlocks).
+  const double worst = retry.backoff_delay(100000);
+  EXPECT_TRUE(std::isfinite(worst));
+  EXPECT_DOUBLE_EQ(worst, 10.0);
+}
+
+TEST(RetryConfig, RejectsMaxBackoffBelowBaseOrNonFinite) {
+  fault::RetryConfig retry;
+  retry.backoff_base = 5.0;
+  retry.max_backoff = 1.0;  // first retry would already exceed the cap
+  EXPECT_THROW(retry.validate(), std::invalid_argument);
+  retry.max_backoff = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(retry.validate(), std::invalid_argument);
 }
 
 TEST(ShedPolicy, ParseRoundTripsAndRejectsUnknown) {
@@ -287,6 +317,108 @@ TEST(FaultConfig, HybridServerRejectsInvalidFaultConfig) {
   EXPECT_THROW(
       core::HybridServer(built.catalog, built.population, config),
       std::invalid_argument);
+}
+
+// --- drop-lowest-priority victim selection (property) ---------------------
+
+struct Queued {
+  double priority = 0.0;
+  std::uint64_t id = 0;
+};
+
+/// Reference implementation of the shedding rule, written as the spec
+/// reads: globally minimal priority, ties to the highest id.
+const Queued* reference_victim(const std::vector<Queued>& queue) {
+  const Queued* best = nullptr;
+  for (const auto& q : queue) {
+    const bool better =
+        best == nullptr || q.priority < best->priority ||
+        (q.priority == best->priority && q.id > best->id);
+    if (better) best = &q;
+  }
+  return best;
+}
+
+TEST(LowestPriorityVictim, MatchesReferenceOnSeededRandomQueues) {
+  auto eng = rng::StreamFactory(20260806).stream("shed-property");
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t n = 1 + rng::uniform_below(eng, 32);
+    std::vector<Queued> queue(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Few distinct priority values so ties are the common case, like a
+      // real population with a handful of service classes.
+      queue[i].priority = static_cast<double>(rng::uniform_below(eng, 4));
+      queue[i].id = i;
+    }
+
+    fault::LowestPriorityVictim<Queued> scan;
+    for (const auto& q : queue) scan.consider(q, q.priority, q.id);
+    const Queued* expected = reference_victim(queue);
+    ASSERT_NE(scan.victim(), nullptr);
+    EXPECT_EQ(scan.victim(), expected);
+
+    // The victim's priority is a global minimum.
+    for (const auto& q : queue) EXPECT_LE(scan.priority(), q.priority);
+
+    // Feeding the same queue rotated selects the same victim: eviction
+    // must not depend on queue iteration order.
+    const std::size_t rot = rng::uniform_below(eng, n);
+    fault::LowestPriorityVictim<Queued> rotated;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Queued& q = queue[(i + rot) % n];
+      rotated.consider(q, q.priority, q.id);
+    }
+    ASSERT_NE(rotated.victim(), nullptr);
+    EXPECT_EQ(rotated.victim()->id, expected->id);
+
+    // arrival_yields_to is exactly "arrival no more important than the
+    // victim", for every priority an arrival could have.
+    for (int p = 0; p < 5; ++p) {
+      const double arrival = static_cast<double>(p);
+      EXPECT_EQ(scan.arrival_yields_to(arrival),
+                arrival <= scan.priority());
+    }
+  }
+}
+
+TEST(FaultInjection, SheddingReconcilesWithQueueCapConservation) {
+  // Seeded random arrival sequences: whatever the eviction pattern, every
+  // arrival must settle exactly once and the hard cap must never be
+  // exceeded — shedding redistributes loss, it cannot create or lose
+  // requests.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 20260806ULL}) {
+    auto scenario = small_scenario();
+    scenario.seed = seed;
+    scenario.arrival_rate = 10.0;
+    const auto built = scenario.build();
+    core::HybridConfig config;
+    config.cutoff = 0;
+    config.fault.queue_capacity = 4;
+    config.fault.shed_policy = fault::ShedPolicy::kDropLowestPriority;
+    const auto result = exp::run_hybrid(built, config);
+    const auto o = result.overall();
+    EXPECT_EQ(o.arrived, o.served + o.blocked + o.abandoned + o.shed +
+                             o.lost + o.rejected);
+    EXPECT_LE(result.max_pull_queue_len, config.fault.queue_capacity);
+    EXPECT_GT(o.shed, 0u);
+  }
+}
+
+TEST(LowestPriorityVictim, EmptyScanYieldsToEveryArrival) {
+  const fault::LowestPriorityVictim<Queued> scan;
+  EXPECT_EQ(scan.victim(), nullptr);
+  EXPECT_TRUE(scan.arrival_yields_to(0.0));
+  EXPECT_TRUE(scan.arrival_yields_to(1.0e9));
+}
+
+TEST(LowestPriorityVictim, PriorityTiesPreferTheYoungestRequest) {
+  const std::vector<Queued> queue = {
+      {2.0, 10}, {1.0, 11}, {1.0, 42}, {1.0, 12}, {3.0, 99}};
+  fault::LowestPriorityVictim<Queued> scan;
+  for (const auto& q : queue) scan.consider(q, q.priority, q.id);
+  ASSERT_NE(scan.victim(), nullptr);
+  EXPECT_EQ(scan.victim()->id, 42u);
+  EXPECT_DOUBLE_EQ(scan.priority(), 1.0);
 }
 
 }  // namespace

@@ -27,9 +27,12 @@
 #include "core/closed_loop.hpp"
 #include "core/cutoff_optimizer.hpp"
 #include "core/multichannel_server.hpp"
+#include "exp/chaos.hpp"
 #include "exp/cli.hpp"
 #include "exp/replication.hpp"
 #include "fault/fault_config.hpp"
+#include "resilience/invariants.hpp"
+#include "resilience/resilience_config.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/run_reporter.hpp"
 #include "exp/report.hpp"
@@ -84,6 +87,25 @@ fault::FaultConfig fault_from(const exp::ArgParser& args) {
   return f;
 }
 
+resilience::ResilienceConfig resilience_from(const exp::ArgParser& args) {
+  resilience::ResilienceConfig r;
+  r.crash.rate = args.get_double("crash-rate", 0.0);
+  r.crash.enabled = r.crash.rate > 0.0;
+  r.crash.downtime = args.get_double("crash-downtime", 50.0);
+  r.crash.recovery =
+      resilience::parse_recovery_mode(args.get_string("recovery", "cold"));
+  r.crash.snapshot_interval = args.get_double("snapshot-interval", 100.0);
+  r.crash.rerequest_timeout = args.get_double("rerequest-timeout", 20.0);
+  r.crash.storm_spread = args.get_double("storm-spread", 10.0);
+  r.crash.max_crashes = args.get_size("max-crashes", 64);
+  r.overload.enabled = args.has("ladder");
+  r.overload.eval_interval = args.get_double("ladder-interval", 5.0);
+  r.overload.capacity_ref = args.get_size("ladder-capacity", 64);
+  r.overload.cutoff_step = args.get_size("ladder-cutoff-step", 10);
+  r.validate();
+  return r;
+}
+
 core::HybridConfig config_from(const exp::ArgParser& args) {
   core::HybridConfig config;
   config.cutoff = args.get_size("cutoff", 40);
@@ -95,6 +117,7 @@ core::HybridConfig config_from(const exp::ArgParser& args) {
   config.mean_patience = args.get_double("patience", 0.0);
   config.seed = args.get_u64("seed", 1);
   config.fault = fault_from(args);
+  config.resilience = resilience_from(args);
   return config;
 }
 
@@ -108,7 +131,10 @@ const std::initializer_list<std::string_view> kConfigOpts = {
     "cutoff", "alpha", "policy", "bandwidth", "demand", "patience",
     "fault", "fault-p-gb", "fault-p-bg", "fault-corrupt-good",
     "fault-corrupt-bad", "fault-retries", "fault-backoff",
-    "fault-backoff-mult", "queue-cap", "shed"};
+    "fault-backoff-mult", "queue-cap", "shed",
+    "crash-rate", "crash-downtime", "recovery", "snapshot-interval",
+    "rerequest-timeout", "storm-spread", "max-crashes",
+    "ladder", "ladder-interval", "ladder-capacity", "ladder-cutoff-step"};
 
 void print_table(const exp::Table& table, const exp::ArgParser& args) {
   if (args.has("csv")) {
@@ -142,15 +168,19 @@ int cmd_simulate(const exp::ArgParser& args) {
     std::cout << "wrote report to " << report_path << "\n";
   }
 
-  // Fault columns appear only when fault injection is on, so the default
-  // output stays byte-identical to a fault-free build.
+  // Fault/resilience columns appear only when the respective layer is on,
+  // so the default output stays byte-identical to builds without them.
   const bool faulty = config.fault.active();
+  const bool resilient = config.resilience.active();
   std::vector<std::string> columns = {"class",     "priority",  "arrived",
                                       "mean delay", "max delay", "blocked",
                                       "abandoned"};
   if (faulty) {
     for (const char* c : {"corrupted", "retries", "shed", "lost", "goodput"})
       columns.emplace_back(c);
+  }
+  if (resilient) {
+    for (const char* c : {"stormed", "rejected"}) columns.emplace_back(c);
   }
   columns.emplace_back("p-cost");
   exp::Table table(columns);
@@ -171,6 +201,10 @@ int cmd_simulate(const exp::ArgParser& args) {
           .add(static_cast<std::size_t>(stats.lost))
           .add(stats.goodput_ratio(), 4);
     }
+    if (resilient) {
+      row.add(static_cast<std::size_t>(stats.stormed))
+          .add(static_cast<std::size_t>(stats.rejected));
+    }
     row.add(r.prioritized_cost(built.population, c), 2);
   }
   print_table(table, args);
@@ -183,8 +217,103 @@ int cmd_simulate(const exp::ArgParser& args) {
               << r.corrupted_pull_transmissions << ", shed "
               << r.overall().shed << ", lost " << r.overall().lost;
   }
+  if (resilient) {
+    std::cout << ", crashes " << r.crashes << " (downtime "
+              << r.total_downtime << ", storms " << r.storm_rerequests
+              << "), ladder max "
+              << resilience::to_string(r.max_overload_level) << " ("
+              << r.overload_transitions.size() << " transitions)";
+  }
   std::cout << "\n";
   return 0;
+}
+
+int cmd_chaos(const exp::ArgParser& args) {
+  args.require_known(kConfigOpts,
+                     {"reps", "spike-factor", "spike-start", "spike-duration",
+                      "no-replay-check", "progress", "out"});
+  const auto scenario = scenario_from(args);
+  const core::HybridConfig config = config_from(args);
+
+  exp::ChaosOptions options;
+  options.replications = args.get_size("reps", 16);
+  options.jobs = scenario.jobs;
+  options.spike_factor = args.get_double("spike-factor", 1.0);
+  options.spike_start = args.get_double("spike-start", 0.0);
+  options.spike_duration = args.get_double("spike-duration", 0.0);
+  options.verify_replay = !args.has("no-replay-check");
+
+  std::ofstream progress;
+  std::unique_ptr<runtime::RunReporter> reporter;
+  const std::string progress_path = args.get_string("progress", "");
+  if (!progress_path.empty()) {
+    progress.open(progress_path);
+    if (!progress) {
+      std::cerr << "chaos: cannot open " << progress_path << "\n";
+      return 2;
+    }
+    reporter = std::make_unique<runtime::RunReporter>(progress);
+    options.reporter = reporter.get();
+  }
+  const exp::ChaosSummary summary = exp::run_chaos(scenario, config, options);
+
+  exp::Table table({"metric", "value"});
+  table.row().add("replications").add(summary.replications);
+  table.row().add("overall delay").add(summary.overall_delay.mean(), 3);
+  table.row().add("total cost").add(summary.total_cost.mean(), 3);
+  table.row().add("goodput").add(summary.goodput.mean(), 4);
+  table.row().add("crashes").add(static_cast<std::size_t>(summary.crashes));
+  table.row().add("total downtime").add(summary.total_downtime, 1);
+  table.row().add("storm re-requests").add(
+      static_cast<std::size_t>(summary.storm_rerequests));
+  table.row().add("largest storm").add(
+      static_cast<std::size_t>(summary.largest_storm));
+  table.row().add("mean recovery latency").add(
+      summary.recovery_latency.count() > 0 ? summary.recovery_latency.mean()
+                                           : 0.0, 3);
+  table.row().add("ladder transitions").add(summary.overload_transitions);
+  table.row().add("ladder max level").add(
+      std::string(resilience::to_string(summary.max_overload_level)));
+  print_table(table, args);
+
+  const std::size_t failures = summary.invariants.failures();
+  std::cout << "invariants: " << summary.invariants.checks.size() - failures
+            << "/" << summary.invariants.checks.size() << " passed\n";
+  if (failures > 0) {
+    std::cout << resilience::format_report(summary.invariants);
+  }
+
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "chaos: cannot open " << out_path << "\n";
+      return 2;
+    }
+    out << "{\n  \"replications\": " << summary.replications
+        << ",\n  \"overall_delay\": " << summary.overall_delay.mean()
+        << ",\n  \"total_cost\": " << summary.total_cost.mean()
+        << ",\n  \"goodput\": " << summary.goodput.mean()
+        << ",\n  \"crashes\": " << summary.crashes
+        << ",\n  \"total_downtime\": " << summary.total_downtime
+        << ",\n  \"storm_rerequests\": " << summary.storm_rerequests
+        << ",\n  \"largest_storm\": " << summary.largest_storm
+        << ",\n  \"ladder_transitions\": " << summary.overload_transitions
+        << ",\n  \"ladder_max_level\": \""
+        << resilience::to_string(summary.max_overload_level)
+        << "\",\n  \"replay_identical\": "
+        << (summary.replay_identical ? "true" : "false")
+        << ",\n  \"invariant_checks\": " << summary.invariants.checks.size()
+        << ",\n  \"invariant_failures\": " << failures << ",\n  \"checks\": [";
+    for (std::size_t i = 0; i < summary.invariants.checks.size(); ++i) {
+      const auto& check = summary.invariants.checks[i];
+      out << (i ? "," : "") << "\n    {\"name\": \"" << check.name
+          << "\", \"pass\": " << (check.pass ? "true" : "false") << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "wrote invariant report to " << out_path << "\n";
+  }
+  return summary.invariants.all_pass() ? 0 : 1;
 }
 
 int cmd_optimize(const exp::ArgParser& args) {
@@ -508,6 +637,9 @@ commands:
   multichannel dedicated broadcast channel + N pull channels (--channels)
   uplink       push the trace through the slotted-ALOHA back-channel
   closedloop   finite client population (--clients, --think-rate)
+  chaos        seeded chaos/soak harness: crashes + burst errors + arrival
+               spike over N replications, with a machine-verified invariant
+               suite (exit 1 on any violation)
   trace        record the scenario's request trace to CSV
   lint         print the determinism-contract rules (D1-D4, R1-R2) and
                baseline stats, then run detlint over the tree
@@ -538,6 +670,31 @@ fault injection (simulate / replicate):
   --queue-cap N    bound the pull queue at N requests (0 = unbounded)
   --shed {tail,priority}   overload policy at the cap: refuse the newcomer
                (tail) or evict the lowest-importance request (priority)
+
+resilience (simulate / replicate / chaos):
+  --crash-rate R   Poisson server-crash rate per broadcast unit (0 = never);
+               crashes void the in-flight transmission and wipe the queue
+  --crash-downtime T   dark time after each crash (default 50)
+  --recovery {cold,warm}   cold loses all server state (re-request storm);
+               warm restores the pull queue from the latest snapshot
+  --snapshot-interval T   period of warm-recovery snapshots (default 100)
+  --rerequest-timeout T / --storm-spread J   a wiped client re-requests at
+               recovery + T + U(0, J) (defaults 20 / 10)
+  --max-crashes N  upper bound on scheduled crashes (default 64)
+  --ladder     enable the overload degradation ladder: normal ->
+               shed-low-priority -> widen-push -> admission-control ->
+               brownout, driven by queue occupancy and blocking EWMA
+  --ladder-interval T / --ladder-capacity N / --ladder-cutoff-step K
+               evaluation period (5), occupancy reference & soft cap (64),
+               widen-push cutoff growth (10)
+
+chaos options:
+  --reps R     replications (default 16; merged in index order, so --jobs N
+               never changes the numbers)
+  --spike-factor F --spike-start T --spike-duration W   compress arrivals in
+               [T, T+W) by F (instantaneous rate multiplies by F)
+  --no-replay-check    skip the bit-identical-replay invariant
+  --out FILE   write the invariant report + summary as JSON
 )";
 }
 
@@ -559,6 +716,7 @@ int main(int argc, char** argv) {
     if (command == "multichannel") return cmd_multichannel(args);
     if (command == "uplink") return cmd_uplink(args);
     if (command == "closedloop") return cmd_closedloop(args);
+    if (command == "chaos") return cmd_chaos(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "help") {
