@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fault/fault_config.hpp"
+#include "obs/config.hpp"
 #include "resilience/resilience_config.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
@@ -63,6 +64,12 @@ struct HybridConfig {
   /// Fraction of each run treated as warm-up: requests arriving before this
   /// fraction of the trace span are simulated but excluded from statistics.
   double warmup_fraction = 0.0;
+
+  /// Observability layer (tracing, counters, histograms). Default-off and
+  /// bit-invisible: observation is write-only from the simulation's
+  /// perspective, so enabling it never changes a single output number —
+  /// which is also why it is excluded from replication fingerprints.
+  obs::ObsConfig obs;
 };
 
 }  // namespace pushpull::core

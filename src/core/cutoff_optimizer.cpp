@@ -32,4 +32,17 @@ CutoffScan scan_cutoffs(std::size_t k_min, std::size_t k_max, std::size_t step,
   return scan;
 }
 
+CutoffScan scan_cutoffs(std::size_t k_min, std::size_t k_max, std::size_t step,
+                        const std::function<double(std::size_t)>& cost,
+                        const obs::Tracer& tracer) {
+  const CutoffScan scan = scan_cutoffs(k_min, k_max, step, cost);
+  for (const auto& sample : scan.curve) {
+    tracer.emit<obs::Category::kCutoff>(0.0, "sample", sample.cutoff, 0,
+                                        sample.cost);
+  }
+  tracer.emit<obs::Category::kCutoff>(0.0, "best", scan.best_cutoff, 0,
+                                      scan.best_cost);
+  return scan;
+}
+
 }  // namespace pushpull::core

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace pushpull::core {
 
 /// One evaluated cutoff point.
@@ -30,5 +32,13 @@ struct CutoffScan {
 [[nodiscard]] CutoffScan scan_cutoffs(
     std::size_t k_min, std::size_t k_max, std::size_t step,
     const std::function<double(std::size_t)>& cost);
+
+/// Same scan, but each evaluated point emits a cutoff-category "sample"
+/// trace event (a=k, v=cost) and the minimizer a final "best" event. The
+/// scan itself is byte-for-byte the untraced overload. Sim time is 0: the
+/// optimizer runs between simulations, outside any virtual clock.
+[[nodiscard]] CutoffScan scan_cutoffs(
+    std::size_t k_min, std::size_t k_max, std::size_t step,
+    const std::function<double(std::size_t)>& cost, const obs::Tracer& tracer);
 
 }  // namespace pushpull::core

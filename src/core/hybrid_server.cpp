@@ -75,6 +75,7 @@ void HybridServer::note_queue_len() {
   queue_len_area_ += static_cast<double>(pull_queue_.total_requests()) *
                      (now - queue_len_last_t_);
   queue_len_last_t_ = now;
+  if (obs_) obs_->note_queue_len(pull_queue_.total_requests());
 }
 
 void HybridServer::settle_one() {
@@ -129,16 +130,33 @@ void HybridServer::on_patience_expired(const workload::Request& request) {
         "request is committed to a transmission or dropped");
   }
   retry_count_.erase(request.id);
+  if (obs_) {
+    ++obs_->counters.server_abandoned;
+    trace_.emit<obs::Category::kQueue>(sim_.now(), "abandon", request.item,
+                                       request.cls);
+  }
   if (measured(request)) collector_->record_abandoned(request.cls);
   settle_one();
 }
 
 bool HybridServer::transmission_corrupted() {
-  return channel_.has_value() && channel_->corrupts();
+  if (!channel_.has_value()) return false;
+  if (obs_) {
+    // Traced draw: identical engine consumption, plus state-flip events
+    // and the flip counter.
+    return channel_->corrupts(trace_, sim_.now(),
+                              &obs_->counters.fault_flips);
+  }
+  return channel_->corrupts();
 }
 
 void HybridServer::shed_request(const workload::Request& request) {
   retry_count_.erase(request.id);
+  if (obs_) {
+    ++obs_->counters.fault_shed;
+    trace_.emit<obs::Category::kQueue>(sim_.now(), "shed", request.item,
+                                       request.cls);
+  }
   if (measured(request)) collector_->record_shed(request.cls);
   settle_one();
 }
@@ -183,6 +201,9 @@ void HybridServer::requeue_pull(const workload::Request& request) {
                     catalog_->length(request.item),
                     catalog_->probability(request.item));
     max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
+    trace_.emit<obs::Category::kQueue>(
+        sim_.now(), "enter", request.item, request.cls,
+        static_cast<double>(pull_queue_.total_requests()));
     arm_patience(request);
   }
   if (!server_busy_) {
@@ -197,9 +218,18 @@ void HybridServer::on_pull_corrupted(const sched::PullEntry& entry) {
     const std::uint32_t attempt = ++retry_count_[r.id];
     if (attempt > config_.fault.retry.max_retries) {
       retry_count_.erase(r.id);
+      if (obs_) {
+        ++obs_->counters.fault_lost;
+        trace_.emit<obs::Category::kFault>(sim_.now(), "lost", r.item,
+                                           attempt);
+      }
       if (measured(r)) collector_->record_lost(r.cls);
       settle_one();
       continue;
+    }
+    if (obs_) {
+      ++obs_->counters.fault_retries;
+      trace_.emit<obs::Category::kFault>(sim_.now(), "retry", r.item, attempt);
     }
     if (measured(r)) collector_->record_retry(r.cls);
     sim_.schedule_in(config_.fault.retry.backoff_delay(attempt),
@@ -208,6 +238,14 @@ void HybridServer::on_pull_corrupted(const sched::PullEntry& entry) {
 }
 
 void HybridServer::deliver(const workload::Request& request, bool via_push) {
+  if (obs_) {
+    if (via_push) {
+      ++obs_->counters.server_served_push;
+    } else {
+      ++obs_->counters.server_served_pull;
+    }
+    obs_->note_response(request.cls, sim_.now() - request.arrival);
+  }
   if (measured(request)) {
     collector_->record_served(request.cls, sim_.now() - request.arrival,
                               via_push);
@@ -216,17 +254,25 @@ void HybridServer::deliver(const workload::Request& request, bool via_push) {
 }
 
 void HybridServer::on_arrival(const workload::Request& request) {
+  if (obs_) ++obs_->counters.server_arrivals;
   if (measured(request)) collector_->record_arrival(request.cls);
   if (request.item < effective_cutoff()) {
     // Push item: the request is "ignored" by the scheduler (the item is on
     // the broadcast program anyway); park it to measure its delay.
     push_waiters_[request.item].push_back(request);
+    trace_.emit<obs::Category::kQueue>(sim_.now(), "park_push", request.item,
+                                       request.cls);
     arm_patience(request);
     return;
   }
   if (uplink_rejected(request.cls)) {
     // The ladder's admission control refuses the class at the uplink; the
     // request never enters server state.
+    if (obs_) {
+      ++obs_->counters.server_rejected;
+      trace_.emit<obs::Category::kLadder>(sim_.now(), "reject", request.item,
+                                          request.cls);
+    }
     if (measured(request)) collector_->record_rejected(request.cls);
     settle_one();
     return;
@@ -244,6 +290,9 @@ void HybridServer::on_arrival(const workload::Request& request) {
                   catalog_->length(request.item),
                   catalog_->probability(request.item));
   max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
+  trace_.emit<obs::Category::kQueue>(
+      sim_.now(), "enter", request.item, request.cls,
+      static_cast<double>(pull_queue_.total_requests()));
   arm_patience(request);
   if (!server_busy_) {
     // Pure-pull server (cutoff 0) sleeping on an empty queue: wake it.
@@ -281,6 +330,8 @@ void HybridServer::start_push() {
   push_waiters_[item].clear();
   // Once the item is on air, the waiting clients are committed to it.
   for (const auto& r : catching) disarm_patience(r.id);
+  trace_.emit<obs::Category::kPush>(sim_.now(), "tx_start", item,
+                                    catching.size(), catalog_->length(item));
   if (crash_active_) inflight_push_ = InFlightPush{item, catching};
   const std::uint64_t epoch = server_epoch_;
   sim_.schedule_in(
@@ -289,11 +340,17 @@ void HybridServer::start_push() {
         if (epoch != server_epoch_) return;  // voided by a crash
         inflight_push_.reset();
         ++push_transmissions_;
+        if (obs_) ++obs_->counters.push_tx;
+        trace_.emit<obs::Category::kPush>(sim_.now(), "tx_end", item,
+                                          catching.size());
         if (transmission_corrupted()) {
           // A corrupted broadcast needs no re-request: the item comes
           // around again next cycle, so the waiters just rejoin the
           // (re-armed) park and their delay grows by one period.
           ++corrupted_push_transmissions_;
+          if (obs_) ++obs_->counters.fault_corrupt_push;
+          trace_.emit<obs::Category::kFault>(sim_.now(), "corrupt_push", item,
+                                             catching.size());
           for (const auto& r : catching) {
             if (measured(r)) collector_->record_corrupted(r.cls);
             push_waiters_[item].push_back(r);
@@ -320,6 +377,9 @@ void HybridServer::start_pull() {
         "only schedule a pull opportunity while entries are pending");
   }
   note_queue_len();
+  trace_.emit<obs::Category::kQueue>(
+      now, "extract", entry->item, entry->pending.size(),
+      static_cast<double>(pull_queue_.total_requests()));
   for (const auto& r : entry->pending) disarm_patience(r.id);
 
   const double demand = config_.mean_bandwidth_demand > 0.0
@@ -335,6 +395,12 @@ void HybridServer::start_pull() {
   }
   if (!admitted) {
     ++blocked_transmissions_;
+    if (obs_) {
+      ++obs_->counters.blocked_tx;
+      obs_->counters.blocked_requests += entry->pending.size();
+      trace_.emit<obs::Category::kPull>(now, "blocked", entry->item, cls,
+                                        demand);
+    }
     for (const auto& r : entry->pending) {
       retry_count_.erase(r.id);
       if (measured(r)) collector_->record_blocked(r.cls);
@@ -343,6 +409,8 @@ void HybridServer::start_pull() {
     serve_next(/*just_did_push=*/false);
     return;
   }
+  trace_.emit<obs::Category::kPull>(now, "tx_start", entry->item,
+                                    entry->pending.size(), demand);
   if (crash_active_) inflight_pull_ = InFlightPull{*entry, cls, demand};
   const std::uint64_t epoch = server_epoch_;
   sim_.schedule_in(entry->length,
@@ -351,8 +419,16 @@ void HybridServer::start_pull() {
                      inflight_pull_.reset();
                      bandwidth_.release(cls, demand);
                      ++pull_transmissions_;
+                     if (obs_) ++obs_->counters.pull_tx;
+                     trace_.emit<obs::Category::kPull>(
+                         sim_.now(), "tx_end", entry.item,
+                         entry.pending.size());
                      if (transmission_corrupted()) {
                        ++corrupted_pull_transmissions_;
+                       if (obs_) ++obs_->counters.fault_corrupt_pull;
+                       trace_.emit<obs::Category::kFault>(
+                           sim_.now(), "corrupt_pull", entry.item,
+                           entry.pending.size());
                        on_pull_corrupted(entry);
                      } else {
                        for (const auto& r : entry.pending) {
@@ -400,6 +476,11 @@ void HybridServer::on_crash() {
   const double crash_time = sim_.now();
   const double recovery_time = crash_time + config_.resilience.crash.downtime;
   ++crash_count_;
+  if (obs_) {
+    ++obs_->counters.crash_count;
+    trace_.emit<obs::Category::kCrash>(crash_time, "crash", crash_count_, 0,
+                                       config_.resilience.crash.downtime);
+  }
   total_downtime_ += config_.resilience.crash.downtime;
   ++server_epoch_;  // voids the in-flight transmission-end event
   down_ = true;
@@ -457,6 +538,11 @@ void HybridServer::on_crash() {
 
   storm_rerequests_ += storm.size();
   largest_storm_ = std::max(largest_storm_, storm.size());
+  if (obs_) {
+    obs_->counters.crash_storm += storm.size();
+    trace_.emit<obs::Category::kCrash>(crash_time, "storm", storm.size(),
+                                       crash_count_);
+  }
   for (const auto& r : storm) storm_rerequest(r, crash_time, recovery_time);
 }
 
@@ -478,6 +564,8 @@ void HybridServer::storm_rerequest(const workload::Request& request,
 
 void HybridServer::on_recovered() {
   down_ = false;
+  trace_.emit<obs::Category::kCrash>(sim_.now(), "recover",
+                                     downtime_parked_.size(), crash_count_);
   // Requests that arrived (or matured from retry backoffs) while the
   // server was dark land now, in arrival order.
   std::vector<workload::Request> parked = std::move(downtime_parked_);
@@ -498,6 +586,11 @@ void HybridServer::take_snapshot() {
       for (const auto& r : entry.pending) snap.queued.push_back(r.id);
     }
     latest_snapshot_ = resilience::encode_snapshot(snap, snapshot_fingerprint_);
+    if (obs_) {
+      ++obs_->counters.crash_snapshots;
+      trace_.emit<obs::Category::kCrash>(sim_.now(), "snapshot",
+                                         snap.queued.size());
+    }
   }
   sim_.schedule_in(config_.resilience.crash.snapshot_interval,
                    [this]() { take_snapshot(); });
@@ -514,8 +607,12 @@ void HybridServer::evaluate_overload() {
   for (const double e : blocking_ewma_) worst_ewma = std::max(worst_ewma, e);
   const resilience::OverloadLevel before = overload_.level();
   const resilience::OverloadLevel after =
-      overload_.update(sim_.now(), occupancy, worst_ewma);
-  if (after != before) apply_overload_level(after);
+      obs_ ? overload_.update(sim_.now(), occupancy, worst_ewma, trace_)
+           : overload_.update(sim_.now(), occupancy, worst_ewma);
+  if (after != before) {
+    if (obs_) ++obs_->counters.ladder_transitions;
+    apply_overload_level(after);
+  }
   sim_.schedule_in(config_.resilience.overload.eval_interval,
                    [this]() { evaluate_overload(); });
 }
@@ -536,6 +633,10 @@ void HybridServer::apply_cutoff_boost(std::size_t boost) {
   cutoff_boost_ = boost;
   const std::size_t new_cut = effective_cutoff();
   if (new_cut == old_cut) return;
+  if (obs_) {
+    ++obs_->counters.cutoff_boosts;
+    trace_.emit<obs::Category::kCutoff>(sim_.now(), "boost", old_cut, new_cut);
+  }
   push_sched_ = new_cut > 0 ? sched::make_push_scheduler(config_.push_policy,
                                                          *catalog_, new_cut)
                             : nullptr;
@@ -581,6 +682,23 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   pull_queue_.clear();
   patience_.clear();
   retry_count_.clear();
+  // Observability: created fresh per run (after the queue clear above, so
+  // leftover state never pollutes the new tallies), torn down to nothing
+  // when disabled. The tracer handle is inert without an observer.
+  config_.obs.validate();
+  if (config_.obs.enabled) {
+    obs_ = std::make_unique<obs::RunObserver>(config_.obs,
+                                              population_->num_classes());
+    trace_ = obs_->tracer();
+  } else {
+    obs_.reset();
+    trace_ = obs::Tracer{};
+  }
+  sim_.set_tracer(trace_);
+  pull_queue_.set_counters(obs_ ? obs_->queue_counters() : nullptr);
+  des_scheduled_base_ = sim_.scheduled_events();
+  des_dispatched_base_ = sim_.dispatched_events();
+  des_cancelled_base_ = sim_.cancelled_events();
   if (cutoff_boost_ > 0) {
     // Undo a widen-push left over from the previous run.
     cutoff_boost_ = 0;
@@ -660,6 +778,14 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   }
   sim_.run();
   note_queue_len();
+  if (obs_) {
+    obs_->counters.des_scheduled =
+        sim_.scheduled_events() - des_scheduled_base_;
+    obs_->counters.des_dispatched =
+        sim_.dispatched_events() - des_dispatched_base_;
+    obs_->counters.des_cancelled =
+        sim_.cancelled_events() - des_cancelled_base_;
+  }
 
   SimResult result;
   result.per_class = collector_->all();

@@ -15,6 +15,7 @@
 #include "fault/channel.hpp"
 #include "metrics/class_stats.hpp"
 #include "metrics/welford.hpp"
+#include "obs/observer.hpp"
 #include "resilience/overload.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "sched/pull/policy.hpp"
@@ -80,6 +81,13 @@ class HybridServer {
   [[nodiscard]] SimResult run(const workload::Trace& trace);
 
   [[nodiscard]] const HybridConfig& config() const noexcept { return config_; }
+
+  /// Observability report of the last run(): trace window, counters and
+  /// histograms. Empty (enabled=false) unless config().obs.enabled. Valid
+  /// until the next run() resets the observer.
+  [[nodiscard]] obs::ObsReport obs_report() const {
+    return obs_ ? obs_->report() : obs::ObsReport{};
+  }
 
  private:
   enum class Phase { kPush, kPull };
@@ -225,6 +233,20 @@ class HybridServer {
   std::uint64_t storm_rerequests_ = 0;
   std::uint64_t largest_storm_ = 0;
   metrics::Welford recovery_latency_;
+
+  // --- observability ------------------------------------------------------
+  // Present iff config_.obs.enabled for the current run. Strictly
+  // write-only from the simulation's perspective: nothing below ever reads
+  // observer state, so traced and untraced runs are bit-identical.
+  std::unique_ptr<obs::RunObserver> obs_;
+  // Inert (null sink) when obs_ is absent; every emission then costs one
+  // branch.
+  obs::Tracer trace_;
+  // des kernel counter baselines at run start (the kernel keeps lifetime
+  // totals; the report wants this run's deltas).
+  std::uint64_t des_scheduled_base_ = 0;
+  std::uint64_t des_dispatched_base_ = 0;
+  std::uint64_t des_cancelled_base_ = 0;
 
   resilience::OverloadController overload_;
   // Per-class blocking EWMA (ladder input); updated per pull service

@@ -21,6 +21,10 @@ void PullQueue::add(const workload::Request& request, double priority,
   entry.total_priority += priority;
   entry.total_arrival += request.arrival;
   ++total_requests_;
+  if (counters_ != nullptr) {
+    ++counters_->enters;
+    if (total_requests_ > counters_->peak) counters_->peak = total_requests_;
+  }
 }
 
 const sched::PullEntry* PullQueue::find(catalog::ItemId item) const {
@@ -63,6 +67,10 @@ std::optional<sched::PullEntry> PullQueue::extract(catalog::ItemId item) {
         " tracked in total; add/remove accounting is corrupt");
   }
   total_requests_ -= out.pending.size();
+  if (counters_ != nullptr && !out.pending.empty()) {
+    counters_->leaves += out.pending.size();
+    ++counters_->extracts;
+  }
   return out;
 }
 
@@ -79,6 +87,7 @@ bool PullQueue::remove_request(catalog::ItemId item,
   entry.total_arrival -= pending_it->arrival;
   entry.pending.erase(pending_it);
   --total_requests_;
+  if (counters_ != nullptr) ++counters_->leaves;
   if (entry.pending.empty()) {
     // The emptied entry leaves the queue; its batch size is already zero,
     // so extract() adjusts no further counts.
@@ -94,6 +103,9 @@ bool PullQueue::remove_request(catalog::ItemId item,
 }
 
 void PullQueue::clear() {
+  // A mid-run wipe (cold-recovery crash) discards every queued request, so
+  // the enter/leave conservation tally still balances at run end.
+  if (counters_ != nullptr) counters_->leaves += total_requests_;
   entries_.clear();
   slot_of_.clear();
   total_requests_ = 0;

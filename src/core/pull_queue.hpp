@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "sched/pull/entry.hpp"
 #include "sched/pull/policy.hpp"
 #include "workload/population.hpp"
@@ -68,10 +69,19 @@ class PullQueue {
 
   void clear();
 
+  /// Installs (nullptr removes) the observability counter hook. The queue
+  /// tallies request enters/leaves, winning extracts and the peak length
+  /// into it; a null hook costs one pointer test per mutation. The hook
+  /// never influences queue behavior.
+  void set_counters(obs::QueueCounters* counters) noexcept {
+    counters_ = counters;
+  }
+
  private:
   std::vector<sched::PullEntry> entries_;
   std::unordered_map<catalog::ItemId, std::size_t> slot_of_;
   std::size_t total_requests_ = 0;
+  obs::QueueCounters* counters_ = nullptr;
 };
 
 }  // namespace pushpull::core

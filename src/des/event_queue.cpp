@@ -17,7 +17,7 @@ void EventQueue::push(Event event) {
   ++live_count_;
 }
 
-void EventQueue::drop_cancelled_top() {
+void EventQueue::drop_cancelled_top() const {
   while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
     cancelled_.erase(heap_.front().id);
     std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
@@ -38,7 +38,7 @@ Event EventQueue::pop() {
   return event;
 }
 
-SimTime EventQueue::next_time() {
+SimTime EventQueue::next_time() const {
   drop_cancelled_top();
   if (heap_.empty()) {
     throw std::logic_error("EventQueue: next_time() on an empty queue");

@@ -26,7 +26,11 @@ class EventQueue {
   [[nodiscard]] Event pop();
 
   /// Time of the earliest live event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time();
+  /// Logically const: the lazy purge of cancelled heap entries it may
+  /// trigger is invisible to callers (live set and observable order are
+  /// unchanged), so the heap internals are `mutable` rather than forcing
+  /// non-const access for a pure query.
+  [[nodiscard]] SimTime next_time() const;
 
   /// Marks an event as cancelled. Returns false if the id is not pending
   /// (already fired, already cancelled, or never scheduled).
@@ -35,11 +39,13 @@ class EventQueue {
   void clear();
 
  private:
-  void drop_cancelled_top();
+  void drop_cancelled_top() const;
 
-  std::vector<Event> heap_;
-  std::unordered_set<EventId> pending_;    // live, not-yet-fired ids
-  std::unordered_set<EventId> cancelled_;  // cancelled but still in heap_
+  // mutable: next_time() purges cancelled entries lazily without changing
+  // any observable state (see its doc comment).
+  mutable std::vector<Event> heap_;
+  std::unordered_set<EventId> pending_;             // live, not-yet-fired ids
+  mutable std::unordered_set<EventId> cancelled_;   // cancelled, still in heap_
   std::size_t live_count_ = 0;
 };
 

@@ -36,6 +36,7 @@ void Simulator::reset() {
   queue_.clear();
   now_ = 0.0;
   stop_requested_ = false;
+  evq_level_mark_ = kEvqLevelBase;
 }
 
 }  // namespace pushpull::des

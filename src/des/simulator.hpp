@@ -8,6 +8,7 @@
 
 #include "des/event.hpp"
 #include "des/event_queue.hpp"
+#include "obs/trace.hpp"
 
 namespace pushpull::des {
 
@@ -30,6 +31,19 @@ class Simulator {
   [[nodiscard]] std::uint64_t dispatched_events() const noexcept {
     return dispatched_;
   }
+  [[nodiscard]] std::uint64_t scheduled_events() const noexcept {
+    return scheduled_;
+  }
+  [[nodiscard]] std::uint64_t cancelled_events() const noexcept {
+    return cancelled_;
+  }
+
+  /// Installs (or, with a default-constructed Tracer, removes) the trace
+  /// handle. The kernel emits only bounded `queue`-category "evq_level"
+  /// marks when the pending-event set first reaches each power-of-two
+  /// size from 1024 up — a high-water profile of event-set growth that
+  /// costs one comparison per schedule when tracing is off.
+  void set_tracer(obs::Tracer tracer) noexcept { tracer_ = tracer; }
 
   /// Times a popped event carried a timestamp before the current clock.
   /// step() still throws on the first one, so this reads 0 for any run that
@@ -53,6 +67,13 @@ class Simulator {
     }
     const EventId id = next_id_++;
     queue_.push(Event{when, id, std::forward<Fn>(action)});
+    ++scheduled_;
+    if (queue_.size() >= evq_level_mark_) {
+      tracer_.emit<obs::Category::kQueue>(
+          now_, "evq_level", queue_.size(), 0,
+          static_cast<double>(evq_level_mark_));
+      evq_level_mark_ *= 2;
+    }
     return id;
   }
 
@@ -64,7 +85,11 @@ class Simulator {
 
   /// Cancels a pending event. Returns false if it already fired or was
   /// already cancelled.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    const bool ok = queue_.cancel(id);
+    if (ok) ++cancelled_;
+    return ok;
+  }
 
   /// Dispatches the next event, advancing the clock to it. Returns false if
   /// no event is pending.
@@ -84,12 +109,18 @@ class Simulator {
   void reset();
 
  private:
+  static constexpr std::size_t kEvqLevelBase = 1024;
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::uint64_t order_violations_ = 0;
   bool stop_requested_ = false;
+  obs::Tracer tracer_;
+  std::size_t evq_level_mark_ = kEvqLevelBase;
 };
 
 }  // namespace pushpull::des

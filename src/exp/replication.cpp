@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "rng/splitmix64.hpp"
 #include "runtime/runtime.hpp"
 
@@ -24,15 +25,20 @@ struct RepPartial {
   metrics::Welford total_cost;
   metrics::Welford blocking;
   metrics::Welford pull_queue_len;
+  /// Rendered obs JSONL chunk of this replication (lines tagged "rep":N);
+  /// empty when observation is off. Travels inside the checkpoint payload
+  /// so a resumed run reproduces the merged trace byte-for-byte.
+  std::string obs_chunk;
 };
 
 RepPartial run_one(const Scenario& scenario, const core::HybridConfig& config,
-                   std::size_t rep) {
+                   const obs::ObsConfig& obs_config, std::size_t rep) {
   Scenario s = scenario;
   // Decorrelate replications without risking accidental seed reuse.
   s.seed = rng::SplitMix64::mix(scenario.seed + rep);
   core::HybridConfig c = config;
   c.seed = rng::SplitMix64::mix(s.seed ^ 0x5EEDCAFEULL);
+  c.obs = obs_config;
 
   const auto built = s.build();
   if (built.population.num_classes() != scenario.num_classes) {
@@ -45,9 +51,13 @@ RepPartial run_one(const Scenario& scenario, const core::HybridConfig& config,
         " classes but the built population has " +
         std::to_string(built.population.num_classes()));
   }
-  const core::SimResult result = run_hybrid(built, c);
+  const ObservedRun observed = run_hybrid_observed(built, c);
+  const core::SimResult& result = observed.result;
 
   RepPartial partial;
+  if (obs_config.enabled) {
+    partial.obs_chunk = obs::render_chunk(observed.obs, rep);
+  }
   partial.overall_delay.add(result.overall().wait.mean());
   partial.class_delay.resize(built.population.num_classes());
   for (workload::ClassId cls = 0; cls < built.population.num_classes();
@@ -89,6 +99,14 @@ metrics::Welford read_welford(std::istringstream& in) {
       runtime::decode_double(max));
 }
 
+// A payload from a traced run additionally carries the rendered trace
+// chunk after a " tr1\n" marker. The stats section never contains a
+// newline, so the first newline in a payload — if any — is the marker's,
+// and splitting on the first " tr1\n" is unambiguous. (RunReporter escapes
+// newlines inside JSONL records and CheckpointStore unescapes them, so the
+// multi-line chunk round-trips through a progress file intact.)
+constexpr std::string_view kTraceMarker = " tr1\n";
+
 std::string serialize_partial(const RepPartial& partial) {
   std::string out = "rp1 " + std::to_string(partial.class_delay.size());
   append_welford(out, partial.overall_delay);
@@ -96,11 +114,18 @@ std::string serialize_partial(const RepPartial& partial) {
   append_welford(out, partial.total_cost);
   append_welford(out, partial.blocking);
   append_welford(out, partial.pull_queue_len);
+  if (!partial.obs_chunk.empty()) {
+    out += kTraceMarker;
+    out += partial.obs_chunk;
+  }
   return out;
 }
 
 RepPartial parse_partial(const std::string& payload) {
-  std::istringstream in(payload);
+  const std::size_t marker = payload.find(kTraceMarker);
+  std::istringstream in(marker == std::string::npos
+                            ? payload
+                            : payload.substr(0, marker));
   std::string tag;
   std::size_t num_classes = 0;
   if (!(in >> tag >> num_classes) || tag != "rp1") {
@@ -116,6 +141,9 @@ RepPartial parse_partial(const std::string& payload) {
   partial.total_cost = read_welford(in);
   partial.blocking = read_welford(in);
   partial.pull_queue_len = read_welford(in);
+  if (marker != std::string::npos) {
+    partial.obs_chunk = payload.substr(marker + kTraceMarker.size());
+  }
   return partial;
 }
 
@@ -230,13 +258,19 @@ ReplicationSummary replicate_hybrid(const Scenario& scenario,
     options.reporter->run_started("replicate", replications, jobs);
     options.reporter->run_context(kReplicationSchema, fingerprint);
   }
+  const bool tracing = options.obs.enabled;
   auto job = [&](std::size_t rep) {
     if (options.resume) {
       if (const std::string* payload = options.resume->find(rep)) {
-        return parse_partial(*payload);  // completed before the crash
+        RepPartial restored = parse_partial(*payload);  // done pre-crash
+        // A payload written without tracing cannot contribute a trace
+        // chunk; recompute the replication (deterministic, so the stats
+        // are bit-identical to the restored ones) instead of emitting a
+        // merged trace with a silent hole.
+        if (!tracing || !restored.obs_chunk.empty()) return restored;
       }
     }
-    RepPartial partial = run_one(scenario, config, rep);
+    RepPartial partial = run_one(scenario, config, options.obs, rep);
     if (options.reporter) {
       options.reporter->job_payload(rep, serialize_partial(partial));
     }
@@ -267,6 +301,16 @@ ReplicationSummary replicate_hybrid(const Scenario& scenario,
     summary.total_cost.merge(partial.total_cost);
     summary.blocking.merge(partial.blocking);
     summary.pull_queue_len.merge(partial.pull_queue_len);
+  }
+  if (tracing && options.trace_out != nullptr) {
+    // Replication-index order, like the stats merge: the file is
+    // bit-identical for any jobs value.
+    *options.trace_out << obs::render_header(options.obs.categories,
+                                             options.obs.trace_capacity);
+    for (const RepPartial& partial : partials) {
+      *options.trace_out << partial.obs_chunk;
+    }
+    options.trace_out->flush();
   }
   if (options.reporter) {
     options.reporter->run_finished("replicate", replications,

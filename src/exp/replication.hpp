@@ -2,12 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <ostream>
 #include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/welford.hpp"
+#include "obs/config.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/run_reporter.hpp"
 
@@ -64,6 +66,18 @@ struct ReplicateOptions {
   /// std::runtime_error instead of silently splicing wrong results. The
   /// summary is bit-identical to an uninterrupted run for any jobs value.
   const runtime::CheckpointStore* resume = nullptr;
+  /// Observability settings applied to every replication (the per-rep seed
+  /// derivation is untouched — observation never changes numbers, and the
+  /// obs settings are deliberately outside replication_fingerprint, so
+  /// checkpoints resume across tracing on/off).
+  obs::ObsConfig obs;
+  /// When obs.enabled and non-null: receives the merged trace JSONL — a
+  /// header line, then each replication's chunk strictly in replication-
+  /// index order (every line tagged "rep":N). Byte-identical for every
+  /// jobs value, and across --resume: a restored payload carries its
+  /// rendered chunk, and a payload from a trace-less run is recomputed
+  /// (deterministically identical) rather than spliced without its trace.
+  std::ostream* trace_out = nullptr;
 };
 
 /// Runs `replications` independent copies of (scenario, config), varying

@@ -57,4 +57,13 @@ core::SimResult run_hybrid(const Scenario::Built& built,
   return server.run(built.trace);
 }
 
+ObservedRun run_hybrid_observed(const Scenario::Built& built,
+                                const core::HybridConfig& config) {
+  core::HybridServer server(built.catalog, built.population, config);
+  ObservedRun run;
+  run.result = server.run(built.trace);
+  run.obs = server.obs_report();
+  return run;
+}
+
 }  // namespace pushpull::exp

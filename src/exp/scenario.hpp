@@ -59,4 +59,16 @@ struct Scenario {
 [[nodiscard]] core::SimResult run_hybrid(const Scenario::Built& built,
                                          const core::HybridConfig& config);
 
+/// A run plus its observability report (empty unless config.obs.enabled).
+struct ObservedRun {
+  core::SimResult result;
+  obs::ObsReport obs;
+};
+
+/// Like run_hybrid, but also returns the run's observability report. With
+/// observation disabled the simulation output is bit-identical to
+/// run_hybrid — observation is write-only.
+[[nodiscard]] ObservedRun run_hybrid_observed(const Scenario::Built& built,
+                                              const core::HybridConfig& config);
+
 }  // namespace pushpull::exp

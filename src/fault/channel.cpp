@@ -55,6 +55,19 @@ bool GilbertElliottChannel::corrupts() {
   return corrupt;
 }
 
+bool GilbertElliottChannel::corrupts(const obs::Tracer& tracer, double now,
+                                     std::uint64_t* flips) {
+  const State before = state_;
+  const bool corrupt = corrupts();
+  if (state_ != before) {
+    if (flips != nullptr) ++*flips;
+    tracer.emit<obs::Category::kFault>(
+        now, state_ == State::kBad ? "channel_bad" : "channel_good",
+        transmissions_);
+  }
+  return corrupt;
+}
+
 void GilbertElliottChannel::reset(rng::Xoshiro256ss engine) noexcept {
   engine_ = engine;
   state_ = State::kGood;

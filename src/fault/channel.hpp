@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "rng/xoshiro256ss.hpp"
 
 namespace pushpull::fault {
@@ -51,6 +52,13 @@ class GilbertElliottChannel {
   /// Steps the state chain and draws one transmission's fate.
   /// Returns true when the transmission is corrupted.
   [[nodiscard]] bool corrupts();
+
+  /// Same draw (identical engine consumption — tracing never perturbs the
+  /// stream), but emits fault-category "channel_bad"/"channel_good" events
+  /// at sim time `now` when the chain changes state. `flips`, when
+  /// non-null, counts those state changes for the CounterSet.
+  [[nodiscard]] bool corrupts(const obs::Tracer& tracer, double now,
+                              std::uint64_t* flips = nullptr);
 
   [[nodiscard]] State state() const noexcept { return state_; }
   [[nodiscard]] std::uint64_t transmissions() const noexcept {

@@ -1,0 +1,82 @@
+#include "obs/category.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace pushpull::obs {
+
+namespace {
+
+struct CategoryName {
+  Category category;
+  std::string_view name;
+};
+
+/// Fixed declaration order — drives format_categories and the JSONL
+/// header, so the rendering is deterministic by construction.
+constexpr std::array<CategoryName, 7> kCategoryNames{{
+    {Category::kPush, "push"},
+    {Category::kPull, "pull"},
+    {Category::kQueue, "queue"},
+    {Category::kCutoff, "cutoff"},
+    {Category::kFault, "fault"},
+    {Category::kCrash, "crash"},
+    {Category::kLadder, "ladder"},
+}};
+
+}  // namespace
+
+std::string_view to_string(Category c) noexcept {
+  for (const auto& entry : kCategoryNames) {
+    if (entry.category == c) return entry.name;
+  }
+  return "unknown";
+}
+
+std::uint32_t parse_categories(std::string_view csv) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string_view token =
+        csv.substr(pos, comma == std::string_view::npos ? comma : comma - pos);
+    if (token.empty()) {
+      throw std::invalid_argument(
+          "parse_categories: empty category in '" + std::string(csv) + "'");
+    }
+    if (token == "all") {
+      mask |= kAllCategories;
+    } else {
+      bool found = false;
+      for (const auto& entry : kCategoryNames) {
+        if (token == entry.name) {
+          mask |= category_bit(entry.category);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument(
+            "parse_categories: unknown category '" + std::string(token) +
+            "' (expected push,pull,queue,cutoff,fault,crash,ladder or all)");
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+std::string format_categories(std::uint32_t mask) {
+  if (mask == 0) return "none";
+  if ((mask & kAllCategories) == kAllCategories) return "all";
+  std::string out;
+  for (const auto& entry : kCategoryNames) {
+    if ((mask & category_bit(entry.category)) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += entry.name;
+  }
+  return out;
+}
+
+}  // namespace pushpull::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pushpull::obs {
+
+/// Trace-event taxonomy. One bit per category so masks compose: the
+/// runtime gate (`ObsConfig::categories`) and the compile-time gate
+/// (`PUSHPULL_OBS_COMPILED_CATEGORIES`) are both plain bitmasks.
+///
+///   push    broadcast-channel transmissions (tx_start/tx_end)
+///   pull    on-demand transmissions, incl. bandwidth blocking
+///   queue   pull-queue membership changes + event-queue high-water marks
+///   cutoff  cutoff-point moves: optimizer scan samples, widen-push boosts
+///   fault   burst-error channel flips, corruptions, retries, losses
+///   crash   server crashes, snapshots, recoveries, re-request storms
+///   ladder  overload degradation-ladder transitions and rejections
+enum class Category : std::uint32_t {
+  kPush = 1u << 0,
+  kPull = 1u << 1,
+  kQueue = 1u << 2,
+  kCutoff = 1u << 3,
+  kFault = 1u << 4,
+  kCrash = 1u << 5,
+  kLadder = 1u << 6,
+};
+
+inline constexpr std::uint32_t kAllCategories = 0x7Fu;
+
+/// Compile-time category mask: categories outside the mask compile to
+/// nothing at every emission site (the `if constexpr` in Tracer::emit),
+/// so a build can strip instrumentation wholesale. Default: everything
+/// compiled in, gated at runtime.
+#ifndef PUSHPULL_OBS_COMPILED_CATEGORIES
+#define PUSHPULL_OBS_COMPILED_CATEGORIES 0x7Fu
+#endif
+inline constexpr std::uint32_t kCompiledCategories =
+    PUSHPULL_OBS_COMPILED_CATEGORIES;
+
+[[nodiscard]] constexpr std::uint32_t category_bit(Category c) noexcept {
+  return static_cast<std::uint32_t>(c);
+}
+
+[[nodiscard]] constexpr bool compiled_in(Category c) noexcept {
+  return (kCompiledCategories & category_bit(c)) != 0;
+}
+
+/// Short lowercase name ("push", "ladder", ...).
+[[nodiscard]] std::string_view to_string(Category c) noexcept;
+
+/// Parses a comma-separated category list ("push,pull,queue") into a mask;
+/// "all" means every category. Throws std::invalid_argument naming an
+/// unknown category.
+[[nodiscard]] std::uint32_t parse_categories(std::string_view csv);
+
+/// Renders a mask as the canonical comma-separated list, in fixed
+/// push,pull,queue,cutoff,fault,crash,ladder order ("all" for the full
+/// mask, "none" for 0).
+[[nodiscard]] std::string format_categories(std::uint32_t mask);
+
+}  // namespace pushpull::obs

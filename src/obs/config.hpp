@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "obs/category.hpp"
+
+namespace pushpull::obs {
+
+/// Observability knobs carried inside core::HybridConfig.
+///
+/// Deliberately excluded from exp::replication_fingerprint (like the job
+/// count): observation never changes simulation numbers, so a checkpoint
+/// written without tracing can be resumed with tracing on and vice versa.
+struct ObsConfig {
+  /// Master switch. Off ⇒ the server allocates no observer and every
+  /// emission site reduces to a null check.
+  bool enabled = false;
+  /// Runtime category storage mask (see obs::Category).
+  std::uint32_t categories = kAllCategories;
+  /// Trace ring capacity (events kept per run/replication).
+  std::size_t trace_capacity = 65536;
+
+  void validate() const {
+    if (trace_capacity == 0) {
+      throw std::logic_error("ObsConfig: trace_capacity must be positive");
+    }
+    if ((categories & ~kAllCategories) != 0) {
+      throw std::logic_error("ObsConfig: unknown bits in category mask");
+    }
+  }
+};
+
+}  // namespace pushpull::obs

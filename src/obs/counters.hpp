@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pushpull::obs {
+
+/// Lightweight counter hook a `core::PullQueue` increments directly (no
+/// virtual dispatch, no tracer formatting on the hot path). Owned by the
+/// RunObserver; the queue holds a nullable pointer.
+struct QueueCounters {
+  std::uint64_t enters = 0;    // requests added to pull-queue entries
+  std::uint64_t leaves = 0;    // requests removed (served, abandoned, shed)
+  std::uint64_t extracts = 0;  // extract_best/extract calls that won an item
+  std::uint64_t peak = 0;      // max total queued requests observed
+};
+
+/// Fixed per-subsystem monotonic counters for one run. Plain public
+/// fields so emission sites are single `++` instructions; `rows()` renders
+/// the full set in a fixed order for deterministic export — every counter
+/// always appears, zero or not, so file shape never depends on behavior.
+struct CounterSet {
+  // des kernel (harvested as deltas around the run)
+  std::uint64_t des_scheduled = 0;
+  std::uint64_t des_dispatched = 0;
+  std::uint64_t des_cancelled = 0;
+  // server request lifecycle
+  std::uint64_t server_arrivals = 0;
+  std::uint64_t server_rejected = 0;   // degradation-ladder admission drops
+  std::uint64_t server_abandoned = 0;  // patience expiries
+  std::uint64_t server_served_push = 0;
+  std::uint64_t server_served_pull = 0;
+  // channel usage
+  std::uint64_t push_tx = 0;
+  std::uint64_t pull_tx = 0;
+  std::uint64_t blocked_tx = 0;        // pull slots lost to bandwidth
+  std::uint64_t blocked_requests = 0;  // requests settled as blocked
+  // pull queue
+  std::uint64_t queue_enter = 0;
+  std::uint64_t queue_leave = 0;
+  std::uint64_t queue_extracts = 0;
+  std::uint64_t queue_peak = 0;
+  // fault layer
+  std::uint64_t fault_corrupt_push = 0;
+  std::uint64_t fault_corrupt_pull = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_lost = 0;
+  std::uint64_t fault_shed = 0;
+  std::uint64_t fault_flips = 0;  // Gilbert–Elliott state changes
+  // resilience
+  std::uint64_t crash_count = 0;
+  std::uint64_t crash_storm = 0;
+  std::uint64_t crash_snapshots = 0;
+  std::uint64_t ladder_transitions = 0;
+  std::uint64_t cutoff_boosts = 0;
+
+  /// (name, value) pairs in fixed alphabetical-by-name order.
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint64_t>> rows()
+      const {
+    return {
+        {"crash.count", crash_count},
+        {"crash.snapshots", crash_snapshots},
+        {"crash.storm", crash_storm},
+        {"cutoff.boosts", cutoff_boosts},
+        {"des.cancelled", des_cancelled},
+        {"des.dispatched", des_dispatched},
+        {"des.scheduled", des_scheduled},
+        {"fault.corrupt_pull", fault_corrupt_pull},
+        {"fault.corrupt_push", fault_corrupt_push},
+        {"fault.flips", fault_flips},
+        {"fault.lost", fault_lost},
+        {"fault.retries", fault_retries},
+        {"fault.shed", fault_shed},
+        {"ladder.transitions", ladder_transitions},
+        {"queue.enter", queue_enter},
+        {"queue.extracts", queue_extracts},
+        {"queue.leave", queue_leave},
+        {"queue.peak", queue_peak},
+        {"server.abandoned", server_abandoned},
+        {"server.arrivals", server_arrivals},
+        {"server.rejected", server_rejected},
+        {"server.served_pull", server_served_pull},
+        {"server.served_push", server_served_push},
+        {"tx.blocked", blocked_tx},
+        {"tx.blocked_requests", blocked_requests},
+        {"tx.pull", pull_tx},
+        {"tx.push", push_tx},
+    };
+  }
+};
+
+}  // namespace pushpull::obs

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/p2_quantile.hpp"
+#include "metrics/welford.hpp"
+#include "obs/config.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace pushpull::obs {
+
+/// Welford moments plus P² tail estimates for one sim-time series
+/// (pull-queue length, per-class response time). O(1) memory per series.
+class QuantileTrack {
+ public:
+  QuantileTrack() : p50_(0.50), p90_(0.90), p99_(0.99) {}
+
+  void add(double x) {
+    moments_.add(x);
+    p50_.add(x);
+    p90_.add(x);
+    p99_.add(x);
+  }
+
+  [[nodiscard]] const metrics::Welford& moments() const noexcept {
+    return moments_;
+  }
+  [[nodiscard]] double p50() const { return p50_.value(); }
+  [[nodiscard]] double p90() const { return p90_.value(); }
+  [[nodiscard]] double p99() const { return p99_.value(); }
+
+ private:
+  metrics::Welford moments_;
+  metrics::P2Quantile p50_;
+  metrics::P2Quantile p90_;
+  metrics::P2Quantile p99_;
+};
+
+/// Rendered summary of one QuantileTrack, ready for export.
+struct QuantileSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Everything one observed run produced: the stored trace window, the
+/// counter set, and the histogram summaries. Value type so it can ride in
+/// results, replication partials, and checkpoints.
+struct ObsReport {
+  bool enabled = false;
+  std::uint32_t categories = 0;
+  std::size_t trace_capacity = 0;
+  std::uint64_t emitted = 0;  // seq numbers consumed
+  std::uint64_t dropped = 0;  // evicted from a full ring
+  std::vector<TraceEvent> events;
+  CounterSet counters;
+  std::vector<QuantileSummary> histograms;
+};
+
+/// Per-run observability hub: owns the TraceSink, the counters and the
+/// sim-time histograms for one HybridServer::run. Created by the server
+/// iff ObsConfig::enabled; subsystems get a Tracer handle and/or raw
+/// counter pointers and stay oblivious to everything else.
+class RunObserver {
+ public:
+  RunObserver(const ObsConfig& config, std::size_t num_classes);
+
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  [[nodiscard]] Tracer tracer() noexcept { return Tracer(&sink_); }
+  [[nodiscard]] QueueCounters* queue_counters() noexcept { return &queue_; }
+
+  /// Sim-time sample of the pull-queue length (taken when it changes).
+  void note_queue_len(std::size_t len) {
+    queue_len_.add(static_cast<double>(len));
+  }
+  /// Response time of a served request, by class.
+  void note_response(std::size_t cls, double delay) {
+    if (cls < response_.size()) response_[cls].add(delay);
+  }
+
+  CounterSet counters;
+
+  /// Folds the queue-hook tallies into the counter set and snapshots
+  /// everything into a value-type report.
+  [[nodiscard]] ObsReport report() const;
+
+ private:
+  ObsConfig config_;
+  TraceSink sink_;
+  QueueCounters queue_;
+  QuantileTrack queue_len_;
+  std::vector<QuantileTrack> response_;  // one per class
+};
+
+}  // namespace pushpull::obs

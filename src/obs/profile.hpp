@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/run_reporter.hpp"
+
+namespace pushpull::obs {
+
+/// Opt-in wall-clock profiling scopes.
+///
+/// Wall time lives OUTSIDE the trace on purpose (DESIGN §8): trace events
+/// are part of the deterministic record and must be bit-identical across
+/// machines, while wall-clock durations never can be. So profiling data
+/// flows to its own sink — this class — built on the one sanctioned
+/// wall-clock reader, runtime::StopWatch (detlint D1 stays clean), and is
+/// only ever reported as telemetry (BENCH_obs.json).
+///
+/// std::map keeps scope iteration deterministically ordered (detlint D3).
+class Profiler {
+ public:
+  struct Scope {
+    std::uint64_t calls = 0;
+    double total_ms = 0.0;
+  };
+
+  void add_sample(const std::string& name, double ms) {
+    Scope& s = scopes_[name];
+    ++s.calls;
+    s.total_ms += ms;
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, Scope>> rows() const {
+    return {scopes_.begin(), scopes_.end()};
+  }
+
+  void clear() { scopes_.clear(); }
+
+ private:
+  std::map<std::string, Scope> scopes_;
+};
+
+/// RAII scope: measures wall time from construction to destruction and
+/// folds it into the profiler. A null profiler makes the scope inert, so
+/// call sites need no branching.
+class ProfileScope {
+ public:
+  ProfileScope(Profiler* profiler, const char* name)
+      : profiler_(profiler), name_(name) {}
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() {
+    if (profiler_ != nullptr) profiler_->add_sample(name_, watch_.elapsed_ms());
+  }
+
+ private:
+  Profiler* profiler_;
+  const char* name_;
+  runtime::StopWatch watch_;
+};
+
+}  // namespace pushpull::obs

@@ -1,0 +1,60 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pushpull::obs {
+
+TraceSink::TraceSink(std::size_t capacity, std::uint32_t categories)
+    : capacity_(capacity), categories_(categories & kAllCategories) {
+  if (capacity_ == 0) {
+    throw std::logic_error("TraceSink: capacity must be positive");
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceSink::record(double time, Category category, const char* name,
+                       std::uint64_t a, std::uint64_t b, double v) {
+  const std::uint64_t seq = next_seq_++;
+  if ((categories_ & category_bit(category)) == 0) return;
+  const TraceEvent ev{time, seq, category, name, a, b, v};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out = ring_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& lhs, const TraceEvent& rhs) {
+                     if (lhs.time < rhs.time) return true;
+                     if (rhs.time < lhs.time) return false;
+                     return lhs.seq < rhs.seq;
+                   });
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace pushpull::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/category.hpp"
+
+namespace pushpull::obs {
+
+/// One structured trace event. `name` points at a static string literal
+/// supplied by the emission site ("tx_start", "enter", ...); the sink
+/// never owns or copies it. `a`/`b` carry small integer operands (item id,
+/// class id, attempt number) and `v` one double operand (queue length,
+/// demand draw, cost) — a fixed shape keeps the ring buffer POD and the
+/// JSONL rendering uniform.
+struct TraceEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  Category category = Category::kQueue;
+  const char* name = "";
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double v = 0.0;
+};
+
+/// Bounded ring buffer of trace events.
+///
+/// Determinism rules (DESIGN §8): the sink is fed only sim-time-stamped
+/// events in dispatch order, never reads a clock or an RNG, and never
+/// influences the simulation — recording is strictly write-only from the
+/// sim's perspective, which is what makes traced and untraced runs
+/// bit-identical.
+///
+/// Sequence numbers: `record` assigns the next seq to EVERY offered event,
+/// whether or not the runtime category mask stores it. A category-filtered
+/// run therefore produces an exact sub-sequence (same seq values, same
+/// payloads) of the unfiltered run's stream — the property the test suite
+/// pins.
+///
+/// Capacity: when full, the oldest stored event is dropped (and counted)
+/// so a long run degrades to "most recent window" rather than OOM.
+class TraceSink {
+ public:
+  /// `capacity` must be > 0; `categories` is the runtime storage mask.
+  TraceSink(std::size_t capacity, std::uint32_t categories);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Offers an event. Always consumes one sequence number; stores the
+  /// event only if its category is in the runtime mask (dropping the
+  /// oldest stored event when at capacity).
+  void record(double time, Category category, const char* name,
+              std::uint64_t a, std::uint64_t b, double v);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t categories() const noexcept {
+    return categories_;
+  }
+  /// Sequence numbers consumed so far (== events offered, stored or not).
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return next_seq_; }
+  /// Events evicted from a full ring (excludes events skipped by mask).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+
+  /// Stored events in (time, seq) order. Events are offered in dispatch
+  /// order so time is already non-decreasing and seq strictly increasing;
+  /// the sort is a stable belt-and-braces pass that also makes the export
+  /// order explicit rather than incidental.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Forgets stored events and counters; seq restarts at 0. Used between
+  /// replications so each rep's stream is self-contained.
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::uint32_t categories_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // index of oldest stored event once wrapped
+  bool wrapped_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Cheap, copyable handle the instrumented subsystems hold. A
+/// default-constructed Tracer is inert: `emit` reduces to one null check
+/// (after the compile-time mask), which is the entire disabled-path cost.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+
+  template <Category C>
+  void emit(double time, const char* name, std::uint64_t a = 0,
+            std::uint64_t b = 0, double v = 0.0) const {
+    if constexpr (!compiled_in(C)) {
+      (void)time;
+      (void)name;
+      (void)a;
+      (void)b;
+      (void)v;
+      return;
+    } else {
+      if (sink_ == nullptr) return;
+      sink_->record(time, C, name, a, b, v);
+    }
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace pushpull::obs

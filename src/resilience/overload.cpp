@@ -91,6 +91,19 @@ OverloadLevel OverloadController::update(double now, double occupancy,
   return level_;
 }
 
+OverloadLevel OverloadController::update(double now, double occupancy,
+                                         double blocking_ewma,
+                                         const obs::Tracer& tracer) {
+  const OverloadLevel before = level_;
+  const OverloadLevel after = update(now, occupancy, blocking_ewma);
+  if (after != before) {
+    tracer.emit<obs::Category::kLadder>(
+        now, "transition", static_cast<std::uint64_t>(before),
+        static_cast<std::uint64_t>(after), occupancy);
+  }
+  return after;
+}
+
 void OverloadController::reset() {
   level_ = OverloadLevel::kNormal;
   max_level_ = OverloadLevel::kNormal;

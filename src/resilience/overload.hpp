@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace pushpull::resilience {
 
 /// The degradation ladder, in escalation order. Each level keeps every
@@ -91,6 +93,13 @@ class OverloadController {
   /// `blocking_ewma` the worst per-class blocking EWMA. Returns the level
   /// in force after the step.
   OverloadLevel update(double now, double occupancy, double blocking_ewma);
+
+  /// Same step, but additionally emits a ladder-category "transition"
+  /// trace event (a=from, b=to, v=pressure input) when the level moves.
+  /// Observation only — the decision path is byte-for-byte the plain
+  /// update().
+  OverloadLevel update(double now, double occupancy, double blocking_ewma,
+                       const obs::Tracer& tracer);
 
   [[nodiscard]] OverloadLevel level() const noexcept { return level_; }
   [[nodiscard]] OverloadLevel max_level() const noexcept { return max_level_; }

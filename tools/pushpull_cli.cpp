@@ -7,14 +7,16 @@
 //   pushpull model     [--theta T] [--alpha A] [--cutoff K]
 //   pushpull replicate [--theta T] [--alpha A] [--cutoff K] [--reps R]
 //                      [--jobs N] [--progress FILE] [--resume]
-//   pushpull trace     --out FILE [--requests N] [--seed S]
+//   pushpull trace     [--out FILE] [--trace FILE] [--requests N] [--seed S]
 //
 // All commands run the paper's §5.1 scenario (D = 100 items, λ' = 5,
 // lengths 1..5 mean 2, three classes) with the given overrides. Fault
 // injection (`--fault*`, `--queue-cap`, `--shed`) applies wherever the
-// hybrid server runs; see `pushpull help`.
+// hybrid server runs, and `--trace FILE` records a deterministic sim-time
+// event trace (JSONL) wherever it does; see `pushpull help`.
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
@@ -31,6 +33,10 @@
 #include "exp/cli.hpp"
 #include "exp/replication.hpp"
 #include "fault/fault_config.hpp"
+#include "obs/category.hpp"
+#include "obs/config.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "resilience/invariants.hpp"
 #include "resilience/resilience_config.hpp"
 #include "runtime/checkpoint.hpp"
@@ -106,6 +112,33 @@ resilience::ResilienceConfig resilience_from(const exp::ArgParser& args) {
   return r;
 }
 
+// Observability is keyed off `--trace FILE`: no flag, no observer, and the
+// simulation output is bit-identical to a build without the obs layer.
+obs::ObsConfig obs_from(const exp::ArgParser& args) {
+  obs::ObsConfig o;
+  o.enabled = args.has("trace");
+  o.categories =
+      obs::parse_categories(args.get_string("trace-categories", "all"));
+  o.trace_capacity = args.get_size("trace-cap", o.trace_capacity);
+  o.validate();
+  return o;
+}
+
+int write_trace_file(const std::string& path, const obs::ObsReport& report,
+                     const char* cmd) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << cmd << ": cannot open " << path << "\n";
+    return 2;
+  }
+  out << obs::render_header(report.categories, report.trace_capacity);
+  out << obs::render_chunk(report, obs::kNoRep);
+  std::cout << "wrote " << report.events.size() << " trace events ("
+            << report.emitted << " emitted, " << report.dropped
+            << " dropped) to " << path << "\n";
+  return 0;
+}
+
 core::HybridConfig config_from(const exp::ArgParser& args) {
   core::HybridConfig config;
   config.cutoff = args.get_size("cutoff", 40);
@@ -145,11 +178,14 @@ void print_table(const exp::Table& table, const exp::ArgParser& args) {
 }
 
 int cmd_simulate(const exp::ArgParser& args) {
-  args.require_known(kConfigOpts, {"report"});
+  args.require_known(kConfigOpts,
+                     {"report", "trace", "trace-categories", "trace-cap"});
   const auto scenario = scenario_from(args);
   const auto built = scenario.build();
-  const core::HybridConfig config = config_from(args);
-  const core::SimResult r = exp::run_hybrid(built, config);
+  core::HybridConfig config = config_from(args);
+  config.obs = obs_from(args);
+  const exp::ObservedRun observed = exp::run_hybrid_observed(built, config);
+  const core::SimResult& r = observed.result;
 
   const std::string report_path = args.get_string("report", "");
   if (!report_path.empty()) {
@@ -225,6 +261,11 @@ int cmd_simulate(const exp::ArgParser& args) {
               << r.overload_transitions.size() << " transitions)";
   }
   std::cout << "\n";
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    const int rc = write_trace_file(trace_path, observed.obs, "simulate");
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -317,29 +358,50 @@ int cmd_chaos(const exp::ArgParser& args) {
 }
 
 int cmd_optimize(const exp::ArgParser& args) {
-  args.require_known(kScenarioOpts, {"alpha", "step", "analytic"});
+  args.require_known(kScenarioOpts, {"alpha", "step", "analytic", "trace",
+                                     "trace-categories", "trace-cap"});
   const auto scenario = scenario_from(args);
   const double alpha = args.get_double("alpha", 0.5);
   const std::size_t step = args.get_size("step", 5);
+  const obs::ObsConfig obs_config = obs_from(args);
 
-  exp::Table table({"K", "total cost"});
-  core::CutoffScan scan;
+  const auto built = scenario.build();
+  std::unique_ptr<queueing::HybridAccessModel> model;
+  std::function<double(std::size_t)> cost;
   if (args.has("analytic")) {
-    const auto built = scenario.build();
-    queueing::HybridAccessModel model(built.catalog, built.population,
-                                      scenario.arrival_rate);
-    scan = core::scan_cutoffs(0, built.catalog.size(), step, [&](std::size_t k) {
-      return model.prioritized_cost(k, alpha);
-    });
+    model = std::make_unique<queueing::HybridAccessModel>(
+        built.catalog, built.population, scenario.arrival_rate);
+    cost = [&model, alpha](std::size_t k) {
+      return model->prioritized_cost(k, alpha);
+    };
   } else {
-    const auto built = scenario.build();
-    scan = core::scan_cutoffs(0, built.catalog.size(), step, [&](std::size_t k) {
+    cost = [&built, alpha](std::size_t k) {
       core::HybridConfig config;
       config.cutoff = k;
       config.alpha = alpha;
       return exp::run_hybrid(built, config)
           .total_prioritized_cost(built.population);
-    });
+    };
+  }
+
+  exp::Table table({"K", "total cost"});
+  core::CutoffScan scan;
+  if (obs_config.enabled) {
+    obs::TraceSink sink(obs_config.trace_capacity, obs_config.categories);
+    scan = core::scan_cutoffs(0, built.catalog.size(), step, cost,
+                              obs::Tracer(&sink));
+    obs::ObsReport report;
+    report.enabled = true;
+    report.categories = sink.categories();
+    report.trace_capacity = sink.capacity();
+    report.emitted = sink.emitted();
+    report.dropped = sink.dropped();
+    report.events = sink.snapshot();
+    const int rc =
+        write_trace_file(args.get_string("trace", ""), report, "optimize");
+    if (rc != 0) return rc;
+  } else {
+    scan = core::scan_cutoffs(0, built.catalog.size(), step, cost);
   }
   for (const auto& sample : scan.curve) {
     table.row().add(sample.cutoff).add(sample.cost, 2);
@@ -377,13 +439,25 @@ int cmd_model(const exp::ArgParser& args) {
 }
 
 int cmd_replicate(const exp::ArgParser& args) {
-  args.require_known(kConfigOpts, {"reps", "progress", "resume"});
+  args.require_known(kConfigOpts, {"reps", "progress", "resume", "trace",
+                                   "trace-categories", "trace-cap"});
   const auto scenario = scenario_from(args);
   const core::HybridConfig config = config_from(args);
   const std::size_t reps = args.get_size("reps", 10);
 
   exp::ReplicateOptions options;
   options.jobs = scenario.jobs;
+  options.obs = obs_from(args);
+  std::ofstream trace_file;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "replicate: cannot open " << trace_path << "\n";
+      return 2;
+    }
+    options.trace_out = &trace_file;
+  }
   std::ofstream progress;
   std::unique_ptr<runtime::RunReporter> reporter;
   runtime::CheckpointStore checkpoint;
@@ -436,6 +510,10 @@ int cmd_replicate(const exp::ArgParser& args) {
       .add(summary.blocking.mean(), 5)
       .add(summary.blocking.ci_half_width(), 5);
   print_table(table, args);
+  if (!trace_path.empty()) {
+    std::cout << "wrote merged trace (" << reps << " replications) to "
+              << trace_path << "\n";
+  }
   return 0;
 }
 
@@ -604,22 +682,34 @@ int cmd_lint(const exp::ArgParser& args) {
 }
 
 int cmd_trace(const exp::ArgParser& args) {
-  args.require_known(kScenarioOpts, {"out"});
+  args.require_known(kConfigOpts,
+                     {"out", "trace", "trace-categories", "trace-cap"});
   const std::string out = args.get_string("out", "");
-  if (out.empty()) {
-    std::cerr << "trace: --out FILE is required\n";
+  const std::string trace_path = args.get_string("trace", "");
+  if (out.empty() && trace_path.empty()) {
+    std::cerr << "trace: need --out FILE (request CSV) and/or --trace FILE "
+                 "(simulation event trace)\n";
     return 2;
   }
   const auto scenario = scenario_from(args);
   const auto built = scenario.build();
-  std::ofstream file(out);
-  if (!file) {
-    std::cerr << "trace: cannot open " << out << "\n";
-    return 2;
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "trace: cannot open " << out << "\n";
+      return 2;
+    }
+    built.trace.save_csv(file);
+    std::cout << "wrote " << built.trace.size() << " requests spanning "
+              << built.trace.span() << " broadcast units to " << out << "\n";
   }
-  built.trace.save_csv(file);
-  std::cout << "wrote " << built.trace.size() << " requests spanning "
-            << built.trace.span() << " broadcast units to " << out << "\n";
+  if (!trace_path.empty()) {
+    core::HybridConfig config = config_from(args);
+    config.obs = obs_from(args);
+    const exp::ObservedRun observed = exp::run_hybrid_observed(built, config);
+    const int rc = write_trace_file(trace_path, observed.obs, "trace");
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -640,7 +730,9 @@ commands:
   chaos        seeded chaos/soak harness: crashes + burst errors + arrival
                spike over N replications, with a machine-verified invariant
                suite (exit 1 on any violation)
-  trace        record the scenario's request trace to CSV
+  trace        record the scenario's request trace to CSV (--out FILE)
+               and/or run the hybrid server with full observability and
+               write the sim-time event trace as JSONL (--trace FILE)
   lint         print the determinism-contract rules (D1-D4, R1-R2) and
                baseline stats, then run detlint over the tree
                (--root DIR, --baseline FILE)
@@ -687,6 +779,18 @@ resilience (simulate / replicate / chaos):
   --ladder-interval T / --ladder-capacity N / --ladder-cutoff-step K
                evaluation period (5), occupancy reference & soft cap (64),
                widen-push cutoff growth (10)
+
+observability (simulate / optimize / replicate / trace):
+  --trace FILE accumulate a deterministic sim-time event trace and write it
+               as sorted JSONL; without the flag no observer exists and the
+               run is byte-identical to an uninstrumented build
+  --trace-categories CSV   keep only these categories (push, pull, queue,
+               cutoff, fault, crash, ladder; default "all"); the filtered
+               stream is an exact sub-sequence of the unfiltered one
+  --trace-cap N    ring-buffer capacity in events (default 65536); on
+               overflow the oldest events drop and the footer reports it
+               (replicate: the merged stream is bit-identical for every
+               --jobs value and across --resume)
 
 chaos options:
   --reps R     replications (default 16; merged in index order, so --jobs N
