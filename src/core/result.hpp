@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "des/event.hpp"
 #include "metrics/class_stats.hpp"
 #include "metrics/welford.hpp"
 #include "resilience/overload.hpp"

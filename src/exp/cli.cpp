@@ -1,6 +1,7 @@
 #include "exp/cli.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
@@ -93,6 +94,30 @@ std::uint64_t ArgParser::get_u64(const std::string& key,
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
   return parse_unsigned(key, it->second);
+}
+
+double ArgParser::get_positive_double(const std::string& key,
+                                      double fallback) const {
+  if (!options_.contains(key)) return fallback;
+  const double parsed = get_double(key, fallback);
+  if (!(parsed > 0.0) || !std::isfinite(parsed)) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a positive finite number, got '" +
+                                options_.at(key) + "'");
+  }
+  return parsed;
+}
+
+std::uint64_t ArgParser::get_positive_u64(const std::string& key,
+                                          std::uint64_t fallback) const {
+  if (!options_.contains(key)) return fallback;
+  const std::uint64_t parsed = parse_unsigned(key, options_.at(key));
+  if (parsed == 0) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a positive integer, got '" +
+                                options_.at(key) + "'");
+  }
+  return parsed;
 }
 
 std::size_t ArgParser::get_jobs(const std::string& key) const {

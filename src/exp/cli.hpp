@@ -37,6 +37,21 @@ class ArgParser {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const;
 
+  /// Strictly-positive numeric option (`--duration SEC`, `--target-qps N`,
+  /// `--time-scale X`): absent returns `fallback`; present values must
+  /// parse as a full token to a positive finite number — zero, negatives
+  /// ("-3"), non-finite values ("inf", "nan") and garble ("abc", "12abc")
+  /// all throw std::invalid_argument (IS-A std::logic_error) naming the
+  /// flag, matching the rest of the parser's no-silent-truncation policy.
+  [[nodiscard]] double get_positive_double(const std::string& key,
+                                           double fallback) const;
+
+  /// Strictly-positive integer option: absent returns `fallback`; present
+  /// values must be a full-token integer >= 1 (zero, signs and garble throw
+  /// std::invalid_argument naming the flag).
+  [[nodiscard]] std::uint64_t get_positive_u64(const std::string& key,
+                                               std::uint64_t fallback) const;
+
   /// Worker-count option (`--jobs N`): absent means "one worker per
   /// hardware thread" (std::thread::hardware_concurrency, at least 1);
   /// `--jobs 1` forces the legacy serial path. An explicit `--jobs 0` (or

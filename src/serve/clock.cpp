@@ -1,0 +1,52 @@
+// The D1 fence. This translation unit is the only place in the repository
+// where simulation-adjacent code may read the machine's clock; detlint
+// exempts exactly this path (src/serve/clock.cpp) from rule D1, and every
+// other file — including the rest of src/serve/ — still trips the lint on a
+// direct std::chrono::steady_clock read. Keep all wall-time access behind
+// make_wall_clock(); see serve::Clock in clock.hpp.
+
+#include "serve/clock.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace pushpull::serve {
+
+namespace {
+
+class WallClock final : public Clock {
+ public:
+  explicit WallClock(double time_scale)
+      : scale_(time_scale), start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now() override {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    return elapsed.count() * scale_;
+  }
+
+  [[nodiscard]] bool realtime() const noexcept override { return true; }
+
+  [[nodiscard]] double seconds_until(double t) override {
+    const double gap = t - now();
+    return gap > 0.0 ? gap / scale_ : 0.0;
+  }
+
+ private:
+  double scale_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::unique_ptr<Clock> make_wall_clock(double time_scale) {
+  if (!(time_scale > 0.0) || !(time_scale < 1e18)) {
+    throw std::invalid_argument("serve::make_wall_clock: time_scale must be "
+                                "positive and finite, got " +
+                                std::to_string(time_scale));
+  }
+  return std::make_unique<WallClock>(time_scale);
+}
+
+}  // namespace pushpull::serve

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+
+namespace pushpull::serve {
+
+/// The serving layer's only source of time.
+///
+/// Everything in `src/serve/` — slot completions, arrival stamps, latency
+/// measurements — reads time exclusively through this interface, in
+/// *broadcast units* (the same unit the DES core uses: transmitting an item
+/// of length L occupies L units of airtime). That is the subsystem's
+/// determinism fence (DESIGN §9):
+///
+///  * the **virtual** backend never consults the machine — the event loop
+///    advances it explicitly, so an accelerated run is a pure function of
+///    its seed and is bit-reproducible;
+///  * the **wall** backend is the one place in the tree where real time is
+///    a feature. Its implementation lives in `src/serve/clock.cpp`, the
+///    single file detlint's D1 (no-wall-clock) rule exempts; a
+///    `std::chrono::steady_clock` read anywhere else — including elsewhere
+///    in `src/serve/` — is still a lint error.
+///
+/// Blocking primitives elsewhere in the layer (completion-queue waits, load
+/// pacing sleeps) may time out, but a timeout is never used as a timestamp:
+/// every recorded time is a `now()` read.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  /// Current serve-time in broadcast units since the clock started.
+  [[nodiscard]] virtual double now() = 0;
+
+  /// True when time advances with the wall (waiting is real waiting).
+  [[nodiscard]] virtual bool realtime() const noexcept = 0;
+
+  /// Wall seconds remaining until serve-time `t` — the budget a caller may
+  /// block for before `t` arrives. Always 0 on a virtual clock (nothing is
+  /// worth waiting for; the loop advances time itself) and 0 once `t` has
+  /// passed. Used to bound waits, never to produce timestamps.
+  [[nodiscard]] virtual double seconds_until(double t) = 0;
+};
+
+/// Deterministic accelerated backend: serve-time is whatever the event loop
+/// last advanced it to. `now()` never consults the machine, so two runs
+/// that process the same completions in the same order read identical
+/// timestamps — the property the record/replay bridge and the seed-
+/// reproducibility tests stand on.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] double now() override { return now_; }
+  [[nodiscard]] bool realtime() const noexcept override { return false; }
+  [[nodiscard]] double seconds_until(double) override { return 0.0; }
+
+  /// Advances to `t`; moving backwards is ignored (the clock is monotone,
+  /// like the DES kernel's).
+  void advance_to(double t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Wall-clock backend anchored at construction: serve-time is
+/// `elapsed wall seconds × time_scale` broadcast units, so `time_scale` is
+/// the pacing knob (1.0 = one broadcast unit per second; 10.0 = ten times
+/// faster than real time). Throws std::invalid_argument on a non-positive
+/// or non-finite scale. Implementation in clock.cpp — the D1 fence.
+[[nodiscard]] std::unique_ptr<Clock> make_wall_clock(double time_scale);
+
+}  // namespace pushpull::serve

@@ -1,0 +1,358 @@
+#include "serve/live_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "rng/poisson.hpp"
+#include "rng/stream.hpp"
+
+namespace pushpull::serve {
+
+using obs::render_number;
+
+LiveServer::LiveServer(const catalog::Catalog& cat,
+                       const workload::ClientPopulation& pop,
+                       ServeConfig config)
+    : catalog_(&cat),
+      population_(&pop),
+      config_(std::move(config)),
+      demand_eng_(
+          rng::StreamFactory(config_.seed).stream("bandwidth-demand")) {
+  config_.validate();
+  if (config_.num_items != cat.size()) {
+    throw std::invalid_argument(
+        "LiveServer: config.num_items disagrees with the catalog");
+  }
+  if (config_.num_classes != pop.num_classes()) {
+    throw std::invalid_argument(
+        "LiveServer: config.num_classes disagrees with the population");
+  }
+  if (config_.cutoff > 0) {
+    push_sched_ = sched::make_push_scheduler(config_.push_policy, cat,
+                                             config_.cutoff);
+  }
+  pull_policy_ =
+      sched::make_pull_policy(config_.pull_policy, config_.alpha);
+  push_waiters_.resize(cat.size());
+}
+
+void LiveServer::reset_run() {
+  // Same per-run reset discipline as HybridServer::run: fresh named stream,
+  // empty queue/park, zeroed counters — a server value can host many runs.
+  demand_eng_ = rng::StreamFactory(config_.seed).stream("bandwidth-demand");
+  pull_queue_.clear();
+  if (push_sched_) push_sched_->reset();
+  for (auto& waiters : push_waiters_) waiters.clear();
+  collector_ = std::make_unique<metrics::ClassCollector>(
+      population_->num_classes());
+  inflight_.reset();
+  recorder_ = nullptr;
+  to_settle_ = 0;
+  settled_ = 0;
+  arrivals_ = 0;
+  push_transmissions_ = 0;
+  pull_transmissions_ = 0;
+  queue_len_area_ = 0.0;
+  queue_len_last_t_ = 0.0;
+  max_queue_len_ = 0;
+  end_time_ = 0.0;
+  queue_depth_ = obs::QuantileTrack{};
+}
+
+void LiveServer::note_queue_len(double now) {
+  queue_len_area_ += static_cast<double>(pull_queue_.total_requests()) *
+                     (now - queue_len_last_t_);
+  queue_len_last_t_ = now;
+  queue_depth_.add(static_cast<double>(pull_queue_.total_requests()));
+}
+
+void LiveServer::dispatch(const Completion& c) {
+  switch (c.kind) {
+    case CompletionKind::kArrival:
+      handle_arrival(c.request, c.time);
+      return;
+    case CompletionKind::kSlotEnd:
+      complete_slot();
+      return;
+    case CompletionKind::kTimer:
+    case CompletionKind::kShutdown:
+      return;  // horizon/shutdown markers carry no server state change
+  }
+}
+
+void LiveServer::handle_arrival(workload::Request request, double observed) {
+  // The observed stamp *is* the request's arrival from here on: it is what
+  // latency is measured against and what the trace records, so live metrics
+  // and the DES replay of the recording see the same timeline.
+  request.arrival = observed;
+  ++arrivals_;
+  collector_->record_arrival(request.cls);
+  if (recorder_) recorder_->record_request(request, observed);
+  if (request.item < config_.cutoff) {
+    // Push item: park until the broadcast program brings it around.
+    push_waiters_[request.item].push_back(request);
+    return;
+  }
+  note_queue_len(observed);
+  pull_queue_.add(request, population_->priority(request.cls),
+                  catalog_->length(request.item),
+                  catalog_->probability(request.item));
+  max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
+  if (!inflight_) {
+    // Pure-pull server asleep on an empty queue: this arrival wakes it.
+    start_next(/*just_did_push=*/true, observed);
+  }
+}
+
+void LiveServer::start_next(bool just_did_push, double now) {
+  if (settled_ == to_settle_) {
+    inflight_.reset();
+    return;
+  }
+  if (config_.cutoff == 0) {
+    if (pull_queue_.empty()) {
+      inflight_.reset();  // idle until the next arrival wakes us
+      return;
+    }
+    start_pull(now);
+    return;
+  }
+  // Strict alternation: one pull opportunity after every push.
+  if (just_did_push && !pull_queue_.empty()) {
+    start_pull(now);
+  } else {
+    start_push(now);
+  }
+}
+
+void LiveServer::start_push(double now) {
+  const catalog::ItemId item = push_sched_->next();
+  // Only clients already parked when the transmission starts catch it.
+  std::vector<workload::Request> catching = std::move(push_waiters_[item]);
+  push_waiters_[item].clear();
+  if (recorder_) recorder_->record_decision(true, now, item, catching.size());
+  InFlight slot;
+  slot.push = true;
+  slot.item = item;
+  slot.end = now + catalog_->length(item);
+  slot.pending = std::move(catching);
+  inflight_ = std::move(slot);
+}
+
+void LiveServer::start_pull(double now) {
+  note_queue_len(now);
+  sched::PullContext ctx;
+  ctx.now = now;
+  ctx.expected_queue_len = now > 0.0 ? queue_len_area_ / now : 1.0;
+  auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
+  if (!entry.has_value()) {
+    throw std::logic_error(
+        "LiveServer: start_pull on an empty pull queue; start_next must "
+        "only take a pull opportunity while entries are pending");
+  }
+  note_queue_len(now);
+  // Drawn even though the live channel is unconstrained: consuming the
+  // bandwidth-demand stream identically is what keeps the DES replay of a
+  // recorded run bit-equal to the live run.
+  if (config_.mean_bandwidth_demand > 0.0) {
+    (void)rng::poisson(demand_eng_, config_.mean_bandwidth_demand);
+  }
+  if (recorder_) {
+    recorder_->record_decision(false, now, entry->item,
+                               entry->pending.size());
+  }
+  InFlight slot;
+  slot.push = false;
+  slot.item = entry->item;
+  slot.end = now + entry->length;
+  slot.pending = std::move(entry->pending);
+  inflight_ = std::move(slot);
+}
+
+void LiveServer::complete_slot() {
+  if (!inflight_.has_value()) {
+    throw std::logic_error("LiveServer: slot completion with nothing on air");
+  }
+  const double now = inflight_->end;
+  const bool was_push = inflight_->push;
+  (was_push ? push_transmissions_ : pull_transmissions_) += 1;
+  const std::vector<workload::Request> delivered =
+      std::move(inflight_->pending);
+  inflight_.reset();
+  for (const auto& r : delivered) {
+    collector_->record_served(r.cls, now - r.arrival, was_push);
+    ++settled_;
+    end_time_ = now;
+  }
+  start_next(was_push, now);
+}
+
+ServeReport LiveServer::make_report(const CompletionQueue& queue) const {
+  ServeReport report;
+  report.accelerated = config_.accelerated;
+  report.duration = config_.duration;
+  report.target_qps = config_.target_qps;
+  report.end_time = end_time_;
+  report.arrivals = arrivals_;
+  report.served = collector_->aggregate().served;
+  report.push_transmissions = push_transmissions_;
+  report.pull_transmissions = pull_transmissions_;
+  report.achieved_qps =
+      end_time_ > 0.0 ? static_cast<double>(arrivals_) / end_time_ : 0.0;
+  report.mean_pull_queue_len =
+      end_time_ > 0.0 ? queue_len_area_ / end_time_ : 0.0;
+  report.max_pull_queue_len = max_queue_len_;
+  report.queue_depth.name = "pull_queue_len";
+  report.queue_depth.count = queue_depth_.moments().count();
+  report.queue_depth.mean = queue_depth_.moments().mean();
+  report.queue_depth.min = queue_depth_.moments().min();
+  report.queue_depth.max = queue_depth_.moments().max();
+  if (report.queue_depth.count > 0) {
+    report.queue_depth.p50 = queue_depth_.p50();
+    report.queue_depth.p90 = queue_depth_.p90();
+    report.queue_depth.p99 = queue_depth_.p99();
+  }
+  report.cq_posted = queue.posted();
+  report.cq_high_water = queue.high_water();
+  report.per_class = collector_->all();
+  return report;
+}
+
+ServeReport LiveServer::run_accelerated(LoadDriver& driver,
+                                        TraceRecorder* recorder) {
+  reset_run();
+  recorder_ = recorder;
+  to_settle_ = driver.remaining();
+  CompletionQueue queue(config_.queue_capacity);
+  VirtualClock clock;
+  if (config_.cutoff > 0 && to_settle_ > 0) {
+    start_next(/*just_did_push=*/true, 0.0);
+  }
+  while (settled_ < to_settle_) {
+    // The DES tie rule, applied by the consumer: an arrival at the same
+    // instant as a slot end dispatches first (its event was scheduled
+    // earlier), so the post-push pull opportunity can see it.
+    const workload::Request* next = driver.peek();
+    Completion c;
+    if (next && (!inflight_ || next->arrival <= inflight_->end)) {
+      c.kind = CompletionKind::kArrival;
+      c.time = next->arrival;
+      c.request = driver.take();
+    } else if (inflight_) {
+      c.kind = CompletionKind::kSlotEnd;
+      c.time = inflight_->end;
+    } else {
+      throw std::logic_error(
+          "LiveServer: stalled — plan exhausted and server idle while "
+          "requests remain unsettled");
+    }
+    if (!queue.try_post(c)) {
+      throw std::logic_error(
+          "LiveServer: completion queue rejected a post in accelerated "
+          "mode (queue_capacity must admit the strictly alternating "
+          "post/pop pattern)");
+    }
+    const std::optional<Completion> popped = queue.pop(0.0);
+    clock.advance_to(popped->time);
+    dispatch(*popped);
+  }
+  note_queue_len(end_time_);
+  if (recorder_) recorder_->finish();
+  return make_report(queue);
+}
+
+ServeReport LiveServer::run_realtime(CompletionQueue& queue, Clock& clock,
+                                     std::uint64_t planned,
+                                     TraceRecorder* recorder) {
+  reset_run();
+  recorder_ = recorder;
+  to_settle_ = planned;
+  bool load_done = false;
+  if (config_.cutoff > 0 && to_settle_ > 0) {
+    start_next(/*just_did_push=*/true, 0.0);
+  }
+  while (settled_ < to_settle_) {
+    if (!load_done) {
+      const double timeout =
+          inflight_ ? clock.seconds_until(inflight_->end) : 0.05;
+      const std::optional<Completion> c = queue.pop(timeout);
+      if (c.has_value()) {
+        if (c->kind == CompletionKind::kArrival) {
+          // Order against the logical timeline: slots ending before this
+          // arrival's stamp complete first, so the arrival can only be
+          // delivered by a transmission ending after it was observed.
+          while (inflight_ && inflight_->end <= c->time) complete_slot();
+          dispatch(*c);
+        }
+        continue;
+      }
+      if (queue.closed() && queue.depth() == 0) {
+        load_done = true;
+        continue;
+      }
+    } else if (inflight_) {
+      // Drain phase: no more producers; pace out the remaining slots.
+      const double budget = clock.seconds_until(inflight_->end);
+      if (budget > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(budget));
+      }
+    } else {
+      throw std::logic_error(
+          "LiveServer: stalled — load ended and server idle while "
+          "requests remain unsettled");
+    }
+    const double now = clock.now();
+    while (inflight_ && inflight_->end <= now) complete_slot();
+  }
+  note_queue_len(end_time_);
+  if (recorder_) recorder_->finish();
+  return make_report(queue);
+}
+
+std::string render_serve_report(const ServeReport& report) {
+  std::ostringstream out;
+  out << "{\"schema\":\"serve1\""
+      << ",\"accelerated\":" << (report.accelerated ? 1 : 0)
+      << ",\"duration\":" << render_number(report.duration)
+      << ",\"target_qps\":" << render_number(report.target_qps)
+      << ",\"achieved_qps\":" << render_number(report.achieved_qps)
+      << ",\"end_time\":" << render_number(report.end_time)
+      << ",\"arrivals\":" << report.arrivals
+      << ",\"served\":" << report.served
+      << ",\"push_tx\":" << report.push_transmissions
+      << ",\"pull_tx\":" << report.pull_transmissions
+      << ",\"mean_pull_queue_len\":"
+      << render_number(report.mean_pull_queue_len)
+      << ",\"max_pull_queue_len\":" << report.max_pull_queue_len
+      << ",\"queue_depth\":{\"count\":" << report.queue_depth.count
+      << ",\"mean\":" << render_number(report.queue_depth.mean)
+      << ",\"max\":" << render_number(report.queue_depth.max)
+      << ",\"p50\":" << render_number(report.queue_depth.p50)
+      << ",\"p90\":" << render_number(report.queue_depth.p90)
+      << ",\"p99\":" << render_number(report.queue_depth.p99) << "}"
+      << ",\"cq_posted\":" << report.cq_posted
+      << ",\"cq_high_water\":" << report.cq_high_water << "}\n";
+  for (std::size_t cls = 0; cls < report.per_class.size(); ++cls) {
+    const metrics::ClassStats& s = report.per_class[cls];
+    out << "{\"class\":" << cls << ",\"arrived\":" << s.arrived
+        << ",\"served\":" << s.served
+        << ",\"served_push\":" << s.served_push
+        << ",\"served_pull\":" << s.served_pull
+        << ",\"mean_wait\":" << render_number(s.wait.mean())
+        << ",\"wait_p50\":"
+        << render_number(s.wait_p50.count() ? s.wait_p50.value() : 0.0)
+        << ",\"wait_p95\":"
+        << render_number(s.wait_p95.count() ? s.wait_p95.value() : 0.0)
+        << ",\"wait_p99\":"
+        << render_number(s.wait_p99.count() ? s.wait_p99.value() : 0.0)
+        << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace pushpull::serve

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "core/pull_queue.hpp"
+#include "metrics/class_stats.hpp"
+#include "obs/observer.hpp"
+#include "rng/xoshiro256ss.hpp"
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+#include "serve/clock.hpp"
+#include "serve/completion_queue.hpp"
+#include "serve/load_driver.hpp"
+#include "serve/record.hpp"
+#include "serve/serve_config.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::serve {
+
+/// What one live run produced. Every field is a pure function of the
+/// processed event sequence, so an accelerated run's rendered report is
+/// byte-stable across repeats of the same seed.
+struct ServeReport {
+  bool accelerated = false;
+  double duration = 0.0;
+  double target_qps = 0.0;
+  /// Serve-time instant of the last delivery (broadcast units).
+  double end_time = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t served = 0;
+  std::uint64_t push_transmissions = 0;
+  std::uint64_t pull_transmissions = 0;
+  /// arrivals / end_time — the load actually absorbed, against target_qps.
+  double achieved_qps = 0.0;
+  /// Time-weighted mean pull-queue length (same integral as the DES).
+  double mean_pull_queue_len = 0.0;
+  std::size_t max_pull_queue_len = 0;
+  /// Pull-queue depth distribution, sampled at every queue transition.
+  obs::QuantileSummary queue_depth;
+  /// Completion-queue telemetry: events accepted + deepest backlog.
+  std::uint64_t cq_posted = 0;
+  std::size_t cq_high_water = 0;
+  std::vector<metrics::ClassStats> per_class;
+};
+
+/// Deterministic multi-line rendering (obs::render_number throughout): a
+/// summary JSON line, then one line per class with mean/p50/p95/p99 wait.
+/// Shared by the CLI, bench/serve_qps and the reproducibility tests.
+[[nodiscard]] std::string render_serve_report(const ServeReport& report);
+
+/// core::HybridServer's scheduling rules, driven by a completion-queue
+/// event loop instead of the DES kernel.
+///
+/// The scheduling mirror is exact for the deterministic subset ServeConfig
+/// exposes: strict push/pull alternation (one pull opportunity after every
+/// push), items [0, cutoff) broadcast cyclically with requests parked until
+/// the item comes around, pull requests aggregated per item and extracted
+/// by the configured policy, only requests present at transmission *start*
+/// catching it, delivery at transmission *end*, a pure-pull server idling
+/// on an empty queue until an arrival wakes it, and the same
+/// time-weighted queue-length integral feeding the Eq. 6 policy's
+/// E[L_pull]. Even the Poisson bandwidth-demand stream is consumed
+/// identically, so an accelerated run and the DES replay of its own
+/// recorded trace agree on every per-class statistic bit-for-bit.
+///
+/// Both run modes dispatch through the same CompletionQueue path; they
+/// differ only in who produces events and how time advances:
+///  * run_accelerated — single-threaded; the loop itself posts each planned
+///    arrival / slot completion and advances a VirtualClock, so the run is
+///    a pure function of the seed;
+///  * run_realtime — pacer threads post wall-stamped arrivals; the loop
+///    completes slots as the wall clock passes their logical end. Arrival
+///    stamps are observed (skew is real and recorded); slot ends chain
+///    logically so airtime accounting stays exact.
+class LiveServer {
+ public:
+  LiveServer(const catalog::Catalog& cat,
+             const workload::ClientPopulation& pop, ServeConfig config);
+
+  /// Drains the driver's whole plan on a virtual clock. `recorder` (may be
+  /// null) receives every dispatched arrival and scheduling decision.
+  [[nodiscard]] ServeReport run_accelerated(LoadDriver& driver,
+                                            TraceRecorder* recorder);
+
+  /// Consumes `planned` arrivals from `queue` (fed by LoadDriver pacers on
+  /// `clock`), runs until all are delivered, then reports. The queue must
+  /// be closed by the producer side when the load ends.
+  [[nodiscard]] ServeReport run_realtime(CompletionQueue& queue, Clock& clock,
+                                         std::uint64_t planned,
+                                         TraceRecorder* recorder);
+
+ private:
+  /// One transmission on air. `pending` is the committed audience (push:
+  /// the waiters caught at start; pull: the extracted entry's requests).
+  struct InFlight {
+    bool push = true;
+    catalog::ItemId item = 0;
+    double end = 0.0;
+    std::vector<workload::Request> pending;
+  };
+
+  void reset_run();
+  void dispatch(const Completion& c);
+  void handle_arrival(workload::Request request, double observed);
+  void start_next(bool just_did_push, double now);
+  void start_push(double now);
+  void start_pull(double now);
+  void complete_slot();
+  void note_queue_len(double now);
+  [[nodiscard]] ServeReport make_report(const CompletionQueue& queue) const;
+
+  const catalog::Catalog* catalog_;
+  const workload::ClientPopulation* population_;
+  ServeConfig config_;
+
+  core::PullQueue pull_queue_;
+  std::unique_ptr<sched::PushScheduler> push_sched_;
+  std::unique_ptr<sched::PullPolicy> pull_policy_;
+  rng::Xoshiro256ss demand_eng_;
+  std::vector<std::vector<workload::Request>> push_waiters_;
+  std::unique_ptr<metrics::ClassCollector> collector_;
+  std::optional<InFlight> inflight_;
+  TraceRecorder* recorder_ = nullptr;
+
+  std::uint64_t to_settle_ = 0;
+  std::uint64_t settled_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t push_transmissions_ = 0;
+  std::uint64_t pull_transmissions_ = 0;
+  double queue_len_area_ = 0.0;
+  double queue_len_last_t_ = 0.0;
+  std::size_t max_queue_len_ = 0;
+  double end_time_ = 0.0;
+  obs::QuantileTrack queue_depth_;
+};
+
+}  // namespace pushpull::serve

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "catalog/catalog.hpp"
+#include "serve/clock.hpp"
+#include "serve/completion_queue.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::serve {
+
+/// Open-loop load source for the live server.
+///
+/// The entire request plan is synthesized *upfront* from a single
+/// workload::RequestGenerator (Poisson arrivals at target_qps, items by
+/// catalog popularity, classes by population share) — never per pacer
+/// thread. That is the load half of the determinism fence: the plan is a
+/// pure function of (catalog, population, qps, duration, seed), so pacer
+/// count and scheduling jitter can skew *when* a request lands but never
+/// *which* requests exist. A driver can also wrap an already-recorded
+/// trace, which is how `pushpull loadtest --from-trace` re-offers a
+/// captured workload.
+///
+/// Two consumption modes:
+///  * accelerated — the server pumps `peek()`/`take()` directly and
+///    advances its VirtualClock to each planned arrival instant; no
+///    threads, bit-reproducible;
+///  * realtime — `run_realtime()` shards the plan round-robin across pacer
+///    threads that sleep until each planned instant and post the arrival to
+///    the completion queue stamped with the *observed* clock reading.
+class LoadDriver {
+ public:
+  /// Synthesizes the plan: Poisson arrivals at `target_qps` per broadcast
+  /// unit until `duration`, seeded with `seed`.
+  LoadDriver(const catalog::Catalog& cat,
+             const workload::ClientPopulation& pop, double target_qps,
+             double duration, std::uint64_t seed);
+
+  /// Re-offers an existing trace as the plan (replayed load).
+  explicit LoadDriver(workload::Trace plan);
+
+  [[nodiscard]] const workload::Trace& plan() const noexcept { return plan_; }
+
+  // --- accelerated pump ---------------------------------------------------
+
+  /// Next planned request not yet taken, or nullptr when the plan is
+  /// exhausted.
+  [[nodiscard]] const workload::Request* peek() const noexcept {
+    return next_ < plan_.size() ? &plan_[next_] : nullptr;
+  }
+
+  /// Consumes and returns the next planned request. Throws std::logic_error
+  /// when the plan is exhausted (callers must peek first).
+  [[nodiscard]] workload::Request take();
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return next_ >= plan_.size();
+  }
+
+  /// Planned requests not yet taken.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return plan_.size() - next_;
+  }
+
+  // --- realtime pacing ----------------------------------------------------
+
+  /// Spawns `pacers` producer threads that pace the plan against `clock`
+  /// (sleeping out `clock.seconds_until(planned arrival)`, then posting a
+  /// kArrival stamped `clock.now()`), joins them, and closes `queue` so the
+  /// consumer sees end-of-load. Blocks until all load is delivered. The
+  /// request's planned arrival rides along untouched; the completion's
+  /// `time` is the observed stamp.
+  void run_realtime(CompletionQueue& queue, Clock& clock, std::size_t pacers);
+
+ private:
+  workload::Trace plan_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace pushpull::serve

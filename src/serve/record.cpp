@@ -1,0 +1,269 @@
+#include "serve/record.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+
+namespace pushpull::serve {
+
+namespace {
+
+using obs::render_number;
+
+[[nodiscard]] sched::PullPolicyKind pull_policy_from(const std::string& name) {
+  for (const auto kind :
+       {sched::PullPolicyKind::kFcfs, sched::PullPolicyKind::kMrf,
+        sched::PullPolicyKind::kStretch, sched::PullPolicyKind::kPriority,
+        sched::PullPolicyKind::kRxw, sched::PullPolicyKind::kLwf,
+        sched::PullPolicyKind::kImportance,
+        sched::PullPolicyKind::kImportanceQueueAware}) {
+    if (name == sched::to_string(kind)) return kind;
+  }
+  throw std::runtime_error("serve trace: unknown pull policy \"" + name +
+                           "\"");
+}
+
+[[nodiscard]] sched::PushPolicyKind push_policy_from(const std::string& name) {
+  for (const auto kind :
+       {sched::PushPolicyKind::kFlat, sched::PushPolicyKind::kBroadcastDisks,
+        sched::PushPolicyKind::kSquareRootRule}) {
+    if (name == sched::to_string(kind)) return kind;
+  }
+  throw std::runtime_error("serve trace: unknown push policy \"" + name +
+                           "\"");
+}
+
+/// Position just past `"key":` in `line`, or npos when absent.
+[[nodiscard]] std::size_t value_pos(const std::string& line,
+                                    std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+[[nodiscard]] bool has_key(const std::string& line, std::string_view key) {
+  return value_pos(line, key) != std::string::npos;
+}
+
+[[nodiscard]] double number_field(const std::string& line,
+                                  std::string_view key, std::size_t lineno) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string::npos) {
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": missing field \"" + std::string(key) + "\"");
+  }
+  std::size_t end = at;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + at, line.data() + end, value);
+  if (ec != std::errc{} || ptr != line.data() + end) {
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": malformed number in field \"" +
+                             std::string(key) + "\"");
+  }
+  return value;
+}
+
+[[nodiscard]] std::uint64_t count_field(const std::string& line,
+                                        std::string_view key,
+                                        std::size_t lineno) {
+  const double value = number_field(line, key, lineno);
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<std::uint64_t>(value))) {
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": field \"" + std::string(key) +
+                             "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+[[nodiscard]] std::string string_field(const std::string& line,
+                                       std::string_view key,
+                                       std::size_t lineno) {
+  const std::size_t at = value_pos(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": missing string field \"" + std::string(key) +
+                             "\"");
+  }
+  const std::size_t close = line.find('"', at + 1);
+  if (close == std::string::npos) {
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": unterminated string field \"" +
+                             std::string(key) + "\"");
+  }
+  return line.substr(at + 1, close - at - 1);
+}
+
+[[nodiscard]] ServeConfig config_from_header(const std::string& line) {
+  if (string_field(line, "schema", 1) != kServeTraceSchema) {
+    throw std::runtime_error("serve trace: expected schema \"" +
+                             std::string(kServeTraceSchema) + "\", got \"" +
+                             string_field(line, "schema", 1) + "\"");
+  }
+  ServeConfig c;
+  c.seed = count_field(line, "seed", 1);
+  c.accelerated = count_field(line, "accelerated", 1) != 0;
+  c.duration = number_field(line, "duration", 1);
+  c.target_qps = number_field(line, "target_qps", 1);
+  c.num_items = static_cast<std::size_t>(count_field(line, "items", 1));
+  c.theta = number_field(line, "theta", 1);
+  c.num_classes = static_cast<std::size_t>(count_field(line, "classes", 1));
+  c.class_zipf_theta = number_field(line, "class_zipf_theta", 1);
+  c.min_length =
+      static_cast<std::uint32_t>(count_field(line, "min_length", 1));
+  c.max_length =
+      static_cast<std::uint32_t>(count_field(line, "max_length", 1));
+  c.mean_length = number_field(line, "mean_length", 1);
+  c.cutoff = static_cast<std::size_t>(count_field(line, "cutoff", 1));
+  c.alpha = number_field(line, "alpha", 1);
+  c.pull_policy = pull_policy_from(string_field(line, "pull_policy", 1));
+  c.push_policy = push_policy_from(string_field(line, "push_policy", 1));
+  c.mean_bandwidth_demand = number_field(line, "mean_demand", 1);
+  c.validate();
+  return c;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::ostream& out, const ServeConfig& config)
+    : out_(&out) {
+  *out_ << "{\"schema\":\"" << kServeTraceSchema << "\""
+        << ",\"seed\":" << config.seed
+        << ",\"accelerated\":" << (config.accelerated ? 1 : 0)
+        << ",\"duration\":" << render_number(config.duration)
+        << ",\"target_qps\":" << render_number(config.target_qps)
+        << ",\"items\":" << config.num_items
+        << ",\"theta\":" << render_number(config.theta)
+        << ",\"classes\":" << config.num_classes
+        << ",\"class_zipf_theta\":" << render_number(config.class_zipf_theta)
+        << ",\"min_length\":" << config.min_length
+        << ",\"max_length\":" << config.max_length
+        << ",\"mean_length\":" << render_number(config.mean_length)
+        << ",\"cutoff\":" << config.cutoff
+        << ",\"alpha\":" << render_number(config.alpha)
+        << ",\"pull_policy\":\"" << sched::to_string(config.pull_policy)
+        << "\",\"push_policy\":\"" << sched::to_string(config.push_policy)
+        << "\",\"mean_demand\":"
+        << render_number(config.mean_bandwidth_demand) << "}\n";
+}
+
+void TraceRecorder::record_request(const workload::Request& request,
+                                   double observed_time) {
+  *out_ << "{\"t\":" << render_number(observed_time)
+        << ",\"id\":" << request.id << ",\"item\":" << request.item
+        << ",\"cls\":" << static_cast<std::uint64_t>(request.cls) << "}\n";
+  ++requests_;
+}
+
+void TraceRecorder::record_decision(bool push, double time,
+                                    catalog::ItemId item,
+                                    std::size_t delivered) {
+  *out_ << "{\"d\":\"" << (push ? "push" : "pull")
+        << "\",\"t\":" << render_number(time) << ",\"item\":" << item
+        << ",\"n\":" << delivered << "}\n";
+  ++decisions_;
+}
+
+void TraceRecorder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  *out_ << "{\"requests\":" << requests_ << ",\"decisions\":" << decisions_
+        << "}\n";
+  out_->flush();
+}
+
+TraceRecorder::~TraceRecorder() { finish(); }
+
+RecordedRun load_trace(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("serve trace: empty input (no header line)");
+  }
+  RecordedRun run;
+  run.config = config_from_header(line);
+
+  bool saw_footer = false;
+  std::uint64_t decisions = 0;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (saw_footer) {
+      throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                               ": content after the footer");
+    }
+    if (has_key(line, "d")) {
+      // Decision lines are informational; count them for the footer check.
+      (void)number_field(line, "t", lineno);
+      ++decisions;
+      continue;
+    }
+    if (has_key(line, "id")) {
+      workload::Request r;
+      r.arrival = number_field(line, "t", lineno);
+      r.id = count_field(line, "id", lineno);
+      r.item = static_cast<catalog::ItemId>(count_field(line, "item", lineno));
+      r.cls = static_cast<workload::ClassId>(
+          count_field(line, "cls", lineno));
+      if (r.item >= run.config.num_items) {
+        throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                                 ": item beyond the recorded catalog");
+      }
+      if (r.cls >= run.config.num_classes) {
+        throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                                 ": class beyond the recorded population");
+      }
+      run.requests.push_back(r);
+      continue;
+    }
+    if (has_key(line, "requests")) {
+      const std::uint64_t requests = count_field(line, "requests", lineno);
+      const std::uint64_t footer_decisions =
+          count_field(line, "decisions", lineno);
+      if (requests != run.requests.size() || footer_decisions != decisions) {
+        throw std::runtime_error(
+            "serve trace: footer counts (" + std::to_string(requests) + "/" +
+            std::to_string(footer_decisions) + ") disagree with lines read (" +
+            std::to_string(run.requests.size()) + "/" +
+            std::to_string(decisions) + ") — truncated or spliced file");
+      }
+      saw_footer = true;
+      continue;
+    }
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": unrecognized line");
+  }
+  if (!saw_footer) {
+    throw std::runtime_error(
+        "serve trace: missing footer line — truncated recording");
+  }
+  // Realtime pacers may interleave posts; Trace requires sorted arrivals.
+  std::sort(run.requests.begin(), run.requests.end(),
+            [](const workload::Request& a, const workload::Request& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival
+                                            : a.id < b.id;
+            });
+  run.decisions = decisions;
+  return run;
+}
+
+RecordedRun load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("serve trace: cannot open \"" + path + "\"");
+  }
+  return load_trace(in);
+}
+
+}  // namespace pushpull::serve

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/serve_config.hpp"
+#include "workload/request.hpp"
+#include "workload/trace.hpp"
+
+namespace pushpull::serve {
+
+/// Schema tag of the serve trace format. An `sv1` file is JSONL:
+///   1. a header line carrying the full ServeConfig (workload universe +
+///      scheduler + serving knobs) — everything replay needs to rebuild the
+///      catalog, population and DES configuration;
+///   2. one `{"t":..,"id":..,"item":..,"cls":..}` line per request, `t`
+///      being the *observed* arrival stamp (planned == observed on the
+///      virtual clock; wall-skewed in realtime mode);
+///   3. interleaved `{"d":"push"|"pull","t":..,"item":..,"n":..}` decision
+///      lines — the scheduler's transmission log, for humans and diff
+///      tools; replay derives decisions from the DES, not from these;
+///   4. a `{"requests":N,"decisions":M}` footer guarding truncation.
+/// All numbers are rendered with obs::render_number, so recording the same
+/// accelerated run twice produces byte-identical files.
+inline constexpr std::string_view kServeTraceSchema = "sv1";
+
+/// Writes an sv1 stream. Single-writer by design: only the server thread
+/// records (arrivals at dispatch, decisions at transmission start), so
+/// lines never interleave.
+class TraceRecorder {
+ public:
+  /// Writes the header line immediately.
+  TraceRecorder(std::ostream& out, const ServeConfig& config);
+
+  void record_request(const workload::Request& request, double observed_time);
+  void record_decision(bool push, double time, catalog::ItemId item,
+                       std::size_t delivered);
+
+  /// Writes the footer. Idempotent; called by the destructor if needed.
+  void finish();
+
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  std::ostream* out_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t decisions_ = 0;
+  bool finished_ = false;
+};
+
+/// A parsed sv1 file: the run's configuration plus its request log, sorted
+/// by (arrival, id) — realtime pacer threads can interleave posts, and
+/// workload::Trace requires sorted arrivals.
+struct RecordedRun {
+  ServeConfig config;
+  std::vector<workload::Request> requests;
+  std::uint64_t decisions = 0;
+
+  [[nodiscard]] workload::Trace trace() const {
+    return workload::Trace(requests);
+  }
+};
+
+/// Parses an sv1 stream. Throws std::runtime_error naming the line on any
+/// malformed input: wrong schema, unparsable fields, a missing footer, or a
+/// footer count that disagrees with the lines actually present.
+[[nodiscard]] RecordedRun load_trace(std::istream& in);
+
+/// load_trace from a file path (std::runtime_error when unreadable).
+[[nodiscard]] RecordedRun load_trace_file(const std::string& path);
+
+}  // namespace pushpull::serve

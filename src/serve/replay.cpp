@@ -1,0 +1,84 @@
+#include "serve/replay.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/hybrid_server.hpp"
+#include "obs/export.hpp"
+#include "rng/splitmix64.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pushpull::serve {
+
+using obs::render_number;
+
+std::vector<core::SimResult> replay(const RecordedRun& run,
+                                    const ReplayOptions& options) {
+  if (options.reps == 0) {
+    throw std::invalid_argument("serve::replay: reps must be >= 1");
+  }
+  const catalog::Catalog cat = run.config.build_catalog();
+  const workload::ClientPopulation pop = run.config.build_population();
+  const workload::Trace trace = run.trace();
+
+  auto run_one = [&](std::size_t rep) -> core::SimResult {
+    core::HybridConfig config = run.config.hybrid();
+    if (rep > 0) {
+      // Same decorrelation idiom as exp::replicate_hybrid — but only the
+      // *server* seed moves; the workload is the recording and stays frozen.
+      config.seed = rng::SplitMix64::mix(run.config.seed + rep);
+    }
+    core::HybridServer server(cat, pop, config);
+    return server.run(trace);
+  };
+
+  if (options.jobs == 1 || options.reps == 1) {
+    return runtime::serial_map(options.reps, run_one);
+  }
+  runtime::ThreadPool pool(options.jobs);
+  return runtime::parallel_map(pool, options.reps, run_one);
+}
+
+std::string render_replay_report(const RecordedRun& run,
+                                 const std::vector<core::SimResult>& results) {
+  std::ostringstream out;
+  out << "{\"schema\":\"replay1\",\"seed\":" << run.config.seed
+      << ",\"requests\":" << run.requests.size()
+      << ",\"decisions\":" << run.decisions
+      << ",\"reps\":" << results.size() << ",\"cutoff\":" << run.config.cutoff
+      << ",\"alpha\":" << render_number(run.config.alpha)
+      << ",\"pull_policy\":\"" << sched::to_string(run.config.pull_policy)
+      << "\",\"push_policy\":\"" << sched::to_string(run.config.push_policy)
+      << "\"}\n";
+  for (std::size_t rep = 0; rep < results.size(); ++rep) {
+    const core::SimResult& r = results[rep];
+    out << "{\"rep\":" << rep
+        << ",\"end_time\":" << render_number(r.end_time)
+        << ",\"push_tx\":" << r.push_transmissions
+        << ",\"pull_tx\":" << r.pull_transmissions
+        << ",\"blocked_tx\":" << r.blocked_transmissions
+        << ",\"mean_pull_queue_len\":"
+        << render_number(r.mean_pull_queue_len)
+        << ",\"max_pull_queue_len\":" << r.max_pull_queue_len << "}\n";
+    for (std::size_t cls = 0; cls < r.per_class.size(); ++cls) {
+      const metrics::ClassStats& s = r.per_class[cls];
+      out << "{\"rep\":" << rep << ",\"class\":" << cls
+          << ",\"arrived\":" << s.arrived << ",\"served\":" << s.served
+          << ",\"served_push\":" << s.served_push
+          << ",\"served_pull\":" << s.served_pull
+          << ",\"blocked\":" << s.blocked
+          << ",\"mean_wait\":" << render_number(s.wait.mean())
+          << ",\"wait_p50\":"
+          << render_number(s.wait_p50.count() ? s.wait_p50.value() : 0.0)
+          << ",\"wait_p95\":"
+          << render_number(s.wait_p95.count() ? s.wait_p95.value() : 0.0)
+          << ",\"wait_p99\":"
+          << render_number(s.wait_p99.count() ? s.wait_p99.value() : 0.0)
+          << "}\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pushpull::serve

@@ -1,0 +1,21 @@
+#pragma once
+
+/// Live serving frontend (DESIGN §9): the layer that promotes the hybrid
+/// scheduler from a DES-driven model to an in-process async server.
+///
+///   clock.hpp            serve::Clock — the fenced time source (virtual +
+///                        wall backends; wall reads only in clock.cpp)
+///   completion_queue.hpp bounded MPSC queue feeding server ticks
+///   serve_config.hpp     one run's workload/scheduler/serving knobs
+///   load_driver.hpp      seeded open-loop load, planned upfront
+///   record.hpp           sv1 request/decision trace codec
+///   live_server.hpp      the completion-queue event loop around the
+///                        HybridServer scheduling rules
+///   replay.hpp           recorded trace → deterministic DES, bit-exact
+#include "serve/clock.hpp"             // IWYU pragma: export
+#include "serve/completion_queue.hpp"  // IWYU pragma: export
+#include "serve/live_server.hpp"       // IWYU pragma: export
+#include "serve/load_driver.hpp"       // IWYU pragma: export
+#include "serve/record.hpp"            // IWYU pragma: export
+#include "serve/replay.hpp"            // IWYU pragma: export
+#include "serve/serve_config.hpp"      // IWYU pragma: export

@@ -1,0 +1,81 @@
+#include "serve/serve_config.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "catalog/length_model.hpp"
+
+namespace pushpull::serve {
+
+void ServeConfig::validate() const {
+  if (num_items == 0) {
+    throw std::invalid_argument("ServeConfig: num_items must be >= 1");
+  }
+  if (num_classes == 0) {
+    throw std::invalid_argument("ServeConfig: num_classes must be >= 1");
+  }
+  if (min_length == 0) {
+    throw std::invalid_argument(
+        "ServeConfig: min_length must be >= 1 (zero-length items never "
+        "finish transmitting)");
+  }
+  if (max_length < min_length) {
+    throw std::invalid_argument(
+        "ServeConfig: max_length (" + std::to_string(max_length) +
+        ") must be >= min_length (" + std::to_string(min_length) + ")");
+  }
+  if (!(theta >= 0.0) || !std::isfinite(theta)) {
+    throw std::invalid_argument(
+        "ServeConfig: theta must be a non-negative finite number");
+  }
+  if (cutoff > num_items) {
+    throw std::invalid_argument(
+        "ServeConfig: cutoff (" + std::to_string(cutoff) +
+        ") beyond catalog size (" + std::to_string(num_items) + ")");
+  }
+  if (!(duration > 0.0) || !std::isfinite(duration)) {
+    throw std::invalid_argument(
+        "ServeConfig: duration must be a positive finite number, got " +
+        std::to_string(duration));
+  }
+  if (!(target_qps > 0.0) || !std::isfinite(target_qps)) {
+    throw std::invalid_argument(
+        "ServeConfig: target_qps must be a positive finite number, got " +
+        std::to_string(target_qps));
+  }
+  if (!(time_scale > 0.0) || !std::isfinite(time_scale)) {
+    throw std::invalid_argument(
+        "ServeConfig: time_scale must be a positive finite number, got " +
+        std::to_string(time_scale));
+  }
+  if (pacers == 0) {
+    throw std::invalid_argument("ServeConfig: pacers must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument("ServeConfig: queue_capacity must be >= 1");
+  }
+}
+
+core::HybridConfig ServeConfig::hybrid() const {
+  core::HybridConfig config;
+  config.cutoff = cutoff;
+  config.alpha = alpha;
+  config.pull_policy = pull_policy;
+  config.push_policy = push_policy;
+  config.mean_bandwidth_demand = mean_bandwidth_demand;
+  config.seed = seed;
+  return config;
+}
+
+catalog::Catalog ServeConfig::build_catalog() const {
+  const catalog::LengthModel lengths(min_length, max_length, mean_length);
+  return catalog::Catalog(num_items, theta, lengths, seed);
+}
+
+workload::ClientPopulation ServeConfig::build_population() const {
+  return workload::ClientPopulation::zipf_classes(num_classes,
+                                                  class_zipf_theta);
+}
+
+}  // namespace pushpull::serve

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "catalog/catalog.hpp"
+#include "core/config.hpp"
+#include "sched/pull/policy.hpp"
+#include "sched/push/push_scheduler.hpp"
+#include "workload/population.hpp"
+
+namespace pushpull::serve {
+
+/// Everything one live serving run needs: the workload universe (the §5.1
+/// scenario parameters, so the live server and the DES speak the same
+/// catalog), the scheduler knobs, and the serving-specific execution knobs.
+///
+/// The struct deliberately exposes only the *deterministic* subset of
+/// core::HybridConfig — no fault injection, crashes, ladder or impatience.
+/// Those layers are DES-only for now; keeping them out of the live path is
+/// what lets an accelerated run's per-class statistics match its own DES
+/// replay bit-for-bit (the differential test in tests/test_serve.cpp).
+struct ServeConfig {
+  // --- workload universe (mirrors exp::Scenario) --------------------------
+  std::size_t num_items = 100;
+  double theta = 0.60;
+  std::size_t num_classes = 3;
+  double class_zipf_theta = 1.0;
+  std::uint32_t min_length = 1;
+  std::uint32_t max_length = 5;
+  double mean_length = 2.0;
+
+  // --- scheduler ----------------------------------------------------------
+  std::size_t cutoff = 40;
+  double alpha = 0.5;
+  sched::PullPolicyKind pull_policy = sched::PullPolicyKind::kImportance;
+  sched::PushPolicyKind push_policy = sched::PushPolicyKind::kFlat;
+  /// Mirrored from HybridConfig so replay consumes the identical
+  /// bandwidth-demand stream (the live path never blocks — the channel is
+  /// unconstrained — but the draw itself must happen to keep RNG parity).
+  double mean_bandwidth_demand = 1.0;
+
+  // --- serving ------------------------------------------------------------
+  /// Load-generation horizon in broadcast units (at time_scale 1 a
+  /// broadcast unit is one wall second, so this reads as seconds).
+  double duration = 50.0;
+  /// Open-loop offered load: mean request arrivals per broadcast unit.
+  double target_qps = 5.0;
+  std::uint64_t seed = 20050614;
+  /// true = virtual clock, the event loop advances time itself (fast and
+  /// bit-reproducible); false = wall clock, the load driver paces arrivals
+  /// in real time.
+  bool accelerated = false;
+  /// Broadcast units per wall second on the wall clock (ignored when
+  /// accelerated). 1.0 = real time; 10.0 = 10x fast-forward.
+  double time_scale = 1.0;
+  /// Producer threads pacing arrivals in wall-clock mode. The *plan* is
+  /// pacer-count-invariant (synthesized upfront from one generator); pacers
+  /// only affect how faithfully it is paced. Ignored when accelerated.
+  std::size_t pacers = 1;
+  /// Completion-queue bound; a full queue backpressures the pacers.
+  std::size_t queue_capacity = 1024;
+
+  /// Rejects unusable values (zero counts/capacity, non-positive duration,
+  /// target_qps, time_scale or lengths, cutoff beyond the catalog) with a
+  /// std::invalid_argument naming the offending field.
+  void validate() const;
+
+  /// The equivalent DES configuration — what `pushpull replay` runs a
+  /// recorded trace through. Fault/resilience layers stay default-inert.
+  [[nodiscard]] core::HybridConfig hybrid() const;
+
+  /// Materializes the catalog exactly as exp::Scenario::build would
+  /// (Zipf(theta) popularities, truncated-geometric lengths from `seed`).
+  [[nodiscard]] catalog::Catalog build_catalog() const;
+
+  /// Materializes the class population (Zipf class mix, priorities N..1).
+  [[nodiscard]] workload::ClientPopulation build_population() const;
+};
+
+}  // namespace pushpull::serve

@@ -142,5 +142,73 @@ TEST(ArgParser, RequireKnownRejectsUnknownOption) {
   }
 }
 
+TEST(ArgParser, PositiveDoubleReturnsFallbackWhenAbsent) {
+  const auto args = parse({"loadtest"});
+  EXPECT_DOUBLE_EQ(args.get_positive_double("duration", 50.0), 50.0);
+}
+
+TEST(ArgParser, PositiveDoubleAcceptsPositiveValues) {
+  const auto args = parse({"loadtest", "--duration", "12.5"});
+  EXPECT_DOUBLE_EQ(args.get_positive_double("duration", 50.0), 12.5);
+}
+
+TEST(ArgParser, PositiveDoubleRejectsZeroNegativeAndNonFinite) {
+  for (const char* bad : {"0", "0.0", "-3", "-0.25", "inf", "nan"}) {
+    const auto args = parse({"loadtest", "--duration", bad});
+    EXPECT_THROW((void)args.get_positive_double("duration", 50.0),
+                 std::invalid_argument)
+        << "value: " << bad;
+  }
+}
+
+TEST(ArgParser, PositiveDoubleRejectsGarble) {
+  for (const char* bad : {"abc", "12abc", ""}) {
+    const auto args = parse({"loadtest", "--duration", bad});
+    EXPECT_THROW((void)args.get_positive_double("duration", 50.0),
+                 std::invalid_argument)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(ArgParser, PositiveDoubleErrorsAreLogicErrors) {
+  // The CLI's catch-all handles std::exception, but callers that want to
+  // distinguish usage errors from runtime failures catch std::logic_error;
+  // std::invalid_argument IS-A std::logic_error.
+  const auto args = parse({"loadtest", "--target-qps", "-1"});
+  EXPECT_THROW((void)args.get_positive_double("target-qps", 5.0),
+               std::logic_error);
+}
+
+TEST(ArgParser, PositiveDoubleNamesTheFlagAndValue) {
+  const auto args = parse({"loadtest", "--target-qps", "0"});
+  try {
+    (void)args.get_positive_double("target-qps", 5.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--target-qps"), std::string::npos);
+    EXPECT_NE(what.find("'0'"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, PositiveU64ReturnsFallbackWhenAbsent) {
+  const auto args = parse({"loadtest"});
+  EXPECT_EQ(args.get_positive_u64("pacers", 2), 2u);
+}
+
+TEST(ArgParser, PositiveU64AcceptsPositiveIntegers) {
+  const auto args = parse({"loadtest", "--pacers", "8"});
+  EXPECT_EQ(args.get_positive_u64("pacers", 1), 8u);
+}
+
+TEST(ArgParser, PositiveU64RejectsZeroSignsAndGarble) {
+  for (const char* bad : {"0", "-1", "+4", "abc", "12abc", "3.5", ""}) {
+    const auto args = parse({"loadtest", "--pacers", bad});
+    EXPECT_THROW((void)args.get_positive_u64("pacers", 1),
+                 std::logic_error)
+        << "value: '" << bad << "'";
+  }
+}
+
 }  // namespace
 }  // namespace pushpull::exp

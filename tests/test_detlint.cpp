@@ -74,6 +74,25 @@ TEST(DetlintRules, D1FiresOnWallClockSources) {
   expect_matches_markers("bad_d1.cpp", "src/sim/bad_d1.cpp");
 }
 
+TEST(DetlintRules, D1SkipsServeClockBoundaryFile) {
+  // The wall backend of serve::Clock is the one sanctioned machine-time
+  // read in the tree: under its real path the steady_clock uses are clean,
+  // while the identical text anywhere else — even next door in src/serve/ —
+  // still flags.
+  const std::string text = read_fixture("serve_clock_boundary.cpp");
+  EXPECT_TRUE(detlint::analyze_source("src/serve/clock.cpp", text).empty())
+      << "the serve::Clock wall backend is the sanctioned D1 boundary";
+  EXPECT_FALSE(
+      detlint::analyze_source("src/serve/event_loop.cpp", text).empty())
+      << "the exemption must cover exactly src/serve/clock.cpp";
+  EXPECT_FALSE(detlint::analyze_source("src/core/clock.cpp", text).empty())
+      << "the exemption must not follow the file name to other directories";
+}
+
+TEST(DetlintRules, D1FiresOnWallClockLeaksOutsideTheBoundary) {
+  expect_matches_markers("serve_clock_leak.cpp", "src/serve/event_loop.cpp");
+}
+
 TEST(DetlintRules, D2FiresOnRawEnginesOutsideRng) {
   expect_matches_markers("bad_d2.cpp", "src/sim/bad_d2.cpp");
 }

@@ -1,0 +1,23 @@
+// Fixture: a trimmed-down serve::Clock wall backend. Under its real path
+// (src/serve/clock.cpp — the sanctioned D1 time boundary) the steady_clock
+// reads below must produce NO findings; test_detlint also re-analyzes this
+// same text under a neighboring path to prove the exemption does not leak.
+#include <chrono>
+
+namespace fixture {
+
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count() * scale_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double scale_ = 1.0;
+};
+
+}  // namespace fixture

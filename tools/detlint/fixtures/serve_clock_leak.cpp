@@ -1,0 +1,33 @@
+// Fixture: wall-clock reads leaking out of the serve::Clock boundary. The
+// D1 exemption covers exactly src/serve/clock.cpp; this file is analyzed
+// under the pretend path src/serve/event_loop.cpp, where every machine-time
+// read below must still fire.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+inline double stamp_arrival() {
+  const auto t = std::chrono::steady_clock::now();  // DETLINT-EXPECT: D1
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline long fallback_epoch() {
+  return time(nullptr);                             // DETLINT-EXPECT: D1
+}
+
+inline double epoch_ms() {
+  using wall = std::chrono::system_clock;           // DETLINT-EXPECT: D1
+  const auto t = wall::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+
+// Reading time through the injected clock interface is the approved path
+// and must NOT fire: `clock.now()` is a member call, not a libc read.
+struct Clock {
+  double now_ = 0.0;
+  [[nodiscard]] double now() const { return now_; }
+};
+inline double ok_injected(const Clock& clock) { return clock.now(); }
+
+}  // namespace fixture

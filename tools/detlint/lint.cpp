@@ -20,7 +20,8 @@ namespace {
 const std::vector<RuleInfo> kRules = {
     {"D1", "no-wall-clock",
      "no std::random_device, time(), system_clock/steady_clock, rand(), "
-     "getenv in simulation code"},
+     "getenv in simulation code (serve::Clock's wall backend in "
+     "src/serve/clock.cpp is the one sanctioned boundary)"},
     {"D2", "named-rng-streams",
      "no raw std RNG engine construction outside src/rng/ — draw from "
      "rng::StreamFactory named streams"},
@@ -41,6 +42,14 @@ const std::vector<RuleInfo> kRules = {
 /// the approved helper itself.
 const std::vector<std::string_view> kFloatCompareHelpers = {
     "src/metrics/float_compare.hpp",
+};
+
+/// Files where D1's wall-clock read is the sanctioned time boundary itself:
+/// serve::Clock's wall backend. Everything else — including the rest of
+/// src/serve/ — must go through the serve::Clock interface, so a stray
+/// steady_clock read outside this file still flags.
+const std::vector<std::string_view> kWallClockBoundary = {
+    "src/serve/clock.cpp",
 };
 
 // ---------------------------------------------------------------------------
@@ -383,6 +392,9 @@ class Analysis {
 
   // D1: wall clock / environment nondeterminism.
   void check_d1() {
+    for (const auto boundary : kWallClockBoundary) {
+      if (path_ == boundary) return;  // the sanctioned serve::Clock backend
+    }
     static const std::set<std::string_view> kAlways = {
         "random_device",         "system_clock", "steady_clock",
         "high_resolution_clock", "getenv",       "gettimeofday",

@@ -15,7 +15,10 @@
 ///
 ///   D1  no wall-clock / environment nondeterminism in simulation code
 ///       (std::random_device, time(), system_clock/steady_clock, rand(),
-///       getenv, ...)
+///       getenv, ...). One sanctioned boundary: src/serve/clock.cpp, the
+///       wall backend behind the serve::Clock interface — real time is that
+///       file's feature, and everything else (including the rest of
+///       src/serve/) still reads time through the injected Clock
 ///   D2  no raw standard-library RNG engine construction outside src/rng/
 ///       — all randomness flows through rng::StreamFactory named streams
 ///   D3  no iteration over unordered_map/unordered_set (platform-dependent

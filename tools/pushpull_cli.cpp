@@ -20,8 +20,10 @@
 #include <initializer_list>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/adaptive_server.hpp"
@@ -45,6 +47,7 @@
 #include "exp/scenario.hpp"
 #include "exp/table.hpp"
 #include "queueing/access_time.hpp"
+#include "serve/serve.hpp"
 #include "uplink/slotted_aloha.hpp"
 #include "workload/drifting_generator.hpp"
 #include "workload/request_generator.hpp"
@@ -713,6 +716,154 @@ int cmd_trace(const exp::ArgParser& args) {
   return 0;
 }
 
+// Options understood by serve_config_from — the live-serving analogue of
+// kScenarioOpts/kConfigOpts. Execution knobs (--accelerated, --time-scale,
+// --pacers, --queue-capacity) live here too so serve and loadtest share one
+// builder.
+const std::initializer_list<std::string_view> kServeOpts = {
+    "items",        "theta",      "classes", "cutoff",
+    "alpha",        "policy",     "demand",  "duration",
+    "target-qps",   "seed",       "accelerated", "time-scale",
+    "pacers",       "queue-capacity"};
+
+serve::ServeConfig serve_config_from(const exp::ArgParser& args) {
+  serve::ServeConfig c;
+  c.num_items = args.get_size("items", c.num_items);
+  c.theta = args.get_double("theta", c.theta);
+  c.num_classes = args.get_size("classes", c.num_classes);
+  c.cutoff = args.get_size("cutoff", c.cutoff);
+  c.alpha = args.get_double("alpha", c.alpha);
+  c.pull_policy = policy_from(args.get_string("policy", "importance"));
+  c.mean_bandwidth_demand = args.get_double("demand", c.mean_bandwidth_demand);
+  c.duration = args.get_positive_double("duration", c.duration);
+  c.target_qps = args.get_positive_double("target-qps", c.target_qps);
+  c.seed = args.get_u64("seed", c.seed);
+  c.accelerated = args.has("accelerated");
+  c.time_scale = args.get_positive_double("time-scale", c.time_scale);
+  c.pacers =
+      static_cast<std::size_t>(args.get_positive_u64("pacers", c.pacers));
+  c.queue_capacity = static_cast<std::size_t>(
+      args.get_positive_u64("queue-capacity", c.queue_capacity));
+  c.validate();
+  return c;
+}
+
+// Shared body of `pushpull serve` and `pushpull loadtest`: build (or load)
+// the plan, run the live server on the virtual or wall clock, print the
+// deterministic report, optionally recording an sv1 trace for replay.
+int run_live(serve::ServeConfig config, const std::string& record_path,
+             const std::string& from_trace, const char* cmd) {
+  std::optional<serve::RecordedRun> recorded;
+  if (!from_trace.empty()) {
+    recorded = serve::load_trace_file(from_trace);
+    // Workload universe + scheduler come from the recording; only the
+    // execution knobs (clock mode, pacing, queue bound) follow the CLI, so
+    // a re-offered trace hits the same catalog it was captured against.
+    serve::ServeConfig base = recorded->config;
+    base.accelerated = config.accelerated;
+    base.time_scale = config.time_scale;
+    base.pacers = config.pacers;
+    base.queue_capacity = config.queue_capacity;
+    config = base;
+  }
+  const auto cat = config.build_catalog();
+  const auto pop = config.build_population();
+  serve::LoadDriver driver =
+      recorded ? serve::LoadDriver(recorded->trace())
+               : serve::LoadDriver(cat, pop, config.target_qps,
+                                   config.duration, config.seed);
+
+  std::ofstream record_file;
+  std::optional<serve::TraceRecorder> recorder;
+  if (!record_path.empty()) {
+    record_file.open(record_path);
+    if (!record_file) {
+      std::cerr << cmd << ": cannot open " << record_path << "\n";
+      return 2;
+    }
+    recorder.emplace(record_file, config);
+  }
+  serve::TraceRecorder* rec = recorder ? &*recorder : nullptr;
+
+  serve::LiveServer server(cat, pop, config);
+  serve::ServeReport report;
+  if (config.accelerated) {
+    report = server.run_accelerated(driver, rec);
+  } else {
+    const auto clock = serve::make_wall_clock(config.time_scale);
+    serve::CompletionQueue queue(config.queue_capacity);
+    const std::uint64_t planned = driver.plan().size();
+    std::thread producer(
+        [&driver, &queue, &clock, &config] {
+          driver.run_realtime(queue, *clock, config.pacers);
+        });
+    try {
+      report = server.run_realtime(queue, *clock, planned, rec);
+    } catch (...) {
+      queue.close();  // unblocks the pacers so the join below terminates
+      producer.join();
+      throw;
+    }
+    producer.join();
+  }
+  if (recorder) recorder->finish();
+  std::cout << serve::render_serve_report(report);
+  if (!record_path.empty()) {
+    std::cout << "recorded " << driver.plan().size() << " requests to "
+              << record_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const exp::ArgParser& args) {
+  // Wall-clock serving: the load driver paces arrivals in real time
+  // (scaled by --time-scale) and the server completes slots as the wall
+  // passes their logical ends. For the deterministic fast path use
+  // `pushpull loadtest --accelerated`.
+  args.require_known(kServeOpts, {"record", "from-trace"});
+  serve::ServeConfig config = serve_config_from(args);
+  config.accelerated = false;
+  return run_live(config, args.get_string("record", ""),
+                  args.get_string("from-trace", ""), "serve");
+}
+
+int cmd_loadtest(const exp::ArgParser& args) {
+  args.require_known(kServeOpts, {"record", "from-trace"});
+  const serve::ServeConfig config = serve_config_from(args);
+  return run_live(config, args.get_string("record", ""),
+                  args.get_string("from-trace", ""), "loadtest");
+}
+
+int cmd_replay(const exp::ArgParser& args) {
+  args.require_known({"in", "reps", "jobs", "out"});
+  std::string path = args.get_string("in", "");
+  if (path.empty() && args.positional().size() > 1) {
+    path = args.positional()[1];
+  }
+  if (path.empty()) {
+    std::cerr << "replay: need a recorded trace "
+                 "(pushpull replay TRACE.jsonl, or --in FILE)\n";
+    return 2;
+  }
+  const serve::RecordedRun run = serve::load_trace_file(path);
+  serve::ReplayOptions options;
+  options.reps = static_cast<std::size_t>(args.get_positive_u64("reps", 1));
+  options.jobs = args.has("jobs") ? args.get_jobs("jobs") : 1;
+  const auto results = serve::replay(run, options);
+  const std::string report = serve::render_replay_report(run, results);
+  const std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "replay: cannot open " << out << "\n";
+      return 2;
+    }
+    file << report;
+  }
+  std::cout << report;
+  return 0;
+}
+
 void usage() {
   std::cout <<
       R"(pushpull — hybrid push/pull broadcast scheduling (ICPP 2005 reproduction)
@@ -730,6 +881,14 @@ commands:
   chaos        seeded chaos/soak harness: crashes + burst errors + arrival
                spike over N replications, with a machine-verified invariant
                suite (exit 1 on any violation)
+  serve        run the live completion-queue server against paced open-loop
+               load on the wall clock (--time-scale X fast-forwards)
+  loadtest     measurement run of the live server; --accelerated drives the
+               identical event loop on a virtual clock (fast, seeded,
+               bit-reproducible), --record FILE captures an sv1 trace
+  replay       feed a recorded sv1 trace back through the deterministic DES
+               core (pushpull replay TRACE.jsonl [--reps R] [--jobs N]);
+               rep 0 re-runs the recorded seed bit-exactly
   trace        record the scenario's request trace to CSV (--out FILE)
                and/or run the hybrid server with full observability and
                write the sim-time event trace as JSONL (--trace FILE)
@@ -792,6 +951,30 @@ observability (simulate / optimize / replicate / trace):
                (replicate: the merged stream is bit-identical for every
                --jobs value and across --resume)
 
+live serving (serve / loadtest / replay):
+  --duration SEC   load-generation horizon in broadcast units (default 50);
+               must be a positive finite number
+  --target-qps N   mean offered arrivals per broadcast unit (default 5)
+  --accelerated    (loadtest) virtual clock: the event loop advances time
+               itself; the run is a pure function of the seed
+  --time-scale X   broadcast units per wall second on the wall clock
+               (default 1.0; 10 = ten times faster than real time)
+  --pacers N   producer threads pacing arrivals (default 1). The plan is
+               synthesized upfront, so pacer count never changes which
+               requests exist
+  --queue-capacity N   completion-queue bound; a full queue backpressures
+               the pacers (default 1024)
+  --record FILE    write the run as an sv1 JSONL trace (header + requests +
+               decisions + footer) — the input to `pushpull replay`
+  --from-trace FILE    re-offer a recorded trace as the load plan instead of
+               synthesizing one (workload + scheduler come from the file)
+  --classes N  service classes in the synthesized population (default 3)
+  --reps R     (replay) server-side replications over the recorded workload:
+               rep 0 uses the recorded seed verbatim, rep r > 0 decorrelates
+               the server seed; merged in rep order so --jobs N never
+               changes the bytes
+  --out FILE   (replay) also write the report to FILE
+
 chaos options:
   --reps R     replications (default 16; merged in index order, so --jobs N
                never changes the numbers)
@@ -821,6 +1004,9 @@ int main(int argc, char** argv) {
     if (command == "uplink") return cmd_uplink(args);
     if (command == "closedloop") return cmd_closedloop(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "loadtest") return cmd_loadtest(args);
+    if (command == "replay") return cmd_replay(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "help") {
