@@ -346,15 +346,28 @@ void HybridServer::start_push() {
         if (transmission_corrupted()) {
           // A corrupted broadcast needs no re-request: the item comes
           // around again next cycle, so the waiters just rejoin the
-          // (re-armed) park and their delay grows by one period.
+          // (re-armed) park and their delay grows by one period. Unless
+          // the ladder shrank the item out of the broadcast program while
+          // this replica was on air — then the park would strand them
+          // forever (no next cycle, and the shrink migration can't see
+          // passengers of an in-flight transmission), so they are pull
+          // requests again and re-enter through admission control.
+          // requeue_pull's wake is a no-op here (the server is busy), so
+          // the serve_next below still decides with every passenger
+          // queued.
           ++corrupted_push_transmissions_;
           if (obs_) ++obs_->counters.fault_corrupt_push;
           trace_.emit<obs::Category::kFault>(sim_.now(), "corrupt_push", item,
                                              catching.size());
+          const bool still_broadcast = item < effective_cutoff();
           for (const auto& r : catching) {
             if (measured(r)) collector_->record_corrupted(r.cls);
-            push_waiters_[item].push_back(r);
-            arm_patience(r);
+            if (still_broadcast) {
+              push_waiters_[item].push_back(r);
+              arm_patience(r);
+            } else {
+              requeue_pull(r);
+            }
           }
         } else {
           for (const auto& r : catching) deliver(r, true);
@@ -601,8 +614,19 @@ void HybridServer::evaluate_overload() {
   const std::size_t cap = config_.fault.queue_capacity > 0
                               ? config_.fault.queue_capacity
                               : config_.resilience.overload.capacity_ref;
-  const double occupancy = static_cast<double>(pull_queue_.total_requests()) /
-                           static_cast<double>(cap);
+  // Requests the widen-push boost parked out of the pull queue are still
+  // the ladder's backlog until delivered. Excluding them makes the
+  // controller oscillate: widening empties the queue, the next eval sees
+  // zero occupancy and de-escalates, the shrink refills the queue, and the
+  // flip-flop (which also restarts the push program each time) can starve
+  // the de-widened items forever when no patience timer reaps them.
+  std::size_t boosted_backlog = 0;
+  for (std::size_t item = config_.cutoff; item < effective_cutoff(); ++item) {
+    boosted_backlog += push_waiters_[item].size();
+  }
+  const double occupancy =
+      static_cast<double>(pull_queue_.total_requests() + boosted_backlog) /
+      static_cast<double>(cap);
   double worst_ewma = 0.0;
   for (const double e : blocking_ewma_) worst_ewma = std::max(worst_ewma, e);
   const resilience::OverloadLevel before = overload_.level();

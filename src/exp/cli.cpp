@@ -46,6 +46,12 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       if (key.empty()) {
         throw std::invalid_argument("ArgParser: bare '--' not supported");
       }
+      // A repeated flag is ambiguous — silently keeping the last occurrence
+      // would make `--seed 1 ... --seed 2` reproduce the wrong run.
+      if (options_.contains(key)) {
+        throw std::logic_error("ArgParser: --" + key +
+                               " given more than once");
+      }
       // A following token that is not itself an option is this key's value;
       // otherwise the key is a boolean flag.
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {

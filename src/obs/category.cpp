@@ -14,7 +14,7 @@ struct CategoryName {
 
 /// Fixed declaration order — drives format_categories and the JSONL
 /// header, so the rendering is deterministic by construction.
-constexpr std::array<CategoryName, 7> kCategoryNames{{
+constexpr std::array<CategoryName, 10> kCategoryNames{{
     {Category::kPush, "push"},
     {Category::kPull, "pull"},
     {Category::kQueue, "queue"},
@@ -22,6 +22,9 @@ constexpr std::array<CategoryName, 7> kCategoryNames{{
     {Category::kFault, "fault"},
     {Category::kCrash, "crash"},
     {Category::kLadder, "ladder"},
+    {Category::kTimeout, "timeout"},
+    {Category::kRetry, "retry"},
+    {Category::kDrain, "drain"},
 }};
 
 }  // namespace
@@ -58,7 +61,8 @@ std::uint32_t parse_categories(std::string_view csv) {
       if (!found) {
         throw std::invalid_argument(
             "parse_categories: unknown category '" + std::string(token) +
-            "' (expected push,pull,queue,cutoff,fault,crash,ladder or all)");
+            "' (expected push,pull,queue,cutoff,fault,crash,ladder,timeout,"
+            "retry,drain or all)");
       }
     }
     if (comma == std::string_view::npos) break;

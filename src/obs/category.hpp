@@ -17,6 +17,9 @@ namespace pushpull::obs {
 ///   fault   burst-error channel flips, corruptions, retries, losses
 ///   crash   server crashes, snapshots, recoveries, re-request storms
 ///   ladder  overload degradation-ladder transitions and rejections
+///   timeout live-path request-deadline expiries
+///   retry   live-path re-request scheduling after a corrupted pull
+///   drain   live-path drain lifecycle (admission stop, journal seal)
 enum class Category : std::uint32_t {
   kPush = 1u << 0,
   kPull = 1u << 1,
@@ -25,16 +28,19 @@ enum class Category : std::uint32_t {
   kFault = 1u << 4,
   kCrash = 1u << 5,
   kLadder = 1u << 6,
+  kTimeout = 1u << 7,
+  kRetry = 1u << 8,
+  kDrain = 1u << 9,
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x7Fu;
+inline constexpr std::uint32_t kAllCategories = 0x3FFu;
 
 /// Compile-time category mask: categories outside the mask compile to
 /// nothing at every emission site (the `if constexpr` in Tracer::emit),
 /// so a build can strip instrumentation wholesale. Default: everything
 /// compiled in, gated at runtime.
 #ifndef PUSHPULL_OBS_COMPILED_CATEGORIES
-#define PUSHPULL_OBS_COMPILED_CATEGORIES 0x7Fu
+#define PUSHPULL_OBS_COMPILED_CATEGORIES 0x3FFu
 #endif
 inline constexpr std::uint32_t kCompiledCategories =
     PUSHPULL_OBS_COMPILED_CATEGORIES;
@@ -56,8 +62,8 @@ inline constexpr std::uint32_t kCompiledCategories =
 [[nodiscard]] std::uint32_t parse_categories(std::string_view csv);
 
 /// Renders a mask as the canonical comma-separated list, in fixed
-/// push,pull,queue,cutoff,fault,crash,ladder order ("all" for the full
-/// mask, "none" for 0).
+/// push,pull,queue,cutoff,fault,crash,ladder,timeout,retry,drain order
+/// ("all" for the full mask, "none" for 0).
 [[nodiscard]] std::string format_categories(std::uint32_t mask);
 
 }  // namespace pushpull::obs

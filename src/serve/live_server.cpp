@@ -2,18 +2,38 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "fault/shedding.hpp"
 #include "obs/export.hpp"
+#include "rng/exponential.hpp"
 #include "rng/poisson.hpp"
 #include "rng/stream.hpp"
 
 namespace pushpull::serve {
 
 using obs::render_number;
+
+namespace {
+
+[[nodiscard]] bool is_hedge(const workload::Request& r) noexcept {
+  return (r.id & kHedgeIdBit) != 0;
+}
+
+[[nodiscard]] workload::ClassId owning_class(
+    const sched::PullEntry& entry) noexcept {
+  workload::ClassId best = entry.pending.front().cls;
+  for (const auto& r : entry.pending) {
+    if (r.cls < best) best = r.cls;
+  }
+  return best;
+}
+
+}  // namespace
 
 LiveServer::LiveServer(const catalog::Catalog& cat,
                        const workload::ClientPopulation& pop,
@@ -22,7 +42,8 @@ LiveServer::LiveServer(const catalog::Catalog& cat,
       population_(&pop),
       config_(std::move(config)),
       demand_eng_(
-          rng::StreamFactory(config_.seed).stream("bandwidth-demand")) {
+          rng::StreamFactory(config_.seed).stream("bandwidth-demand")),
+      patience_eng_(rng::StreamFactory(config_.seed).stream("patience")) {
   config_.validate();
   if (config_.num_items != cat.size()) {
     throw std::invalid_argument(
@@ -42,21 +63,56 @@ LiveServer::LiveServer(const catalog::Catalog& cat,
 }
 
 void LiveServer::reset_run() {
-  // Same per-run reset discipline as HybridServer::run: fresh named stream,
-  // empty queue/park, zeroed counters — a server value can host many runs.
+  // Same per-run reset discipline as HybridServer::run: fresh named
+  // streams, empty queue/park, zeroed counters — a server value can host
+  // many runs.
   demand_eng_ = rng::StreamFactory(config_.seed).stream("bandwidth-demand");
+  patience_eng_ = rng::StreamFactory(config_.seed).stream("patience");
+  if (config_.fault.enabled) {
+    channel_.emplace(config_.fault.channel,
+                     rng::StreamFactory(config_.seed).stream("fault-channel"));
+  } else {
+    channel_.reset();
+  }
   pull_queue_.clear();
+  if (cutoff_boost_ > 0) {
+    // Undo a widen-push left over from the previous run.
+    cutoff_boost_ = 0;
+    push_sched_ = config_.cutoff > 0
+                      ? sched::make_push_scheduler(config_.push_policy,
+                                                   *catalog_, config_.cutoff)
+                      : nullptr;
+  }
   if (push_sched_) push_sched_->reset();
   for (auto& waiters : push_waiters_) waiters.clear();
   collector_ = std::make_unique<metrics::ClassCollector>(
       population_->num_classes());
   inflight_.reset();
   recorder_ = nullptr;
+  seq_ = 0;
+  next_arrival_seq_ = 0;
+  timers_ = {};
+  deadline_seq_.clear();
+  hedge_seq_.clear();
+  hedged_.clear();
+  queued_.clear();
+  retry_count_.clear();
+  retry_pending_ = 0;
+  overload_ = resilience::OverloadController(config_.overload);
+  blocking_ewma_.assign(population_->num_classes(), 0.0);
+  draining_ = false;
+  drain_time_ = 0.0;
+  skipped_arrivals_ = 0;
+  hedges_posted_ = 0;
+  hedges_absorbed_ = 0;
+  ledger_ = ConservationLedger{};
   to_settle_ = 0;
   settled_ = 0;
   arrivals_ = 0;
   push_transmissions_ = 0;
   pull_transmissions_ = 0;
+  corrupted_push_transmissions_ = 0;
+  corrupted_pull_transmissions_ = 0;
   queue_len_area_ = 0.0;
   queue_len_last_t_ = 0.0;
   max_queue_len_ = 0;
@@ -69,6 +125,290 @@ void LiveServer::note_queue_len(double now) {
                      (now - queue_len_last_t_);
   queue_len_last_t_ = now;
   queue_depth_.add(static_cast<double>(pull_queue_.total_requests()));
+}
+
+void LiveServer::settle(double now) {
+  ++settled_;
+  end_time_ = now;
+}
+
+std::size_t LiveServer::effective_cutoff() const noexcept {
+  return std::min(config_.cutoff + cutoff_boost_, catalog_->size());
+}
+
+std::size_t LiveServer::effective_queue_capacity() const noexcept {
+  if (config_.fault.queue_capacity > 0) return config_.fault.queue_capacity;
+  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
+    return config_.overload.capacity_ref;  // ladder soft cap
+  }
+  return 0;
+}
+
+fault::ShedPolicy LiveServer::effective_shed_policy() const noexcept {
+  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
+    return fault::ShedPolicy::kDropLowestPriority;
+  }
+  return config_.fault.shed_policy;
+}
+
+bool LiveServer::uplink_rejected(workload::ClassId cls) const noexcept {
+  const std::size_t classes = population_->num_classes();
+  if (classes < 2) return false;  // never starve a single-class population
+  if (overload_.level() >= resilience::OverloadLevel::kBrownout) {
+    return cls >= 1;  // only the most important class is admitted
+  }
+  if (overload_.level() >= resilience::OverloadLevel::kAdmissionControl) {
+    return cls == classes - 1;
+  }
+  return false;
+}
+
+void LiveServer::arm_deadline(const workload::Request& request, double now) {
+  if (config_.mean_deadline <= 0.0) return;
+  // The draw mirrors HybridServer::arm_patience exactly (same stream, same
+  // call order), so plain uniform deadlines replay through the DES
+  // impatience model bit-for-bit. Scales and the spike multiply the drawn
+  // value *after* the draw, keeping stream consumption identical.
+  double deadline =
+      rng::exponential(patience_eng_, 1.0 / config_.mean_deadline);
+  deadline *= config_.deadline_scale_for(request.cls);
+  if (config_.deadline_spike_enabled() &&
+      now >= config_.deadline_spike_start &&
+      now < config_.deadline_spike_start + config_.deadline_spike_duration) {
+    deadline *= config_.deadline_spike_factor;
+  }
+  const std::uint64_t seq = seq_++;
+  deadline_seq_[request.id] = seq;
+  timers_.push(Timer{now + deadline, seq, TimerKind::kDeadline, request});
+}
+
+void LiveServer::disarm_deadline(workload::RequestId id) {
+  if (config_.mean_deadline <= 0.0) return;
+  deadline_seq_.erase(id);  // the heap entry dies lazily at peek_timer()
+}
+
+void LiveServer::remove_hedge_dup(const workload::Request& primary) {
+  if (hedged_.erase(primary.id) == 0) return;
+  // The duplicate rides the same item entry; drop it with its primary.
+  (void)pull_queue_.remove_request(primary.item, primary.id | kHedgeIdBit,
+                                   population_->priority(primary.cls));
+}
+
+void LiveServer::on_deadline_expired(const workload::Request& request,
+                                     double now) {
+  deadline_seq_.erase(request.id);
+  // The ladder's widen-push can move a request between the pull queue and
+  // the push park while its timer is armed, so look in both places rather
+  // than trusting the static cutoff test.
+  bool removed = false;
+  auto& waiters = push_waiters_[request.item];
+  for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+    if (it->id == request.id) {
+      waiters.erase(it);
+      removed = true;
+      break;
+    }
+  }
+  if (!removed) {
+    note_queue_len(now);
+    removed = pull_queue_.remove_request(request.item, request.id,
+                                         population_->priority(request.cls));
+    if (removed) {
+      queued_.erase(request.id);
+      hedge_seq_.erase(request.id);
+      remove_hedge_dup(request);
+    }
+  }
+  if (!removed) {
+    throw std::logic_error(
+        "LiveServer: deadline timer fired for request " +
+        std::to_string(request.id) + " (item " +
+        std::to_string(request.item) +
+        ") that is no longer waiting; timers must be disarmed when a "
+        "request is committed to a transmission or dropped");
+  }
+  retry_count_.erase(request.id);
+  collector_->record_abandoned(request.cls);
+  tracer_.emit<obs::Category::kTimeout>(now, "timeout", request.item,
+                                        request.cls);
+  settle(now);
+}
+
+void LiveServer::arm_hedge(const workload::Request& request, double now) {
+  if (config_.hedge_after <= 0.0) return;
+  if (hedged_.contains(request.id)) return;  // one live duplicate at most
+  const std::uint64_t seq = seq_++;
+  hedge_seq_[request.id] = seq;
+  timers_.push(
+      Timer{now + config_.hedge_after, seq, TimerKind::kHedge, request});
+}
+
+void LiveServer::on_hedge_fire(const workload::Request& request, double now) {
+  hedge_seq_.erase(request.id);
+  // A full queue suppresses the hedge rather than shedding for it — the
+  // duplicate is an optimization, not admitted work.
+  const std::size_t capacity = effective_queue_capacity();
+  if (capacity > 0 && pull_queue_.total_requests() >= capacity) return;
+  note_queue_len(now);
+  workload::Request dup = request;
+  dup.id |= kHedgeIdBit;
+  dup.arrival = now;
+  pull_queue_.add(dup, population_->priority(dup.cls),
+                  catalog_->length(dup.item),
+                  catalog_->probability(dup.item));
+  max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
+  hedged_.insert(request.id);
+  ++hedges_posted_;
+  tracer_.emit<obs::Category::kRetry>(now, "hedge", request.item,
+                                      request.cls);
+  if (!inflight_) start_next(/*just_did_push=*/true, now);
+}
+
+void LiveServer::shed_one(const workload::Request& request, double now) {
+  retry_count_.erase(request.id);
+  collector_->record_shed(request.cls);
+  settle(now);
+}
+
+bool LiveServer::admit_pull(const workload::Request& request, double now) {
+  const std::size_t capacity = effective_queue_capacity();
+  if (capacity == 0 || pull_queue_.total_requests() < capacity) return true;
+  if (effective_shed_policy() == fault::ShedPolicy::kDropTail) {
+    shed_one(request, now);
+    return false;
+  }
+  // Drop-lowest-priority: sacrifice the least important queued request
+  // (ties prefer the youngest; an arrival no more important than the victim
+  // is the one shed — see fault::LowestPriorityVictim for the exact rule).
+  fault::LowestPriorityVictim<workload::Request> scan;
+  for (const auto& entry : pull_queue_.entries()) {
+    for (const auto& r : entry.pending) {
+      if (is_hedge(r)) continue;  // synthetic duplicates are not shed work
+      scan.consider(r, population_->priority(r.cls), r.id);
+    }
+  }
+  if (scan.arrival_yields_to(population_->priority(request.cls))) {
+    shed_one(request, now);
+    return false;
+  }
+  const workload::Request evicted = *scan.victim();  // copy before mutation
+  disarm_deadline(evicted.id);
+  pull_queue_.remove_request(evicted.item, evicted.id, scan.priority());
+  queued_.erase(evicted.id);
+  hedge_seq_.erase(evicted.id);
+  remove_hedge_dup(evicted);
+  shed_one(evicted, now);
+  return true;
+}
+
+void LiveServer::requeue_pull(const workload::Request& request, double now) {
+  note_queue_len(now);
+  if (admit_pull(request, now)) {
+    pull_queue_.add(request, population_->priority(request.cls),
+                    catalog_->length(request.item),
+                    catalog_->probability(request.item));
+    max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
+    queued_.insert(request.id);
+    arm_deadline(request, now);
+    arm_hedge(request, now);
+  }
+  if (!inflight_) start_next(/*just_did_push=*/true, now);
+}
+
+void LiveServer::on_ladder_eval(double now) {
+  // Mirrors HybridServer::evaluate_overload; a drained or finished run
+  // stops rescheduling (the DES's early return).
+  if (settled_ == to_settle_ || draining_) return;
+  const std::size_t cap = config_.fault.queue_capacity > 0
+                              ? config_.fault.queue_capacity
+                              : config_.overload.capacity_ref;
+  // Mirrors HybridServer::evaluate_overload: requests the widen-push boost
+  // parked out of the pull queue are still the ladder's backlog until
+  // delivered. Excluding them makes the controller oscillate (widening
+  // empties the queue, the next eval de-escalates, the shrink refills it),
+  // and the flip-flop restarts the push program each time, which can
+  // starve the de-widened items forever when no deadline reaps them.
+  std::size_t boosted_backlog = 0;
+  for (std::size_t item = config_.cutoff; item < effective_cutoff(); ++item) {
+    boosted_backlog += push_waiters_[item].size();
+  }
+  const double occupancy =
+      static_cast<double>(pull_queue_.total_requests() + boosted_backlog) /
+      static_cast<double>(cap);
+  double worst_ewma = 0.0;
+  for (const double e : blocking_ewma_) worst_ewma = std::max(worst_ewma, e);
+  const resilience::OverloadLevel before = overload_.level();
+  const resilience::OverloadLevel after =
+      overload_.update(now, occupancy, worst_ewma);
+  if (after != before) {
+    // The journal stamp precedes the push/pull decisions the new level
+    // causes, so a reader sees transitions in causal order.
+    if (recorder_) {
+      recorder_->record_ladder(now, static_cast<int>(before),
+                               static_cast<int>(after));
+    }
+    apply_overload_level(after, now);
+  }
+  timers_.push(Timer{now + config_.overload.eval_interval, seq_++,
+                     TimerKind::kLadderEval, {}});
+}
+
+void LiveServer::apply_overload_level(resilience::OverloadLevel level,
+                                      double now) {
+  // Shedding policy and soft cap are consulted on the fly by
+  // effective_shed_policy()/effective_queue_capacity(); the only action
+  // with state to migrate is the widen-push cutoff boost.
+  const std::size_t boost =
+      level >= resilience::OverloadLevel::kWidenPush
+          ? config_.overload.cutoff_step
+          : 0;
+  if (boost != cutoff_boost_) apply_cutoff_boost(boost, now);
+}
+
+void LiveServer::apply_cutoff_boost(std::size_t boost, double now) {
+  const std::size_t old_cut = effective_cutoff();
+  cutoff_boost_ = boost;
+  const std::size_t new_cut = effective_cutoff();
+  if (new_cut == old_cut) return;
+  push_sched_ = new_cut > 0 ? sched::make_push_scheduler(config_.push_policy,
+                                                         *catalog_, new_cut)
+                            : nullptr;
+  if (new_cut > old_cut) {
+    // Widened: the hottest pull items now ride the broadcast. Their queued
+    // requests become push waiters; deadline timers stay armed (the client
+    // is still waiting for the same item). Hedge duplicates die here —
+    // broadcast delivery needs no importance boost.
+    note_queue_len(now);
+    for (std::size_t item = old_cut; item < new_cut; ++item) {
+      auto entry = pull_queue_.extract(static_cast<catalog::ItemId>(item));
+      if (!entry.has_value()) continue;
+      for (const auto& r : entry->pending) {
+        if (is_hedge(r)) {
+          hedged_.erase(r.id & ~kHedgeIdBit);
+          continue;
+        }
+        queued_.erase(r.id);
+        hedge_seq_.erase(r.id);
+        push_waiters_[r.item].push_back(r);
+      }
+    }
+  } else {
+    // Shrunk back: parked waiters of de-widened items are pull requests
+    // again and re-enter through admission control.
+    for (std::size_t item = new_cut; item < old_cut; ++item) {
+      std::vector<workload::Request> waiters = std::move(push_waiters_[item]);
+      push_waiters_[item].clear();
+      for (const auto& r : waiters) {
+        disarm_deadline(r.id);
+        requeue_pull(r, now);
+      }
+    }
+  }
+  if (!inflight_ && settled_ < to_settle_ && new_cut > 0 && !draining_) {
+    // A pure-pull server asleep on an empty queue now has a broadcast
+    // program to run.
+    start_next(/*just_did_push=*/true, now);
+  }
 }
 
 void LiveServer::dispatch(const Completion& c) {
@@ -88,21 +428,33 @@ void LiveServer::dispatch(const Completion& c) {
 void LiveServer::handle_arrival(workload::Request request, double observed) {
   // The observed stamp *is* the request's arrival from here on: it is what
   // latency is measured against and what the trace records, so live metrics
-  // and the DES replay of the recording see the same timeline.
+  // and the replay of the recording see the same timeline.
   request.arrival = observed;
   ++arrivals_;
   collector_->record_arrival(request.cls);
   if (recorder_) recorder_->record_request(request, observed);
-  if (request.item < config_.cutoff) {
+  if (request.item < effective_cutoff()) {
     // Push item: park until the broadcast program brings it around.
     push_waiters_[request.item].push_back(request);
+    arm_deadline(request, observed);
+    return;
+  }
+  if (uplink_rejected(request.cls)) {
+    // The ladder's admission control refuses the class at the uplink; the
+    // request never enters server state.
+    collector_->record_rejected(request.cls);
+    settle(observed);
     return;
   }
   note_queue_len(observed);
+  if (!admit_pull(request, observed)) return;  // shed by the bounded queue
   pull_queue_.add(request, population_->priority(request.cls),
                   catalog_->length(request.item),
                   catalog_->probability(request.item));
   max_queue_len_ = std::max(max_queue_len_, pull_queue_.total_requests());
+  queued_.insert(request.id);
+  arm_deadline(request, observed);
+  arm_hedge(request, observed);
   if (!inflight_) {
     // Pure-pull server asleep on an empty queue: this arrival wakes it.
     start_next(/*just_did_push=*/true, observed);
@@ -114,7 +466,17 @@ void LiveServer::start_next(bool just_did_push, double now) {
     inflight_.reset();
     return;
   }
-  if (config_.cutoff == 0) {
+  if (draining_) {
+    // The flush: pull entries back-to-back, no further broadcasts. Parked
+    // push waiters are in_flight_at_drain by definition.
+    if (!pull_queue_.empty()) {
+      start_pull(now);
+    } else {
+      inflight_.reset();  // idle until a retry backoff matures (or done)
+    }
+    return;
+  }
+  if (effective_cutoff() == 0) {
     if (pull_queue_.empty()) {
       inflight_.reset();  // idle until the next arrival wakes us
       return;
@@ -135,11 +497,14 @@ void LiveServer::start_push(double now) {
   // Only clients already parked when the transmission starts catch it.
   std::vector<workload::Request> catching = std::move(push_waiters_[item]);
   push_waiters_[item].clear();
+  // Once the item is on air, the waiting clients are committed to it.
+  for (const auto& r : catching) disarm_deadline(r.id);
   if (recorder_) recorder_->record_decision(true, now, item, catching.size());
   InFlight slot;
   slot.push = true;
   slot.item = item;
   slot.end = now + catalog_->length(item);
+  slot.end_seq = seq_++;  // where the DES schedules the tx-end event
   slot.pending = std::move(catching);
   inflight_ = std::move(slot);
 }
@@ -156,11 +521,26 @@ void LiveServer::start_pull(double now) {
         "only take a pull opportunity while entries are pending");
   }
   note_queue_len(now);
+  for (const auto& r : entry->pending) {
+    if (is_hedge(r)) {
+      hedged_.erase(r.id & ~kHedgeIdBit);
+      continue;
+    }
+    disarm_deadline(r.id);
+    queued_.erase(r.id);
+    hedge_seq_.erase(r.id);
+  }
   // Drawn even though the live channel is unconstrained: consuming the
   // bandwidth-demand stream identically is what keeps the DES replay of a
   // recorded run bit-equal to the live run.
   if (config_.mean_bandwidth_demand > 0.0) {
     (void)rng::poisson(demand_eng_, config_.mean_bandwidth_demand);
+  }
+  if (config_.overload.enabled) {
+    // The live channel never blocks, so the blocking EWMA only decays —
+    // the same update HybridServer applies with admitted == true.
+    const workload::ClassId cls = owning_class(*entry);
+    blocking_ewma_[cls] *= 1.0 - config_.overload.ewma_alpha;
   }
   if (recorder_) {
     recorder_->record_decision(false, now, entry->item,
@@ -170,6 +550,7 @@ void LiveServer::start_pull(double now) {
   slot.push = false;
   slot.item = entry->item;
   slot.end = now + entry->length;
+  slot.end_seq = seq_++;
   slot.pending = std::move(entry->pending);
   inflight_ = std::move(slot);
 }
@@ -180,16 +561,205 @@ void LiveServer::complete_slot() {
   }
   const double now = inflight_->end;
   const bool was_push = inflight_->push;
+  const catalog::ItemId item = inflight_->item;
   (was_push ? push_transmissions_ : pull_transmissions_) += 1;
-  const std::vector<workload::Request> delivered =
-      std::move(inflight_->pending);
+  const std::vector<workload::Request> pending = std::move(inflight_->pending);
   inflight_.reset();
-  for (const auto& r : delivered) {
-    collector_->record_served(r.cls, now - r.arrival, was_push);
-    ++settled_;
-    end_time_ = now;
+  const bool corrupted = channel_.has_value() && channel_->corrupts();
+  if (was_push) {
+    if (corrupted) {
+      // A corrupted broadcast needs no re-request: the item comes around
+      // again next cycle, so the waiters just rejoin the (re-armed) park
+      // and their delay grows by one period. Unless the ladder shrank the
+      // item out of the broadcast program while this replica was on air —
+      // then the park would strand them forever (no next cycle, and the
+      // shrink migration can't see passengers of an in-flight slot), so
+      // they are pull requests again and re-enter through admission
+      // control. The wake is left to the start_next below so the slot
+      // decision sees every passenger queued, as the DES does.
+      ++corrupted_push_transmissions_;
+      const bool still_broadcast = item < effective_cutoff();
+      for (const auto& r : pending) {
+        collector_->record_corrupted(r.cls);
+        if (still_broadcast) {
+          push_waiters_[item].push_back(r);
+          arm_deadline(r, now);
+          continue;
+        }
+        note_queue_len(now);
+        if (admit_pull(r, now)) {
+          pull_queue_.add(r, population_->priority(r.cls),
+                          catalog_->length(r.item),
+                          catalog_->probability(r.item));
+          max_queue_len_ =
+              std::max(max_queue_len_, pull_queue_.total_requests());
+          queued_.insert(r.id);
+          arm_deadline(r, now);
+          arm_hedge(r, now);
+        }
+      }
+    } else {
+      for (const auto& r : pending) {
+        collector_->record_served(r.cls, now - r.arrival, true);
+        settle(now);
+      }
+    }
+    start_next(/*just_did_push=*/true, now);
+    return;
   }
-  start_next(was_push, now);
+  if (corrupted) {
+    ++corrupted_pull_transmissions_;
+    for (const auto& r : pending) {
+      if (is_hedge(r)) continue;  // the duplicate dies with the airtime
+      collector_->record_corrupted(r.cls);
+      const std::uint32_t attempt = ++retry_count_[r.id];
+      if (attempt > config_.fault.retry.max_retries) {
+        retry_count_.erase(r.id);
+        collector_->record_lost(r.cls);
+        settle(now);
+        continue;
+      }
+      collector_->record_retry(r.cls);
+      tracer_.emit<obs::Category::kRetry>(now, "retry", r.item, attempt);
+      timers_.push(Timer{now + config_.fault.retry.backoff_delay(attempt),
+                         seq_++, TimerKind::kRetry, r});
+      ++retry_pending_;
+    }
+  } else {
+    for (const auto& r : pending) {
+      if (is_hedge(r)) {
+        ++hedges_absorbed_;
+        continue;
+      }
+      retry_count_.erase(r.id);
+      collector_->record_served(r.cls, now - r.arrival, false);
+      settle(now);
+    }
+  }
+  start_next(/*just_did_push=*/false, now);
+}
+
+const LiveServer::Timer* LiveServer::peek_timer() {
+  while (!timers_.empty()) {
+    const Timer& t = timers_.top();
+    bool stale = false;
+    switch (t.kind) {
+      case TimerKind::kDeadline: {
+        const auto it = deadline_seq_.find(t.request.id);
+        stale = it == deadline_seq_.end() || it->second != t.seq;
+        break;
+      }
+      case TimerKind::kHedge: {
+        const auto it = hedge_seq_.find(t.request.id);
+        stale = it == hedge_seq_.end() || it->second != t.seq ||
+                !queued_.contains(t.request.id);
+        break;
+      }
+      case TimerKind::kLadderEval:
+        stale = draining_;
+        break;
+      case TimerKind::kRetry:
+        break;  // never cancelled — the backed-off request must resolve
+    }
+    if (!stale) return &t;
+    timers_.pop();
+  }
+  return nullptr;
+}
+
+void LiveServer::fire_timer(const Timer& timer) {
+  switch (timer.kind) {
+    case TimerKind::kDeadline:
+      on_deadline_expired(timer.request, timer.time);
+      return;
+    case TimerKind::kRetry:
+      --retry_pending_;
+      requeue_pull(timer.request, timer.time);
+      return;
+    case TimerKind::kLadderEval:
+      on_ladder_eval(timer.time);
+      return;
+    case TimerKind::kHedge:
+      on_hedge_fire(timer.request, timer.time);
+      return;
+  }
+}
+
+void LiveServer::advance_to(double now) {
+  while (true) {
+    const Timer* t = peek_timer();
+    const bool slot_due = inflight_.has_value() && inflight_->end <= now;
+    const bool timer_due = t != nullptr && t->time <= now;
+    if (slot_due &&
+        (!timer_due || inflight_->end < t->time ||
+         (inflight_->end == t->time && inflight_->end_seq < t->seq))) {
+      complete_slot();
+      continue;
+    }
+    if (timer_due) {
+      const Timer fired = *t;
+      timers_.pop();
+      fire_timer(fired);
+      continue;
+    }
+    return;
+  }
+}
+
+void LiveServer::engage_drain(double now, std::uint64_t skipped) {
+  draining_ = true;
+  drain_time_ = now;
+  skipped_arrivals_ = skipped;
+  to_settle_ = arrivals_;  // only injected requests can still settle
+  if (recorder_) recorder_->record_drain(now, skipped);
+  tracer_.emit<obs::Category::kDrain>(now, "drain",
+                                      static_cast<std::uint64_t>(skipped));
+}
+
+bool LiveServer::pull_side_drained() const noexcept {
+  return queued_.empty() && retry_pending_ == 0 && !inflight_.has_value();
+}
+
+std::uint64_t LiveServer::structural_in_flight() const noexcept {
+  std::uint64_t waiting = 0;
+  for (const auto& waiters : push_waiters_) waiting += waiters.size();
+  waiting += queued_.size();
+  if (inflight_.has_value()) {
+    for (const auto& r : inflight_->pending) {
+      if (!is_hedge(r)) ++waiting;
+    }
+  }
+  waiting += retry_pending_;
+  return waiting;
+}
+
+void LiveServer::finalize_ledger() {
+  const metrics::ClassStats agg = collector_->aggregate();
+  ledger_ = ConservationLedger{};
+  ledger_.injected = arrivals_;
+  ledger_.delivered = agg.served;
+  ledger_.timed_out = agg.abandoned;
+  ledger_.rejected = agg.rejected;
+  ledger_.shed = agg.shed;
+  ledger_.lost = agg.lost;
+  ledger_.in_flight_at_drain = structural_in_flight();
+  if (!draining_ && ledger_.in_flight_at_drain != 0) {
+    throw std::logic_error(
+        "LiveServer: conservation violation — " +
+        std::to_string(ledger_.in_flight_at_drain) +
+        " requests still structurally in flight after a completed "
+        "(non-drained) run");
+  }
+  if (!ledger_.balanced()) {
+    throw std::logic_error(
+        "LiveServer: conservation violation — ledger does not balance: " +
+        ledger_.render_json());
+  }
+  if (agg.blocked != 0) {
+    throw std::logic_error(
+        "LiveServer: conservation violation — the live channel cannot "
+        "block transmissions");
+  }
 }
 
 ServeReport LiveServer::make_report(const CompletionQueue& queue) const {
@@ -220,6 +790,25 @@ ServeReport LiveServer::make_report(const CompletionQueue& queue) const {
   report.cq_posted = queue.posted();
   report.cq_high_water = queue.high_water();
   report.per_class = collector_->all();
+  report.robust = config_.robust();
+  const metrics::ClassStats agg = collector_->aggregate();
+  report.timed_out = agg.abandoned;
+  report.retries = agg.retries;
+  report.lost = agg.lost;
+  report.shed = agg.shed;
+  report.rejected = agg.rejected;
+  report.corrupted = agg.corrupted;
+  report.corrupted_push_transmissions = corrupted_push_transmissions_;
+  report.corrupted_pull_transmissions = corrupted_pull_transmissions_;
+  report.hedges_posted = hedges_posted_;
+  report.hedges_absorbed = hedges_absorbed_;
+  report.ladder_transitions = overload_.transitions().size();
+  report.max_overload_level = static_cast<int>(overload_.max_level());
+  report.overload_transitions = overload_.transitions();
+  report.drained = draining_;
+  report.drain_time = drain_time_;
+  report.skipped_arrivals = skipped_arrivals_;
+  report.ledger = ledger_;
   return report;
 }
 
@@ -230,26 +819,77 @@ ServeReport LiveServer::run_accelerated(LoadDriver& driver,
   to_settle_ = driver.remaining();
   CompletionQueue queue(config_.queue_capacity);
   VirtualClock clock;
+  // Sequence numbering mirrors the DES id assignment order in
+  // HybridServer::run: first ladder eval, then the arrivals, then the
+  // initial serve_next at t=0, then dispatch-time schedules.
+  if (config_.overload.enabled) {
+    timers_.push(Timer{config_.overload.eval_interval, seq_++,
+                       TimerKind::kLadderEval, {}});
+  }
+  next_arrival_seq_ = seq_;
+  seq_ += to_settle_;
   if (config_.cutoff > 0 && to_settle_ > 0) {
+    ++seq_;  // the DES serve_next event at t=0
     start_next(/*just_did_push=*/true, 0.0);
   }
-  while (settled_ < to_settle_) {
-    // The DES tie rule, applied by the consumer: an arrival at the same
-    // instant as a slot end dispatches first (its event was scheduled
-    // earlier), so the post-push pull opportunity can see it.
-    const workload::Request* next = driver.peek();
-    Completion c;
-    if (next && (!inflight_ || next->arrival <= inflight_->end)) {
-      c.kind = CompletionKind::kArrival;
-      c.time = next->arrival;
-      c.request = driver.take();
-    } else if (inflight_) {
-      c.kind = CompletionKind::kSlotEnd;
-      c.time = inflight_->end;
-    } else {
+  while (true) {
+    if (!draining_ && settled_ == to_settle_) break;
+    if (draining_ && pull_side_drained()) break;
+    // Candidate selection: the minimum (time, seq) among the next planned
+    // arrival, the in-flight transmission end and the timer-heap top —
+    // exactly the DES heap's pop order.
+    const workload::Request* next = draining_ ? nullptr : driver.peek();
+    const Timer* timer = peek_timer();
+    double best_time = 0.0;
+    std::uint64_t best_seq = 0;
+    int which = -1;  // 0 = arrival, 1 = slot end, 2 = timer
+    if (next != nullptr) {
+      best_time = next->arrival;
+      best_seq = next_arrival_seq_;
+      which = 0;
+    }
+    if (inflight_.has_value() &&
+        (which < 0 || inflight_->end < best_time ||
+         (inflight_->end == best_time && inflight_->end_seq < best_seq))) {
+      best_time = inflight_->end;
+      best_seq = inflight_->end_seq;
+      which = 1;
+    }
+    if (timer != nullptr &&
+        (which < 0 || timer->time < best_time ||
+         (timer->time == best_time && timer->seq < best_seq))) {
+      best_time = timer->time;
+      best_seq = timer->seq;
+      which = 2;
+    }
+    if (which < 0) {
       throw std::logic_error(
           "LiveServer: stalled — plan exhausted and server idle while "
           "requests remain unsettled");
+    }
+    if (config_.drain_after > 0.0 && !draining_ &&
+        best_time >= config_.drain_after) {
+      // The run crosses the drain instant before its next event: stop
+      // admission there and re-select without the remaining arrivals.
+      engage_drain(config_.drain_after, driver.remaining());
+      continue;
+    }
+    if (which == 2) {
+      const Timer fired = *timer;
+      timers_.pop();
+      clock.advance_to(fired.time);
+      fire_timer(fired);
+      continue;
+    }
+    Completion c;
+    if (which == 0) {
+      c.kind = CompletionKind::kArrival;
+      c.time = next->arrival;
+      c.request = driver.take();
+      ++next_arrival_seq_;
+    } else {
+      c.kind = CompletionKind::kSlotEnd;
+      c.time = inflight_->end;
     }
     if (!queue.try_post(c)) {
       throw std::logic_error(
@@ -261,8 +901,9 @@ ServeReport LiveServer::run_accelerated(LoadDriver& driver,
     clock.advance_to(popped->time);
     dispatch(*popped);
   }
-  note_queue_len(end_time_);
-  if (recorder_) recorder_->finish();
+  note_queue_len(std::max(end_time_, drain_time_));
+  finalize_ledger();
+  if (recorder_) recorder_->seal(ledger_);
   return make_report(queue);
 }
 
@@ -272,45 +913,83 @@ ServeReport LiveServer::run_realtime(CompletionQueue& queue, Clock& clock,
   reset_run();
   recorder_ = recorder;
   to_settle_ = planned;
+  const std::uint64_t planned_total = planned;
   bool load_done = false;
+  if (config_.overload.enabled) {
+    timers_.push(Timer{config_.overload.eval_interval, seq_++,
+                       TimerKind::kLadderEval, {}});
+  }
   if (config_.cutoff > 0 && to_settle_ > 0) {
+    ++seq_;
     start_next(/*just_did_push=*/true, 0.0);
   }
-  while (settled_ < to_settle_) {
+  while (true) {
+    if (!draining_ && settled_ == to_settle_) break;
+    if (draining_ && pull_side_drained()) break;
+    if (!draining_) {
+      const bool external =
+          drain_flag_ != nullptr &&
+          drain_flag_->load(std::memory_order_relaxed);
+      const bool horizon =
+          config_.drain_after > 0.0 && clock.now() >= config_.drain_after;
+      if (external || horizon) {
+        const double at = horizon && !external
+                              ? config_.drain_after
+                              : clock.now();
+        advance_to(at);
+        engage_drain(at, planned_total - arrivals_);
+        continue;
+      }
+    }
     if (!load_done) {
-      const double timeout =
-          inflight_ ? clock.seconds_until(inflight_->end) : 0.05;
-      const std::optional<Completion> c = queue.pop(timeout);
+      double timeout = 0.05;
+      if (inflight_) {
+        timeout = std::min(timeout, clock.seconds_until(inflight_->end));
+      }
+      if (const Timer* t = peek_timer()) {
+        timeout = std::min(timeout, clock.seconds_until(t->time));
+      }
+      const std::optional<Completion> c =
+          queue.pop(std::max(timeout, 0.0));
       if (c.has_value()) {
         if (c->kind == CompletionKind::kArrival) {
-          // Order against the logical timeline: slots ending before this
-          // arrival's stamp complete first, so the arrival can only be
-          // delivered by a transmission ending after it was observed.
-          while (inflight_ && inflight_->end <= c->time) complete_slot();
-          dispatch(*c);
+          // Order against the logical timeline: slots and timers due
+          // before this arrival's stamp fire first, so the arrival can
+          // only be delivered by a transmission ending after it was
+          // observed.
+          advance_to(c->time);
+          if (!draining_) {
+            handle_arrival(c->request, c->time);
+          }
+          // A drained loop discards late arrivals: they are part of the
+          // skipped count stamped at engagement.
         }
-        continue;
-      }
-      if (queue.closed() && queue.depth() == 0) {
+      } else if (queue.closed() && queue.depth() == 0) {
         load_done = true;
-        continue;
       }
-    } else if (inflight_) {
-      // Drain phase: no more producers; pace out the remaining slots.
-      const double budget = clock.seconds_until(inflight_->end);
+    } else if (inflight_ || peek_timer() != nullptr) {
+      // Drain phase: no more producers; pace out the remaining work.
+      double next_at = std::numeric_limits<double>::infinity();
+      if (inflight_) next_at = inflight_->end;
+      if (const Timer* t = peek_timer()) {
+        next_at = std::min(next_at, t->time);
+      }
+      const double budget = clock.seconds_until(next_at);
       if (budget > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(budget));
       }
+    } else if (draining_) {
+      break;  // nothing on air, nothing queued, nothing pending
     } else {
       throw std::logic_error(
           "LiveServer: stalled — load ended and server idle while "
           "requests remain unsettled");
     }
-    const double now = clock.now();
-    while (inflight_ && inflight_->end <= now) complete_slot();
+    advance_to(clock.now());
   }
-  note_queue_len(end_time_);
-  if (recorder_) recorder_->finish();
+  note_queue_len(std::max(end_time_, drain_time_));
+  finalize_ledger();
+  if (recorder_) recorder_->seal(ledger_);
   return make_report(queue);
 }
 
@@ -336,7 +1015,23 @@ std::string render_serve_report(const ServeReport& report) {
       << ",\"p90\":" << render_number(report.queue_depth.p90)
       << ",\"p99\":" << render_number(report.queue_depth.p99) << "}"
       << ",\"cq_posted\":" << report.cq_posted
-      << ",\"cq_high_water\":" << report.cq_high_water << "}\n";
+      << ",\"cq_high_water\":" << report.cq_high_water;
+  if (report.robust) {
+    out << ",\"timed_out\":" << report.timed_out
+        << ",\"retries\":" << report.retries
+        << ",\"lost\":" << report.lost << ",\"shed\":" << report.shed
+        << ",\"rejected\":" << report.rejected
+        << ",\"corrupted\":" << report.corrupted
+        << ",\"hedges_posted\":" << report.hedges_posted
+        << ",\"hedges_absorbed\":" << report.hedges_absorbed
+        << ",\"ladder_transitions\":" << report.ladder_transitions
+        << ",\"max_overload_level\":" << report.max_overload_level
+        << ",\"drained\":" << (report.drained ? 1 : 0)
+        << ",\"drain_time\":" << render_number(report.drain_time)
+        << ",\"skipped_arrivals\":" << report.skipped_arrivals
+        << ",\"ledger\":" << report.ledger.render_json();
+  }
+  out << "}\n";
   for (std::size_t cls = 0; cls < report.per_class.size(); ++cls) {
     const metrics::ClassStats& s = report.per_class[cls];
     out << "{\"class\":" << cls << ",\"arrived\":" << s.arrived
@@ -349,8 +1044,13 @@ std::string render_serve_report(const ServeReport& report) {
         << ",\"wait_p95\":"
         << render_number(s.wait_p95.count() ? s.wait_p95.value() : 0.0)
         << ",\"wait_p99\":"
-        << render_number(s.wait_p99.count() ? s.wait_p99.value() : 0.0)
-        << "}\n";
+        << render_number(s.wait_p99.count() ? s.wait_p99.value() : 0.0);
+    if (report.robust) {
+      out << ",\"timed_out\":" << s.abandoned
+          << ",\"retries\":" << s.retries << ",\"shed\":" << s.shed
+          << ",\"lost\":" << s.lost << ",\"rejected\":" << s.rejected;
+    }
+    out << "}\n";
   }
   return out.str();
 }

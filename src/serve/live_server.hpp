@@ -1,26 +1,40 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "catalog/catalog.hpp"
 #include "core/pull_queue.hpp"
+#include "fault/channel.hpp"
 #include "metrics/class_stats.hpp"
 #include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "resilience/overload.hpp"
 #include "rng/xoshiro256ss.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
 #include "serve/clock.hpp"
 #include "serve/completion_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/record.hpp"
 #include "serve/serve_config.hpp"
 #include "workload/population.hpp"
 
 namespace pushpull::serve {
+
+/// Bit marking a synthetic hedged duplicate's request id. Hedge duplicates
+/// live only inside the pull queue: they boost their item entry's
+/// aggregate importance, are absorbed silently at delivery, and never
+/// appear in the journal or the conservation ledger.
+inline constexpr workload::RequestId kHedgeIdBit = 1ull << 63;
 
 /// What one live run produced. Every field is a pure function of the
 /// processed event sequence, so an accelerated run's rendered report is
@@ -29,7 +43,7 @@ struct ServeReport {
   bool accelerated = false;
   double duration = 0.0;
   double target_qps = 0.0;
-  /// Serve-time instant of the last delivery (broadcast units).
+  /// Serve-time instant of the last settled request (broadcast units).
   double end_time = 0.0;
   std::uint64_t arrivals = 0;
   std::uint64_t served = 0;
@@ -46,11 +60,37 @@ struct ServeReport {
   std::uint64_t cq_posted = 0;
   std::size_t cq_high_water = 0;
   std::vector<metrics::ClassStats> per_class;
+
+  // --- robustness (populated/rendered only when config.robust()) ----------
+  bool robust = false;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t corrupted_push_transmissions = 0;
+  std::uint64_t corrupted_pull_transmissions = 0;
+  std::uint64_t hedges_posted = 0;
+  std::uint64_t hedges_absorbed = 0;
+  std::uint64_t ladder_transitions = 0;
+  int max_overload_level = 0;
+  /// Every ladder move in event order (mirrors core::SimResult's log).
+  std::vector<resilience::OverloadTransition> overload_transitions;
+  bool drained = false;
+  double drain_time = 0.0;
+  /// Planned arrivals never injected because the drain stopped admission.
+  std::uint64_t skipped_arrivals = 0;
+  /// The machine-checked conservation identity (DESIGN §10), also sealed
+  /// into the journal footer.
+  ConservationLedger ledger;
 };
 
 /// Deterministic multi-line rendering (obs::render_number throughout): a
 /// summary JSON line, then one line per class with mean/p50/p95/p99 wait.
-/// Shared by the CLI, bench/serve_qps and the reproducibility tests.
+/// Robustness fields are appended only for robust configs, so plain runs
+/// render byte-identically to previous releases. Shared by the CLI,
+/// bench/serve_qps, bench/serve_chaos and the reproducibility tests.
 [[nodiscard]] std::string render_serve_report(const ServeReport& report);
 
 /// core::HybridServer's scheduling rules, driven by a completion-queue
@@ -68,15 +108,29 @@ struct ServeReport {
 /// identically, so an accelerated run and the DES replay of its own
 /// recorded trace agree on every per-class statistic bit-for-bit.
 ///
+/// The live failure model (DESIGN §10) extends the mirror with the DES
+/// ordering discipline intact: every schedulable action — arrival,
+/// transmission end, deadline expiry, retry requeue, ladder evaluation,
+/// hedge — carries a (time, seq) pair assigned exactly where the DES
+/// kernel would assign an event id, and the loop always dispatches the
+/// minimum. Deadlines mirror the DES impatience model draw for draw (the
+/// differential test in tests/test_serve_robustness.cpp), corruption and
+/// retry mirror the fault layer, and the overload ladder mirrors
+/// resilience::OverloadController wiring. Timer cancellation is lazy
+/// (stale entries are skipped at the heap top), matching des::EventQueue.
+///
 /// Both run modes dispatch through the same CompletionQueue path; they
 /// differ only in who produces events and how time advances:
 ///  * run_accelerated — single-threaded; the loop itself posts each planned
 ///    arrival / slot completion and advances a VirtualClock, so the run is
 ///    a pure function of the seed;
 ///  * run_realtime — pacer threads post wall-stamped arrivals; the loop
-///    completes slots as the wall clock passes their logical end. Arrival
-///    stamps are observed (skew is real and recorded); slot ends chain
-///    logically so airtime accounting stays exact.
+///    completes slots and fires timers as the wall clock passes their
+///    logical times. Arrival stamps are observed (skew is real and
+///    recorded); slot ends chain logically so airtime accounting stays
+///    exact. SIGTERM (via set_drain_flag) or drain_after triggers the
+///    graceful drain: admission stops, the pull side flushes, the journal
+///    seals with the conservation ledger.
 class LiveServer {
  public:
   LiveServer(const catalog::Catalog& cat,
@@ -88,11 +142,22 @@ class LiveServer {
                                             TraceRecorder* recorder);
 
   /// Consumes `planned` arrivals from `queue` (fed by LoadDriver pacers on
-  /// `clock`), runs until all are delivered, then reports. The queue must
-  /// be closed by the producer side when the load ends.
+  /// `clock`), runs until all are settled (or the drain flushes), then
+  /// reports. The queue must be closed by the producer side when the load
+  /// ends.
   [[nodiscard]] ServeReport run_realtime(CompletionQueue& queue, Clock& clock,
                                          std::uint64_t planned,
                                          TraceRecorder* recorder);
+
+  /// Optional trace hook for the live-only categories (timeout / retry /
+  /// drain). A default-constructed tracer is inert.
+  void set_tracer(const obs::Tracer& tracer) { tracer_ = tracer; }
+
+  /// Installs the external drain request flag (SIGTERM handler target).
+  /// Polled by run_realtime; null disables.
+  void set_drain_flag(const std::atomic<bool>* flag) noexcept {
+    drain_flag_ = flag;
+  }
 
  private:
   /// One transmission on air. `pending` is the committed audience (push:
@@ -101,7 +166,28 @@ class LiveServer {
     bool push = true;
     catalog::ItemId item = 0;
     double end = 0.0;
+    std::uint64_t end_seq = 0;  // the DES id of the transmission-end event
     std::vector<workload::Request> pending;
+  };
+
+  enum class TimerKind : std::uint8_t {
+    kDeadline,    ///< per-request deadline expiry (DES impatience mirror)
+    kRetry,       ///< backed-off re-request after a corrupted pull
+    kLadderEval,  ///< periodic overload-controller evaluation
+    kHedge,       ///< hedged re-request check for a still-queued request
+  };
+
+  struct Timer {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    TimerKind kind = TimerKind::kDeadline;
+    workload::Request request{};
+  };
+
+  struct TimerAfter {
+    bool operator()(const Timer& a, const Timer& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
   };
 
   void reset_run();
@@ -112,6 +198,42 @@ class LiveServer {
   void start_pull(double now);
   void complete_slot();
   void note_queue_len(double now);
+  void settle(double now);
+
+  // --- failure-model mirrors ----------------------------------------------
+  void arm_deadline(const workload::Request& request, double now);
+  void disarm_deadline(workload::RequestId id);
+  void on_deadline_expired(const workload::Request& request, double now);
+  void arm_hedge(const workload::Request& request, double now);
+  void on_hedge_fire(const workload::Request& request, double now);
+  void on_ladder_eval(double now);
+  void apply_overload_level(resilience::OverloadLevel level, double now);
+  void apply_cutoff_boost(std::size_t boost, double now);
+  [[nodiscard]] bool admit_pull(const workload::Request& request, double now);
+  void shed_one(const workload::Request& request, double now);
+  void requeue_pull(const workload::Request& request, double now);
+  void remove_hedge_dup(const workload::Request& primary);
+  [[nodiscard]] std::size_t effective_cutoff() const noexcept;
+  [[nodiscard]] std::size_t effective_queue_capacity() const noexcept;
+  [[nodiscard]] fault::ShedPolicy effective_shed_policy() const noexcept;
+  [[nodiscard]] bool uplink_rejected(workload::ClassId cls) const noexcept;
+
+  // --- event plumbing -----------------------------------------------------
+  /// Top of the timer heap with stale (lazily cancelled) entries skipped;
+  /// nullptr when no live timer is pending.
+  [[nodiscard]] const Timer* peek_timer();
+  void fire_timer(const Timer& timer);
+  /// Fires, in (time, seq) order, every due timer and slot completion up to
+  /// `now` (the realtime advance path).
+  void advance_to(double now);
+  void engage_drain(double now, std::uint64_t skipped);
+  [[nodiscard]] bool pull_side_drained() const noexcept;
+  /// Requests injected but not yet settled, counted structurally (push
+  /// park + real queued requests + committed in-flight + retry backoffs).
+  [[nodiscard]] std::uint64_t structural_in_flight() const noexcept;
+  /// Builds the ledger and machine-checks the conservation identity
+  /// (throws std::logic_error on any imbalance).
+  void finalize_ledger();
   [[nodiscard]] ServeReport make_report(const CompletionQueue& queue) const;
 
   const catalog::Catalog* catalog_;
@@ -122,16 +244,44 @@ class LiveServer {
   std::unique_ptr<sched::PushScheduler> push_sched_;
   std::unique_ptr<sched::PullPolicy> pull_policy_;
   rng::Xoshiro256ss demand_eng_;
+  rng::Xoshiro256ss patience_eng_;
+  std::optional<fault::GilbertElliottChannel> channel_;
   std::vector<std::vector<workload::Request>> push_waiters_;
   std::unique_ptr<metrics::ClassCollector> collector_;
   std::optional<InFlight> inflight_;
   TraceRecorder* recorder_ = nullptr;
+  obs::Tracer tracer_;
+  const std::atomic<bool>* drain_flag_ = nullptr;
+
+  // Event-ordering mirror of the DES id counter.
+  std::uint64_t seq_ = 0;
+  std::uint64_t next_arrival_seq_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, TimerAfter> timers_;
+  std::unordered_map<workload::RequestId, std::uint64_t> deadline_seq_;
+  std::unordered_map<workload::RequestId, std::uint64_t> hedge_seq_;
+  std::unordered_set<workload::RequestId> hedged_;  // primaries with live dup
+  std::unordered_set<workload::RequestId> queued_;  // real ids in pull queue
+  std::unordered_map<workload::RequestId, std::uint32_t> retry_count_;
+  std::uint64_t retry_pending_ = 0;  // kRetry timers not yet fired
+
+  resilience::OverloadController overload_;
+  std::vector<double> blocking_ewma_;
+  std::size_t cutoff_boost_ = 0;
+
+  bool draining_ = false;
+  double drain_time_ = 0.0;
+  std::uint64_t skipped_arrivals_ = 0;
+  std::uint64_t hedges_posted_ = 0;
+  std::uint64_t hedges_absorbed_ = 0;
+  ConservationLedger ledger_;
 
   std::uint64_t to_settle_ = 0;
   std::uint64_t settled_ = 0;
   std::uint64_t arrivals_ = 0;
   std::uint64_t push_transmissions_ = 0;
   std::uint64_t pull_transmissions_ = 0;
+  std::uint64_t corrupted_push_transmissions_ = 0;
+  std::uint64_t corrupted_pull_transmissions_ = 0;
   double queue_len_area_ = 0.0;
   double queue_len_last_t_ = 0.0;
   std::size_t max_queue_len_ = 0;

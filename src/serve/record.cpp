@@ -105,11 +105,45 @@ using obs::render_number;
   return line.substr(at + 1, close - at - 1);
 }
 
+/// "0.5,1,2" → {0.5, 1.0, 2.0}; "" → {}. Throws on garble.
+[[nodiscard]] std::vector<double> csv_doubles(const std::string& csv,
+                                              std::string_view key) {
+  std::vector<double> out;
+  if (csv.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(csv.data() + pos, csv.data() + comma, value);
+    if (ec != std::errc{} || ptr != csv.data() + comma) {
+      throw std::runtime_error("serve trace: malformed number in \"" +
+                               std::string(key) + "\" list");
+    }
+    out.push_back(value);
+    if (comma == csv.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+[[nodiscard]] std::string render_csv(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += render_number(values[i]);
+  }
+  return out;
+}
+
 [[nodiscard]] ServeConfig config_from_header(const std::string& line) {
-  if (string_field(line, "schema", 1) != kServeTraceSchema) {
+  const std::string schema = string_field(line, "schema", 1);
+  if (schema != kServeTraceSchema && schema != kServeJournalSchema) {
     throw std::runtime_error("serve trace: expected schema \"" +
-                             std::string(kServeTraceSchema) + "\", got \"" +
-                             string_field(line, "schema", 1) + "\"");
+                             std::string(kServeTraceSchema) + "\" or \"" +
+                             std::string(kServeJournalSchema) + "\", got \"" +
+                             schema + "\"");
   }
   ServeConfig c;
   c.seed = count_field(line, "seed", 1);
@@ -130,69 +164,201 @@ using obs::render_number;
   c.pull_policy = pull_policy_from(string_field(line, "pull_policy", 1));
   c.push_policy = push_policy_from(string_field(line, "push_policy", 1));
   c.mean_bandwidth_demand = number_field(line, "mean_demand", 1);
+  if (schema == kServeJournalSchema) {
+    // The v2 header always carries the live failure model, defaults
+    // included, so resume/replay rebuild the exact configuration.
+    c.mean_deadline = number_field(line, "mean_deadline", 1);
+    c.deadline_scale =
+        csv_doubles(string_field(line, "deadline_scale", 1), "deadline_scale");
+    c.deadline_spike_factor = number_field(line, "spike_factor", 1);
+    c.deadline_spike_start = number_field(line, "spike_start", 1);
+    c.deadline_spike_duration = number_field(line, "spike_duration", 1);
+    c.fault.enabled = count_field(line, "fault_enabled", 1) != 0;
+    c.fault.channel.p_good_to_bad = number_field(line, "fault_p_gb", 1);
+    c.fault.channel.p_bad_to_good = number_field(line, "fault_p_bg", 1);
+    c.fault.channel.corrupt_good = number_field(line, "fault_corrupt_good", 1);
+    c.fault.channel.corrupt_bad = number_field(line, "fault_corrupt_bad", 1);
+    c.fault.retry.max_retries =
+        static_cast<std::uint32_t>(count_field(line, "retry_max", 1));
+    c.fault.retry.backoff_base = number_field(line, "retry_base", 1);
+    c.fault.retry.backoff_multiplier = number_field(line, "retry_mult", 1);
+    c.fault.retry.max_backoff = number_field(line, "retry_cap", 1);
+    c.fault.queue_capacity =
+        static_cast<std::size_t>(count_field(line, "fault_queue_cap", 1));
+    c.fault.shed_policy =
+        fault::parse_shed_policy(string_field(line, "shed_policy", 1));
+    c.overload.enabled = count_field(line, "ladder_enabled", 1) != 0;
+    c.overload.eval_interval = number_field(line, "ladder_interval", 1);
+    c.overload.ewma_alpha = number_field(line, "ladder_alpha", 1);
+    c.overload.blocking_ref = number_field(line, "ladder_blocking_ref", 1);
+    c.overload.capacity_ref =
+        static_cast<std::size_t>(count_field(line, "ladder_capacity", 1));
+    c.overload.cutoff_step =
+        static_cast<std::size_t>(count_field(line, "ladder_step", 1));
+    const std::vector<double> enter =
+        csv_doubles(string_field(line, "ladder_enter", 1), "ladder_enter");
+    const std::vector<double> exit =
+        csv_doubles(string_field(line, "ladder_exit", 1), "ladder_exit");
+    if (enter.size() != c.overload.enter.size() ||
+        exit.size() != c.overload.exit.size()) {
+      throw std::runtime_error(
+          "serve trace: ladder_enter/ladder_exit must carry one threshold "
+          "per ladder rung");
+    }
+    std::copy(enter.begin(), enter.end(), c.overload.enter.begin());
+    std::copy(exit.begin(), exit.end(), c.overload.exit.begin());
+    c.hedge_after = number_field(line, "hedge_after", 1);
+    c.drain_after = number_field(line, "drain_after", 1);
+    c.journal_sync_every =
+        static_cast<std::size_t>(count_field(line, "sync_every", 1));
+  }
   c.validate();
   return c;
 }
 
-}  // namespace
-
-TraceRecorder::TraceRecorder(std::ostream& out, const ServeConfig& config)
-    : out_(&out) {
-  *out_ << "{\"schema\":\"" << kServeTraceSchema << "\""
-        << ",\"seed\":" << config.seed
-        << ",\"accelerated\":" << (config.accelerated ? 1 : 0)
-        << ",\"duration\":" << render_number(config.duration)
-        << ",\"target_qps\":" << render_number(config.target_qps)
-        << ",\"items\":" << config.num_items
-        << ",\"theta\":" << render_number(config.theta)
-        << ",\"classes\":" << config.num_classes
-        << ",\"class_zipf_theta\":" << render_number(config.class_zipf_theta)
-        << ",\"min_length\":" << config.min_length
-        << ",\"max_length\":" << config.max_length
-        << ",\"mean_length\":" << render_number(config.mean_length)
-        << ",\"cutoff\":" << config.cutoff
-        << ",\"alpha\":" << render_number(config.alpha)
-        << ",\"pull_policy\":\"" << sched::to_string(config.pull_policy)
-        << "\",\"push_policy\":\"" << sched::to_string(config.push_policy)
-        << "\",\"mean_demand\":"
-        << render_number(config.mean_bandwidth_demand) << "}\n";
+[[nodiscard]] std::string render_header(const ServeConfig& config) {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kServeJournalSchema << "\""
+      << ",\"seed\":" << config.seed
+      << ",\"accelerated\":" << (config.accelerated ? 1 : 0)
+      << ",\"duration\":" << render_number(config.duration)
+      << ",\"target_qps\":" << render_number(config.target_qps)
+      << ",\"items\":" << config.num_items
+      << ",\"theta\":" << render_number(config.theta)
+      << ",\"classes\":" << config.num_classes
+      << ",\"class_zipf_theta\":" << render_number(config.class_zipf_theta)
+      << ",\"min_length\":" << config.min_length
+      << ",\"max_length\":" << config.max_length
+      << ",\"mean_length\":" << render_number(config.mean_length)
+      << ",\"cutoff\":" << config.cutoff
+      << ",\"alpha\":" << render_number(config.alpha)
+      << ",\"pull_policy\":\"" << sched::to_string(config.pull_policy)
+      << "\",\"push_policy\":\"" << sched::to_string(config.push_policy)
+      << "\",\"mean_demand\":" << render_number(config.mean_bandwidth_demand)
+      << ",\"mean_deadline\":" << render_number(config.mean_deadline)
+      << ",\"deadline_scale\":\"" << render_csv(config.deadline_scale)
+      << "\",\"spike_factor\":" << render_number(config.deadline_spike_factor)
+      << ",\"spike_start\":" << render_number(config.deadline_spike_start)
+      << ",\"spike_duration\":"
+      << render_number(config.deadline_spike_duration)
+      << ",\"fault_enabled\":" << (config.fault.enabled ? 1 : 0)
+      << ",\"fault_p_gb\":" << render_number(config.fault.channel.p_good_to_bad)
+      << ",\"fault_p_bg\":" << render_number(config.fault.channel.p_bad_to_good)
+      << ",\"fault_corrupt_good\":"
+      << render_number(config.fault.channel.corrupt_good)
+      << ",\"fault_corrupt_bad\":"
+      << render_number(config.fault.channel.corrupt_bad)
+      << ",\"retry_max\":" << config.fault.retry.max_retries
+      << ",\"retry_base\":" << render_number(config.fault.retry.backoff_base)
+      << ",\"retry_mult\":"
+      << render_number(config.fault.retry.backoff_multiplier)
+      << ",\"retry_cap\":" << render_number(config.fault.retry.max_backoff)
+      << ",\"fault_queue_cap\":" << config.fault.queue_capacity
+      << ",\"shed_policy\":\"" << fault::to_string(config.fault.shed_policy)
+      << "\",\"ladder_enabled\":" << (config.overload.enabled ? 1 : 0)
+      << ",\"ladder_interval\":" << render_number(config.overload.eval_interval)
+      << ",\"ladder_alpha\":" << render_number(config.overload.ewma_alpha)
+      << ",\"ladder_blocking_ref\":"
+      << render_number(config.overload.blocking_ref)
+      << ",\"ladder_capacity\":" << config.overload.capacity_ref
+      << ",\"ladder_step\":" << config.overload.cutoff_step
+      << ",\"ladder_enter\":\""
+      << render_csv({config.overload.enter.begin(),
+                     config.overload.enter.end()})
+      << "\",\"ladder_exit\":\""
+      << render_csv({config.overload.exit.begin(), config.overload.exit.end()})
+      << "\",\"hedge_after\":" << render_number(config.hedge_after)
+      << ",\"drain_after\":" << render_number(config.drain_after)
+      << ",\"sync_every\":" << config.journal_sync_every << "}";
+  return out.str();
 }
 
-void TraceRecorder::record_request(const workload::Request& request,
-                                   double observed_time) {
-  *out_ << "{\"t\":" << render_number(observed_time)
-        << ",\"id\":" << request.id << ",\"item\":" << request.item
-        << ",\"cls\":" << static_cast<std::uint64_t>(request.cls) << "}\n";
-  ++requests_;
+[[nodiscard]] std::string render_footer(std::uint64_t requests,
+                                        std::uint64_t decisions,
+                                        const ConservationLedger& ledger) {
+  std::string out = "{\"requests\":" + std::to_string(requests) +
+                    ",\"decisions\":" + std::to_string(decisions) +
+                    ",\"ledger\":" + ledger.render_json() + "}";
+  return out;
 }
 
-void TraceRecorder::record_decision(bool push, double time,
-                                    catalog::ItemId item,
-                                    std::size_t delivered) {
-  *out_ << "{\"d\":\"" << (push ? "push" : "pull")
-        << "\",\"t\":" << render_number(time) << ",\"item\":" << item
-        << ",\"n\":" << delivered << "}\n";
-  ++decisions_;
+[[nodiscard]] ConservationLedger ledger_from_footer(const std::string& line,
+                                                    std::size_t lineno) {
+  ConservationLedger ledger;
+  if (!has_key(line, "ledger")) return ledger;  // sv1 footers carry none
+  ledger.injected = count_field(line, "injected", lineno);
+  ledger.delivered = count_field(line, "delivered", lineno);
+  ledger.timed_out = count_field(line, "timed_out", lineno);
+  ledger.rejected = count_field(line, "rejected", lineno);
+  ledger.shed = count_field(line, "shed", lineno);
+  ledger.lost = count_field(line, "lost", lineno);
+  ledger.in_flight_at_drain = count_field(line, "in_flight_at_drain", lineno);
+  return ledger;
 }
 
-void TraceRecorder::finish() {
-  if (finished_) return;
-  finished_ = true;
-  *out_ << "{\"requests\":" << requests_ << ",\"decisions\":" << decisions_
-        << "}\n";
-  out_->flush();
-}
+enum class PayloadKind { kRequest, kDecision, kFooter };
 
-TraceRecorder::~TraceRecorder() { finish(); }
-
-RecordedRun load_trace(std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line)) {
-    throw std::runtime_error("serve trace: empty input (no header line)");
+/// Parses one body payload into `run`, throwing std::runtime_error on any
+/// malformed content. `lineno` is 1-based (header = 1).
+PayloadKind apply_payload(RecordedRun& run, std::uint64_t& decisions,
+                          const std::string& line, std::size_t lineno) {
+  if (line.empty()) {
+    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                             ": empty record");
   }
+  if (has_key(line, "d")) {
+    // Decision records are informational; count them for the footer check.
+    (void)number_field(line, "t", lineno);
+    ++decisions;
+    return PayloadKind::kDecision;
+  }
+  if (has_key(line, "id")) {
+    workload::Request r;
+    r.arrival = number_field(line, "t", lineno);
+    r.id = count_field(line, "id", lineno);
+    r.item = static_cast<catalog::ItemId>(count_field(line, "item", lineno));
+    r.cls = static_cast<workload::ClassId>(count_field(line, "cls", lineno));
+    if (r.item >= run.config.num_items) {
+      throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                               ": item beyond the recorded catalog");
+    }
+    if (r.cls >= run.config.num_classes) {
+      throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                               ": class beyond the recorded population");
+    }
+    run.requests.push_back(r);
+    return PayloadKind::kRequest;
+  }
+  if (has_key(line, "requests")) {
+    const std::uint64_t requests = count_field(line, "requests", lineno);
+    const std::uint64_t footer_decisions =
+        count_field(line, "decisions", lineno);
+    if (requests != run.requests.size() || footer_decisions != decisions) {
+      throw std::runtime_error(
+          "serve trace: footer counts (" + std::to_string(requests) + "/" +
+          std::to_string(footer_decisions) + ") disagree with records read (" +
+          std::to_string(run.requests.size()) + "/" +
+          std::to_string(decisions) + ") — truncated or spliced file");
+    }
+    run.ledger = ledger_from_footer(line, lineno);
+    return PayloadKind::kFooter;
+  }
+  throw std::runtime_error("serve trace line " + std::to_string(lineno) +
+                           ": unrecognized record");
+}
+
+void sort_requests(RecordedRun& run) {
+  // Realtime pacers may interleave posts; Trace requires sorted arrivals.
+  std::sort(run.requests.begin(), run.requests.end(),
+            [](const workload::Request& a, const workload::Request& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival
+                                            : a.id < b.id;
+            });
+}
+
+[[nodiscard]] RecordedRun load_trace_v1(std::istream& in, std::string line) {
   RecordedRun run;
   run.config = config_from_header(line);
-
   bool saw_footer = false;
   std::uint64_t decisions = 0;
   std::size_t lineno = 1;
@@ -203,67 +369,190 @@ RecordedRun load_trace(std::istream& in) {
       throw std::runtime_error("serve trace line " + std::to_string(lineno) +
                                ": content after the footer");
     }
-    if (has_key(line, "d")) {
-      // Decision lines are informational; count them for the footer check.
-      (void)number_field(line, "t", lineno);
-      ++decisions;
-      continue;
-    }
-    if (has_key(line, "id")) {
-      workload::Request r;
-      r.arrival = number_field(line, "t", lineno);
-      r.id = count_field(line, "id", lineno);
-      r.item = static_cast<catalog::ItemId>(count_field(line, "item", lineno));
-      r.cls = static_cast<workload::ClassId>(
-          count_field(line, "cls", lineno));
-      if (r.item >= run.config.num_items) {
-        throw std::runtime_error("serve trace line " + std::to_string(lineno) +
-                                 ": item beyond the recorded catalog");
-      }
-      if (r.cls >= run.config.num_classes) {
-        throw std::runtime_error("serve trace line " + std::to_string(lineno) +
-                                 ": class beyond the recorded population");
-      }
-      run.requests.push_back(r);
-      continue;
-    }
-    if (has_key(line, "requests")) {
-      const std::uint64_t requests = count_field(line, "requests", lineno);
-      const std::uint64_t footer_decisions =
-          count_field(line, "decisions", lineno);
-      if (requests != run.requests.size() || footer_decisions != decisions) {
-        throw std::runtime_error(
-            "serve trace: footer counts (" + std::to_string(requests) + "/" +
-            std::to_string(footer_decisions) + ") disagree with lines read (" +
-            std::to_string(run.requests.size()) + "/" +
-            std::to_string(decisions) + ") — truncated or spliced file");
-      }
+    if (apply_payload(run, decisions, line, lineno) == PayloadKind::kFooter) {
       saw_footer = true;
-      continue;
     }
-    throw std::runtime_error("serve trace line " + std::to_string(lineno) +
-                             ": unrecognized line");
   }
   if (!saw_footer) {
     throw std::runtime_error(
-        "serve trace: missing footer line — truncated recording");
+        "serve trace: missing footer record — truncated recording");
   }
-  // Realtime pacers may interleave posts; Trace requires sorted arrivals.
-  std::sort(run.requests.begin(), run.requests.end(),
-            [](const workload::Request& a, const workload::Request& b) {
-              return a.arrival != b.arrival ? a.arrival < b.arrival
-                                            : a.id < b.id;
-            });
+  sort_requests(run);
+  run.decisions = decisions;
+  return run;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::ostream& out, const ServeConfig& config)
+    : out_(&out) {
+  append(render_header(config));
+}
+
+TraceRecorder::TraceRecorder(JournalFile& file, const ServeConfig& config)
+    : out_(&file.stream()),
+      file_(&file),
+      sync_every_(config.journal_sync_every) {
+  append(render_header(config));
+}
+
+void TraceRecorder::append(const std::string& payload) {
+  *out_ << frame_record(payload);
+  if (file_ != nullptr && sync_every_ > 0 && ++since_sync_ >= sync_every_) {
+    since_sync_ = 0;
+    file_->sync();
+  }
+}
+
+void TraceRecorder::record_request(const workload::Request& request,
+                                   double observed_time) {
+  std::ostringstream payload;
+  payload << "{\"t\":" << render_number(observed_time)
+          << ",\"id\":" << request.id << ",\"item\":" << request.item
+          << ",\"cls\":" << static_cast<std::uint64_t>(request.cls) << "}";
+  append(payload.str());
+  ++requests_;
+}
+
+void TraceRecorder::record_decision(bool push, double time,
+                                    catalog::ItemId item,
+                                    std::size_t delivered) {
+  std::ostringstream payload;
+  payload << "{\"d\":\"" << (push ? "push" : "pull")
+          << "\",\"t\":" << render_number(time) << ",\"item\":" << item
+          << ",\"n\":" << delivered << "}";
+  append(payload.str());
+  ++decisions_;
+}
+
+void TraceRecorder::record_ladder(double time, int from, int to) {
+  std::ostringstream payload;
+  payload << "{\"d\":\"ladder\",\"t\":" << render_number(time)
+          << ",\"from\":" << from << ",\"to\":" << to << "}";
+  append(payload.str());
+  ++decisions_;
+}
+
+void TraceRecorder::record_drain(double time, std::uint64_t skipped) {
+  std::ostringstream payload;
+  payload << "{\"d\":\"drain\",\"t\":" << render_number(time)
+          << ",\"n\":" << skipped << "}";
+  append(payload.str());
+  ++decisions_;
+}
+
+void TraceRecorder::seal(const ConservationLedger& ledger) {
+  if (finished_) return;
+  finished_ = true;
+  append(render_footer(requests_, decisions_, ledger));
+  out_->flush();
+  if (file_ != nullptr) file_->sync();
+}
+
+void TraceRecorder::finish() { seal(ConservationLedger{}); }
+
+TraceRecorder::~TraceRecorder() { finish(); }
+
+RecordedRun load_trace(std::istream& in) {
+  const int first = in.peek();
+  if (first == std::istream::traits_type::eof()) {
+    throw std::runtime_error("serve trace: empty input (no header record)");
+  }
+  if (first == '{') {
+    // Legacy sv1: plain JSONL, header on the first line.
+    std::string line;
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("serve trace: empty input (no header record)");
+    }
+    return load_trace_v1(in, std::move(line));
+  }
+  const JournalScan scan = scan_journal(in);
+  if (scan.payloads.empty()) {
+    throw std::runtime_error(
+        "serve trace: no complete journal record (garbled or truncated "
+        "framing)");
+  }
+  if (scan.truncated) {
+    throw std::runtime_error(
+        "serve trace: garbled or truncated journal framing — use recovery "
+        "(serve --resume) to salvage the valid prefix");
+  }
+  RecordedRun run;
+  run.config = config_from_header(scan.payloads.front());
+  bool saw_footer = false;
+  std::uint64_t decisions = 0;
+  for (std::size_t i = 1; i < scan.payloads.size(); ++i) {
+    if (saw_footer) {
+      throw std::runtime_error("serve trace record " + std::to_string(i + 1) +
+                               ": content after the footer");
+    }
+    if (apply_payload(run, decisions, scan.payloads[i], i + 1) ==
+        PayloadKind::kFooter) {
+      saw_footer = true;
+    }
+  }
+  if (!saw_footer) {
+    throw std::runtime_error(
+        "serve trace: missing footer record — unsealed journal (crashed "
+        "run?); use recovery (serve --resume) to salvage the valid prefix");
+  }
+  sort_requests(run);
   run.decisions = decisions;
   return run;
 }
 
 RecordedRun load_trace_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("serve trace: cannot open \"" + path + "\"");
   }
   return load_trace(in);
+}
+
+RecoveredRun recover_trace(std::istream& in) {
+  const JournalScan scan = scan_journal(in);
+  if (scan.payloads.empty()) {
+    throw std::runtime_error(
+        "serve recovery: no complete record — the header itself is "
+        "truncated, nothing to recover");
+  }
+  RecoveredRun recovered;
+  recovered.run.config = config_from_header(scan.payloads.front());
+  recovered.records = 1;
+  recovered.bytes_consumed =
+      kFrameDigits + 1 + scan.payloads.front().size() + 1;
+  std::uint64_t decisions = 0;
+  for (std::size_t i = 1; i < scan.payloads.size(); ++i) {
+    const std::size_t before_requests = recovered.run.requests.size();
+    const std::uint64_t before_decisions = decisions;
+    PayloadKind kind;
+    try {
+      kind = apply_payload(recovered.run, decisions, scan.payloads[i], i + 1);
+    } catch (const std::runtime_error&) {
+      // An intact frame with an unparsable payload ends the valid prefix —
+      // everything before it is still good.
+      recovered.run.requests.resize(before_requests);
+      decisions = before_decisions;
+      break;
+    }
+    recovered.records += 1;
+    recovered.bytes_consumed += kFrameDigits + 1 + scan.payloads[i].size() + 1;
+    if (kind == PayloadKind::kFooter) {
+      recovered.sealed = true;
+      break;
+    }
+  }
+  sort_requests(recovered.run);
+  recovered.run.decisions = decisions;
+  return recovered;
+}
+
+RecoveredRun recover_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("serve recovery: cannot open \"" + path + "\"");
+  }
+  return recover_trace(in);
 }
 
 }  // namespace pushpull::serve

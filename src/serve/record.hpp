@@ -5,40 +5,63 @@
 #include <string>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "serve/serve_config.hpp"
 #include "workload/request.hpp"
 #include "workload/trace.hpp"
 
 namespace pushpull::serve {
 
-/// Schema tag of the serve trace format. An `sv1` file is JSONL:
-///   1. a header line carrying the full ServeConfig (workload universe +
-///      scheduler + serving knobs) — everything replay needs to rebuild the
-///      catalog, population and DES configuration;
-///   2. one `{"t":..,"id":..,"item":..,"cls":..}` line per request, `t`
-///      being the *observed* arrival stamp (planned == observed on the
-///      virtual clock; wall-skewed in realtime mode);
-///   3. interleaved `{"d":"push"|"pull","t":..,"item":..,"n":..}` decision
-///      lines — the scheduler's transmission log, for humans and diff
-///      tools; replay derives decisions from the DES, not from these;
-///   4. a `{"requests":N,"decisions":M}` footer guarding truncation.
+/// Schema tags of the serve trace formats.
+///
+/// `sv1` (legacy, read-only): plain JSONL — a header line, request lines,
+/// decision lines, a count footer. Still loadable so pre-journal
+/// recordings replay unchanged.
+///
+/// `sv2` (written): the same payloads as length-prefixed framed records
+/// (see journal.hpp) forming a crash-consistent write-ahead journal:
+///   1. a header record carrying the full ServeConfig including the live
+///      failure model (deadlines, fault channel, retry policy, ladder,
+///      hedge/drain knobs) — everything replay and resume need;
+///   2. one `{"t":..,"id":..,"item":..,"cls":..}` record per request, `t`
+///      being the *observed* arrival stamp;
+///   3. interleaved decision records: `{"d":"push"|"pull",..}`
+///      transmissions, `{"d":"ladder","t":..,"from":..,"to":..}` overload
+///      ladder transitions, and `{"d":"drain","t":..,"n":skipped}` drain
+///      engagement;
+///   4. a sealing `{"requests":N,"decisions":M,...ledger}` footer carrying
+///      the conservation ledger.
 /// All numbers are rendered with obs::render_number, so recording the same
 /// accelerated run twice produces byte-identical files.
 inline constexpr std::string_view kServeTraceSchema = "sv1";
+inline constexpr std::string_view kServeJournalSchema = "sv2";
 
-/// Writes an sv1 stream. Single-writer by design: only the server thread
+/// Writes an sv2 journal. Single-writer by design: only the server thread
 /// records (arrivals at dispatch, decisions at transmission start), so
-/// lines never interleave.
+/// records never interleave. When constructed over a JournalFile the
+/// recorder fsyncs every `config.journal_sync_every` records (0 = only at
+/// seal); over a plain ostream it just writes (tests record into strings).
 class TraceRecorder {
  public:
-  /// Writes the header line immediately.
+  /// Writes the header record immediately.
   TraceRecorder(std::ostream& out, const ServeConfig& config);
+  /// Same, with fsync batching against the file.
+  TraceRecorder(JournalFile& file, const ServeConfig& config);
 
   void record_request(const workload::Request& request, double observed_time);
   void record_decision(bool push, double time, catalog::ItemId item,
                        std::size_t delivered);
+  /// Stamps an overload-ladder transition into the decision log.
+  void record_ladder(double time, int from, int to);
+  /// Stamps drain engagement (admission stopped; `skipped` planned
+  /// arrivals were never injected).
+  void record_drain(double time, std::uint64_t skipped);
 
-  /// Writes the footer. Idempotent; called by the destructor if needed.
+  /// Seals the journal: writes the footer with the conservation ledger and
+  /// syncs. Idempotent.
+  void seal(const ConservationLedger& ledger);
+
+  /// Seals with a zero ledger (legacy path / destructor safety net).
   void finish();
 
   ~TraceRecorder();
@@ -46,31 +69,59 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
  private:
+  void append(const std::string& payload);
+
   std::ostream* out_;
+  JournalFile* file_ = nullptr;
+  std::size_t sync_every_ = 0;
+  std::size_t since_sync_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t decisions_ = 0;
   bool finished_ = false;
 };
 
-/// A parsed sv1 file: the run's configuration plus its request log, sorted
-/// by (arrival, id) — realtime pacer threads can interleave posts, and
-/// workload::Trace requires sorted arrivals.
+/// A parsed serve trace: the run's configuration plus its request log,
+/// sorted by (arrival, id) — realtime pacer threads can interleave posts,
+/// and workload::Trace requires sorted arrivals.
 struct RecordedRun {
   ServeConfig config;
   std::vector<workload::Request> requests;
   std::uint64_t decisions = 0;
+  /// The sealed footer's conservation ledger (zero for sv1 files).
+  ConservationLedger ledger;
 
   [[nodiscard]] workload::Trace trace() const {
     return workload::Trace(requests);
   }
 };
 
-/// Parses an sv1 stream. Throws std::runtime_error naming the line on any
-/// malformed input: wrong schema, unparsable fields, a missing footer, or a
-/// footer count that disagrees with the lines actually present.
+/// Parses a complete serve trace (sv1 plain JSONL or sv2 framed journal —
+/// auto-detected). Throws std::runtime_error naming the record on any
+/// malformed input: wrong schema, unparsable fields, a missing footer,
+/// truncated framing, or a footer count that disagrees with the records
+/// actually present.
 [[nodiscard]] RecordedRun load_trace(std::istream& in);
 
 /// load_trace from a file path (std::runtime_error when unreadable).
 [[nodiscard]] RecordedRun load_trace_file(const std::string& path);
+
+/// Crash recovery: the longest valid prefix of a possibly truncated sv2
+/// journal. The header must be intact (recovery without the config is
+/// meaningless — std::runtime_error otherwise); everything after it is
+/// salvaged record by record until the first incomplete/garbled frame or
+/// unparsable payload.
+struct RecoveredRun {
+  RecordedRun run;
+  /// True when the sealing footer was present and consistent — i.e. the
+  /// journal is complete and `run` is the whole recording.
+  bool sealed = false;
+  /// Complete records salvaged (header included).
+  std::uint64_t records = 0;
+  /// Bytes of the valid prefix (what a repair would truncate the file to).
+  std::uint64_t bytes_consumed = 0;
+};
+
+[[nodiscard]] RecoveredRun recover_trace(std::istream& in);
+[[nodiscard]] RecoveredRun recover_trace_file(const std::string& path);
 
 }  // namespace pushpull::serve

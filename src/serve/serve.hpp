@@ -1,19 +1,29 @@
 #pragma once
 
-/// Live serving frontend (DESIGN §9): the layer that promotes the hybrid
-/// scheduler from a DES-driven model to an in-process async server.
+/// Live serving frontend (DESIGN §9–10): the layer that promotes the hybrid
+/// scheduler from a DES-driven model to an in-process async server, plus
+/// the live failure model (deadlines, retry/hedge, overload ladder,
+/// crash-consistent journaling, graceful drain).
 ///
 ///   clock.hpp            serve::Clock — the fenced time source (virtual +
 ///                        wall backends; wall reads only in clock.cpp)
 ///   completion_queue.hpp bounded MPSC queue feeding server ticks
-///   serve_config.hpp     one run's workload/scheduler/serving knobs
+///   serve_config.hpp     one run's workload/scheduler/serving knobs plus
+///                        the live failure model
 ///   load_driver.hpp      seeded open-loop load, planned upfront
-///   record.hpp           sv1 request/decision trace codec
+///   journal.hpp          sv2 framed journal: conservation ledger, length
+///                        prefixes, truncation-exact scanning, fsync sink
+///   record.hpp           sv1/sv2 trace codec + crash recovery
 ///   live_server.hpp      the completion-queue event loop around the
 ///                        HybridServer scheduling rules
-///   replay.hpp           recorded trace → deterministic DES, bit-exact
+///   replay.hpp           recorded trace → deterministic engine (DES or
+///                        live), bit-exact
+///   chaos.hpp            serve --resume / --chaos: journal recovery and
+///                        the seeded kill/recover/resume/replay harness
+#include "serve/chaos.hpp"             // IWYU pragma: export
 #include "serve/clock.hpp"             // IWYU pragma: export
 #include "serve/completion_queue.hpp"  // IWYU pragma: export
+#include "serve/journal.hpp"           // IWYU pragma: export
 #include "serve/live_server.hpp"       // IWYU pragma: export
 #include "serve/load_driver.hpp"       // IWYU pragma: export
 #include "serve/record.hpp"            // IWYU pragma: export

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "catalog/length_model.hpp"
+#include "metrics/float_compare.hpp"
 
 namespace pushpull::serve {
 
@@ -55,6 +56,60 @@ void ServeConfig::validate() const {
   if (queue_capacity == 0) {
     throw std::invalid_argument("ServeConfig: queue_capacity must be >= 1");
   }
+  if (!std::isfinite(mean_deadline)) {
+    throw std::invalid_argument("ServeConfig: mean_deadline must be finite");
+  }
+  if (!deadline_scale.empty() && deadline_scale.size() != num_classes) {
+    throw std::invalid_argument(
+        "ServeConfig: deadline_scale must be empty or carry one factor per "
+        "class (" + std::to_string(deadline_scale.size()) + " given, " +
+        std::to_string(num_classes) + " classes)");
+  }
+  for (const double s : deadline_scale) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw std::invalid_argument(
+          "ServeConfig: deadline_scale factors must be positive finite "
+          "numbers, got " + std::to_string(s));
+    }
+  }
+  if (!(deadline_spike_factor > 0.0) || !std::isfinite(deadline_spike_factor)) {
+    throw std::invalid_argument(
+        "ServeConfig: deadline_spike_factor must be a positive finite "
+        "number");
+  }
+  if (deadline_spike_start < 0.0 || !std::isfinite(deadline_spike_start) ||
+      deadline_spike_duration < 0.0 ||
+      !std::isfinite(deadline_spike_duration)) {
+    throw std::invalid_argument(
+        "ServeConfig: deadline spike start/duration must be non-negative "
+        "finite numbers");
+  }
+  fault.validate();
+  overload.validate();
+  if (hedge_after < 0.0 || !std::isfinite(hedge_after)) {
+    throw std::invalid_argument(
+        "ServeConfig: hedge_after must be a non-negative finite number");
+  }
+  if (drain_after < 0.0 || !std::isfinite(drain_after)) {
+    throw std::invalid_argument(
+        "ServeConfig: drain_after must be a non-negative finite number");
+  }
+}
+
+bool ServeConfig::robust() const noexcept {
+  return mean_deadline > 0.0 || !deadline_scale.empty() ||
+         deadline_spike_enabled() || fault.active() || overload.enabled ||
+         hedge_after > 0.0 || drain_after > 0.0;
+}
+
+bool ServeConfig::des_mappable() const noexcept {
+  if (fault.active() || overload.enabled) return false;
+  if (hedge_after > 0.0 || drain_after > 0.0) return false;
+  if (deadline_spike_enabled()) return false;
+  for (const double s : deadline_scale) {
+    if (!metrics::exactly_equal(s, 1.0)) return false;
+  }
+  return true;
 }
 
 core::HybridConfig ServeConfig::hybrid() const {
@@ -64,6 +119,9 @@ core::HybridConfig ServeConfig::hybrid() const {
   config.pull_policy = pull_policy;
   config.push_policy = push_policy;
   config.mean_bandwidth_demand = mean_bandwidth_demand;
+  config.mean_patience = mean_deadline > 0.0 ? mean_deadline : 0.0;
+  config.fault = fault;
+  config.resilience.overload = overload;
   config.seed = seed;
   return config;
 }

@@ -2,9 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "catalog/catalog.hpp"
 #include "core/config.hpp"
+#include "fault/fault_config.hpp"
+#include "metrics/float_compare.hpp"
+#include "resilience/overload.hpp"
 #include "sched/pull/policy.hpp"
 #include "sched/push/push_scheduler.hpp"
 #include "workload/population.hpp"
@@ -13,13 +17,19 @@ namespace pushpull::serve {
 
 /// Everything one live serving run needs: the workload universe (the §5.1
 /// scenario parameters, so the live server and the DES speak the same
-/// catalog), the scheduler knobs, and the serving-specific execution knobs.
+/// catalog), the scheduler knobs, the serving-specific execution knobs,
+/// and the live failure model (DESIGN §10).
 ///
-/// The struct deliberately exposes only the *deterministic* subset of
-/// core::HybridConfig — no fault injection, crashes, ladder or impatience.
-/// Those layers are DES-only for now; keeping them out of the live path is
-/// what lets an accelerated run's per-class statistics match its own DES
-/// replay bit-for-bit (the differential test in tests/test_serve.cpp).
+/// Robustness defaults are inert: with deadlines, faults, the ladder,
+/// hedging and drain all off, the live loop derives no extra streams and
+/// schedules no timers, so an accelerated run's per-class statistics match
+/// its own DES replay bit-for-bit (the differential test in
+/// tests/test_serve.cpp). With only `mean_deadline` enabled the run is
+/// still DES-mappable — deadlines mirror the DES impatience model draw
+/// for draw. Per-class deadline scales, the deadline spike, faults, the
+/// ladder and hedging are live-engine territory: `pushpull replay` then
+/// re-runs the trace through the deterministic accelerated LiveServer
+/// instead of the DES (see des_mappable()).
 struct ServeConfig {
   // --- workload universe (mirrors exp::Scenario) --------------------------
   std::size_t num_items = 100;
@@ -61,13 +71,74 @@ struct ServeConfig {
   /// Completion-queue bound; a full queue backpressures the pacers.
   std::size_t queue_capacity = 1024;
 
+  // --- robustness (live failure model, DESIGN §10) ------------------------
+  /// Mean of the exponential per-request deadline in broadcast units (the
+  /// client's patience, drawn from the seeded "patience" stream at arm
+  /// time exactly as the DES impatience model does). <= 0 disables
+  /// deadlines: no stream is derived and no timer is armed.
+  double mean_deadline = 0.0;
+  /// Per-class multipliers on each deadline draw; empty = all 1.0. Any
+  /// factor != 1 breaks the DES impatience mapping (live-engine replay).
+  std::vector<double> deadline_scale;
+  /// Deadline-tightening spike (chaos): draws armed inside
+  /// [spike_start, spike_start + spike_duration) are multiplied by
+  /// `deadline_spike_factor`. factor == 1 or duration <= 0 disables.
+  double deadline_spike_factor = 1.0;
+  double deadline_spike_start = 0.0;
+  double deadline_spike_duration = 0.0;
+  /// Burst-error downlink, bounded pull queue with shedding, and the
+  /// bounded-exponential-backoff retry policy — the same fault::FaultConfig
+  /// the DES consumes, applied to the live loop. Defaults are inert.
+  fault::FaultConfig fault;
+  /// Overload degradation ladder (shed-low → widen-push →
+  /// admission-control → brownout); transitions are stamped into the sv2
+  /// decision log. Defaults off.
+  resilience::OverloadConfig overload;
+  /// Hedged re-request: a pull request still queued this many broadcast
+  /// units after admission posts a duplicate (synthetic id) into its
+  /// item's queue entry, boosting the entry's aggregate importance so the
+  /// scheduler reaches it sooner. <= 0 disables.
+  double hedge_after = 0.0;
+  /// Test hook: stop admission at this serve-time instant and drain
+  /// (flush the pull queue, seal the journal, report the conservation
+  /// ledger). SIGTERM triggers the same path in realtime mode. <= 0
+  /// disables.
+  double drain_after = 0.0;
+  /// v2 journal: fsync after this many appended records when recording to
+  /// a file-backed JournalFile (0 = sync only at seal).
+  std::size_t journal_sync_every = 64;
+
   /// Rejects unusable values (zero counts/capacity, non-positive duration,
-  /// target_qps, time_scale or lengths, cutoff beyond the catalog) with a
-  /// std::invalid_argument naming the offending field.
+  /// target_qps, time_scale or lengths, cutoff beyond the catalog, bad
+  /// deadline/fault/ladder/hedge parameters) with a std::invalid_argument
+  /// naming the offending field.
   void validate() const;
 
+  /// Deadline multiplier for a class (1.0 when deadline_scale is empty).
+  [[nodiscard]] double deadline_scale_for(std::size_t cls) const noexcept {
+    return cls < deadline_scale.size() ? deadline_scale[cls] : 1.0;
+  }
+
+  /// True when the deadline-tightening spike can fire.
+  [[nodiscard]] bool deadline_spike_enabled() const noexcept {
+    return !metrics::exactly_equal(deadline_spike_factor, 1.0) &&
+           deadline_spike_duration > 0.0;
+  }
+
+  /// True when any live robustness mechanism is on (deadlines, faults,
+  /// ladder, hedging or drain) — the header then carries the v2 fields.
+  [[nodiscard]] bool robust() const noexcept;
+
+  /// True when a recorded run of this config can be replayed through the
+  /// DES bit-for-bit: only mechanisms with an exact DES mirror are active
+  /// (plain uniform deadlines map to mean_patience; per-class scales,
+  /// spike, faults, ladder and hedging do not). Non-mappable traces replay
+  /// through the deterministic accelerated LiveServer instead.
+  [[nodiscard]] bool des_mappable() const noexcept;
+
   /// The equivalent DES configuration — what `pushpull replay` runs a
-  /// recorded trace through. Fault/resilience layers stay default-inert.
+  /// DES-mappable recorded trace through. mean_deadline maps to
+  /// mean_patience; fault/overload are forwarded verbatim.
   [[nodiscard]] core::HybridConfig hybrid() const;
 
   /// Materializes the catalog exactly as exp::Scenario::build would

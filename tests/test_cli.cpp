@@ -64,9 +64,26 @@ TEST(ArgParser, RejectsBareDoubleDash) {
   EXPECT_THROW(ArgParser(2, argv.data()), std::invalid_argument);
 }
 
-TEST(ArgParser, LastValueWinsOnRepeat) {
-  const auto args = parse({"--theta", "0.2", "--theta", "0.9"});
-  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 0.9);
+TEST(ArgParser, RejectsRepeatedOption) {
+  // Silently keeping either occurrence would reproduce the wrong run;
+  // the diagnostic must name the offending flag.
+  try {
+    (void)parse({"--theta", "0.2", "--theta", "0.9"});
+    FAIL() << "duplicate --theta accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--theta"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, RejectsRepeatedBooleanFlag) {
+  EXPECT_THROW((void)parse({"--csv", "--csv"}), std::logic_error);
+}
+
+TEST(ArgParser, RepeatCheckDistinguishesFlags) {
+  // Different flags never collide — only true repeats are rejected.
+  const auto args = parse({"--theta", "0.2", "--alpha", "0.9"});
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.9);
 }
 
 TEST(ArgParser, NegativeNumbersAsValues) {

@@ -138,7 +138,7 @@ TEST(ObsConfig, ValidatesCapacityAndMask) {
   EXPECT_THROW(zero_cap.validate(), std::logic_error);
 
   obs::ObsConfig bad_mask;
-  bad_mask.categories = 0x100u;  // outside kAllCategories
+  bad_mask.categories = 0x400u;  // outside kAllCategories
   EXPECT_THROW(bad_mask.validate(), std::logic_error);
 }
 

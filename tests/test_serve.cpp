@@ -427,22 +427,37 @@ TEST(TraceLoader, RejectsWrongSchema) {
 
 TEST(TraceLoader, RejectsTruncatedRecording) {
   const AcceleratedRun recorded = run_accelerated(small_config());
-  // Drop the footer (the last line).
-  const std::size_t cut =
-      recorded.trace.rfind('{', recorded.trace.size() - 2);
-  ASSERT_NE(cut, std::string::npos);
-  std::istringstream in(recorded.trace.substr(0, cut));
+  // Drop the sealing footer record (the journal is framed — splice at a
+  // record boundary so only the *seal* is missing, not the framing).
+  std::istringstream scan_in(recorded.trace);
+  const JournalScan scan = scan_journal(scan_in);
+  ASSERT_FALSE(scan.truncated);
+  ASSERT_GE(scan.payloads.size(), 2u);
+  std::string unsealed;
+  for (std::size_t i = 0; i + 1 < scan.payloads.size(); ++i) {
+    unsealed += frame_record(scan.payloads[i]);
+  }
+  std::istringstream in(unsealed);
   EXPECT_THROW((void)load_trace(in), std::runtime_error);
 }
 
 TEST(TraceLoader, RejectsFooterCountMismatch) {
   const AcceleratedRun recorded = run_accelerated(small_config());
-  // Remove one request line; the footer now over-counts.
-  const std::size_t first_req = recorded.trace.find("\n{\"t\":");
-  ASSERT_NE(first_req, std::string::npos);
-  const std::size_t next = recorded.trace.find('\n', first_req + 1);
-  std::string spliced = recorded.trace;
-  spliced.erase(first_req, next - first_req);
+  // Remove one framed request record; the footer now over-counts.
+  std::istringstream scan_in(recorded.trace);
+  const JournalScan scan = scan_journal(scan_in);
+  ASSERT_FALSE(scan.truncated);
+  std::string spliced;
+  bool removed = false;
+  for (const std::string& payload : scan.payloads) {
+    if (!removed && payload.rfind("{\"t\":", 0) == 0 &&
+        payload.find("\"id\":") != std::string::npos) {
+      removed = true;
+      continue;
+    }
+    spliced += frame_record(payload);
+  }
+  ASSERT_TRUE(removed);
   std::istringstream in(spliced);
   EXPECT_THROW((void)load_trace(in), std::runtime_error);
 }

@@ -14,6 +14,8 @@
 // injection (`--fault*`, `--queue-cap`, `--shed`) applies wherever the
 // hybrid server runs, and `--trace FILE` records a deterministic sim-time
 // event trace (JSONL) wherever it does; see `pushpull help`.
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -38,6 +40,7 @@
 #include "obs/category.hpp"
 #include "obs/config.hpp"
 #include "obs/export.hpp"
+#include "obs/observer.hpp"
 #include "obs/trace.hpp"
 #include "resilience/invariants.hpp"
 #include "resilience/resilience_config.hpp"
@@ -719,12 +722,47 @@ int cmd_trace(const exp::ArgParser& args) {
 // Options understood by serve_config_from — the live-serving analogue of
 // kScenarioOpts/kConfigOpts. Execution knobs (--accelerated, --time-scale,
 // --pacers, --queue-capacity) live here too so serve and loadtest share one
-// builder.
+// builder. The fault/ladder flags reuse the simulate/replicate spellings.
 const std::initializer_list<std::string_view> kServeOpts = {
     "items",        "theta",      "classes", "cutoff",
     "alpha",        "policy",     "demand",  "duration",
     "target-qps",   "seed",       "accelerated", "time-scale",
-    "pacers",       "queue-capacity"};
+    "pacers",       "queue-capacity",
+    "mean-deadline", "deadline-scale", "deadline-spike-factor",
+    "deadline-spike-start", "deadline-spike-duration",
+    "fault", "fault-p-gb", "fault-p-bg", "fault-corrupt-good",
+    "fault-corrupt-bad", "fault-retries", "fault-backoff",
+    "fault-backoff-mult", "queue-cap", "shed",
+    "ladder", "ladder-interval", "ladder-capacity", "ladder-cutoff-step",
+    "hedge-after", "drain-after", "sync-every"};
+
+std::vector<double> parse_csv_doubles(const std::string& key,
+                                      const std::string& csv) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    std::size_t pos = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(token, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != token.size()) {
+      throw std::invalid_argument(
+          "--" + key + " expects a comma-separated list of numbers, got '" +
+          token + "'");
+    }
+    out.push_back(parsed);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 serve::ServeConfig serve_config_from(const exp::ArgParser& args) {
   serve::ServeConfig c;
@@ -744,15 +782,47 @@ serve::ServeConfig serve_config_from(const exp::ArgParser& args) {
       static_cast<std::size_t>(args.get_positive_u64("pacers", c.pacers));
   c.queue_capacity = static_cast<std::size_t>(
       args.get_positive_u64("queue-capacity", c.queue_capacity));
+  // Live failure model (DESIGN §10).
+  c.mean_deadline = args.get_double("mean-deadline", c.mean_deadline);
+  const std::string scales = args.get_string("deadline-scale", "");
+  if (!scales.empty()) {
+    c.deadline_scale = parse_csv_doubles("deadline-scale", scales);
+  }
+  c.deadline_spike_factor =
+      args.get_double("deadline-spike-factor", c.deadline_spike_factor);
+  c.deadline_spike_start =
+      args.get_double("deadline-spike-start", c.deadline_spike_start);
+  c.deadline_spike_duration =
+      args.get_double("deadline-spike-duration", c.deadline_spike_duration);
+  c.fault = fault_from(args);
+  c.overload.enabled = args.has("ladder");
+  c.overload.eval_interval =
+      args.get_double("ladder-interval", c.overload.eval_interval);
+  c.overload.capacity_ref =
+      args.get_size("ladder-capacity", c.overload.capacity_ref);
+  c.overload.cutoff_step =
+      args.get_size("ladder-cutoff-step", c.overload.cutoff_step);
+  c.hedge_after = args.get_double("hedge-after", c.hedge_after);
+  c.drain_after = args.get_double("drain-after", c.drain_after);
+  c.journal_sync_every = args.get_size("sync-every", c.journal_sync_every);
   c.validate();
   return c;
 }
 
+// SIGTERM target of `pushpull serve`: the handler only flips the flag; the
+// realtime loop polls it and runs the graceful drain (stop admission,
+// flush the pull side, seal the journal with the conservation ledger).
+std::atomic<bool> g_drain_requested{false};
+
+extern "C" void on_sigterm(int) { g_drain_requested.store(true); }
+
 // Shared body of `pushpull serve` and `pushpull loadtest`: build (or load)
 // the plan, run the live server on the virtual or wall clock, print the
-// deterministic report, optionally recording an sv1 trace for replay.
+// deterministic report, optionally recording a crash-consistent sv2
+// journal for replay/resume.
 int run_live(serve::ServeConfig config, const std::string& record_path,
-             const std::string& from_trace, const char* cmd) {
+             const std::string& from_trace, const char* cmd,
+             const exp::ArgParser& args) {
   std::optional<serve::RecordedRun> recorded;
   if (!from_trace.empty()) {
     recorded = serve::load_trace_file(from_trace);
@@ -773,23 +843,33 @@ int run_live(serve::ServeConfig config, const std::string& record_path,
                : serve::LoadDriver(cat, pop, config.target_qps,
                                    config.duration, config.seed);
 
-  std::ofstream record_file;
+  std::optional<serve::JournalFile> journal;
   std::optional<serve::TraceRecorder> recorder;
   if (!record_path.empty()) {
-    record_file.open(record_path);
-    if (!record_file) {
-      std::cerr << cmd << ": cannot open " << record_path << "\n";
+    try {
+      journal.emplace(record_path);
+    } catch (const std::exception& e) {
+      std::cerr << cmd << ": " << e.what() << "\n";
       return 2;
     }
-    recorder.emplace(record_file, config);
+    recorder.emplace(*journal, config);
   }
   serve::TraceRecorder* rec = recorder ? &*recorder : nullptr;
 
+  const obs::ObsConfig obs_config = obs_from(args);
+  std::optional<obs::RunObserver> observer;
+
   serve::LiveServer server(cat, pop, config);
+  if (obs_config.enabled) {
+    observer.emplace(obs_config, config.num_classes);
+    server.set_tracer(observer->tracer());
+  }
   serve::ServeReport report;
   if (config.accelerated) {
     report = server.run_accelerated(driver, rec);
   } else {
+    server.set_drain_flag(&g_drain_requested);
+    (void)std::signal(SIGTERM, on_sigterm);
     const auto clock = serve::make_wall_clock(config.time_scale);
     serve::CompletionQueue queue(config.queue_capacity);
     const std::uint64_t planned = driver.plan().size();
@@ -809,29 +889,89 @@ int run_live(serve::ServeConfig config, const std::string& record_path,
   if (recorder) recorder->finish();
   std::cout << serve::render_serve_report(report);
   if (!record_path.empty()) {
-    std::cout << "recorded " << driver.plan().size() << " requests to "
+    std::cout << "journaled " << report.arrivals << " requests to "
               << record_path << "\n";
   }
+  if (observer) {
+    const int rc =
+        write_trace_file(args.get_string("trace", ""), observer->report(),
+                         cmd);
+    if (rc != 0) return rc;
+  }
   return 0;
+}
+
+// `pushpull serve --resume CRASHED.svj`: salvage the longest valid prefix
+// of a truncated journal, deterministically re-run it (optionally
+// re-journaling into --record FILE, sealed this time), and report.
+int cmd_serve_resume(const exp::ArgParser& args) {
+  args.require_known({"resume", "record"});
+  const std::string in = args.get_string("resume", "");
+  if (in.empty()) {
+    std::cerr << "serve: --resume needs the crashed journal path "
+                 "(pushpull serve --resume FILE [--record OUT])\n";
+    return 2;
+  }
+  const serve::ResumeResult resume =
+      serve::resume_from_journal(in, args.get_string("record", ""));
+  std::cout << "{\"schema\":\"resume1\",\"records\":"
+            << resume.recovered.records << ",\"requests\":"
+            << resume.recovered.run.requests.size() << ",\"bytes_consumed\":"
+            << resume.recovered.bytes_consumed << ",\"sealed\":"
+            << (resume.recovered.sealed ? "true" : "false") << "}\n";
+  std::cout << serve::render_serve_report(resume.report);
+  return 0;
+}
+
+// `pushpull serve --chaos`: the seeded kill/recover/resume/replay harness
+// over the full failure cocktail. Exit 1 when any replication fails the
+// bit-exact replay check.
+int cmd_serve_chaos(const exp::ArgParser& args) {
+  args.require_known(kServeOpts, {"chaos", "reps", "dir", "out"});
+  serve::ServeConfig config = serve::chaos_profile(serve_config_from(args));
+  config.accelerated = true;
+  config.validate();
+  serve::ChaosOptions options;
+  options.replications =
+      static_cast<std::size_t>(args.get_positive_u64("reps", 5));
+  options.scratch_dir = args.get_string("dir", ".");
+  const serve::ChaosReport report = serve::run_chaos(config, options);
+  const std::string rendered = serve::render_chaos_report(report);
+  const std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "serve: cannot open " << out << "\n";
+      return 2;
+    }
+    file << rendered;
+  }
+  std::cout << rendered;
+  return report.all_exact() ? 0 : 1;
 }
 
 int cmd_serve(const exp::ArgParser& args) {
   // Wall-clock serving: the load driver paces arrivals in real time
   // (scaled by --time-scale) and the server completes slots as the wall
   // passes their logical ends. For the deterministic fast path use
-  // `pushpull loadtest --accelerated`.
-  args.require_known(kServeOpts, {"record", "from-trace"});
+  // `pushpull loadtest --accelerated`. SIGTERM (or --drain-after) drains
+  // gracefully instead of killing the run.
+  if (args.has("resume")) return cmd_serve_resume(args);
+  if (args.has("chaos")) return cmd_serve_chaos(args);
+  args.require_known(kServeOpts, {"record", "from-trace", "trace",
+                                  "trace-categories", "trace-cap"});
   serve::ServeConfig config = serve_config_from(args);
   config.accelerated = false;
   return run_live(config, args.get_string("record", ""),
-                  args.get_string("from-trace", ""), "serve");
+                  args.get_string("from-trace", ""), "serve", args);
 }
 
 int cmd_loadtest(const exp::ArgParser& args) {
-  args.require_known(kServeOpts, {"record", "from-trace"});
+  args.require_known(kServeOpts, {"record", "from-trace", "trace",
+                                  "trace-categories", "trace-cap"});
   const serve::ServeConfig config = serve_config_from(args);
   return run_live(config, args.get_string("record", ""),
-                  args.get_string("from-trace", ""), "loadtest");
+                  args.get_string("from-trace", ""), "loadtest", args);
 }
 
 int cmd_replay(const exp::ArgParser& args) {
@@ -882,13 +1022,20 @@ commands:
                spike over N replications, with a machine-verified invariant
                suite (exit 1 on any violation)
   serve        run the live completion-queue server against paced open-loop
-               load on the wall clock (--time-scale X fast-forwards)
+               load on the wall clock (--time-scale X fast-forwards).
+               SIGTERM or --drain-after T drains gracefully: admission
+               stops, the pull side flushes, the journal seals with the
+               conservation ledger. `serve --resume FILE` recovers a
+               crashed journal; `serve --chaos` runs the kill/recover/
+               resume/replay harness (exit 1 on any replay mismatch)
   loadtest     measurement run of the live server; --accelerated drives the
                identical event loop on a virtual clock (fast, seeded,
-               bit-reproducible), --record FILE captures an sv1 trace
-  replay       feed a recorded sv1 trace back through the deterministic DES
-               core (pushpull replay TRACE.jsonl [--reps R] [--jobs N]);
-               rep 0 re-runs the recorded seed bit-exactly
+               bit-reproducible), --record FILE captures an sv2 journal
+  replay       feed a recorded trace back through a deterministic engine
+               (pushpull replay TRACE [--reps R] [--jobs N]): the DES core
+               when the config has an exact DES mirror, the accelerated
+               live engine otherwise; rep 0 re-runs the recorded seed
+               bit-exactly
   trace        record the scenario's request trace to CSV (--out FILE)
                and/or run the hybrid server with full observability and
                write the sim-time event trace as JSONL (--trace FILE)
@@ -964,8 +1111,10 @@ live serving (serve / loadtest / replay):
                requests exist
   --queue-capacity N   completion-queue bound; a full queue backpressures
                the pacers (default 1024)
-  --record FILE    write the run as an sv1 JSONL trace (header + requests +
-               decisions + footer) — the input to `pushpull replay`
+  --record FILE    write the run as a crash-consistent sv2 journal (framed
+               header + requests + decisions + sealed ledger footer) — the
+               input to `pushpull replay` and `serve --resume`; sv1 JSONL
+               traces from older builds still load
   --from-trace FILE    re-offer a recorded trace as the load plan instead of
                synthesizing one (workload + scheduler come from the file)
   --classes N  service classes in the synthesized population (default 3)
@@ -974,6 +1123,38 @@ live serving (serve / loadtest / replay):
                the server seed; merged in rep order so --jobs N never
                changes the bytes
   --out FILE   (replay) also write the report to FILE
+
+live failure model (serve / loadtest; defaults inert):
+  --mean-deadline T    mean exponential per-request deadline in broadcast
+               units, drawn from the seeded patience stream (0 = off)
+  --deadline-scale CSV     per-class multipliers on each deadline draw
+               (e.g. 2.0,1.0,0.5: premium classes wait longer)
+  --deadline-spike-factor F --deadline-spike-start T
+  --deadline-spike-duration W   chaos: deadlines drawn in [T, T+W) are
+               multiplied by F (F < 1 tightens them)
+  --fault* / --queue-cap / --shed   the simulate/replicate fault layer,
+               applied to the live loop (burst errors, bounded retries,
+               bounded queue with shedding)
+  --ladder*    the overload degradation ladder; transitions are stamped
+               into the journal decision log
+  --hedge-after T  hedge a pull request still queued after T units: post a
+               duplicate into its item entry to boost its priority
+  --drain-after T  stop admission at serve time T and drain (what SIGTERM
+               does on the wall clock)
+  --sync-every N   fsync the journal every N records (default 64; 0 = only
+               at seal)
+
+serve --resume / --chaos:
+  --resume FILE    salvage the longest valid prefix of a truncated journal,
+               re-run it deterministically, print the recovery summary +
+               report (--record OUT re-journals the run, sealed)
+  --chaos      seeded kill/recover/resume/replay harness over the full
+               failure cocktail (deadlines + spike + burst errors + ladder);
+               per rep: journal a run, truncate at a random offset, resume,
+               replay, compare per-class stats bit-for-bit
+  --reps R     (--chaos) replications (default 5)
+  --dir DIR    (--chaos) where per-rep journal artifacts land (default .)
+  --out FILE   (--chaos) also write the chaos report to FILE
 
 chaos options:
   --reps R     replications (default 16; merged in index order, so --jobs N
