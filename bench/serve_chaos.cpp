@@ -150,7 +150,8 @@ int main(int argc, char** argv) {
         << ", \"timed_out\": " << r.timed_out
         << ", \"retries\": " << r.retries << ", \"shed\": " << r.shed
         << ", \"lost\": " << r.lost << ", \"rejected\": " << r.rejected
-        << ", \"max_overload_level\": " << r.max_overload_level
+        << ", \"max_overload_level\": "
+        << static_cast<int>(r.max_overload_level)
         << ", \"ladder_transitions\": " << r.ladder_transitions
         << ", \"qos_ordered\": " << (p.qos_ordered ? "true" : "false")
         << ", \"classes\": [";

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/sched_rules.hpp"
 #include "resilience/crash.hpp"
 #include "resilience/snapshot.hpp"
 #include "rng/exponential.hpp"
@@ -59,15 +60,6 @@ HybridServer::HybridServer(const catalog::Catalog& cat,
     bandwidth_ = BandwidthManager(config_.total_bandwidth, std::move(fractions));
   }
   push_waiters_.resize(cat.size());
-}
-
-workload::ClassId HybridServer::owning_class(
-    const sched::PullEntry& entry) noexcept {
-  workload::ClassId best = entry.pending.front().cls;
-  for (const auto& r : entry.pending) {
-    if (r.cls < best) best = r.cls;
-  }
-  return best;
 }
 
 void HybridServer::note_queue_len() {
@@ -238,17 +230,19 @@ void HybridServer::on_pull_corrupted(const sched::PullEntry& entry) {
 }
 
 void HybridServer::deliver(const workload::Request& request, bool via_push) {
+  const double now = sim_.now();
   if (obs_) {
     if (via_push) {
       ++obs_->counters.server_served_push;
     } else {
       ++obs_->counters.server_served_pull;
     }
-    obs_->note_response(request.cls, sim_.now() - request.arrival);
+    obs_->note_response(request.cls, now - request.arrival);
   }
   if (measured(request)) {
-    collector_->record_served(request.cls, sim_.now() - request.arrival,
-                              via_push);
+    // parity:begin(deliver-at-end, request=r)
+    sched_rules::record_delivery(*collector_, request, now, via_push);
+    // parity:end
   }
   settle_one();
 }
@@ -306,23 +300,27 @@ void HybridServer::serve_next(bool just_did_push) {
     server_busy_ = false;
     return;
   }
+  const double now = sim_.now();
   if (effective_cutoff() == 0) {
     if (pull_queue_.empty()) {
       server_busy_ = false;  // idle until the next pull arrival wakes us
       return;
     }
-    start_pull();
+    start_pull(now);
     return;
   }
+  // parity:begin(push-pull-alternation)
   // Strict alternation: one pull opportunity after every push.
   if (just_did_push && !pull_queue_.empty()) {
-    start_pull();
+    start_pull(now);
   } else {
-    start_push();
+    start_push(now);
   }
+  // parity:end
 }
 
-void HybridServer::start_push() {
+void HybridServer::start_push(double now) {
+  // parity:begin(catch-at-start, disarm_patience=disarm_deadline)
   const catalog::ItemId item = push_sched_->next();
   // Only clients already waiting when the transmission starts catch it;
   // arrivals during the airtime wait for the next replica.
@@ -330,8 +328,9 @@ void HybridServer::start_push() {
   push_waiters_[item].clear();
   // Once the item is on air, the waiting clients are committed to it.
   for (const auto& r : catching) disarm_patience(r.id);
-  trace_.emit<obs::Category::kPush>(sim_.now(), "tx_start", item,
-                                    catching.size(), catalog_->length(item));
+  // parity:end
+  trace_.emit<obs::Category::kPush>(now, "tx_start", item, catching.size(),
+                                    catalog_->length(item));
   if (crash_active_) inflight_push_ = InFlightPush{item, catching};
   const std::uint64_t epoch = server_epoch_;
   sim_.schedule_in(
@@ -359,7 +358,10 @@ void HybridServer::start_push() {
           if (obs_) ++obs_->counters.fault_corrupt_push;
           trace_.emit<obs::Category::kFault>(sim_.now(), "corrupt_push", item,
                                              catching.size());
-          const bool still_broadcast = item < effective_cutoff();
+          // parity:begin(corrupt-repark)
+          const bool still_broadcast =
+              sched_rules::repark_after_corruption(item, effective_cutoff());
+          // parity:end
           for (const auto& r : catching) {
             if (measured(r)) collector_->record_corrupted(r.cls);
             if (still_broadcast) {
@@ -376,13 +378,13 @@ void HybridServer::start_push() {
       });
 }
 
-void HybridServer::start_pull() {
+void HybridServer::start_pull(double now) {
   note_queue_len();
-  const des::SimTime now = sim_.now();
+  // parity:begin(pull-priority-context)
   sched::PullContext ctx;
   ctx.now = now;
-  ctx.expected_queue_len =
-      now > 0.0 ? queue_len_area_ / now : 1.0;
+  ctx.expected_queue_len = now > 0.0 ? queue_len_area_ / now : 1.0;
+  // parity:end
   auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
   if (!entry.has_value()) {
     throw std::logic_error(
@@ -399,7 +401,7 @@ void HybridServer::start_pull() {
                             ? static_cast<double>(rng::poisson(
                                   demand_eng_, config_.mean_bandwidth_demand))
                             : 0.0;
-  const workload::ClassId cls = owning_class(*entry);
+  const workload::ClassId cls = sched_rules::owning_class(*entry);
   const bool admitted = bandwidth_.try_acquire(cls, demand);
   if (config_.resilience.overload.enabled) {
     const double alpha = config_.resilience.overload.ewma_alpha;
@@ -453,36 +455,32 @@ void HybridServer::start_pull() {
                    });
 }
 
+// parity:begin(cutoff-boost, HybridServer=LiveServer)
 std::size_t HybridServer::effective_cutoff() const noexcept {
-  return std::min(config_.cutoff + cutoff_boost_, catalog_->size());
+  return sched_rules::effective_cutoff(config_.cutoff, cutoff_boost_,
+                                       catalog_->size());
 }
+// parity:end
 
+// parity:begin(overload-soft-cap, HybridServer=LiveServer)
 std::size_t HybridServer::effective_queue_capacity() const noexcept {
-  if (config_.fault.queue_capacity > 0) return config_.fault.queue_capacity;
-  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
-    return config_.resilience.overload.capacity_ref;  // ladder soft cap
-  }
-  return 0;
+  return sched_rules::effective_queue_capacity(overload_.level(),
+                                               config_.fault.queue_capacity,
+                                               overload_config().capacity_ref);
 }
 
 fault::ShedPolicy HybridServer::effective_shed_policy() const noexcept {
-  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
-    return fault::ShedPolicy::kDropLowestPriority;
-  }
-  return config_.fault.shed_policy;
+  return sched_rules::effective_shed_policy(overload_.level(),
+                                            config_.fault.shed_policy);
 }
+// parity:end
 
+// parity:begin(uplink-admission, HybridServer=LiveServer)
 bool HybridServer::uplink_rejected(workload::ClassId cls) const noexcept {
-  const std::size_t classes = population_->num_classes();
-  if (classes < 2) return false;  // never starve a single-class population
-  if (overload_.level() >= resilience::OverloadLevel::kBrownout) {
-    return cls >= 1;  // only the most important class is admitted
-  }
-  if (overload_.level() >= resilience::OverloadLevel::kAdmissionControl) {
-    return cls == classes - 1;
-  }
-  return false;
+  return sched_rules::uplink_rejected(overload_.level(), cls,
+                                      population_->num_classes());
 }
+// parity:end
 
 void HybridServer::on_crash() {
   if (settled_ == to_settle_) return;  // the run already drained
@@ -611,24 +609,13 @@ void HybridServer::take_snapshot() {
 
 void HybridServer::evaluate_overload() {
   if (settled_ == to_settle_) return;
-  const std::size_t cap = config_.fault.queue_capacity > 0
-                              ? config_.fault.queue_capacity
-                              : config_.resilience.overload.capacity_ref;
-  // Requests the widen-push boost parked out of the pull queue are still
-  // the ladder's backlog until delivered. Excluding them makes the
-  // controller oscillate: widening empties the queue, the next eval sees
-  // zero occupancy and de-escalates, the shrink refills the queue, and the
-  // flip-flop (which also restarts the push program each time) can starve
-  // the de-widened items forever when no patience timer reaps them.
-  std::size_t boosted_backlog = 0;
-  for (std::size_t item = config_.cutoff; item < effective_cutoff(); ++item) {
-    boosted_backlog += push_waiters_[item].size();
-  }
-  const double occupancy =
-      static_cast<double>(pull_queue_.total_requests() + boosted_backlog) /
-      static_cast<double>(cap);
-  double worst_ewma = 0.0;
-  for (const double e : blocking_ewma_) worst_ewma = std::max(worst_ewma, e);
+  // parity:begin(ladder-occupancy)
+  const double occupancy = sched_rules::ladder_occupancy(
+      pull_queue_.total_requests(), push_waiters_, config_.cutoff,
+      effective_cutoff(), config_.fault.queue_capacity,
+      overload_config().capacity_ref);
+  const double worst_ewma = sched_rules::worst_blocking_ewma(blocking_ewma_);
+  // parity:end
   const resilience::OverloadLevel before = overload_.level();
   const resilience::OverloadLevel after =
       obs_ ? overload_.update(sim_.now(), occupancy, worst_ewma, trace_)
@@ -827,8 +814,9 @@ SimResult HybridServer::run(const workload::Trace& trace) {
   result.storm_rerequests = storm_rerequests_;
   result.largest_storm = largest_storm_;
   result.recovery_latency = recovery_latency_;
-  result.overload_transitions = overload_.transitions();
-  result.max_overload_level = overload_.max_level();
+  // parity:begin(overload-transition-export, result=report)
+  sched_rules::export_overload(result, overload_);
+  // parity:end
   result.event_order_violations = sim_.order_violations();
   return result;
 }

@@ -94,8 +94,8 @@ class HybridServer {
 
   void on_arrival(const workload::Request& request);
   void serve_next(bool just_did_push);
-  void start_push();
-  void start_pull();
+  void start_push(double now);
+  void start_pull(double now);
   void deliver(const workload::Request& request, bool via_push);
   void settle_one();
   void note_queue_len();
@@ -132,6 +132,13 @@ class HybridServer {
   [[nodiscard]] fault::ShedPolicy effective_shed_policy() const noexcept;
   /// True when the ladder's admission control refuses this class.
   [[nodiscard]] bool uplink_rejected(workload::ClassId cls) const noexcept;
+  /// The ladder's configuration block (the live engine keeps it at a
+  /// different config path; this accessor is what lets the parity regions
+  /// stay token-identical).
+  [[nodiscard]] const resilience::OverloadConfig& overload_config()
+      const noexcept {
+    return config_.resilience.overload;
+  }
 
   /// The server dies: void the in-flight transmission, wipe (cold) or
   /// restore (warm) the queue, storm the lost clients, schedule recovery.
@@ -153,11 +160,6 @@ class HybridServer {
   [[nodiscard]] bool measured(const workload::Request& request) const noexcept {
     return request.arrival >= warmup_time_;
   }
-
-  /// The class whose bandwidth pool a pull transmission draws from: the most
-  /// important (lowest id) class with a pending request for the item.
-  [[nodiscard]] static workload::ClassId owning_class(
-      const sched::PullEntry& entry) noexcept;
 
   const catalog::Catalog* catalog_;
   const workload::ClientPopulation* population_;

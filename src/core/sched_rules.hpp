@@ -1,0 +1,151 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "fault/shedding.hpp"
+#include "metrics/class_stats.hpp"
+#include "resilience/overload.hpp"
+#include "sched/pull/entry.hpp"
+#include "workload/request.hpp"
+
+namespace pushpull::core::sched_rules {
+
+// metrics keeps its own ClassId alias so the metrics layer never includes
+// workload/ (layer DAG, tools/detlint/layers.toml); this is the one place
+// that sees both layers, so it pins them together.
+static_assert(std::is_same_v<workload::ClassId, metrics::ClassId>,
+              "metrics::ClassId must stay alias-identical to "
+              "workload::ClassId");
+
+/// The scheduling rules `core::HybridServer` (DES) and `serve::LiveServer`
+/// (completion-queue loop) must apply *identically*, factored into one
+/// header so drift is impossible by construction. Call sites in the two
+/// engines are wrapped in `// parity:begin(<rule>)` regions that
+/// tools/detlint's P1 pass token-compares, so what must remain duplicated
+/// (the glue around these calls) is machine-checked instead of trusted.
+///
+/// Everything here is a pure function of its arguments: no engine state,
+/// no RNG, no clock. That is what makes the DES replay of a recorded live
+/// run bit-equal to the live run itself.
+
+/// The class whose bandwidth pool a pull transmission draws from: the most
+/// important (lowest id) class with a pending request for the item.
+[[nodiscard]] inline workload::ClassId owning_class(
+    const sched::PullEntry& entry) noexcept {
+  workload::ClassId best = entry.pending.front().cls;
+  for (const auto& r : entry.pending) {
+    if (r.cls < best) best = r.cls;
+  }
+  return best;
+}
+
+/// Push cutoff in force: the configured K plus the ladder's widen-push
+/// boost, clamped to the catalog.
+[[nodiscard]] inline std::size_t effective_cutoff(
+    std::size_t base_cutoff, std::size_t boost,
+    std::size_t catalog_size) noexcept {
+  return std::min(base_cutoff + boost, catalog_size);
+}
+
+/// Pull-queue capacity in force: the hard fault cap wins, else the ladder's
+/// soft cap at shed-low-priority and above (0 = unbounded).
+[[nodiscard]] inline std::size_t effective_queue_capacity(
+    resilience::OverloadLevel level, std::size_t fault_capacity,
+    std::size_t capacity_ref) noexcept {
+  if (fault_capacity > 0) return fault_capacity;
+  if (level >= resilience::OverloadLevel::kShedLowPriority) {
+    return capacity_ref;  // ladder soft cap
+  }
+  return 0;
+}
+
+/// Shed policy in force: the ladder forces drop-lowest-priority at
+/// shed-low-priority and above.
+[[nodiscard]] inline fault::ShedPolicy effective_shed_policy(
+    resilience::OverloadLevel level, fault::ShedPolicy configured) noexcept {
+  if (level >= resilience::OverloadLevel::kShedLowPriority) {
+    return fault::ShedPolicy::kDropLowestPriority;
+  }
+  return configured;
+}
+
+/// The ladder's admission control: true when `cls` is refused at the
+/// uplink. Never starves a single-class population; brownout admits only
+/// the most important class; admission-control rejects the least important.
+[[nodiscard]] inline bool uplink_rejected(resilience::OverloadLevel level,
+                                          workload::ClassId cls,
+                                          std::size_t classes) noexcept {
+  if (classes < 2) return false;  // never starve a single-class population
+  if (level >= resilience::OverloadLevel::kBrownout) {
+    return cls >= 1;  // only the most important class is admitted
+  }
+  if (level >= resilience::OverloadLevel::kAdmissionControl) {
+    return cls == classes - 1;
+  }
+  return false;
+}
+
+/// The ladder's occupancy signal. Requests the widen-push boost parked out
+/// of the pull queue are still the ladder's backlog until delivered:
+/// excluding them makes the controller oscillate (widening empties the
+/// queue, the next eval sees zero occupancy and de-escalates, the shrink
+/// refills the queue), and the flip-flop restarts the push program each
+/// time, which can starve the de-widened items forever when no patience
+/// timer or deadline reaps them.
+[[nodiscard]] inline double ladder_occupancy(
+    std::size_t queued_requests,
+    const std::vector<std::vector<workload::Request>>& push_waiters,
+    std::size_t base_cutoff, std::size_t cutoff_in_force,
+    std::size_t fault_capacity, std::size_t capacity_ref) noexcept {
+  const std::size_t cap = fault_capacity > 0 ? fault_capacity : capacity_ref;
+  std::size_t boosted_backlog = 0;
+  for (std::size_t item = base_cutoff; item < cutoff_in_force; ++item) {
+    boosted_backlog += push_waiters[item].size();
+  }
+  return static_cast<double>(queued_requests + boosted_backlog) /
+         static_cast<double>(cap);
+}
+
+/// The ladder's pressure signal: the worst per-class blocking EWMA.
+[[nodiscard]] inline double worst_blocking_ewma(
+    const std::vector<double>& blocking_ewma) noexcept {
+  double worst = 0.0;
+  for (const double e : blocking_ewma) worst = std::max(worst, e);
+  return worst;
+}
+
+/// Where the passengers of a corrupted broadcast go. True: the item is
+/// still on the broadcast program, so the waiters rejoin the (re-armed)
+/// park and catch the next cycle. False: the ladder shrank the item out of
+/// the program while the replica was on air — the park would strand them
+/// forever (no next cycle, and the shrink migration can't see passengers
+/// of an in-flight transmission), so they are pull requests again and
+/// re-enter through admission control.
+[[nodiscard]] inline bool repark_after_corruption(
+    catalog::ItemId item, std::size_t cutoff_in_force) noexcept {
+  return item < cutoff_in_force;
+}
+
+/// Deliver-at-end accounting: latency is measured from the request's
+/// arrival to the transmission *end*, never to its start.
+inline void record_delivery(metrics::ClassCollector& stats,
+                            const workload::Request& request, double end_time,
+                            bool via_push) {
+  stats.record_served(request.cls, end_time - request.arrival, via_push);
+}
+
+/// Overload-transition reporting: both engines export the full ordered
+/// transition log and the high-water level (PR 7's third cross-engine bug
+/// was the live report silently dropping the transitions).
+template <typename Report>
+inline void export_overload(Report& out,
+                            const resilience::OverloadController& ladder) {
+  out.overload_transitions = ladder.transitions();
+  out.max_overload_level = ladder.max_level();
+}
+
+}  // namespace pushpull::core::sched_rules

@@ -68,6 +68,7 @@ bool GilbertElliottChannel::corrupts(const obs::Tracer& tracer, double now,
   return corrupt;
 }
 
+// detlint:allow(D5): ownership sink — the fresh engine replaces the old
 void GilbertElliottChannel::reset(rng::Xoshiro256ss engine) noexcept {
   engine_ = engine;
   state_ = State::kGood;

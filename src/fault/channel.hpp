@@ -46,6 +46,7 @@ class GilbertElliottChannel {
 
   /// `config` must already be validated; the engine is owned.
   GilbertElliottChannel(const ChannelConfig& config,
+                        // detlint:allow(D5): ownership sink — consumes it
                         rng::Xoshiro256ss engine) noexcept
       : config_(config), engine_(engine) {}
 
@@ -71,6 +72,7 @@ class GilbertElliottChannel {
 
   /// Restores the start-of-run state (Good, zero counters) with a fresh
   /// engine, so a server reused across traces replays identically.
+  // detlint:allow(D5): ownership sink — the fresh engine replaces the old
   void reset(rng::Xoshiro256ss engine) noexcept;
 
  private:

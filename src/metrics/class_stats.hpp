@@ -5,9 +5,14 @@
 
 #include "metrics/p2_quantile.hpp"
 #include "metrics/welford.hpp"
-#include "workload/service_class.hpp"
 
 namespace pushpull::metrics {
+
+/// Alias-identical to workload's ClassId. metrics sits below workload in
+/// the layer DAG (tools/detlint/layers.toml), so this header must not
+/// include workload/; the static_assert in core/sched_rules.hpp (which sees
+/// both layers) pins the two aliases together.
+using ClassId = std::uint32_t;
 
 /// Outcome counters and waiting-time statistics for one service class.
 /// Tail quantiles are streamed with P² estimators; note that quantiles are
@@ -109,19 +114,19 @@ class ClassCollector {
   [[nodiscard]] std::size_t num_classes() const noexcept {
     return stats_.size();
   }
-  [[nodiscard]] ClassStats& at(workload::ClassId cls) noexcept {
+  [[nodiscard]] ClassStats& at(ClassId cls) noexcept {
     return stats_[cls];
   }
-  [[nodiscard]] const ClassStats& at(workload::ClassId cls) const noexcept {
+  [[nodiscard]] const ClassStats& at(ClassId cls) const noexcept {
     return stats_[cls];
   }
   [[nodiscard]] const std::vector<ClassStats>& all() const noexcept {
     return stats_;
   }
 
-  void record_arrival(workload::ClassId cls) noexcept { ++stats_[cls].arrived; }
+  void record_arrival(ClassId cls) noexcept { ++stats_[cls].arrived; }
 
-  void record_served(workload::ClassId cls, double wait_time,
+  void record_served(ClassId cls, double wait_time,
                      bool via_push) {
     auto& s = stats_[cls];
     ++s.served;
@@ -132,29 +137,29 @@ class ClassCollector {
     s.wait_p99.add(wait_time);
   }
 
-  void record_blocked(workload::ClassId cls) noexcept {
+  void record_blocked(ClassId cls) noexcept {
     ++stats_[cls].blocked;
   }
 
-  void record_abandoned(workload::ClassId cls) noexcept {
+  void record_abandoned(ClassId cls) noexcept {
     ++stats_[cls].abandoned;
   }
 
-  void record_corrupted(workload::ClassId cls) noexcept {
+  void record_corrupted(ClassId cls) noexcept {
     ++stats_[cls].corrupted;
   }
 
-  void record_retry(workload::ClassId cls) noexcept { ++stats_[cls].retries; }
+  void record_retry(ClassId cls) noexcept { ++stats_[cls].retries; }
 
-  void record_shed(workload::ClassId cls) noexcept { ++stats_[cls].shed; }
+  void record_shed(ClassId cls) noexcept { ++stats_[cls].shed; }
 
-  void record_lost(workload::ClassId cls) noexcept { ++stats_[cls].lost; }
+  void record_lost(ClassId cls) noexcept { ++stats_[cls].lost; }
 
-  void record_rejected(workload::ClassId cls) noexcept {
+  void record_rejected(ClassId cls) noexcept {
     ++stats_[cls].rejected;
   }
 
-  void record_stormed(workload::ClassId cls) noexcept {
+  void record_stormed(ClassId cls) noexcept {
     ++stats_[cls].stormed;
   }
 

@@ -70,6 +70,7 @@ CrashSchedule::CrashSchedule(std::vector<double> times)
 
 CrashSchedule CrashSchedule::poisson(const CrashConfig& config,
                                      double horizon,
+                                     // detlint:allow(D5): sink
                                      rng::Xoshiro256ss engine) {
   config.validate();
   CrashSchedule schedule;

@@ -78,6 +78,7 @@ class CrashSchedule {
   /// perturb any other stochastic component.
   [[nodiscard]] static CrashSchedule poisson(const CrashConfig& config,
                                              double horizon,
+                                             // detlint:allow(D5): sink
                                              rng::Xoshiro256ss engine);
 
   [[nodiscard]] const std::vector<double>& times() const noexcept {

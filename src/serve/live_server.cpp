@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/sched_rules.hpp"
 #include "fault/shedding.hpp"
 #include "obs/export.hpp"
 #include "rng/exponential.hpp"
@@ -18,19 +19,14 @@ namespace pushpull::serve {
 
 using obs::render_number;
 
+// The parity regions below must be token-identical to HybridServer's; the
+// alias lets both engines spell the shared rules the same way.
+namespace sched_rules = core::sched_rules;
+
 namespace {
 
 [[nodiscard]] bool is_hedge(const workload::Request& r) noexcept {
   return (r.id & kHedgeIdBit) != 0;
-}
-
-[[nodiscard]] workload::ClassId owning_class(
-    const sched::PullEntry& entry) noexcept {
-  workload::ClassId best = entry.pending.front().cls;
-  for (const auto& r : entry.pending) {
-    if (r.cls < best) best = r.cls;
-  }
-  return best;
 }
 
 }  // namespace
@@ -132,36 +128,32 @@ void LiveServer::settle(double now) {
   end_time_ = now;
 }
 
+// parity:begin(cutoff-boost, HybridServer=LiveServer)
 std::size_t LiveServer::effective_cutoff() const noexcept {
-  return std::min(config_.cutoff + cutoff_boost_, catalog_->size());
+  return sched_rules::effective_cutoff(config_.cutoff, cutoff_boost_,
+                                       catalog_->size());
 }
+// parity:end
 
+// parity:begin(overload-soft-cap, HybridServer=LiveServer)
 std::size_t LiveServer::effective_queue_capacity() const noexcept {
-  if (config_.fault.queue_capacity > 0) return config_.fault.queue_capacity;
-  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
-    return config_.overload.capacity_ref;  // ladder soft cap
-  }
-  return 0;
+  return sched_rules::effective_queue_capacity(overload_.level(),
+                                               config_.fault.queue_capacity,
+                                               overload_config().capacity_ref);
 }
 
 fault::ShedPolicy LiveServer::effective_shed_policy() const noexcept {
-  if (overload_.level() >= resilience::OverloadLevel::kShedLowPriority) {
-    return fault::ShedPolicy::kDropLowestPriority;
-  }
-  return config_.fault.shed_policy;
+  return sched_rules::effective_shed_policy(overload_.level(),
+                                            config_.fault.shed_policy);
 }
+// parity:end
 
+// parity:begin(uplink-admission, HybridServer=LiveServer)
 bool LiveServer::uplink_rejected(workload::ClassId cls) const noexcept {
-  const std::size_t classes = population_->num_classes();
-  if (classes < 2) return false;  // never starve a single-class population
-  if (overload_.level() >= resilience::OverloadLevel::kBrownout) {
-    return cls >= 1;  // only the most important class is admitted
-  }
-  if (overload_.level() >= resilience::OverloadLevel::kAdmissionControl) {
-    return cls == classes - 1;
-  }
-  return false;
+  return sched_rules::uplink_rejected(overload_.level(), cls,
+                                      population_->num_classes());
 }
+// parity:end
 
 void LiveServer::arm_deadline(const workload::Request& request, double now) {
   if (config_.mean_deadline <= 0.0) return;
@@ -319,24 +311,13 @@ void LiveServer::on_ladder_eval(double now) {
   // Mirrors HybridServer::evaluate_overload; a drained or finished run
   // stops rescheduling (the DES's early return).
   if (settled_ == to_settle_ || draining_) return;
-  const std::size_t cap = config_.fault.queue_capacity > 0
-                              ? config_.fault.queue_capacity
-                              : config_.overload.capacity_ref;
-  // Mirrors HybridServer::evaluate_overload: requests the widen-push boost
-  // parked out of the pull queue are still the ladder's backlog until
-  // delivered. Excluding them makes the controller oscillate (widening
-  // empties the queue, the next eval de-escalates, the shrink refills it),
-  // and the flip-flop restarts the push program each time, which can
-  // starve the de-widened items forever when no deadline reaps them.
-  std::size_t boosted_backlog = 0;
-  for (std::size_t item = config_.cutoff; item < effective_cutoff(); ++item) {
-    boosted_backlog += push_waiters_[item].size();
-  }
-  const double occupancy =
-      static_cast<double>(pull_queue_.total_requests() + boosted_backlog) /
-      static_cast<double>(cap);
-  double worst_ewma = 0.0;
-  for (const double e : blocking_ewma_) worst_ewma = std::max(worst_ewma, e);
+  // parity:begin(ladder-occupancy)
+  const double occupancy = sched_rules::ladder_occupancy(
+      pull_queue_.total_requests(), push_waiters_, config_.cutoff,
+      effective_cutoff(), config_.fault.queue_capacity,
+      overload_config().capacity_ref);
+  const double worst_ewma = sched_rules::worst_blocking_ewma(blocking_ewma_);
+  // parity:end
   const resilience::OverloadLevel before = overload_.level();
   const resilience::OverloadLevel after =
       overload_.update(now, occupancy, worst_ewma);
@@ -484,21 +465,25 @@ void LiveServer::start_next(bool just_did_push, double now) {
     start_pull(now);
     return;
   }
+  // parity:begin(push-pull-alternation)
   // Strict alternation: one pull opportunity after every push.
   if (just_did_push && !pull_queue_.empty()) {
     start_pull(now);
   } else {
     start_push(now);
   }
+  // parity:end
 }
 
 void LiveServer::start_push(double now) {
+  // parity:begin(catch-at-start, disarm_patience=disarm_deadline)
   const catalog::ItemId item = push_sched_->next();
   // Only clients already parked when the transmission starts catch it.
   std::vector<workload::Request> catching = std::move(push_waiters_[item]);
   push_waiters_[item].clear();
   // Once the item is on air, the waiting clients are committed to it.
   for (const auto& r : catching) disarm_deadline(r.id);
+  // parity:end
   if (recorder_) recorder_->record_decision(true, now, item, catching.size());
   InFlight slot;
   slot.push = true;
@@ -511,9 +496,11 @@ void LiveServer::start_push(double now) {
 
 void LiveServer::start_pull(double now) {
   note_queue_len(now);
+  // parity:begin(pull-priority-context)
   sched::PullContext ctx;
   ctx.now = now;
   ctx.expected_queue_len = now > 0.0 ? queue_len_area_ / now : 1.0;
+  // parity:end
   auto entry = pull_queue_.extract_best(*pull_policy_, ctx);
   if (!entry.has_value()) {
     throw std::logic_error(
@@ -539,7 +526,7 @@ void LiveServer::start_pull(double now) {
   if (config_.overload.enabled) {
     // The live channel never blocks, so the blocking EWMA only decays —
     // the same update HybridServer applies with admitted == true.
-    const workload::ClassId cls = owning_class(*entry);
+    const workload::ClassId cls = sched_rules::owning_class(*entry);
     blocking_ewma_[cls] *= 1.0 - config_.overload.ewma_alpha;
   }
   if (recorder_) {
@@ -578,7 +565,10 @@ void LiveServer::complete_slot() {
       // control. The wake is left to the start_next below so the slot
       // decision sees every passenger queued, as the DES does.
       ++corrupted_push_transmissions_;
-      const bool still_broadcast = item < effective_cutoff();
+      // parity:begin(corrupt-repark)
+      const bool still_broadcast =
+          sched_rules::repark_after_corruption(item, effective_cutoff());
+      // parity:end
       for (const auto& r : pending) {
         collector_->record_corrupted(r.cls);
         if (still_broadcast) {
@@ -599,10 +589,7 @@ void LiveServer::complete_slot() {
         }
       }
     } else {
-      for (const auto& r : pending) {
-        collector_->record_served(r.cls, now - r.arrival, true);
-        settle(now);
-      }
+      for (const auto& r : pending) deliver(r, true, now);
     }
     start_next(/*just_did_push=*/true, now);
     return;
@@ -632,11 +619,18 @@ void LiveServer::complete_slot() {
         continue;
       }
       retry_count_.erase(r.id);
-      collector_->record_served(r.cls, now - r.arrival, false);
-      settle(now);
+      deliver(r, false, now);
     }
   }
   start_next(/*just_did_push=*/false, now);
+}
+
+void LiveServer::deliver(const workload::Request& r, bool via_push,
+                         double now) {
+  // parity:begin(deliver-at-end, request=r)
+  sched_rules::record_delivery(*collector_, r, now, via_push);
+  // parity:end
+  settle(now);
 }
 
 const LiveServer::Timer* LiveServer::peek_timer() {
@@ -803,8 +797,9 @@ ServeReport LiveServer::make_report(const CompletionQueue& queue) const {
   report.hedges_posted = hedges_posted_;
   report.hedges_absorbed = hedges_absorbed_;
   report.ladder_transitions = overload_.transitions().size();
-  report.max_overload_level = static_cast<int>(overload_.max_level());
-  report.overload_transitions = overload_.transitions();
+  // parity:begin(overload-transition-export, result=report)
+  sched_rules::export_overload(report, overload_);
+  // parity:end
   report.drained = draining_;
   report.drain_time = drain_time_;
   report.skipped_arrivals = skipped_arrivals_;
@@ -1025,7 +1020,8 @@ std::string render_serve_report(const ServeReport& report) {
         << ",\"hedges_posted\":" << report.hedges_posted
         << ",\"hedges_absorbed\":" << report.hedges_absorbed
         << ",\"ladder_transitions\":" << report.ladder_transitions
-        << ",\"max_overload_level\":" << report.max_overload_level
+        << ",\"max_overload_level\":"
+        << static_cast<int>(report.max_overload_level)
         << ",\"drained\":" << (report.drained ? 1 : 0)
         << ",\"drain_time\":" << render_number(report.drain_time)
         << ",\"skipped_arrivals\":" << report.skipped_arrivals

@@ -74,7 +74,8 @@ struct ServeReport {
   std::uint64_t hedges_posted = 0;
   std::uint64_t hedges_absorbed = 0;
   std::uint64_t ladder_transitions = 0;
-  int max_overload_level = 0;
+  resilience::OverloadLevel max_overload_level =
+      resilience::OverloadLevel::kNormal;
   /// Every ladder move in event order (mirrors core::SimResult's log).
   std::vector<resilience::OverloadTransition> overload_transitions;
   bool drained = false;
@@ -197,6 +198,7 @@ class LiveServer {
   void start_push(double now);
   void start_pull(double now);
   void complete_slot();
+  void deliver(const workload::Request& r, bool via_push, double now);
   void note_queue_len(double now);
   void settle(double now);
 
@@ -217,6 +219,13 @@ class LiveServer {
   [[nodiscard]] std::size_t effective_queue_capacity() const noexcept;
   [[nodiscard]] fault::ShedPolicy effective_shed_policy() const noexcept;
   [[nodiscard]] bool uplink_rejected(workload::ClassId cls) const noexcept;
+  /// The ladder's configuration block (the DES engine keeps it at a
+  /// different config path; this accessor is what lets the parity regions
+  /// stay token-identical).
+  [[nodiscard]] const resilience::OverloadConfig& overload_config()
+      const noexcept {
+    return config_.overload;
+  }
 
   // --- event plumbing -----------------------------------------------------
   /// Top of the timer heap with stale (lazily cancelled) entries skipped;

@@ -42,8 +42,7 @@ core::SimResult live_replay(const catalog::Catalog& cat,
   result.mean_pull_queue_len = report.mean_pull_queue_len;
   result.max_pull_queue_len = report.max_pull_queue_len;
   result.overload_transitions = report.overload_transitions;
-  result.max_overload_level =
-      static_cast<resilience::OverloadLevel>(report.max_overload_level);
+  result.max_overload_level = report.max_overload_level;
   return result;
 }
 

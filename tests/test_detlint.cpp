@@ -1,7 +1,12 @@
 // detlint's own test suite: every rule fires on its fixture exactly at the
-// marked lines, path scoping works (D2/R1/R2), the clean fixture is
-// silent, suppressions and the baseline filter findings, and the tree-wide
-// D3 declaration merge catches cross-file header/impl splits.
+// marked lines, path scoping works (D2/D5/R1/R2), the clean fixture is
+// silent, suppressions and the baseline filter findings, the tree-wide
+// D3 declaration merge catches cross-file header/impl splits, parity
+// regions are token-compared across engine files (including the real
+// tree's engines, with a PR-7 bug re-introduction check), the layer DAG
+// rejects undeclared include edges, dead suppressions and stale baseline
+// entries are themselves findings, and the SARIF rendering validates
+// against the 2.1.0 structural schema offline.
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -13,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "lint.hpp"
+#include "report.hpp"
 
 #ifndef DETLINT_FIXTURE_DIR
 #error "DETLINT_FIXTURE_DIR must point at tools/detlint/fixtures"
@@ -268,14 +274,14 @@ TEST(DetlintBaseline, BaselineMarksButDoesNotDrop) {
   EXPECT_EQ(detlint::fresh_count(other), 1u);
 }
 
-TEST(DetlintMeta, RuleTableListsAllSixRules) {
+TEST(DetlintMeta, RuleTableListsAllTenRules) {
   const auto& rules = detlint::rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 10u);
   std::vector<std::string> ids;
   ids.reserve(rules.size());
   for (const auto& r : rules) ids.emplace_back(r.id);
-  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "R1",
-                                           "R2"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "D4", "D5",
+                                           "L1", "P1", "R1", "R2", "S1"}));
 }
 
 TEST(DetlintMeta, CommentsAndStringsNeverFire) {
@@ -287,6 +293,367 @@ TEST(DetlintMeta, CommentsAndStringsNeverFire) {
   for (const char* path : {"src/sim/c.cpp", "src/sim/c.hpp"}) {
     EXPECT_TRUE(detlint::analyze_source(path, body).empty()) << path;
   }
+}
+
+// ---------------------------------------------------------------------------
+// D5: RNG stream purity
+// ---------------------------------------------------------------------------
+
+TEST(DetlintRules, D5FiresOnAllThreeImpurityModes) {
+  expect_matches_markers("bad_d5.cpp", "src/sim/bad_d5.cpp");
+}
+
+TEST(DetlintRules, D5IsScopedToSrcOutsideRng) {
+  const std::string text = read_fixture("bad_d5.cpp");
+  EXPECT_TRUE(detlint::analyze_source("src/rng/bad_d5.cpp", text).empty())
+      << "the stream factory itself may construct and seed engines";
+  EXPECT_TRUE(detlint::analyze_source("bench/bad_d5.cpp", text).empty())
+      << "D5 polices library code, not benches";
+}
+
+// ---------------------------------------------------------------------------
+// L1: layer DAG
+// ---------------------------------------------------------------------------
+
+detlint::LayerConfig mini_layer_config() {
+  std::istringstream toml(
+      "[layers]\n"
+      "des = []\n"
+      "core = [\"des\"]\n"
+      "serve = [\"core\"]\n"
+      "cli = [\"*\"]\n"
+      "exp = []\n"
+      "[restricted]\n"
+      "exp = [\"cli\"]\n");
+  return detlint::LayerConfig::parse(toml);
+}
+
+TEST(DetlintLayers, L1FiresOnUndeclaredAndRestrictedEdges) {
+  const detlint::LayerConfig layers = mini_layer_config();
+  ASSERT_TRUE(layers.errors.empty());
+  const std::string text = read_fixture("bad_l1.cpp");
+  const auto expected = expected_findings(text);
+  ASSERT_FALSE(expected.empty());
+  const auto report = detlint::analyze_source_v2("src/core/bad_l1.cpp", text,
+                                                 {}, &layers);
+  EXPECT_EQ(actual_findings(report.diags), expected);
+}
+
+TEST(DetlintLayers, WildcardLayerMayIncludeAnythingButRestricted) {
+  const detlint::LayerConfig layers = mini_layer_config();
+  const std::string body =
+      "#include \"core/hybrid.hpp\"\n"
+      "#include \"serve/live.hpp\"\n"
+      "#include \"exp/cli.hpp\"\n";
+  // tools/ maps to the wildcard `cli` layer, which is also on exp's
+  // restricted allow-list — everything is legal.
+  EXPECT_TRUE(
+      detlint::analyze_source_v2("tools/pushpull_cli.cpp", body, {}, &layers)
+          .diags.empty());
+  // bench is not declared in the mini config, so it is unlayered: silent.
+  EXPECT_TRUE(
+      detlint::analyze_source_v2("bench/b.cpp", body, {}, &layers)
+          .diags.empty());
+}
+
+TEST(DetlintLayers, L1SkipsEntirelyWithoutConfig) {
+  const std::string body = "#include \"serve/live.hpp\"\n";
+  EXPECT_TRUE(
+      detlint::analyze_source_v2("src/core/f.cpp", body, {}, nullptr)
+          .diags.empty());
+}
+
+TEST(DetlintLayers, ConfigRejectsUndeclaredDepsAndCycles) {
+  std::istringstream cyclic(
+      "[layers]\n"
+      "a = [\"b\"]\n"
+      "b = [\"a\"]\n"
+      "c = [\"ghost\"]\n");
+  const auto config = detlint::LayerConfig::parse(cyclic);
+  std::string joined;
+  for (const auto& e : config.errors) joined += e + "\n";
+  EXPECT_NE(joined.find("undeclared layer 'ghost'"), std::string::npos)
+      << joined;
+  EXPECT_NE(joined.find("cycle"), std::string::npos) << joined;
+  // Config problems surface as L1 findings against the config file itself.
+  const auto diags =
+      detlint::check_layer_config(config, "tools/detlint/layers.toml");
+  EXPECT_EQ(diags.size(), config.errors.size());
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "L1");
+    EXPECT_EQ(d.file, "tools/detlint/layers.toml");
+  }
+}
+
+TEST(DetlintLayers, ConfigRejectsMalformedLines) {
+  std::istringstream bad(
+      "[layers]\n"
+      "des = []\n"
+      "this is not toml\n");
+  const auto config = detlint::LayerConfig::parse(bad);
+  ASSERT_EQ(config.errors.size(), 1u);
+  EXPECT_NE(config.errors[0].find("line 3"), std::string::npos);
+}
+
+TEST(DetlintLayers, MissingConfigLoadsEmpty) {
+  const auto config =
+      detlint::LayerConfig::load_file("/nonexistent/layers.toml");
+  EXPECT_TRUE(config.empty());
+}
+
+TEST(DetlintLayers, RealTreeConfigParsesCleanly) {
+  const std::filesystem::path root = DETLINT_REPO_ROOT;
+  const auto config = detlint::LayerConfig::load_file(
+      (root / "tools" / "detlint" / "layers.toml").string());
+  ASSERT_FALSE(config.empty()) << "the repo must ship a layer DAG";
+  std::string joined;
+  for (const auto& e : config.errors) joined += e + "\n";
+  EXPECT_TRUE(config.errors.empty()) << joined;
+}
+
+// ---------------------------------------------------------------------------
+// S1: dead suppressions and the baseline ratchet
+// ---------------------------------------------------------------------------
+
+TEST(DetlintSuppression, S1FiresOnEveryDeadDirective) {
+  expect_matches_markers("bad_s1.cpp", "src/sim/bad_s1.cpp");
+}
+
+TEST(DetlintSuppression, S1CannotBeSuppressed) {
+  // Allowing S1 on a dead directive's line must not silence it — a
+  // suppression that suppresses the dead-suppression checker is a paradox.
+  const std::string body =
+      "// detlint:allow(S1, D4): nothing below trips D4\n"
+      "int clean() { return 0; }\n";
+  const auto diags = detlint::analyze_source("src/sim/f.cpp", body);
+  ASSERT_FALSE(diags.empty());
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "S1");
+}
+
+TEST(DetlintBaseline, RatchetFlagsStaleEntries) {
+  std::istringstream baseline_text(
+      "src/sim/old.cpp:D1\n"
+      "src/sim/gone.cpp:D4\n");
+  const auto baseline = detlint::Baseline::parse(baseline_text);
+  std::vector<detlint::Diagnostic> diags = detlint::analyze_source(
+      "src/sim/old.cpp", "long seed() { return time(nullptr); }\n");
+  detlint::apply_baseline(diags, baseline);
+  EXPECT_EQ(detlint::fresh_count(diags), 0u);
+  const auto stale = detlint::baseline_ratchet(diags, baseline,
+                                               "tools/detlint/baseline.txt");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "S1");
+  EXPECT_EQ(stale[0].file, "tools/detlint/baseline.txt");
+  EXPECT_EQ(stale[0].line, 0u);
+  EXPECT_NE(stale[0].message.find("src/sim/gone.cpp:D4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// P1: cross-engine parity
+// ---------------------------------------------------------------------------
+
+TEST(DetlintParity, StructuralErrorsAreFileLocalFindings) {
+  expect_matches_markers("parity_nested.cpp", "src/core/parity_nested.cpp");
+}
+
+/// Pools the parity regions of the two named sources and compares them.
+std::vector<detlint::Diagnostic> parity_of(
+    const std::string& core_path, const std::string& core_text,
+    const std::string& live_path, const std::string& live_text) {
+  auto core = detlint::analyze_source_v2(core_path, core_text);
+  auto live = detlint::analyze_source_v2(live_path, live_text);
+  EXPECT_TRUE(core.diags.empty()) << core_path;
+  EXPECT_TRUE(live.diags.empty()) << live_path;
+  std::vector<detlint::ParityRegion> regions = std::move(core.parity);
+  regions.insert(regions.end(),
+                 std::make_move_iterator(live.parity.begin()),
+                 std::make_move_iterator(live.parity.end()));
+  return detlint::check_parity(regions);
+}
+
+TEST(DetlintParity, FixturePairIsTokenIdenticalModuloRenames) {
+  const auto diags = parity_of(
+      "src/core/parity_core.cpp", read_fixture("parity_core.cpp"),
+      "src/serve/parity_live.cpp", read_fixture("parity_live.cpp"));
+  std::string listing;
+  for (const auto& d : diags) listing += d.message + "\n";
+  EXPECT_TRUE(diags.empty()) << listing;
+}
+
+TEST(DetlintParity, DriftInOneEngineIsCaught) {
+  // Re-introduce the PR-7 bug shape in the fixture: the live engine's
+  // occupancy signal stops counting the boosted push backlog.
+  std::string live = read_fixture("parity_live.cpp");
+  const std::string needle = "push_waiters_";
+  const std::size_t pos = live.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  live.replace(pos, needle.size(), "empty_waiters_");
+  const auto diags = parity_of(
+      "src/core/parity_core.cpp", read_fixture("parity_core.cpp"),
+      "src/serve/parity_live.cpp", live);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P1");
+  EXPECT_EQ(diags[0].file, "src/serve/parity_live.cpp");
+  EXPECT_NE(diags[0].message.find("fixture-ladder-occupancy"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("empty_waiters_"), std::string::npos);
+}
+
+TEST(DetlintParity, DeclaredRenamesAreSymmetric) {
+  // The deliver-at-end pair differs only by request=r, declared on both
+  // begin markers; remove the live declaration and the pair still passes
+  // because the maps merge. Then break the *token* and it fails.
+  std::string live = read_fixture("parity_live.cpp");
+  const std::string decl = "fixture-deliver-at-end, request=r";
+  const std::size_t pos = live.find(decl);
+  ASSERT_NE(pos, std::string::npos);
+  live.replace(pos, decl.size(), "fixture-deliver-at-end");
+  EXPECT_TRUE(parity_of("src/core/parity_core.cpp",
+                        read_fixture("parity_core.cpp"),
+                        "src/serve/parity_live.cpp", live)
+                  .empty())
+      << "one side's rename declaration must cover the pair";
+
+  // An identifier outside every rename map is drift.
+  std::string live2 = read_fixture("parity_live.cpp");
+  const std::string call = "record_delivery(*collector_, r,";
+  const std::size_t pos2 = live2.find(call);
+  ASSERT_NE(pos2, std::string::npos);
+  live2.replace(pos2, call.size(), "record_delivery(*collector_, q,");
+  const auto diags = parity_of("src/core/parity_core.cpp",
+                               read_fixture("parity_core.cpp"),
+                               "src/serve/parity_live.cpp", live2);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'q'"), std::string::npos);
+}
+
+TEST(DetlintParity, ASoloRegionIsAFinding) {
+  auto core = detlint::analyze_source_v2("src/core/parity_core.cpp",
+                                         read_fixture("parity_core.cpp"));
+  const auto diags = detlint::check_parity(core.parity);
+  ASSERT_EQ(diags.size(), 2u);  // both rules are missing their partner
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "P1");
+    EXPECT_NE(d.message.find("exactly two engines"), std::string::npos);
+  }
+}
+
+TEST(DetlintParity, RealEnginesPassAndPR7BugIsCaught) {
+  // The acceptance check for this analyzer: the real engines' annotated
+  // regions are in parity today, and re-introducing one of PR 7's actual
+  // cross-engine bugs — the live ladder reading a diverged occupancy
+  // signal — is caught by P1 at the mutated token.
+  const std::filesystem::path root = DETLINT_REPO_ROOT;
+  auto read = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in) << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+  };
+  const std::string core_text = read(root / "src/core/hybrid_server.cpp");
+  std::string live_text = read(root / "src/serve/live_server.cpp");
+
+  auto pool = [&](const std::string& live) {
+    auto core = detlint::analyze_source_v2("src/core/hybrid_server.cpp",
+                                           core_text);
+    auto live_report =
+        detlint::analyze_source_v2("src/serve/live_server.cpp", live);
+    std::vector<detlint::ParityRegion> regions = std::move(core.parity);
+    regions.insert(regions.end(),
+                   std::make_move_iterator(live_report.parity.begin()),
+                   std::make_move_iterator(live_report.parity.end()));
+    return detlint::check_parity(regions);
+  };
+
+  EXPECT_TRUE(pool(live_text).empty())
+      << "the live engine drifted from the DES engine";
+
+  // PR-7 bug shape: the live occupancy stops counting parked pull work.
+  const std::string needle = "pull_queue_.total_requests(), push_waiters_";
+  const std::size_t pos = live_text.find(needle);
+  ASSERT_NE(pos, std::string::npos)
+      << "live_server.cpp no longer feeds the shared occupancy rule";
+  live_text.replace(pos, needle.size(),
+                    "pull_queue_.size(), push_waiters_");
+  const auto diags = pool(live_text);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].rule, "P1");
+  EXPECT_EQ(diags[0].file, "src/serve/live_server.cpp");
+  EXPECT_NE(diags[0].message.find("ladder-occupancy"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Reporting: JSON and SARIF
+// ---------------------------------------------------------------------------
+
+std::vector<detlint::Diagnostic> sample_diags() {
+  return {
+      {"src/core/a.cpp", 12, "D1", "wall-clock \"time()\" call", false},
+      {"tools/detlint/baseline.txt", 0, "S1", "stale baseline entry", false},
+      {"src/serve/b.cpp", 3, "D4", "raw '==' against 1.0", true},
+  };
+}
+
+TEST(DetlintReport, RenderedSarifValidates) {
+  std::ostringstream out;
+  detlint::render_sarif(out, sample_diags());
+  std::vector<std::string> errors;
+  EXPECT_TRUE(detlint::validate_sarif(out.str(), &errors))
+      << (errors.empty() ? "" : errors.front());
+  // Baselined findings carry an external suppression; line-0 findings
+  // clamp to startLine 1.
+  EXPECT_NE(out.str().find("\"suppressions\": [{\"kind\": \"external\"}]"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"startLine\": 1"), std::string::npos);
+}
+
+TEST(DetlintReport, EmptyRunSarifValidates) {
+  std::ostringstream out;
+  detlint::render_sarif(out, {});
+  std::vector<std::string> errors;
+  EXPECT_TRUE(detlint::validate_sarif(out.str(), &errors))
+      << (errors.empty() ? "" : errors.front());
+}
+
+TEST(DetlintReport, ValidatorRejectsStructuralViolations) {
+  std::vector<std::string> errors;
+  EXPECT_FALSE(detlint::validate_sarif("not json at all", &errors));
+  EXPECT_FALSE(detlint::validate_sarif("[]", nullptr));
+  EXPECT_FALSE(detlint::validate_sarif(
+      R"({"version": "2.0.0", "runs": [{"tool": {"driver": {"name": "x"}}}]})",
+      nullptr))
+      << "wrong version must fail";
+  EXPECT_FALSE(detlint::validate_sarif(
+      R"({"version": "2.1.0", "runs": []})", nullptr))
+      << "empty runs must fail";
+  EXPECT_FALSE(detlint::validate_sarif(
+      R"({"version": "2.1.0", "runs": [{"tool": {"driver": {}}}]})",
+      nullptr))
+      << "missing driver name must fail";
+  errors.clear();
+  EXPECT_FALSE(detlint::validate_sarif(
+      R"({"version": "2.1.0", "runs": [{"tool": {"driver": {"name": "x"}},
+          "results": [{"ruleId": "D1", "message": {"text": "m"},
+          "locations": [{"physicalLocation": {"artifactLocation":
+          {"uri": "f.cpp"}, "region": {"startLine": 0}}}]}]}]})",
+      &errors))
+      << "startLine 0 must fail";
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("startLine"), std::string::npos);
+}
+
+TEST(DetlintReport, JsonRenderingIsStableAndComplete) {
+  std::ostringstream out;
+  detlint::render_json(out, sample_diags());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"fresh\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"baselined\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\\\"time()\\\""), std::string::npos)
+      << "quotes in messages must be escaped";
+  std::ostringstream again;
+  detlint::render_json(again, sample_diags());
+  EXPECT_EQ(json, again.str());
 }
 
 TEST(DetlintTree, RepositoryIsCleanWithEmptyBaseline) {

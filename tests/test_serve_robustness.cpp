@@ -245,7 +245,8 @@ TEST(LiveLadder, TransitionsAreOrderedAndJournaled) {
   c.mean_deadline = 12.0;
   const JournaledRun run = run_journaled(c);
   EXPECT_GT(run.report.ladder_transitions, 0u);
-  EXPECT_GT(run.report.max_overload_level, 0);
+  EXPECT_GT(run.report.max_overload_level,
+            pushpull::resilience::OverloadLevel::kNormal);
   ASSERT_EQ(run.report.overload_transitions.size(),
             run.report.ladder_transitions);
   for (std::size_t i = 1; i < run.report.overload_transitions.size(); ++i) {

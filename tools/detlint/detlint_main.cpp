@@ -1,18 +1,34 @@
 // detlint — determinism/invariant linter for the pushpull tree.
 //
-//   detlint [--root DIR] [--baseline FILE] [--check] [--rules] [FILE...]
+//   detlint [--root DIR] [--baseline FILE] [--json FILE] [--sarif FILE]
+//           [--check] [--rules] [FILE...]
 //
-// With no FILE arguments, scans <root>/{src,tools,bench}. Prints one
-// `file:line: rule: message` diagnostic per finding and exits 1 if any
-// finding is not covered by the baseline (0 when clean, 2 on usage/IO
-// error). `--rules` prints the rule table and exits; `--check` additionally
-// prints the rule table and baseline statistics before scanning.
+// With no FILE arguments, scans <root>/{src,tools,bench} and runs every
+// pass: the per-file rules (D1-D5, L1, R1, R2), cross-engine parity (P1)
+// over the pooled parity regions, dead-suppression detection (S1), and the
+// baseline ratchet (a baseline entry no finding matches is itself an S1
+// finding). With FILE arguments, the named files are analyzed together —
+// parity regions still pool across them, so a pair of engine files can be
+// checked in isolation — but the ratchet is skipped (a partial scan cannot
+// judge staleness).
+//
+// Prints one `file:line: rule: message` diagnostic per finding and exits 1
+// if any finding is not covered by the baseline (0 when clean, 2 on
+// usage/IO error). `--json`/`--sarif` additionally write the full finding
+// list (baselined included) to FILE; `--rules` prints the rule table and
+// exits; `--check` additionally prints the rule table and baseline
+// statistics before scanning.
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "lint.hpp"
+#include "report.hpp"
 
 #ifndef DETLINT_DEFAULT_ROOT
 #define DETLINT_DEFAULT_ROOT "."
@@ -22,16 +38,28 @@ namespace {
 
 void usage() {
   std::cout <<
-      R"(detlint — determinism/invariant linter (rules D1-D4, R1-R2)
+      R"(detlint — determinism/invariant linter (rules D1-D5, L1, P1, R1-R2, S1)
 
-usage: detlint [--root DIR] [--baseline FILE] [--check] [--rules] [FILE...]
+usage: detlint [--root DIR] [--baseline FILE] [--json FILE] [--sarif FILE]
+               [--check] [--rules] [FILE...]
 
   --root DIR       repo root to scan (default: the source tree detlint was
                    built from); FILE arguments are reported relative to it
   --baseline FILE  grandfathered findings, one `path:rule` per line
+  --json FILE      write the finding list as JSON to FILE
+  --sarif FILE     write the finding list as SARIF 2.1.0 to FILE
   --rules          print the rule table and exit
   --check          print the rule table and baseline stats, then scan
 )";
+}
+
+std::string read_file(const std::filesystem::path& file, bool& ok) {
+  std::ifstream in(file, std::ios::binary);
+  ok = static_cast<bool>(in);
+  if (!ok) return {};
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  return text;
 }
 
 }  // namespace
@@ -39,6 +67,8 @@ usage: detlint [--root DIR] [--baseline FILE] [--check] [--rules] [FILE...]
 int main(int argc, char** argv) {
   std::filesystem::path root = DETLINT_DEFAULT_ROOT;
   std::string baseline_path;
+  std::string json_path;
+  std::string sarif_path;
   bool check = false;
   std::vector<std::filesystem::path> files;
 
@@ -48,6 +78,10 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--rules") {
       detlint::print_rule_table(std::cout);
       return 0;
@@ -84,12 +118,58 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     diags = detlint::analyze_tree(root);
   } else {
+    // Explicit files analyze together: parity regions pool across them so
+    // the two engine files can be parity-checked in isolation.
+    const detlint::LayerConfig layers = detlint::LayerConfig::load_file(
+        (root / "tools" / "detlint" / "layers.toml").string());
+    const detlint::LayerConfig* layers_ptr =
+        layers.empty() ? nullptr : &layers;
+    std::vector<detlint::ParityRegion> regions;
     for (const auto& file : files) {
-      auto file_diags = detlint::analyze_file(root, file);
-      diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+      bool ok = false;
+      const std::string text = read_file(file, ok);
+      if (!ok) {
+        std::cerr << "detlint: cannot read " << file.string() << "\n";
+        return 2;
+      }
+      const std::filesystem::path rel =
+          file.lexically_proximate(root).lexically_normal();
+      auto report = detlint::analyze_source_v2(rel.generic_string(), text,
+                                               {}, layers_ptr);
+      diags.insert(diags.end(), report.diags.begin(), report.diags.end());
+      regions.insert(regions.end(), report.parity.begin(),
+                     report.parity.end());
     }
+    auto parity_diags = detlint::check_parity(regions);
+    diags.insert(diags.end(), parity_diags.begin(), parity_diags.end());
   }
   detlint::apply_baseline(diags, baseline);
+  if (files.empty() && !baseline_path.empty()) {
+    auto stale = detlint::baseline_ratchet(diags, baseline, baseline_path);
+    diags.insert(diags.end(), stale.begin(), stale.end());
+  }
+  std::sort(diags.begin(), diags.end(),
+            [](const detlint::Diagnostic& a, const detlint::Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "detlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    detlint::render_json(out, diags);
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "detlint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    detlint::render_sarif(out, diags);
+  }
 
   if (check) {
     detlint::print_rule_table(std::cout);

@@ -1,0 +1,56 @@
+// Fixture: rule D5 (rng-stream-purity) must fire on all three impurity
+// modes — an engine passed by value (the copy replays the donor's draws),
+// an engine re-seeded or constructed from a raw seed outside src/rng/, and
+// a draw made inside iteration over an unordered container (the
+// draw-to-key binding follows hash order even when emission is sorted).
+// Analyzed under the pretend path src/sim/bad_d5.cpp; test_detlint also
+// re-analyzes it as src/rng/bad_d5.cpp and expects the construction/reseed
+// modes to stay legal there.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+// Mode (a): by-value engine parameter forks the stream.
+inline double draw_pair(rng::Xoshiro256ss engine) {  // DETLINT-EXPECT: D5
+  return rng::uniform(engine) + rng::uniform(engine);
+}
+
+// By-reference is the clean spelling — no finding.
+inline double draw_one(rng::Xoshiro256ss& engine) {
+  return rng::uniform(engine);
+}
+
+// Mode (b): construction from a raw seed outside src/rng/.
+inline double ad_hoc_stream() {
+  auto engine = rng::Xoshiro256ss(12345);  // DETLINT-EXPECT: D5
+  return rng::uniform(engine);
+}
+
+// Mode (b'): re-seeding a live engine resets its stream mid-run.
+inline void restart(rng::Xoshiro256ss& engine) {
+  engine.seed(99);  // DETLINT-EXPECT: D5
+}
+
+// Mode (c): drawing inside iteration over an unordered container. The
+// sorted_view routing satisfies D3 (emission order is fixed) but D5 still
+// fires — which key consumes which draw depends on hash order.
+inline double weigh(const std::unordered_map<int, double>& weights,
+                    rng::Xoshiro256ss& engine) {
+  double total = 0.0;
+  for (const auto& [key, w] : metrics::sorted_view(weights)) {
+    total += w * rng::exponential(engine, 1.0);  // DETLINT-EXPECT: D5
+  }
+  return total;
+}
+
+// Drawing before the loop is the clean spelling — no finding.
+inline double weigh_once(const std::unordered_map<int, double>& weights,
+                         rng::Xoshiro256ss& engine) {
+  const double jitter = rng::exponential(engine, 1.0);
+  double total = 0.0;
+  for (const auto& [key, w] : metrics::sorted_view(weights)) total += w;
+  return total * jitter;
+}
+
+}  // namespace fixture

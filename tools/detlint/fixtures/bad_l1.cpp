@@ -1,0 +1,20 @@
+// Fixture: rule L1 (layer-dag) must fire on an include edge the layer DAG
+// does not declare, and on an include of a [restricted] layer from a layer
+// outside its allow-list. Analyzed under the pretend path
+// src/core/bad_l1.cpp against the miniature layer config test_detlint
+// builds in-process (core = ["des"]; serve = ["core"]; exp restricted to
+// cli). The fixture's own expectations only hold under that config —
+// expect_matches_markers passes it explicitly.
+#include <cstddef>
+
+#include "des/simulator.hpp"     // declared edge core -> des: clean
+#include "core/other.hpp"        // same-layer include: always clean
+#include "serve/live_server.hpp" // DETLINT-EXPECT: L1
+#include "exp/cli.hpp"           // DETLINT-EXPECT: L1
+#include "vendor/header.hpp"     // undeclared first segment: out of scope
+
+namespace fixture {
+
+inline std::size_t noop() { return 0; }
+
+}  // namespace fixture

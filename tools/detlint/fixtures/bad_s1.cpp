@@ -1,0 +1,29 @@
+// Fixture: rule S1 (no-dead-suppressions) must fire on every allow
+// directive that suppresses nothing — a trailing allow on a clean line, a
+// standalone allow covering a clean line, a file-wide allow for a rule the
+// file never trips, and the dead half of a multi-rule list whose other
+// half is genuinely used. Analyzed under src/sim/bad_s1.cpp.
+#include <chrono>
+#include <cstddef>
+
+// detlint:allow-file(R1): no assert anywhere below  DETLINT-EXPECT: S1
+
+namespace fixture {
+
+inline std::size_t clean_count(std::size_t n) {
+  return n + 1;  // detlint:allow(D4): nothing to suppress  DETLINT-EXPECT: S1
+}
+
+inline std::size_t also_clean(std::size_t n) {
+  // detlint:allow(D3): the loop below is over a vector  DETLINT-EXPECT: S1
+  return n * 2;
+}
+
+/// The D1 half suppresses the steady_clock read; the D2 half is dead.
+inline double wall_ms() {
+  const auto t0 = std::chrono::steady_clock::now();  // detlint:allow(D1, D2): telemetry  DETLINT-EXPECT: S1
+  return std::chrono::duration<double, std::milli>(t0.time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

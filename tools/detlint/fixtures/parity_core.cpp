@@ -1,0 +1,29 @@
+// Fixture: the DES half of a cross-engine parity pair, modeled on the
+// ladder-occupancy and deliver-at-end rules the real engines share.
+// test_detlint analyzes this together with parity_live.cpp and expects
+// check_parity to pass, then mutates the live half to re-introduce the
+// PR-7 bug shape (one engine's occupancy signal drifting) and expects P1
+// to catch it. Analyzed under src/core/parity_core.cpp.
+#include <cstddef>
+
+namespace fixture::core {
+
+double HybridFixture::evaluate_ladder() {
+  // parity:begin(fixture-ladder-occupancy, HybridFixture=LiveFixture)
+  const double occupancy = rules::ladder_occupancy(
+      pull_queue_.total_requests(), push_waiters_, config_.cutoff,
+      effective_cutoff(), config_.fault.queue_capacity,
+      overload_config().capacity_ref);
+  const double worst_ewma = rules::worst_blocking_ewma(blocking_ewma_);
+  // parity:end
+  return occupancy + worst_ewma;
+}
+
+void HybridFixture::deliver(const Request& request, bool via_push) {
+  const double now = sim_.now();
+  // parity:begin(fixture-deliver-at-end, request=r)
+  rules::record_delivery(*collector_, request, now, via_push);
+  // parity:end
+}
+
+}  // namespace fixture::core

@@ -1,0 +1,27 @@
+// Fixture: the live-serving half of the parity pair in parity_core.cpp.
+// Identifier drift the rename maps declare (HybridFixture=LiveFixture,
+// request=r) is legal; any other token difference inside a region is a P1
+// finding. Analyzed under src/serve/parity_live.cpp.
+#include <cstddef>
+
+namespace fixture::serve {
+
+double LiveFixture::evaluate_ladder() {
+  // parity:begin(fixture-ladder-occupancy, HybridFixture=LiveFixture)
+  const double occupancy = rules::ladder_occupancy(
+      pull_queue_.total_requests(), push_waiters_, config_.cutoff,
+      effective_cutoff(), config_.fault.queue_capacity,
+      overload_config().capacity_ref);
+  const double worst_ewma = rules::worst_blocking_ewma(blocking_ewma_);
+  // parity:end
+  return occupancy + worst_ewma;
+}
+
+void LiveFixture::deliver(const Request& r, bool via_push) {
+  const double now = clock_->now();
+  // parity:begin(fixture-deliver-at-end, request=r)
+  rules::record_delivery(*collector_, r, now, via_push);
+  // parity:end
+}
+
+}  // namespace fixture::serve

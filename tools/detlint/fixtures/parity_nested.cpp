@@ -1,0 +1,23 @@
+// Fixture: structural parity-marker errors are file-local P1 findings —
+// a nested begin, an end without a begin, a trailing (non-standalone)
+// marker, a begin with no rule name, and a begin never closed. Analyzed
+// under src/core/parity_nested.cpp.
+#include <cstddef>
+
+namespace fixture {
+
+inline std::size_t structure_errors(std::size_t n) {
+  // parity:begin(outer-region)
+  n += 1;
+  // parity:begin(inner-region)  DETLINT-EXPECT: P1
+  n += 2;
+  // parity:end
+  n += 3;
+  // parity:end  DETLINT-EXPECT: P1
+  n += 4;  // parity:begin(trailing-region)  DETLINT-EXPECT: P1
+  // parity:begin()  DETLINT-EXPECT: P1
+  // parity:begin(never-closed)  DETLINT-EXPECT: P1
+  return n;
+}
+
+}  // namespace fixture

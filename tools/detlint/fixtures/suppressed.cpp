@@ -23,7 +23,7 @@ inline bool is_sentinel(double x) {
 inline std::size_t count_all(
     const std::unordered_map<int, int>& m) {
   std::size_t n = 0;
-  for (const auto& [k, v] : m) n += 1;  // detlint:allow(D3, D4): order-free fold
+  for (const auto& [k, v] : m) n += 1;  // detlint:allow(D3): order-free fold
   return n;
 }
 

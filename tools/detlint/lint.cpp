@@ -8,6 +8,8 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 namespace detlint {
 
@@ -31,12 +33,35 @@ const std::vector<RuleInfo> kRules = {
     {"D4", "double-metrics",
      "no `float` and no raw ==/!= against floating-point literals outside "
      "approved helpers (metrics::exactly_equal)"},
+    {"D5", "rng-stream-purity",
+     "in src/: engines never passed by value, never re-seeded/constructed "
+     "from raw seeds outside src/rng/, never drawn inside iteration over an "
+     "unordered container"},
+    {"L1", "layer-dag",
+     "every #include \"layer/...\" edge must be declared in the layer DAG "
+     "(tools/detlint/layers.toml)"},
+    {"P1", "cross-engine-parity",
+     "parity:begin/parity:end regions must stay token-identical across the "
+     "two scheduling engines, modulo the declared identifier renames"},
     {"R1", "throw-not-assert",
      "no assert() in library code (src/) — throw std::logic_error with "
      "context so Release builds keep the check"},
     {"R2", "no-using-namespace-in-headers",
      "no `using namespace` at any scope in a header file"},
+    {"S1", "no-dead-suppressions",
+     "a detlint:allow that suppresses nothing, and a baseline entry no "
+     "finding matches, are themselves findings (a baseline only shrinks)"},
 };
+
+/// The engine-owned RNG type D5 polices. Standard-library engines are
+/// already banned wholesale by D2, so only the project engine needs
+/// dataflow treatment.
+const std::set<std::string_view> kProjectEngines = {"Xoshiro256ss"};
+
+/// Free draw helpers (src/rng/) whose call sites D5 treats as stream
+/// consumption.
+const std::set<std::string_view> kDrawFns = {"uniform", "exponential",
+                                             "poisson", "zipf"};
 
 /// Files where D4's raw floating-point comparison is the implementation of
 /// the approved helper itself.
@@ -56,10 +81,20 @@ const std::vector<std::string_view> kWallClockBoundary = {
 // Lexer: blank comments and literals, collect suppressions
 // ---------------------------------------------------------------------------
 
+/// One detlint:allow / detlint:allow-file occurrence, kept in source order
+/// so S1 can point at the exact dead directive.
+struct AllowDirective {
+  std::size_t line = 0;  ///< line the directive starts on
+  std::string rule;
+  bool file_wide = false;
+  bool standalone = false;  ///< covers its own line and the next
+};
+
 struct Suppressions {
   /// line number -> rule ids allowed on that line
   std::map<std::size_t, std::set<std::string>> by_line;
   std::set<std::string> file_wide;
+  std::vector<AllowDirective> directives;
 
   [[nodiscard]] bool allows(const std::string& rule, std::size_t line) const {
     if (file_wide.count(rule) != 0) return true;
@@ -68,54 +103,171 @@ struct Suppressions {
   }
 };
 
+/// One parity:begin / parity:end marker comment, in source order.
+struct ParityMarker {
+  std::size_t line = 0;
+  bool begin = false;
+  std::string rule;  ///< empty on parity:end
+  std::map<std::string, std::string> renames;
+  std::string error;  ///< non-empty when the marker itself is malformed
+};
+
+/// First index of the comment's content: past the `//`/`/*` delimiters and
+/// leading whitespace/decoration. Directives and parity markers only count
+/// when anchored here — prose that merely *mentions* the syntax (like this
+/// linter's own documentation) must not parse as the real thing.
+std::size_t comment_content_start(std::string_view comment) {
+  std::size_t i = 0;
+  while (i < comment.size() &&
+         (comment[i] == '/' || comment[i] == '*' ||
+          std::isspace(static_cast<unsigned char>(comment[i])))) {
+    ++i;
+  }
+  return i;
+}
+
 /// Parses `detlint:allow(D1,D4)` / `detlint:allow-file(D1)` directives out
 /// of one comment's text and registers them. A standalone comment (nothing
 /// but whitespace before it on its starting line) covers its own line and
-/// the next; a trailing comment covers only its own line.
+/// the next; a trailing comment covers only its own line. The directive
+/// must be the first thing in the comment (see comment_content_start).
 void collect_directives(std::string_view comment, std::size_t start_line,
                         bool standalone, Suppressions& sup) {
   static constexpr std::string_view kAllow = "detlint:allow";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kAllow, pos)) != std::string_view::npos) {
-    std::size_t i = pos + kAllow.size();
-    const bool file_wide = comment.substr(i, 5) == "-file";
-    if (file_wide) i += 5;
-    if (i >= comment.size() || comment[i] != '(') {
-      pos = i;
-      continue;
+  const std::size_t pos = comment.find(kAllow);
+  if (pos == std::string_view::npos ||
+      pos != comment_content_start(comment)) {
+    return;
+  }
+  std::size_t i = pos + kAllow.size();
+  const bool file_wide = comment.substr(i, 5) == "-file";
+  if (file_wide) i += 5;
+  if (i >= comment.size() || comment[i] != '(') return;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string_view::npos) return;
+  std::string rule;
+  auto flush = [&] {
+    if (rule.empty()) return;
+    if (file_wide) {
+      sup.file_wide.insert(rule);
+    } else {
+      sup.by_line[start_line].insert(rule);
+      if (standalone) sup.by_line[start_line + 1].insert(rule);
     }
-    const std::size_t close = comment.find(')', i);
-    if (close == std::string_view::npos) break;
-    std::string rule;
-    auto flush = [&] {
-      if (rule.empty()) return;
-      if (file_wide) {
-        sup.file_wide.insert(rule);
-      } else {
-        sup.by_line[start_line].insert(rule);
-        if (standalone) sup.by_line[start_line + 1].insert(rule);
-      }
-      rule.clear();
-    };
-    for (std::size_t j = i + 1; j < close; ++j) {
-      const char c = comment[j];
-      if (c == ',' || c == ' ' || c == '\t') {
-        flush();
-      } else {
-        rule += c;
-      }
+    sup.directives.push_back({start_line, rule, file_wide, standalone});
+    rule.clear();
+  };
+  for (std::size_t j = i + 1; j < close; ++j) {
+    const char c = comment[j];
+    if (c == ',' || c == ' ' || c == '\t') {
+      flush();
+    } else {
+      rule += c;
     }
-    flush();
-    pos = close;
+  }
+  flush();
+}
+
+bool parity_name_ok(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses `parity:begin(rule[, a=b ...])` / `parity:end[(rule)]` markers out
+/// of one comment's text. The marker must be the first thing in the comment
+/// (see comment_content_start) and the comment must be standalone — a
+/// trailing marker would make it ambiguous whether its own line's code
+/// belongs to the region.
+void collect_parity_markers(std::string_view comment, std::size_t start_line,
+                            bool standalone,
+                            std::vector<ParityMarker>& markers) {
+  static constexpr std::string_view kPrefix = "parity:";
+  const std::size_t pos = comment.find(kPrefix);
+  if (pos == std::string_view::npos ||
+      pos != comment_content_start(comment)) {
+    return;
+  }
+  {
+    std::size_t i = pos + kPrefix.size();
+    const bool begin = comment.substr(i, 5) == "begin";
+    const bool end = comment.substr(i, 3) == "end";
+    if (!begin && !end) return;
+    i += begin ? 5 : 3;
+    ParityMarker m;
+    m.line = start_line;
+    m.begin = begin;
+    if (!standalone) {
+      m.error = "parity markers must be standalone comments";
+    }
+    std::string args;
+    if (i < comment.size() && comment[i] == '(') {
+      const std::size_t close = comment.find(')', i);
+      if (close == std::string_view::npos) {
+        m.error = "unterminated parity marker argument list";
+        markers.push_back(std::move(m));
+        return;
+      }
+      args = std::string(comment.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (begin) {
+      m.error = "parity:begin needs a rule name: parity:begin(<rule>)";
+    }
+    // Split `rule, a=b, c=d` on commas; first field is the rule name, the
+    // rest are single-identifier renames.
+    std::size_t field = 0;
+    std::size_t from = 0;
+    while (from <= args.size() && m.error.empty()) {
+      std::size_t to = args.find(',', from);
+      if (to == std::string::npos) to = args.size();
+      std::string part = args.substr(from, to - from);
+      part.erase(std::remove_if(part.begin(), part.end(),
+                                [](unsigned char c) {
+                                  return std::isspace(c) != 0;
+                                }),
+                 part.end());
+      if (!part.empty()) {
+        if (field == 0) {
+          if (!parity_name_ok(part)) {
+            m.error = "bad parity rule name '" + part + "'";
+          }
+          m.rule = part;
+        } else if (begin) {
+          const std::size_t eq = part.find('=');
+          const std::string a = part.substr(0, eq);
+          const std::string b =
+              eq == std::string::npos ? "" : part.substr(eq + 1);
+          if (eq == std::string::npos || !parity_name_ok(a) ||
+              !parity_name_ok(b)) {
+            m.error = "bad parity rename '" + part + "' (want ident=ident)";
+          } else {
+            m.renames[a] = b;
+          }
+        } else {
+          m.error = "parity:end takes at most a rule name";
+        }
+        ++field;
+      }
+      from = to + 1;
+    }
+    if (begin && m.rule.empty() && m.error.empty()) {
+      m.error = "parity:begin needs a rule name: parity:begin(<rule>)";
+    }
+    markers.push_back(std::move(m));
   }
 }
 
 /// `text` with comments, string literals and char literals replaced by
 /// spaces (newlines preserved, so offsets and line numbers are unchanged),
-/// plus the suppression directives found in comments.
+/// plus the suppression directives and parity markers found in comments.
 struct Prepared {
   std::string code;
   Suppressions suppressions;
+  std::vector<ParityMarker> parity_markers;
 };
 
 Prepared strip_comments_and_literals(std::string_view text) {
@@ -141,6 +293,8 @@ Prepared strip_comments_and_literals(std::string_view text) {
       while (i < text.size() && text[i] != '\n') ++i;
       collect_directives(text.substr(start, i - start), line, !line_has_code,
                          out.suppressions);
+      collect_parity_markers(text.substr(start, i - start), line,
+                             !line_has_code, out.parity_markers);
       continue;
     }
     if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
@@ -158,6 +312,8 @@ Prepared strip_comments_and_literals(std::string_view text) {
       i = std::min(i + 2, text.size());
       collect_directives(text.substr(start, i - start), start_line, standalone,
                          out.suppressions);
+      collect_parity_markers(text.substr(start, i - start), start_line,
+                             standalone, out.parity_markers);
       continue;
     }
     if (c == '"' || c == '\'') {
@@ -342,27 +498,48 @@ std::set<std::string> unordered_names_in(const std::vector<Token>& toks) {
 
 class Analysis {
  public:
-  Analysis(std::string_view path, const std::vector<Token>& toks,
-           const Suppressions& sup, const std::set<std::string>& extra_names)
-      : path_(path), toks_(toks), sup_(sup), extra_names_(extra_names) {}
+  Analysis(std::string_view path, std::string_view raw_text,
+           const Prepared& prepared, const std::vector<Token>& toks,
+           const std::set<std::string>& extra_names, const LayerConfig* layers)
+      : path_(path),
+        raw_text_(raw_text),
+        prepared_(prepared),
+        toks_(toks),
+        sup_(prepared.suppressions),
+        extra_names_(extra_names),
+        layers_(layers) {}
 
-  [[nodiscard]] std::vector<Diagnostic> run() {
+  [[nodiscard]] SourceReport run() {
     check_d1();
     check_d2();
     check_d3();
     check_d4();
+    check_d5();
+    check_l1();
     check_r1();
     check_r2();
+    build_parity_regions();
+    check_s1();  // last: judges the suppressed-hit ledger the others fed
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
                 return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
               });
-    return std::move(diags_);
+    return {std::move(diags_), std::move(parity_)};
   }
 
  private:
   void report(const char* rule, std::size_t line, std::string message) {
-    if (sup_.allows(rule, line)) return;
+    if (sup_.allows(rule, line)) {
+      suppressed_.insert({rule, line});
+      return;
+    }
+    diags_.push_back({std::string(path_), line, rule, std::move(message)});
+  }
+
+  /// For P1 structural and S1 findings, which must not be allow()able
+  /// (suppressing the dead-suppression checker would be a paradox; parity
+  /// marker structure has to be fixed, not silenced).
+  void report_hard(const char* rule, std::size_t line, std::string message) {
     diags_.push_back({std::string(path_), line, rule, std::move(message)});
   }
 
@@ -543,11 +720,293 @@ class Analysis {
     }
   }
 
+  // D5: RNG stream purity. Scope: src/ minus src/rng/ (the stream factory
+  // is the one place allowed to construct and seed engines).
+  void check_d5() {
+    if (!starts_with(path_, "src/") || starts_with(path_, "src/rng/")) return;
+
+    // (a) engine passed by value: inside a parameter/argument list, the
+    // engine type name followed directly by an identifier and then a
+    // list-ish delimiter (`,` `)` `=`). A `&`/`*`/`&&` between type and
+    // name makes it a reference/pointer and is fine.
+    int paren_depth = 0;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "(") ++paren_depth;
+        if (t.text == ")") --paren_depth;
+        continue;
+      }
+      if (t.kind != Tok::kIdent || kProjectEngines.count(t.text) == 0) {
+        continue;
+      }
+      if (paren_depth > 0) {
+        const Token* n = next(i);
+        if (n != nullptr && n->kind == Tok::kIdent) {
+          const Token* after =
+              i + 2 < toks_.size() ? &toks_[i + 2] : nullptr;
+          if (after != nullptr && after->kind == Tok::kPunct &&
+              (after->text == "," || after->text == ")" ||
+               after->text == "=")) {
+            report("D5", t.line,
+                   "engine '" + std::string(t.text) +
+                       "' passed by value forks the stream (both copies "
+                       "replay the same draws); pass by reference or a "
+                       "rng::StreamFactory handle");
+          }
+        }
+      }
+      // (b) engine constructed from a raw seed outside src/rng/:
+      // `Xoshiro256ss(...)` as a call/construction (not a declaration of a
+      // reference parameter etc. — those are caught above or harmless).
+      if (called(i) && !member_access(i)) {
+        report("D5", t.line,
+               "engine '" + std::string(t.text) +
+                   "' constructed outside src/rng/; derive streams from "
+                   "rng::StreamFactory so seeds stay centrally scheduled");
+      }
+    }
+
+    // (b') re-seeding a live engine: member `.seed(` / `->seed(` call.
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == Tok::kIdent && t.text == "seed" && called(i) &&
+          member_access(i)) {
+        report("D5", t.line,
+               "re-seeding a live engine resets its stream mid-run; derive "
+               "a fresh named stream from rng::StreamFactory instead");
+      }
+    }
+
+    // (c) drawing inside iteration over an unordered container: a kDrawFns
+    // call lexically inside a range-for whose range names an
+    // unordered-declared variable. Flagged even through sorted_view — the
+    // *emission* order is fixed by sorting, but the draw-to-key binding
+    // still depends on hash order.
+    std::set<std::string> unordered_names = unordered_names_in(toks_);
+    unordered_names.insert(extra_names_.begin(), extra_names_.end());
+    if (unordered_names.empty()) return;
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].kind != Tok::kIdent || toks_[i].text != "for") continue;
+      if (toks_[i + 1].text != "(") continue;
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+        if (toks_[j].kind != Tok::kPunct) continue;
+        if (toks_[j].text == "(") ++depth;
+        if (toks_[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (toks_[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;  // not a range-for
+      bool over_unordered = false;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks_[j].kind == Tok::kIdent &&
+            unordered_names.count(std::string(toks_[j].text)) != 0) {
+          over_unordered = true;
+        }
+      }
+      if (!over_unordered) continue;
+      // Loop body: the braced block right after the close paren.
+      std::size_t body_open = close + 1;
+      if (body_open >= toks_.size() || toks_[body_open].text != "{") continue;
+      int braces = 0;
+      for (std::size_t j = body_open; j < toks_.size(); ++j) {
+        if (toks_[j].kind == Tok::kPunct) {
+          if (toks_[j].text == "{") ++braces;
+          if (toks_[j].text == "}" && --braces == 0) break;
+          continue;
+        }
+        if (toks_[j].kind == Tok::kIdent && kDrawFns.count(toks_[j].text) != 0 &&
+            called(j)) {
+          report("D5", toks_[j].line,
+                 "RNG draw '" + std::string(toks_[j].text) +
+                     "()' inside iteration over an unordered container binds "
+                     "draws to hash order; iterate a sorted copy or draw "
+                     "before the loop");
+        }
+      }
+    }
+  }
+
+  // L1: every quoted include's first path segment must be a declared layer
+  // edge. Scans the raw text — the stripped buffer blanked the include
+  // paths along with every other string literal.
+  void check_l1() {
+    if (layers_ == nullptr || layers_->empty()) return;
+    const std::string layer = layer_of(path_);
+    if (layer.empty()) return;
+    // Only declared layers are policed, on both ends of the edge — an
+    // undeclared source directory is unlayered, same as an undeclared
+    // include target.
+    const auto deps_it = layers_->deps.find(layer);
+    if (deps_it == layers_->deps.end()) return;
+    const bool wildcard = deps_it->second.count("*") != 0;
+
+    std::size_t line = 1;
+    std::size_t pos = 0;
+    const std::string_view text = raw_text_;
+    while (pos < text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      const std::size_t end = eol == std::string_view::npos ? text.size() : eol;
+      std::string_view l = text.substr(pos, end - pos);
+      // `#include "target/..."` — system includes are out of scope.
+      const std::size_t hash = l.find_first_not_of(" \t");
+      if (hash != std::string_view::npos && l[hash] == '#' &&
+          l.find("include", hash) != std::string_view::npos) {
+        const std::size_t q1 = l.find('"');
+        const std::size_t q2 =
+            q1 == std::string_view::npos ? q1 : l.find('"', q1 + 1);
+        if (q2 != std::string_view::npos) {
+          const std::string_view target = l.substr(q1 + 1, q2 - q1 - 1);
+          const std::size_t slash = target.find('/');
+          if (slash != std::string_view::npos) {
+            const std::string target_layer(target.substr(0, slash));
+            check_include_edge(layer, target_layer, line, wildcard, deps_it);
+          }
+        }
+      }
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+      ++line;
+    }
+  }
+
+  void check_include_edge(
+      const std::string& layer, const std::string& target, std::size_t line,
+      bool wildcard,
+      std::map<std::string, std::set<std::string>>::const_iterator deps_it) {
+    if (layers_->deps.count(target) == 0) return;  // not a declared layer
+    // Restricted layers trump wildcards: `exp` is includable only by the
+    // layers its [restricted] entry lists.
+    const auto restricted = layers_->restricted.find(target);
+    if (restricted != layers_->restricted.end() &&
+        restricted->second.count(layer) == 0 && layer != target) {
+      report("L1", line,
+             "layer '" + layer + "' may not include restricted layer '" +
+                 target + "' (tools/detlint/layers.toml [restricted])");
+      return;
+    }
+    if (layer == target || wildcard) return;
+    if (deps_it == layers_->deps.end() ||
+        deps_it->second.count(target) == 0) {
+      report("L1", line,
+             "undeclared layer edge " + layer + " -> " + target +
+                 "; declare it in tools/detlint/layers.toml or break the "
+                 "dependency");
+    }
+  }
+
+  /// Maps a repo-relative path to its layer name; empty = unlayered (tests,
+  /// fixtures) and L1 does not apply.
+  [[nodiscard]] static std::string layer_of(std::string_view path) {
+    if (starts_with(path, "src/")) {
+      const std::string_view rest = path.substr(4);
+      const std::size_t slash = rest.find('/');
+      if (slash != std::string_view::npos) {
+        return std::string(rest.substr(0, slash));
+      }
+      return {};
+    }
+    if (starts_with(path, "tools/detlint/")) return "detlint";
+    if (starts_with(path, "tools/")) return "cli";
+    if (starts_with(path, "bench/")) return "bench";
+    return {};
+  }
+
+  // P1 (per-file half): pair up the markers into regions and slice the
+  // token stream. Structural problems — malformed/nested/unbalanced
+  // markers — are file-local P1 findings; the cross-file comparison is
+  // check_parity's job.
+  void build_parity_regions() {
+    const ParityMarker* open = nullptr;
+    for (const ParityMarker& m : prepared_.parity_markers) {
+      if (!m.error.empty()) {
+        report_hard("P1", m.line, m.error);
+        continue;
+      }
+      if (m.begin) {
+        if (open != nullptr) {
+          report_hard("P1", m.line,
+                      "nested parity:begin('" + m.rule +
+                          "') — close the '" + open->rule +
+                          "' region first (regions cannot nest)");
+          continue;
+        }
+        open = &m;
+      } else {
+        if (open == nullptr) {
+          report_hard("P1", m.line, "parity:end without a matching begin");
+          continue;
+        }
+        if (!m.rule.empty() && m.rule != open->rule) {
+          report_hard("P1", m.line,
+                      "parity:end(" + m.rule + ") closes region '" +
+                          open->rule + "'");
+          open = nullptr;
+          continue;
+        }
+        ParityRegion region;
+        region.rule = open->rule;
+        region.file = std::string(path_);
+        region.begin_line = open->line;
+        region.end_line = m.line;
+        region.renames = open->renames;
+        for (const Token& t : toks_) {
+          if (t.line > region.begin_line && t.line < region.end_line) {
+            region.tokens.push_back(
+                {std::string(t.text), t.line, t.kind == Tok::kIdent});
+          }
+        }
+        parity_.push_back(std::move(region));
+        open = nullptr;
+      }
+    }
+    if (open != nullptr) {
+      report_hard("P1", open->line,
+                  "parity:begin('" + open->rule + "') never closed");
+    }
+  }
+
+  // S1 (per-file half): every allow directive must have suppressed at least
+  // one finding this run. Runs last so the ledger is complete.
+  void check_s1() {
+    for (const AllowDirective& d : sup_.directives) {
+      bool used = false;
+      if (d.file_wide) {
+        for (const auto& hit : suppressed_) {
+          if (hit.first == d.rule) {
+            used = true;
+            break;
+          }
+        }
+      } else {
+        used = suppressed_.count({d.rule, d.line}) != 0 ||
+               (d.standalone && suppressed_.count({d.rule, d.line + 1}) != 0);
+      }
+      if (!used) {
+        report_hard("S1", d.line,
+                    "dead suppression: detlint:allow" +
+                        std::string(d.file_wide ? "-file" : "") + "(" +
+                        d.rule + ") no longer suppresses anything — delete "
+                        "it");
+      }
+    }
+  }
+
   std::string_view path_;
+  std::string_view raw_text_;
+  const Prepared& prepared_;
   const std::vector<Token>& toks_;
   const Suppressions& sup_;
   const std::set<std::string>& extra_names_;
+  const LayerConfig* layers_ = nullptr;
+  std::set<std::pair<std::string, std::size_t>> suppressed_;
   std::vector<Diagnostic> diags_;
+  std::vector<ParityRegion> parity_;
 };
 
 }  // namespace
@@ -563,13 +1022,262 @@ std::set<std::string> collect_unordered_names(std::string_view text) {
   return unordered_names_in(tokenize(prepared.code));
 }
 
+SourceReport analyze_source_v2(std::string_view path, std::string_view text,
+                               const std::set<std::string>& extra_unordered_names,
+                               const LayerConfig* layers) {
+  const Prepared prepared = strip_comments_and_literals(text);
+  const std::vector<Token> toks = tokenize(prepared.code);
+  return Analysis(path, text, prepared, toks, extra_unordered_names, layers)
+      .run();
+}
+
 std::vector<Diagnostic> analyze_source(
     std::string_view path, std::string_view text,
     const std::set<std::string>& extra_unordered_names) {
-  const Prepared prepared = strip_comments_and_literals(text);
-  const std::vector<Token> toks = tokenize(prepared.code);
-  return Analysis(path, toks, prepared.suppressions, extra_unordered_names)
-      .run();
+  return analyze_source_v2(path, text, extra_unordered_names).diags;
+}
+
+// ---------------------------------------------------------------------------
+// P1: cross-file region comparison
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Applies the merged rename map symmetrically: a token equal to either
+/// side of a declared pair canonicalizes to the pair's left side.
+std::string canonical(const ParityToken& t,
+                      const std::map<std::string, std::string>& renames) {
+  if (!t.ident) return t.text;
+  const auto direct = renames.find(t.text);
+  if (direct != renames.end()) return direct->first;
+  for (const auto& [a, b] : renames) {
+    if (b == t.text) return a;
+  }
+  return t.text;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_parity(const std::vector<ParityRegion>& regions) {
+  std::vector<Diagnostic> diags;
+  std::map<std::string, std::vector<const ParityRegion*>> by_rule;
+  for (const ParityRegion& r : regions) by_rule[r.rule].push_back(&r);
+
+  for (const auto& [rule, group] : by_rule) {
+    if (group.size() != 2) {
+      std::string files;
+      for (const auto* r : group) {
+        files += (files.empty() ? "" : ", ") + r->file;
+      }
+      diags.push_back(
+          {group.front()->file, group.front()->begin_line, "P1",
+           "parity rule '" + rule + "' has " + std::to_string(group.size()) +
+               " region(s) (" + files +
+               "); exactly two engines must declare it",
+           false});
+      continue;
+    }
+    // Lexically-second file carries the drift diagnostic, so the finding
+    // lands on the engine that usually lags (serve/ sorts after core/).
+    const ParityRegion* first = group[0];
+    const ParityRegion* second = group[1];
+    if (std::tie(second->file, second->begin_line) <
+        std::tie(first->file, first->begin_line)) {
+      std::swap(first, second);
+    }
+    std::map<std::string, std::string> renames = first->renames;
+    renames.insert(second->renames.begin(), second->renames.end());
+
+    const std::size_t n = std::min(first->tokens.size(),
+                                   second->tokens.size());
+    std::size_t drift = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (canonical(first->tokens[i], renames) !=
+          canonical(second->tokens[i], renames)) {
+        drift = i;
+        break;
+      }
+    }
+    if (drift == n && first->tokens.size() == second->tokens.size()) {
+      continue;  // token-identical modulo renames
+    }
+    std::size_t line = second->end_line;
+    std::string got = "<end of region>";
+    std::string want = "<end of region>";
+    if (drift < second->tokens.size()) {
+      line = second->tokens[drift].line;
+      got = second->tokens[drift].text;
+    }
+    if (drift < first->tokens.size()) want = first->tokens[drift].text;
+    diags.push_back(
+        {second->file, line, "P1",
+         "parity region '" + rule + "' drifted from " + first->file + ":" +
+             std::to_string(first->begin_line) + ": token " +
+             std::to_string(drift) + " is '" + got + "' here but '" + want +
+             "' there (renames do not cover it)",
+         false});
+  }
+  return diags;
+}
+
+// ---------------------------------------------------------------------------
+// L1: layer config
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// `name = ["a", "b"]` → (name, {a, b}). Returns false on malformed lines.
+bool parse_toml_list(const std::string& line, std::string& name,
+                     std::set<std::string>& values) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  name.clear();
+  for (const char c : line.substr(0, eq)) {
+    if (!std::isspace(static_cast<unsigned char>(c))) name += c;
+  }
+  if (name.empty()) return false;
+  const std::size_t open = line.find('[', eq);
+  const std::size_t close = line.find(']', eq);
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return false;
+  }
+  values.clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      if (in_quotes && !cur.empty()) values.insert(cur);
+      if (in_quotes) cur.clear();
+      in_quotes = !in_quotes;
+    } else if (in_quotes) {
+      cur += c;
+    } else if (c != ',' && !std::isspace(static_cast<unsigned char>(c))) {
+      return false;  // bare (unquoted) junk between entries
+    }
+  }
+  return !in_quotes;
+}
+
+}  // namespace
+
+LayerConfig LayerConfig::parse(std::istream& in) {
+  LayerConfig config;
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    const std::string body = line.substr(first, last - first + 1);
+    if (body.front() == '[') {
+      if (body.back() != ']') {
+        config.errors.push_back("line " + std::to_string(line_no) +
+                                ": malformed section header '" + body + "'");
+        continue;
+      }
+      section = body.substr(1, body.size() - 2);
+      if (section != "layers" && section != "restricted") {
+        config.errors.push_back("line " + std::to_string(line_no) +
+                                ": unknown section [" + section + "]");
+      }
+      continue;
+    }
+    std::string name;
+    std::set<std::string> values;
+    if (!parse_toml_list(body, name, values)) {
+      config.errors.push_back("line " + std::to_string(line_no) +
+                              ": expected `name = [\"dep\", ...]`, got '" +
+                              body + "'");
+      continue;
+    }
+    if (section == "layers") {
+      config.deps[name] = std::move(values);
+    } else if (section == "restricted") {
+      config.restricted[name] = std::move(values);
+    } else {
+      config.errors.push_back("line " + std::to_string(line_no) +
+                              ": entry '" + name +
+                              "' outside [layers]/[restricted]");
+    }
+  }
+
+  // Every named dependency (and restricted subject) must itself be a
+  // declared layer — a typo would silently disable checking for that edge.
+  for (const auto& [layer, deps] : config.deps) {
+    for (const auto& dep : deps) {
+      if (dep != "*" && config.deps.count(dep) == 0) {
+        config.errors.push_back("layer '" + layer +
+                                "' depends on undeclared layer '" + dep + "'");
+      }
+    }
+  }
+  for (const auto& [layer, includers] : config.restricted) {
+    if (config.deps.count(layer) == 0) {
+      config.errors.push_back("[restricted] names undeclared layer '" +
+                              layer + "'");
+    }
+    for (const auto& inc : includers) {
+      if (config.deps.count(inc) == 0) {
+        config.errors.push_back("[restricted] " + layer +
+                                " lists undeclared layer '" + inc + "'");
+      }
+    }
+  }
+
+  // Cycle check over the declared edges (wildcard layers excluded — cli and
+  // bench may include anything and nothing may include them back anyway).
+  // Iterative DFS with an explicit color map.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> order;
+  for (const auto& [layer, deps] : config.deps) order.push_back(layer);
+  for (const auto& start : order) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, bool>> stack = {{start, false}};
+    while (!stack.empty()) {
+      auto [node, done] = stack.back();
+      stack.pop_back();
+      if (done) {
+        color[node] = 2;
+        continue;
+      }
+      if (color[node] == 2) continue;
+      if (color[node] == 1) continue;
+      color[node] = 1;
+      stack.push_back({node, true});
+      const auto it = config.deps.find(node);
+      if (it == config.deps.end() || it->second.count("*") != 0) continue;
+      for (const auto& dep : it->second) {
+        if (config.deps.count(dep) == 0) continue;
+        if (color[dep] == 1) {
+          config.errors.push_back("layer cycle: '" + node + "' -> '" + dep +
+                                  "' closes a loop");
+        } else if (color[dep] == 0) {
+          stack.push_back({dep, false});
+        }
+      }
+    }
+  }
+  return config;
+}
+
+LayerConfig LayerConfig::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return LayerConfig{};
+  return parse(in);
+}
+
+std::vector<Diagnostic> check_layer_config(const LayerConfig& layers,
+                                           std::string_view config_path) {
+  std::vector<Diagnostic> diags;
+  for (const auto& err : layers.errors) {
+    diags.push_back({std::string(config_path), 0, "L1", err, false});
+  }
+  return diags;
 }
 
 namespace {
@@ -639,16 +1347,43 @@ std::vector<Diagnostic> analyze_tree(const std::filesystem::path& root) {
     tree_unordered_names.insert(names.begin(), names.end());
   }
 
-  // Phase 2: analyze with the global declaration set.
+  // Phase 2: analyze with the global declaration set, pooling parity
+  // regions for the cross-file P1 comparison.
+  const std::string layers_path =
+      (root / "tools" / "detlint" / "layers.toml").string();
+  const LayerConfig layers = LayerConfig::load_file(layers_path);
+  const LayerConfig* layers_ptr = layers.empty() ? nullptr : &layers;
+
   std::vector<Diagnostic> diags;
+  std::vector<ParityRegion> regions;
   for (std::size_t i = 0; i < files.size(); ++i) {
     const std::filesystem::path rel =
         files[i].lexically_proximate(root).lexically_normal();
-    auto file_diags = analyze_source(rel.generic_string(), texts[i],
-                                     tree_unordered_names);
-    diags.insert(diags.end(), std::make_move_iterator(file_diags.begin()),
-                 std::make_move_iterator(file_diags.end()));
+    auto file_report = analyze_source_v2(rel.generic_string(), texts[i],
+                                         tree_unordered_names, layers_ptr);
+    diags.insert(diags.end(),
+                 std::make_move_iterator(file_report.diags.begin()),
+                 std::make_move_iterator(file_report.diags.end()));
+    regions.insert(regions.end(),
+                   std::make_move_iterator(file_report.parity.begin()),
+                   std::make_move_iterator(file_report.parity.end()));
   }
+
+  auto parity_diags = check_parity(regions);
+  diags.insert(diags.end(), std::make_move_iterator(parity_diags.begin()),
+               std::make_move_iterator(parity_diags.end()));
+  if (layers_ptr != nullptr) {
+    auto config_diags =
+        check_layer_config(layers, "tools/detlint/layers.toml");
+    diags.insert(diags.end(), std::make_move_iterator(config_diags.begin()),
+                 std::make_move_iterator(config_diags.end()));
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
   return diags;
 }
 
@@ -674,6 +1409,25 @@ Baseline Baseline::load_file(const std::string& path) {
 
 void apply_baseline(std::vector<Diagnostic>& diags, const Baseline& baseline) {
   for (auto& d : diags) d.baselined = baseline.covers(d);
+}
+
+std::vector<Diagnostic> baseline_ratchet(const std::vector<Diagnostic>& diags,
+                                         const Baseline& baseline,
+                                         std::string baseline_path) {
+  std::set<std::string> matched;
+  for (const auto& d : diags) {
+    if (d.baselined) matched.insert(d.file + ":" + d.rule);
+  }
+  std::vector<Diagnostic> stale;
+  for (const auto& entry : baseline.entries()) {
+    if (matched.count(entry) != 0) continue;
+    stale.push_back({baseline_path, 0, "S1",
+                     "stale baseline entry '" + entry +
+                         "' matches no finding — the baseline only shrinks; "
+                         "delete the line",
+                     false});
+  }
+  return stale;
 }
 
 std::size_t fresh_count(const std::vector<Diagnostic>& diags) {

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <filesystem>
 #include <iosfwd>
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
@@ -25,15 +26,29 @@
 ///       order) unless routed through metrics::sorted_view
 ///   D4  no `float` (metrics accumulate in double) and no raw ==/!= against
 ///       floating-point literals outside approved helpers
+///   D5  RNG stream purity in src/: engines are never passed by value,
+///       never re-seeded or constructed from raw seeds outside src/rng/,
+///       and never drawn from inside iteration over an unordered container
+///   L1  include-graph layering: every `#include "layer/..."` edge must be
+///       declared in the layer DAG (tools/detlint/layers.toml)
+///   P1  cross-engine parity: `// parity:begin(<rule>[, a=b ...])` ...
+///       `// parity:end` regions are token-compared pairwise across the two
+///       scheduling engines, modulo the declared identifier-renaming map
 ///   R1  no assert() in library code (src/) — throw std::logic_error with
 ///       context instead, so Release builds keep the check
 ///   R2  no `using namespace` in headers
+///   S1  no dead suppressions: an inline `detlint:allow` that no longer
+///       suppresses anything, and a baseline entry no finding matches, are
+///       themselves findings (ratchet: a baseline may only shrink)
 ///
 /// Suppression: `// detlint:allow(RULE[,RULE...]): reason` on the offending
 /// line (trailing) or on the line above (standalone comment);
 /// `// detlint:allow-file(RULE): reason` anywhere suppresses the rule for
 /// the whole file. A checked-in baseline file (`path:rule` lines)
-/// grandfathers findings without touching the source.
+/// grandfathers findings without touching the source. P1 and S1 findings
+/// cannot be allow()ed inline (a suppression that suppresses the
+/// dead-suppression checker would be a paradox); park them in the baseline
+/// if they must be deferred.
 namespace detlint {
 
 struct RuleInfo {
@@ -42,7 +57,7 @@ struct RuleInfo {
   std::string_view summary;  ///< one-line description for the rule table
 };
 
-/// The rule table, in fixed D1..R2 order.
+/// The rule table, in fixed D1..D5, L1, P1, R1, R2, S1 order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
 struct Diagnostic {
@@ -65,9 +80,70 @@ class Baseline {
     return entries_.count(d.file + ":" + d.rule) != 0;
   }
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::set<std::string>& entries() const noexcept {
+    return entries_;
+  }
 
  private:
   std::set<std::string> entries_;
+};
+
+/// One token of a parity region (text copied out of the source so regions
+/// outlive the file buffer).
+struct ParityToken {
+  std::string text;
+  std::size_t line = 0;
+  bool ident = false;  ///< identifier tokens are the only renamable ones
+};
+
+/// One `// parity:begin(rule[, a=b ...])` ... `// parity:end` region. The
+/// markers must be standalone comments; the region's tokens are everything
+/// strictly between the marker lines (comments and literals stripped).
+struct ParityRegion {
+  std::string rule;
+  std::string file;
+  std::size_t begin_line = 0;
+  std::size_t end_line = 0;
+  /// Identifier-renaming map declared on the begin marker (single
+  /// identifiers only, applied symmetrically when the pair is compared).
+  std::map<std::string, std::string> renames;
+  std::vector<ParityToken> tokens;
+};
+
+/// The declared layer DAG for rule L1, parsed from a minimal TOML subset:
+///
+///   [layers]
+///   rng = []
+///   core = ["catalog", "des", ...]   # allowed include targets
+///   cli = ["*"]                      # "*" = may include anything
+///
+///   [restricted]
+///   exp = ["cli", "bench"]           # only these layers may include exp
+///
+/// Malformed lines, undeclared dependency names and cycles among the
+/// declared layers are collected into `errors` (never thrown), and the
+/// drivers surface them as L1 findings against the config file itself.
+struct LayerConfig {
+  std::map<std::string, std::set<std::string>> deps;
+  std::map<std::string, std::set<std::string>> restricted;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return deps.empty() && errors.empty();
+  }
+
+  [[nodiscard]] static LayerConfig parse(std::istream& in);
+  /// Missing file loads as an empty config (L1 is skipped entirely).
+  [[nodiscard]] static LayerConfig load_file(const std::string& path);
+};
+
+/// Per-file analysis plus the parity regions found in it; the caller pools
+/// regions across files and hands them to check_parity (P1 is the one
+/// cross-file rule, so a single file can only yield its structural
+/// diagnostics: nested/unbalanced/duplicated markers).
+struct SourceReport {
+  std::vector<Diagnostic> diags;
+  std::vector<ParityRegion> parity;
 };
 
 /// Names declared with an unordered_map/unordered_set type in `text`.
@@ -87,19 +163,51 @@ class Baseline {
     std::string_view path, std::string_view text,
     const std::set<std::string>& extra_unordered_names = {});
 
+/// analyze_source plus the file's parity regions and (when `layers` is
+/// non-null) the L1 include-graph pass.
+[[nodiscard]] SourceReport analyze_source_v2(
+    std::string_view path, std::string_view text,
+    const std::set<std::string>& extra_unordered_names = {},
+    const LayerConfig* layers = nullptr);
+
+/// P1: token-compares the pooled parity regions pairwise per rule name.
+/// Exactly two regions (one per engine) must exist for every rule; the
+/// renaming maps of both regions are merged and applied symmetrically to
+/// identifier tokens. Diagnostics anchor at the drifting token in the
+/// lexically-second file and name the counterpart.
+[[nodiscard]] std::vector<Diagnostic> check_parity(
+    const std::vector<ParityRegion>& regions);
+
+/// L1 findings for problems with the layer config itself (parse errors,
+/// undeclared dependencies, cycles), reported against `config_path`.
+[[nodiscard]] std::vector<Diagnostic> check_layer_config(
+    const LayerConfig& layers, std::string_view config_path);
+
 /// Reads and analyzes `file`, reporting it relative to `root`.
 [[nodiscard]] std::vector<Diagnostic> analyze_file(
     const std::filesystem::path& root, const std::filesystem::path& file,
     const std::set<std::string>& extra_unordered_names = {});
 
 /// Walks root/{src,tools,bench} (skipping `fixtures`, `build` and hidden
-/// directories), analyzing every .hpp/.h/.hh/.cpp/.cc file in sorted path
-/// order so output is byte-stable across platforms.
+/// directories), analyzing every .hpp/.h/.hh/.cpp/.cc file. Runs every
+/// pass: the per-file rules, L1 against root/tools/detlint/layers.toml
+/// (skipped when that file is absent), and P1 across the pooled parity
+/// regions. The result is sorted by (file, line, rule) so the linter's own
+/// output is byte-stable across platforms.
 [[nodiscard]] std::vector<Diagnostic> analyze_tree(
     const std::filesystem::path& root);
 
 /// Flags diagnostics covered by `baseline` (sets Diagnostic::baselined).
 void apply_baseline(std::vector<Diagnostic>& diags, const Baseline& baseline);
+
+/// Ratchet semantics: a baseline may only shrink. Returns one S1 finding
+/// (anchored at `baseline_path`, line 0) for every baseline entry that no
+/// diagnostic in `diags` matched — a stale entry must be deleted, never
+/// hoarded for future regressions. Run after apply_baseline, in tree mode
+/// only (single-file runs see too few diagnostics to judge staleness).
+[[nodiscard]] std::vector<Diagnostic> baseline_ratchet(
+    const std::vector<Diagnostic>& diags, const Baseline& baseline,
+    std::string baseline_path);
 
 /// Count of diagnostics with baselined == false.
 [[nodiscard]] std::size_t fresh_count(const std::vector<Diagnostic>& diags);

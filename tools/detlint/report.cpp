@@ -1,0 +1,492 @@
+#include "report.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void render_json(std::ostream& out, const std::vector<Diagnostic>& diags) {
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \""
+        << json_escape(d.file) << "\", \"line\": " << d.line
+        << ", \"rule\": \"" << json_escape(d.rule) << "\", \"message\": \""
+        << json_escape(d.message) << "\", \"baselined\": "
+        << (d.baselined ? "true" : "false") << "}";
+  }
+  out << (diags.empty() ? "" : "\n  ") << "],\n  \"fresh\": "
+      << fresh_count(diags) << ",\n  \"baselined\": "
+      << (diags.size() - fresh_count(diags)) << "\n}\n";
+}
+
+void render_sarif(std::ostream& out, const std::vector<Diagnostic>& diags) {
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"detlint\",\n"
+         "          \"rules\": [";
+  const auto& table = rules();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const RuleInfo& r = table[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "            {\"id\": \"" << r.id << "\", \"name\": \"" << r.name
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(r.summary) << "\"}}";
+  }
+  out << "\n          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    // SARIF requires startLine >= 1; line-0 findings (baseline ratchet,
+    // IO errors) anchor at the top of the file.
+    const std::size_t line = d.line == 0 ? 1 : d.line;
+    out << (i == 0 ? "\n" : ",\n")
+        << "        {\"ruleId\": \"" << json_escape(d.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(d.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(d.file) << "\"}, \"region\": {\"startLine\": " << line
+        << "}}}]";
+    if (d.baselined) {
+      out << ", \"suppressions\": [{\"kind\": \"external\"}]";
+    }
+    out << "}";
+  }
+  out << (diags.empty() ? "" : "\n      ") << "]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Offline SARIF validation: a dependency-free JSON parser plus structural
+// checks for the 2.1.0 shape detlint emits.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  bool number_integral = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = at() + "trailing characters after the top-level value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::string at() const {
+    return "JSON offset " + std::to_string(pos_) + ": ";
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool parse_value(JsonValue& out, std::string& error) {
+    if (pos_ >= text_.size()) {
+      error = at() + "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, error);
+      case '[':
+        return parse_array(out, error);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string, error);
+      case 't':
+      case 'f':
+        return parse_keyword(c == 't' ? "true" : "false", out, error);
+      case 'n':
+        return parse_keyword("null", out, error);
+      default:
+        return parse_number(out, error);
+    }
+  }
+
+  [[nodiscard]] bool parse_keyword(std::string_view word, JsonValue& out,
+                                   std::string& error) {
+    if (text_.substr(pos_, word.size()) != word) {
+      error = at() + "unexpected token";
+      return false;
+    }
+    pos_ += word.size();
+    if (word == "null") {
+      out.kind = JsonValue::Kind::kNull;
+    } else {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = word == "true";
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool parse_number(JsonValue& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = integral && c != '.' && c != 'e' && c != 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      error = at() + "invalid number";
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    out.number_integral = integral;
+    return true;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out, std::string& error) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Preserved verbatim — the validator only checks structure, it
+            // never needs the decoded code point.
+            out += text_.substr(pos_, 6);
+            pos_ += 4;
+            break;
+          default:
+            error = at() + "bad escape '\\" + std::string(1, esc) + "'";
+            return false;
+        }
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    error = at() + "unterminated string";
+    return false;
+  }
+
+  [[nodiscard]] bool parse_array(JsonValue& out, std::string& error) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(element, error)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        error = at() + "unterminated array";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      error = at() + "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool parse_object(JsonValue& out, std::string& error) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        error = at() + "expected object key";
+        return false;
+      }
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        error = at() + "expected ':' after object key";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.object[key] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        error = at() + "unterminated object";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      error = at() + "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class SarifChecker {
+ public:
+  explicit SarifChecker(std::vector<std::string>* errors) : errors_(errors) {}
+
+  [[nodiscard]] bool check(const JsonValue& root) {
+    if (root.kind != JsonValue::Kind::kObject) {
+      fail("top level must be a JSON object");
+      return ok_;
+    }
+    const JsonValue* version = root.get("version");
+    if (version == nullptr || version->kind != JsonValue::Kind::kString ||
+        version->string != "2.1.0") {
+      fail("version must be the string \"2.1.0\"");
+    }
+    const JsonValue* runs = root.get("runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::kArray ||
+        runs->array.empty()) {
+      fail("runs must be a non-empty array");
+      return ok_;
+    }
+    for (std::size_t i = 0; i < runs->array.size(); ++i) {
+      check_run(runs->array[i], "runs[" + std::to_string(i) + "]");
+    }
+    return ok_;
+  }
+
+ private:
+  void fail(std::string message) {
+    ok_ = false;
+    if (errors_ != nullptr) errors_->push_back(std::move(message));
+  }
+
+  void check_run(const JsonValue& run, const std::string& where) {
+    if (run.kind != JsonValue::Kind::kObject) {
+      fail(where + " must be an object");
+      return;
+    }
+    const JsonValue* tool = run.get("tool");
+    const JsonValue* driver =
+        tool == nullptr ? nullptr : tool->get("driver");
+    const JsonValue* name =
+        driver == nullptr ? nullptr : driver->get("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->string.empty()) {
+      fail(where + ".tool.driver.name must be a non-empty string");
+    }
+    const JsonValue* rule_list =
+        driver == nullptr ? nullptr : driver->get("rules");
+    if (rule_list != nullptr) {
+      if (rule_list->kind != JsonValue::Kind::kArray) {
+        fail(where + ".tool.driver.rules must be an array");
+      } else {
+        for (std::size_t i = 0; i < rule_list->array.size(); ++i) {
+          const JsonValue& rule = rule_list->array[i];
+          const JsonValue* id = rule.get("id");
+          if (id == nullptr || id->kind != JsonValue::Kind::kString ||
+              id->string.empty()) {
+            fail(where + ".tool.driver.rules[" + std::to_string(i) +
+                 "].id must be a non-empty string");
+          }
+        }
+      }
+    }
+    const JsonValue* results = run.get("results");
+    if (results == nullptr) return;  // results are optional in the spec
+    if (results->kind != JsonValue::Kind::kArray) {
+      fail(where + ".results must be an array");
+      return;
+    }
+    for (std::size_t i = 0; i < results->array.size(); ++i) {
+      check_result(results->array[i],
+                   where + ".results[" + std::to_string(i) + "]");
+    }
+  }
+
+  void check_result(const JsonValue& result, const std::string& where) {
+    if (result.kind != JsonValue::Kind::kObject) {
+      fail(where + " must be an object");
+      return;
+    }
+    const JsonValue* rule_id = result.get("ruleId");
+    if (rule_id == nullptr || rule_id->kind != JsonValue::Kind::kString ||
+        rule_id->string.empty()) {
+      fail(where + ".ruleId must be a non-empty string");
+    }
+    const JsonValue* message = result.get("message");
+    const JsonValue* text =
+        message == nullptr ? nullptr : message->get("text");
+    if (text == nullptr || text->kind != JsonValue::Kind::kString) {
+      fail(where + ".message.text must be a string");
+    }
+    const JsonValue* locations = result.get("locations");
+    if (locations == nullptr ||
+        locations->kind != JsonValue::Kind::kArray) {
+      fail(where + ".locations must be an array");
+      return;
+    }
+    for (std::size_t i = 0; i < locations->array.size(); ++i) {
+      const std::string loc_where =
+          where + ".locations[" + std::to_string(i) + "]";
+      const JsonValue& loc = locations->array[i];
+      const JsonValue* phys = loc.get("physicalLocation");
+      const JsonValue* artifact =
+          phys == nullptr ? nullptr : phys->get("artifactLocation");
+      const JsonValue* uri =
+          artifact == nullptr ? nullptr : artifact->get("uri");
+      if (uri == nullptr || uri->kind != JsonValue::Kind::kString ||
+          uri->string.empty()) {
+        fail(loc_where +
+             ".physicalLocation.artifactLocation.uri must be a non-empty "
+             "string");
+      }
+      const JsonValue* region =
+          phys == nullptr ? nullptr : phys->get("region");
+      if (region != nullptr) {
+        const JsonValue* start = region->get("startLine");
+        if (start != nullptr &&
+            (start->kind != JsonValue::Kind::kNumber ||
+             !start->number_integral || start->number < 1.0)) {
+          fail(loc_where +
+               ".physicalLocation.region.startLine must be an integer >= 1");
+        }
+      }
+    }
+  }
+
+  std::vector<std::string>* errors_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool validate_sarif(std::string_view text, std::vector<std::string>* errors) {
+  JsonValue root;
+  std::string parse_error;
+  JsonParser parser(text);
+  if (!parser.parse(root, parse_error)) {
+    if (errors != nullptr) errors->push_back(parse_error);
+    return false;
+  }
+  return SarifChecker(errors).check(root);
+}
+
+}  // namespace detlint

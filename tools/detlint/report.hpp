@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+/// Machine-readable renderings of a detlint run, plus an offline SARIF
+/// structural validator so CI can prove the artifact is well-formed without
+/// a network round-trip to the published 2.1.0 JSON schema.
+namespace detlint {
+
+/// Stable JSON: findings sorted as given (the drivers sort by
+/// (file, line, rule)), then summary counters. Byte-identical across
+/// platforms for identical inputs.
+void render_json(std::ostream& out, const std::vector<Diagnostic>& diags);
+
+/// SARIF 2.1.0, one run, tool.driver.name "detlint". Every rule from
+/// rules() is emitted as driver metadata; baselined findings carry a
+/// `suppressions: [{kind: "external"}]` entry so SARIF viewers fold them
+/// the way the CLI does. Line-0 findings (baseline ratchet) clamp to
+/// startLine 1 — the spec requires a positive line.
+void render_sarif(std::ostream& out, const std::vector<Diagnostic>& diags);
+
+/// Structural validation against the SARIF 2.1.0 shape detlint relies on:
+/// parses `text` with a dependency-free JSON parser and checks
+///   - top level: object, version == "2.1.0", runs is a non-empty array
+///   - each run: tool.driver.name is a non-empty string
+///   - driver.rules (if present): array of objects with string `id`
+///   - each result: string ruleId, message.text string, locations[*]
+///     .physicalLocation.artifactLocation.uri string, and
+///     .region.startLine (if present) an integer >= 1
+/// Returns true when all checks pass; otherwise false with one message per
+/// violation appended to `errors` (when non-null). JSON syntax errors fail
+/// with a position-stamped message.
+[[nodiscard]] bool validate_sarif(std::string_view text,
+                                  std::vector<std::string>* errors = nullptr);
+
+}  // namespace detlint

@@ -14,8 +14,10 @@
 // injection (`--fault*`, `--queue-cap`, `--shed`) applies wherever the
 // hybrid server runs, and `--trace FILE` records a deterministic sim-time
 // event trace (JSONL) wherever it does; see `pushpull help`.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -26,10 +28,13 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "core/adaptive_server.hpp"
 #include "lint.hpp"
+#include "report.hpp"
 #include "core/closed_loop.hpp"
 #include "core/cutoff_optimizer.hpp"
 #include "core/multichannel_server.hpp"
@@ -37,6 +42,7 @@
 #include "exp/cli.hpp"
 #include "exp/replication.hpp"
 #include "fault/fault_config.hpp"
+#include "metrics/sorted_view.hpp"
 #include "obs/category.hpp"
 #include "obs/config.hpp"
 #include "obs/export.hpp"
@@ -649,22 +655,32 @@ int cmd_uplink(const exp::ArgParser& args) {
 
 int cmd_lint(const exp::ArgParser& args) {
   // Prints the determinism-contract rule table and baseline statistics,
-  // then scans the tree — the same pass the `detlint` binary and the
-  // detlint_tree ctest run, embedded here so EXPERIMENTS.md can document
-  // one entry point.
-  args.require_known({"root", "baseline"});
+  // then scans the tree — the same passes the `detlint` binary and the
+  // detlint_tree ctest run (per-file rules, cross-engine parity, layer DAG,
+  // dead suppressions, baseline ratchet), embedded here so EXPERIMENTS.md
+  // can document one entry point. Exit 0 clean, 1 findings, 2 usage/IO.
+  std::filesystem::path root;
+  std::string baseline_path;
+  std::string json_path;
+  try {
+    args.require_known({"root", "baseline", "json"});
 #ifdef DETLINT_DEFAULT_ROOT
-  const std::string default_root = DETLINT_DEFAULT_ROOT;
+    const std::string default_root = DETLINT_DEFAULT_ROOT;
 #else
-  const std::string default_root = ".";
+    const std::string default_root = ".";
 #endif
-  const std::filesystem::path root = args.get_string("root", default_root);
+    root = args.get_string("root", default_root);
+    baseline_path = args.get_string(
+        "baseline", (root / "tools" / "detlint" / "baseline.txt").string());
+    json_path = args.get_string("json", "");
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "lint: " << e.what() << "\n";
+    return 2;
+  }
   if (!std::filesystem::is_directory(root)) {
     std::cerr << "lint: --root " << root.string() << " is not a directory\n";
     return 2;
   }
-  const std::string baseline_path = args.get_string(
-      "baseline", (root / "tools" / "detlint" / "baseline.txt").string());
   const detlint::Baseline baseline =
       detlint::Baseline::load_file(baseline_path);
 
@@ -675,12 +691,41 @@ int cmd_lint(const exp::ArgParser& args) {
 
   auto diags = detlint::analyze_tree(root);
   detlint::apply_baseline(diags, baseline);
+  auto stale = detlint::baseline_ratchet(diags, baseline, baseline_path);
+  diags.insert(diags.end(), stale.begin(), stale.end());
+
+  // Emission routes through the same sorted_view idiom rule D3 enforces on
+  // the tree: findings bucketed by (file, line, rule), emitted key-sorted.
+  std::unordered_map<std::string, std::vector<const detlint::Diagnostic*>>
+      fresh_by_key;
   for (const auto& d : diags) {
-    if (!d.baselined) {
-      std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
-                << d.message << "\n";
+    if (d.baselined) continue;
+    // Line zero-padded so the key's string order is (file, line, rule).
+    char padded[16];
+    std::snprintf(padded, sizeof padded, "%08zu", d.line);
+    fresh_by_key[d.file + ":" + padded + ":" + d.rule].push_back(&d);
+  }
+  for (const auto& [key, group] : metrics::sorted_view(fresh_by_key)) {
+    for (const detlint::Diagnostic* d : group) {
+      std::cout << d->file << ":" << d->line << ": " << d->rule << ": "
+                << d->message << "\n";
     }
   }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "lint: cannot open " << json_path << "\n";
+      return 2;
+    }
+    std::sort(diags.begin(), diags.end(),
+              [](const detlint::Diagnostic& a, const detlint::Diagnostic& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    detlint::render_json(out, diags);
+  }
+
   const std::size_t fresh = detlint::fresh_count(diags);
   std::cout << "lint: " << fresh << " finding" << (fresh == 1 ? "" : "s")
             << ", " << diags.size() - fresh << " baselined\n";
@@ -1039,9 +1084,11 @@ commands:
   trace        record the scenario's request trace to CSV (--out FILE)
                and/or run the hybrid server with full observability and
                write the sim-time event trace as JSONL (--trace FILE)
-  lint         print the determinism-contract rules (D1-D4, R1-R2) and
-               baseline stats, then run detlint over the tree
-               (--root DIR, --baseline FILE)
+  lint         print the determinism-contract rules (D1-D5, L1, P1, R1-R2,
+               S1) and baseline stats, then run every detlint pass over the
+               tree — per-file rules, cross-engine parity, layer DAG, dead
+               suppressions, baseline ratchet (--root DIR, --baseline FILE,
+               --json FILE; exit 0 clean / 1 findings / 2 usage-IO)
 
 common options:
   --theta T --alpha A --cutoff K --requests N --seed S --items D --rate L
