@@ -103,7 +103,7 @@ void AdaptiveHybridServer::settle_one() {
 void AdaptiveHybridServer::deliver(const workload::Request& request,
                                    bool via_push) {
   collector_->record_served(request.cls, sim_.now() - request.arrival,
-                            via_push);
+                            via_push, sim_.now());
   settle_one();
 }
 

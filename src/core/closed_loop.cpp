@@ -94,7 +94,7 @@ void ClosedLoopServer::deliver(const workload::Request& request,
                                bool via_push) {
   if (measured(request.arrival)) {
     collector_->record_served(request.cls, sim_.now() - request.arrival,
-                              via_push);
+                              via_push, sim_.now());
     ++measured_served_;
   }
   think_then_request(owners_[request.id]);

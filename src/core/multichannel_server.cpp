@@ -33,7 +33,7 @@ void MultiChannelServer::settle_one() {
 void MultiChannelServer::deliver(const workload::Request& request,
                                  bool via_push) {
   collector_->record_served(request.cls, sim_.now() - request.arrival,
-                            via_push);
+                            via_push, sim_.now());
   settle_one();
 }
 

@@ -131,11 +131,14 @@ static_assert(std::is_same_v<workload::ClassId, metrics::ClassId>,
 }
 
 /// Deliver-at-end accounting: latency is measured from the request's
-/// arrival to the transmission *end*, never to its start.
+/// arrival to the transmission *end*, never to its start. The end time is
+/// also the class's service instant, feeding the inter-service-gap
+/// statistics in ClassStats.
 inline void record_delivery(metrics::ClassCollector& stats,
                             const workload::Request& request, double end_time,
                             bool via_push) {
-  stats.record_served(request.cls, end_time - request.arrival, via_push);
+  stats.record_served(request.cls, end_time - request.arrival, via_push,
+                      end_time);
 }
 
 /// Overload-transition reporting: both engines export the full ordered

@@ -39,10 +39,12 @@ struct ChaosPartial {
   resilience::InvariantReport invariants;
   double goodput = 0.0;
   double total_cost = 0.0;
+  pushpull::scenario::ShapeSummary shape;
 };
 
-resilience::InvariantReport check_run(const core::SimResult& result,
-                                      const core::HybridConfig& config) {
+resilience::InvariantReport check_run(
+    const core::SimResult& result, const core::HybridConfig& config,
+    const pushpull::scenario::ShapeSummary& shape, double gap_bound) {
   resilience::InvariantInputs inputs;
   inputs.per_class = result.per_class;
   inputs.queue_capacity = config.fault.queue_capacity;
@@ -50,6 +52,11 @@ resilience::InvariantReport check_run(const core::SimResult& result,
   inputs.max_queue_len = result.max_pull_queue_len;
   inputs.event_order_violations = result.event_order_violations;
   inputs.end_time = result.end_time;
+  if (shape.active) {
+    inputs.scenario_base_per_class = shape.base_per_class;
+    inputs.scenario_handoff_lost = shape.handoff_lost;
+  }
+  inputs.gap_bound = gap_bound;
   return resilience::check_invariants(inputs);
 }
 
@@ -73,9 +80,11 @@ ChaosPartial run_one(const Scenario& scenario,
   ChaosPartial partial;
   partial.result = run_hybrid(built, c);
   partial.digest = serialize_result(partial.result);
-  partial.invariants = check_run(partial.result, c);
+  partial.invariants =
+      check_run(partial.result, c, built.shape, options.gap_bound);
   partial.goodput = partial.result.overall().goodput_ratio();
   partial.total_cost = partial.result.total_prioritized_cost(built.population);
+  partial.shape = std::move(built.shape);
   return partial;
 }
 
@@ -86,6 +95,7 @@ std::string serialize_result(const core::SimResult& result) {
   append_u64(out, result.per_class.size());
   for (const metrics::ClassStats& s : result.per_class) {
     append_welford(out, s.wait);
+    append_welford(out, s.gap);
     append_u64(out, s.arrived);
     append_u64(out, s.served);
     append_u64(out, s.served_push);
@@ -199,6 +209,8 @@ ChaosSummary run_chaos(const Scenario& scenario,
     summary.goodput.add(partial.goodput);
     summary.crashes += r.crashes;
     summary.total_downtime += r.total_downtime;
+    summary.handoff_rehomed += partial.shape.rehomed;
+    summary.handoff_lost += partial.shape.total_lost();
     summary.storm_rerequests += r.storm_rerequests;
     summary.largest_storm = std::max(summary.largest_storm, r.largest_storm);
     summary.recovery_latency.merge(r.recovery_latency);

@@ -37,6 +37,10 @@ struct ChaosOptions {
   /// When true, rerun replication 0 after the sweep and require a
   /// bit-identical serialized result (the replay invariant).
   bool verify_replay = true;
+  /// When positive, the invariant suite additionally requires every class's
+  /// maximum inter-service gap to stay within this bound (regular-service
+  /// guarantee); 0 disables the check.
+  double gap_bound = 0.0;
   /// Optional JSONL progress sink; may be null.
   runtime::RunReporter* reporter = nullptr;
 };
@@ -53,6 +57,10 @@ struct ChaosSummary {
 
   std::uint64_t crashes = 0;
   double total_downtime = 0.0;
+  /// Scenario-mobility outcomes summed over replications (zero when the
+  /// scenario preset is off).
+  std::uint64_t handoff_rehomed = 0;
+  std::uint64_t handoff_lost = 0;
   std::uint64_t storm_rerequests = 0;
   std::uint64_t largest_storm = 0;
   metrics::Welford recovery_latency;

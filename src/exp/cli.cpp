@@ -114,6 +114,18 @@ double ArgParser::get_positive_double(const std::string& key,
   return parsed;
 }
 
+double ArgParser::get_nonnegative_double(const std::string& key,
+                                         double fallback) const {
+  if (!options_.contains(key)) return fallback;
+  const double parsed = get_double(key, fallback);
+  if (!(parsed >= 0.0) || !std::isfinite(parsed)) {
+    throw std::invalid_argument("ArgParser: --" + key +
+                                " expects a non-negative finite number, got '" +
+                                options_.at(key) + "'");
+  }
+  return parsed;
+}
+
 std::uint64_t ArgParser::get_positive_u64(const std::string& key,
                                           std::uint64_t fallback) const {
   if (!options_.contains(key)) return fallback;

@@ -46,6 +46,13 @@ class ArgParser {
   [[nodiscard]] double get_positive_double(const std::string& key,
                                            double fallback) const;
 
+  /// Non-negative numeric option (`--spike-start T`, `--spike-duration T`):
+  /// same contract as get_positive_double except 0 is allowed — negatives,
+  /// non-finite values and garble throw std::invalid_argument naming the
+  /// flag.
+  [[nodiscard]] double get_nonnegative_double(const std::string& key,
+                                              double fallback) const;
+
   /// Strictly-positive integer option: absent returns `fallback`; present
   /// values must be a full-token integer >= 1 (zero, signs and garble throw
   /// std::invalid_argument naming the flag).

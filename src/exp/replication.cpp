@@ -172,6 +172,13 @@ std::uint64_t replication_fingerprint(const Scenario& scenario,
   mix(scenario.seed);
   mix(static_cast<std::uint64_t>(scenario.num_requests));
   // scenario.jobs deliberately excluded: worker count never changes numbers.
+  // Preset fields absorb only when a preset is active, so every
+  // pre-scenario progress file keeps its fingerprint and resumes cleanly.
+  if (scenario.preset != pushpull::scenario::Preset::kNone) {
+    mix(0x5CE4A210ULL);
+    mix(static_cast<std::uint64_t>(scenario.preset));
+    mix_d(scenario.preset_intensity);
+  }
 
   mix(static_cast<std::uint64_t>(config.cutoff));
   mix_d(config.alpha);

@@ -76,10 +76,10 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
 
   out << "## Per-class QoS\n\n";
   out << "| class | priority | arrived | served | mean | p50 | p95 | p99 | "
-         "max | blocked | abandoned | corrupted | retries | shed | lost | "
-         "goodput | p-cost |\n";
+         "max | gap max | gap p99 | blocked | abandoned | corrupted | retries "
+         "| shed | lost | goodput | p-cost |\n";
   out << "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
-         "---|\n";
+         "---|---|---|\n";
   const auto fixed2 = [&out](double v) -> std::ostream& {
     out << std::fixed << std::setprecision(2) << v;
     return out;
@@ -93,7 +93,9 @@ void write_markdown_report(std::ostream& out, const ReportHeader& header,
     fixed2(s.wait_p50.value()) << " | ";
     fixed2(s.wait_p95.value()) << " | ";
     fixed2(s.wait_p99.value()) << " | ";
-    fixed2(s.wait.max()) << " | " << s.blocked << " | " << s.abandoned
+    fixed2(s.wait.max()) << " | ";
+    fixed2(s.gap.max()) << " | ";
+    fixed2(s.gap_p99.value()) << " | " << s.blocked << " | " << s.abandoned
                          << " | " << s.corrupted << " | " << s.retries
                          << " | " << s.shed << " | " << s.lost << " | ";
     fixed2(s.goodput_ratio()) << " | ";

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "catalog/length_model.hpp"
+#include "rng/splitmix64.hpp"
+#include "scenario/timeline.hpp"
 #include "workload/request_generator.hpp"
 
 namespace pushpull::exp {
@@ -38,6 +40,12 @@ void Scenario::validate() const {
     throw std::invalid_argument(
         "Scenario: theta must be a non-negative finite number");
   }
+  if (preset != pushpull::scenario::Preset::kNone &&
+      (!(preset_intensity > 0.0) || !std::isfinite(preset_intensity))) {
+    throw std::invalid_argument(
+        "Scenario: preset_intensity must be a positive finite number when a "
+        "scenario preset is active");
+  }
 }
 
 Scenario::Built Scenario::build() const {
@@ -48,7 +56,21 @@ Scenario::Built Scenario::build() const {
       workload::ClientPopulation::zipf_classes(num_classes, class_zipf_theta);
   workload::RequestGenerator gen(cat, pop, arrival_rate, seed);
   workload::Trace trace = workload::Trace::record(gen, num_requests);
-  return Built{std::move(cat), std::move(pop), std::move(trace)};
+  pushpull::scenario::ShapeSummary shape;
+  if (preset != pushpull::scenario::Preset::kNone) {
+    const pushpull::scenario::Timeline timeline =
+        pushpull::scenario::make_timeline(preset, preset_intensity,
+                                          trace.span(), num_items);
+    // Shaping is seeded from the scenario seed on its own hash chain so the
+    // handoff draws are independent of the generator streams.
+    pushpull::scenario::ShapedTrace shaped = pushpull::scenario::shape_trace(
+        trace, timeline, rng::SplitMix64::mix(seed ^ 0x5EEDCAFEULL),
+        num_items, num_classes);
+    trace = std::move(shaped.trace);
+    shape = std::move(shaped.summary);
+  }
+  return Built{std::move(cat), std::move(pop), std::move(trace),
+               std::move(shape)};
 }
 
 core::SimResult run_hybrid(const Scenario::Built& built,

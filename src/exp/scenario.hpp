@@ -7,6 +7,8 @@
 #include "core/config.hpp"
 #include "core/hybrid_server.hpp"
 #include "core/result.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/shaper.hpp"
 #include "workload/population.hpp"
 #include "workload/trace.hpp"
 
@@ -38,12 +40,22 @@ struct Scenario {
   /// changes (each replication/grid point keeps its index-derived seed and
   /// results merge in job-index order).
   std::size_t jobs = 1;
+  /// Environment timeline applied to the recorded trace (kNone = the
+  /// stationary workload, bit-identical to pre-scenario builds — shaping
+  /// draws no RNG, so the generator streams are untouched either way).
+  pushpull::scenario::Preset preset = pushpull::scenario::Preset::kNone;
+  /// How far the preset departs from the stationary baseline (1.0 =
+  /// nominal); must be positive finite when a preset is active.
+  double preset_intensity = 1.0;
 
   /// Materialized workload for a scenario.
   struct Built {
     catalog::Catalog catalog;
     workload::ClientPopulation population;
     workload::Trace trace;
+    /// Shaping audit (inactive when preset == kNone); feeds the
+    /// conservation-across-handoff invariant.
+    pushpull::scenario::ShapeSummary shape;
   };
 
   /// Rejects unusable parameter combinations (zero counts, non-positive

@@ -23,6 +23,14 @@ struct ClassStats {
   P2Quantile wait_p50{0.50};
   P2Quantile wait_p95{0.95};
   P2Quantile wait_p99{0.99};
+  /// Inter-service gap: simulated time between consecutive deliveries of
+  /// this class — the "regular service" metric. A starved class shows a
+  /// large gap max even when its served requests' waits look fine. Only
+  /// populated when the engine passes delivery timestamps to
+  /// record_served (all DES engines do); gap.count() == served - 1 when
+  /// the class was served at least twice.
+  Welford gap;
+  P2Quantile gap_p99{0.99};
   std::uint64_t arrived = 0;    // requests generated for this class
   std::uint64_t served = 0;     // delivered (push or pull)
   std::uint64_t served_push = 0;
@@ -91,6 +99,7 @@ struct ClassStats {
   /// sketches cannot merge and are left untouched).
   void merge_counters(const ClassStats& other) noexcept {
     wait.merge(other.wait);
+    gap.merge(other.gap);
     arrived += other.arrived;
     served += other.served;
     served_push += other.served_push;
@@ -109,7 +118,8 @@ struct ClassStats {
 /// Per-class collector indexed by ClassId, plus an aggregate view.
 class ClassCollector {
  public:
-  explicit ClassCollector(std::size_t num_classes) : stats_(num_classes) {}
+  explicit ClassCollector(std::size_t num_classes)
+      : stats_(num_classes), last_service_(num_classes, -1.0) {}
 
   [[nodiscard]] std::size_t num_classes() const noexcept {
     return stats_.size();
@@ -126,8 +136,12 @@ class ClassCollector {
 
   void record_arrival(ClassId cls) noexcept { ++stats_[cls].arrived; }
 
-  void record_served(ClassId cls, double wait_time,
-                     bool via_push) {
+  /// Records a delivery. `now` is the delivery's simulated timestamp; when
+  /// non-negative, consecutive deliveries of the same class also feed the
+  /// inter-service-gap statistics (the default of -1.0 keeps legacy
+  /// three-argument callers compiling and gap-free).
+  void record_served(ClassId cls, double wait_time, bool via_push,
+                     double now = -1.0) {
     auto& s = stats_[cls];
     ++s.served;
     (via_push ? s.served_push : s.served_pull) += 1;
@@ -135,6 +149,14 @@ class ClassCollector {
     s.wait_p50.add(wait_time);
     s.wait_p95.add(wait_time);
     s.wait_p99.add(wait_time);
+    if (now >= 0.0) {
+      if (last_service_[cls] >= 0.0) {
+        const double gap = now - last_service_[cls];
+        s.gap.add(gap);
+        s.gap_p99.add(gap);
+      }
+      last_service_[cls] = now;
+    }
   }
 
   void record_blocked(ClassId cls) noexcept {
@@ -172,6 +194,8 @@ class ClassCollector {
 
  private:
   std::vector<ClassStats> stats_;
+  /// Timestamp of the last recorded delivery per class (-1 = none yet).
+  std::vector<double> last_service_;
 };
 
 }  // namespace pushpull::metrics

@@ -74,6 +74,48 @@ InvariantReport check_invariants(const InvariantInputs& inputs) {
       "end-time-finite", end_ok,
       "end_time=" + std::to_string(inputs.end_time)});
 
+  if (!inputs.scenario_base_per_class.empty()) {
+    std::uint64_t base_total = 0;
+    std::uint64_t accounted_total = 0;
+    for (std::size_t cls = 0; cls < inputs.scenario_base_per_class.size();
+         ++cls) {
+      const std::uint64_t base = inputs.scenario_base_per_class[cls];
+      const std::uint64_t lost =
+          cls < inputs.scenario_handoff_lost.size()
+              ? inputs.scenario_handoff_lost[cls]
+              : 0;
+      const std::uint64_t arrived =
+          cls < inputs.per_class.size() ? inputs.per_class[cls].arrived : 0;
+      base_total += base;
+      accounted_total += arrived + lost;
+      report.checks.push_back(InvariantCheck{
+          std::string("conservation-handoff-") + class_letter(cls),
+          arrived + lost == base,
+          "base=" + std::to_string(base) +
+              " arrived=" + std::to_string(arrived) +
+              " handoff_lost=" + std::to_string(lost)});
+    }
+    report.checks.push_back(InvariantCheck{
+        "conservation-handoff-total", accounted_total == base_total,
+        "base=" + std::to_string(base_total) +
+            " accounted=" + std::to_string(accounted_total)});
+  }
+
+  if (inputs.gap_bound > 0.0) {
+    for (std::size_t cls = 0; cls < inputs.per_class.size(); ++cls) {
+      const metrics::ClassStats& s = inputs.per_class[cls];
+      // A class served fewer than twice has no gap sample; that is a pass
+      // (nothing to bound), not a vacuous failure.
+      const double worst = s.gap.count() > 0 ? s.gap.max() : 0.0;
+      report.checks.push_back(InvariantCheck{
+          std::string("service-gap-bound-") + class_letter(cls),
+          worst <= inputs.gap_bound,
+          "max_gap=" + std::to_string(worst) +
+              " bound=" + std::to_string(inputs.gap_bound) +
+              " samples=" + std::to_string(s.gap.count())});
+    }
+  }
+
   return report;
 }
 

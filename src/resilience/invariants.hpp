@@ -25,6 +25,17 @@ struct InvariantInputs {
   /// Times the simulator popped an event scheduled before current time.
   std::uint64_t event_order_violations = 0;
   double end_time = 0.0;
+  /// Scenario shaping audit (empty = no scenario in force). When sized,
+  /// the suite checks conservation *across handoff*: per class, the
+  /// requests the server saw arrive plus the requests the shaper dropped
+  /// mid-handoff must equal the base trace — a migration may delay or lose
+  /// a request but never mint or double-count one.
+  std::vector<std::uint64_t> scenario_base_per_class;
+  std::vector<std::uint64_t> scenario_handoff_lost;
+  /// When positive, every class's maximum inter-service gap must stay
+  /// within this bound (the "regular service" guarantee under chaos);
+  /// 0 disables the check.
+  double gap_bound = 0.0;
 };
 
 /// One named check with a human-readable verdict.
@@ -52,7 +63,12 @@ struct InvariantReport {
 ///    degradation included);
 ///  * queue-cap — with a cap in force the observed peak never exceeds it;
 ///  * event-order — simulated time never ran backwards;
-///  * end-time — the run finished at a finite, non-negative instant.
+///  * end-time — the run finished at a finite, non-negative instant;
+///  * conservation-handoff — with a scenario in force, per class and in
+///    aggregate, server-observed arrivals + shaper handoff losses equal
+///    the base trace (emitted only when scenario_base_per_class is sized);
+///  * service-gap-bound — with gap_bound > 0, no class's maximum
+///    inter-service gap exceeds it.
 [[nodiscard]] InvariantReport check_invariants(const InvariantInputs& inputs);
 
 /// Formats a report as aligned "PASS/FAIL name — detail" lines.

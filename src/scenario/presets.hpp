@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "scenario/timeline.hpp"
+
+namespace pushpull::scenario {
+
+/// Named environment timelines, surfaced as `--scenario NAME` on the
+/// `simulate` / `chaos` / `replicate` / `serve` / `loadtest` commands.
+enum class Preset {
+  kNone = 0,        ///< stationary workload; the timeline machinery is off
+  kDiurnal,         ///< day curve: night trough, morning ramp, midday peak
+  kFlashcrowd,      ///< sudden rate spike with the hot set jumping D/2
+  kCommuter,        ///< mobility waves: handoff bursts + creeping rotation
+  kKitchenSink,     ///< all of the above composed in one timeline
+};
+
+[[nodiscard]] std::string_view to_string(Preset preset) noexcept;
+
+/// Parses "none", "diurnal", "flashcrowd", "commuter" or "kitchen-sink";
+/// throws std::invalid_argument listing the valid names otherwise.
+[[nodiscard]] Preset parse_preset(const std::string& name);
+
+/// Materializes a preset over `horizon` broadcast units for a D-item
+/// catalog. `intensity` scales how far the preset departs from the
+/// stationary baseline (1.0 = the nominal shape): rate multipliers scale
+/// their deviation from 1, handoff probabilities scale linearly (clamped
+/// to 0.9). Must be positive and finite; `horizon` must be positive.
+/// kNone returns the empty timeline.
+[[nodiscard]] Timeline make_timeline(Preset preset, double intensity,
+                                     double horizon, std::size_t num_items);
+
+}  // namespace pushpull::scenario

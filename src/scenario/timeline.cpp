@@ -1,0 +1,114 @@
+#include "scenario/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "metrics/float_compare.hpp"
+
+namespace pushpull::scenario {
+
+namespace {
+
+/// Integral of the linear rate a → b over the first x units of a segment
+/// of length d: ∫₀ˣ (a + (b-a)/d · s) ds.
+double ramp_integral(double a, double b, double d, double x) {
+  const double slope = (b - a) / d;
+  return x * (a + 0.5 * slope * x);
+}
+
+}  // namespace
+
+Timeline::Timeline(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  boundaries_.reserve(segments_.size());
+  prefix_.reserve(segments_.size() + 1);
+  prefix_.push_back(0.0);
+  double end = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    const std::string at = "Timeline: segment " + std::to_string(i);
+    if (!(s.duration > 0.0) || !std::isfinite(s.duration)) {
+      throw std::invalid_argument(at + ": duration must be positive finite");
+    }
+    if (!(s.rate_begin > 0.0) || !std::isfinite(s.rate_begin) ||
+        !(s.rate_end > 0.0) || !std::isfinite(s.rate_end)) {
+      throw std::invalid_argument(
+          at + ": rate multipliers must be positive finite (a zero rate "
+               "would make the arrival warp non-invertible)");
+    }
+    if (!(s.handoff_prob >= 0.0) || !(s.handoff_prob <= 1.0)) {
+      throw std::invalid_argument(at +
+                                  ": handoff_prob must be in [0, 1]");
+    }
+    end += s.duration;
+    boundaries_.push_back(end);
+    prefix_.push_back(prefix_.back() + ramp_integral(s.rate_begin, s.rate_end,
+                                                     s.duration, s.duration));
+  }
+}
+
+std::size_t Timeline::segment_index(double t) const {
+  // First boundary strictly past t: boundaries are segment *ends*, so
+  // t == an end belongs to the next segment (boundary-inclusive toward
+  // the later segment, like DriftingGenerator epochs).
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+double Timeline::multiplier(double t) const {
+  if (segments_.empty() || t < 0.0 || t >= horizon()) return 1.0;
+  const std::size_t i = segment_index(t);
+  const Segment& s = segments_[i];
+  const double start = boundaries_[i] - s.duration;
+  return s.rate_begin + (s.rate_end - s.rate_begin) * (t - start) / s.duration;
+}
+
+double Timeline::cumulative(double t) const {
+  if (segments_.empty() || t <= 0.0) return t;
+  if (t >= horizon()) return prefix_.back() + (t - horizon());
+  const std::size_t i = segment_index(t);
+  const Segment& s = segments_[i];
+  const double start = boundaries_[i] - s.duration;
+  return prefix_[i] +
+         ramp_integral(s.rate_begin, s.rate_end, s.duration, t - start);
+}
+
+double Timeline::inverse_cumulative(double u) const {
+  if (segments_.empty() || u <= 0.0) return u;
+  if (u >= prefix_.back()) return horizon() + (u - prefix_.back());
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), u);
+  const std::size_t i = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+  const Segment& s = segments_[i];
+  const double start = boundaries_[i] - s.duration;
+  const double w = u - prefix_[i];  // integral still to cover in segment i
+  const double a = s.rate_begin;
+  double x;
+  if (metrics::exactly_equal(s.rate_end, s.rate_begin)) {
+    x = w / a;
+  } else {
+    // Solve a·x + slope·x²/2 = w via the root x = 2w / (a + √(a² + 2·slope·w)).
+    // This form never subtracts nearly-equal quantities, so it stays
+    // accurate for small w and for slopes of either sign; the radicand is
+    // non-negative whenever w lies inside the segment's integral.
+    const double slope = (s.rate_end - s.rate_begin) / s.duration;
+    const double radicand = std::max(0.0, a * a + 2.0 * slope * w);
+    x = 2.0 * w / (a + std::sqrt(radicand));
+  }
+  return start + std::clamp(x, 0.0, s.duration);
+}
+
+std::size_t Timeline::rotation_at(double t) const {
+  if (segments_.empty() || t < 0.0) return 0;
+  if (t >= horizon()) return segments_.back().rotation;
+  return segments_[segment_index(t)].rotation;
+}
+
+double Timeline::handoff_prob_at(double t) const {
+  if (segments_.empty() || t < 0.0 || t >= horizon()) return 0.0;
+  return segments_[segment_index(t)].handoff_prob;
+}
+
+}  // namespace pushpull::scenario

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pushpull::scenario {
+
+/// One piece of the environment timeline. Segments are laid back-to-back
+/// starting at virtual time 0; a segment's start is the sum of the
+/// durations before it, so a timeline is contiguous by construction and
+/// never needs a gap/overlap check.
+struct Segment {
+  /// Length in broadcast units; must be positive and finite.
+  double duration = 0.0;
+  /// Arrival-rate multiplier at the segment's start and end; the rate in
+  /// between interpolates linearly. Both must be positive and finite
+  /// (1.0 = the base rate untouched).
+  double rate_begin = 1.0;
+  double rate_end = 1.0;
+  /// Catalog rotation in force during the segment: popularity rank r maps
+  /// to item (r + rotation) mod D, the DriftingGenerator mechanic applied
+  /// as a trace transformation.
+  std::size_t rotation = 0;
+  /// Per-request probability of a cell handoff while this segment is in
+  /// force; must be in [0, 1].
+  double handoff_prob = 0.0;
+};
+
+/// A seeded, composable environment timeline: piecewise-linear arrival
+/// modulation plus per-segment popularity rotation and mobility pressure.
+///
+/// The timeline is pure data — it draws no RNG and holds no clock. The
+/// arrival shaping is a deterministic *time-warp* of a recorded trace: a
+/// base arrival instant u maps to Λ⁻¹(u) where Λ(t) = ∫₀ᵗ multiplier(s) ds,
+/// so the instantaneous rate at warped time t is base_rate · multiplier(t)
+/// while the request population (ids, items, classes, count) is untouched.
+/// Λ is strictly increasing (rates are positive), hence invertible and
+/// order-preserving.
+///
+/// Boundary semantics are inclusive toward the *later* segment: at
+/// t == boundary the new segment's rotation/handoff/rate is in force,
+/// matching workload::DriftingGenerator's epoch convention. Past the last
+/// segment the multiplier returns to 1.0 and handoff pressure to 0, but the
+/// final rotation persists — a drifted hot set does not snap back when the
+/// timeline runs out.
+class Timeline {
+ public:
+  /// The empty timeline: identity warp, no rotation, no handoffs.
+  Timeline() = default;
+
+  /// Validates every segment (positive finite duration, positive finite
+  /// rates, handoff probability in [0, 1]) and precomputes the cumulative
+  /// integral at each boundary; throws std::invalid_argument naming the
+  /// offending segment.
+  explicit Timeline(std::vector<Segment> segments);
+
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// End of the last segment (0 for the empty timeline).
+  [[nodiscard]] double horizon() const noexcept {
+    return boundaries_.empty() ? 0.0 : boundaries_.back();
+  }
+
+  /// Arrival-rate multiplier in force at t (1.0 outside [0, horizon)).
+  [[nodiscard]] double multiplier(double t) const;
+
+  /// Λ(t) = ∫₀ᵗ multiplier(s) ds; linear continuation with slope 1 past
+  /// the horizon, identity for t <= 0.
+  [[nodiscard]] double cumulative(double t) const;
+
+  /// Λ⁻¹(u): the warped instant a base arrival at u lands on. Exact
+  /// inverse of cumulative() up to floating-point rounding; uses the
+  /// cancellation-stable quadratic root for ramp segments.
+  [[nodiscard]] double inverse_cumulative(double u) const;
+
+  /// Catalog rotation in force at t (the final segment's rotation persists
+  /// past the horizon; 0 before the timeline starts).
+  [[nodiscard]] std::size_t rotation_at(double t) const;
+
+  /// Handoff probability in force at t (0 outside [0, horizon)).
+  [[nodiscard]] double handoff_prob_at(double t) const;
+
+ private:
+  /// Index of the segment containing t; requires 0 <= t < horizon().
+  [[nodiscard]] std::size_t segment_index(double t) const;
+
+  std::vector<Segment> segments_;
+  /// boundaries_[i] = end of segment i (= start of segment i+1).
+  std::vector<double> boundaries_;
+  /// prefix_[i] = Λ(start of segment i); prefix_.back() = Λ(horizon).
+  std::vector<double> prefix_;
+};
+
+}  // namespace pushpull::scenario

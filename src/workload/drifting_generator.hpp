@@ -37,6 +37,13 @@ class DriftingGenerator {
   /// The item currently occupying popularity rank `rank` (0 = hottest) at
   /// virtual time `when` — exposed so tests and the estimator bench can
   /// check the drift mechanics.
+  ///
+  /// Epoch boundaries are *inclusive toward the later epoch*: epoch k spans
+  /// [k·epoch_length, (k+1)·epoch_length), so at exactly
+  /// when == k·epoch_length the rotation for epoch k is already in force.
+  /// scenario::Timeline adopts the same convention for its segment
+  /// boundaries; a zero `shift` makes the generator draw-for-draw identical
+  /// to RequestGenerator (the streams are seeded the same way).
   [[nodiscard]] catalog::ItemId item_at_rank(std::size_t rank,
                                              des::SimTime when) const;
 

@@ -208,6 +208,39 @@ TEST(ArgParser, PositiveDoubleNamesTheFlagAndValue) {
   }
 }
 
+TEST(ArgParser, NonnegativeDoubleReturnsFallbackWhenAbsent) {
+  const auto args = parse({"chaos"});
+  EXPECT_DOUBLE_EQ(args.get_nonnegative_double("spike-start", 0.0), 0.0);
+}
+
+TEST(ArgParser, NonnegativeDoubleAcceptsZeroAndPositive) {
+  const auto zero = parse({"chaos", "--spike-start", "0"});
+  EXPECT_DOUBLE_EQ(zero.get_nonnegative_double("spike-start", 7.0), 0.0);
+  const auto positive = parse({"chaos", "--spike-start", "250.5"});
+  EXPECT_DOUBLE_EQ(positive.get_nonnegative_double("spike-start", 7.0), 250.5);
+}
+
+TEST(ArgParser, NonnegativeDoubleRejectsNegativeNonFiniteAndGarble) {
+  for (const char* bad : {"-3", "-0.25", "inf", "nan", "abc", "12abc", ""}) {
+    const auto args = parse({"chaos", "--spike-duration", bad});
+    EXPECT_THROW((void)args.get_nonnegative_double("spike-duration", 0.0),
+                 std::invalid_argument)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(ArgParser, NonnegativeDoubleNamesTheFlagAndValue) {
+  const auto args = parse({"chaos", "--spike-duration", "-5"});
+  try {
+    (void)args.get_nonnegative_double("spike-duration", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--spike-duration"), std::string::npos);
+    EXPECT_NE(what.find("'-5'"), std::string::npos);
+  }
+}
+
 TEST(ArgParser, PositiveU64ReturnsFallbackWhenAbsent) {
   const auto args = parse({"loadtest"});
   EXPECT_EQ(args.get_positive_u64("pacers", 2), 2u);

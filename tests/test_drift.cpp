@@ -8,6 +8,7 @@
 #include "catalog/length_model.hpp"
 #include "workload/drifting_generator.hpp"
 #include "workload/popularity_estimator.hpp"
+#include "workload/request_generator.hpp"
 #include "workload/trace.hpp"
 
 namespace pushpull::workload {
@@ -37,6 +38,35 @@ TEST(DriftingGenerator, RankMappingRotatesPerEpoch) {
   EXPECT_EQ(gen.item_at_rank(0, 100.1), 7u);
   EXPECT_EQ(gen.item_at_rank(0, 200.1), 14u);
   EXPECT_EQ(gen.item_at_rank(3, 100.1), 10u);
+}
+
+TEST(DriftingGenerator, ExactEpochBoundaryBelongsToLaterEpoch) {
+  // Pins the boundary-inclusive-toward-later-epoch convention documented on
+  // item_at_rank: at exactly when == k·epoch the rotation of epoch k is
+  // already in force. scenario::Timeline mirrors this for its segments.
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator gen(cat, pop, 5.0, /*epoch=*/100.0, /*shift=*/7, 1);
+  EXPECT_EQ(gen.item_at_rank(0, 100.0), 7u);
+  EXPECT_EQ(gen.item_at_rank(0, 200.0), 14u);
+  EXPECT_EQ(gen.item_at_rank(3, 100.0), 10u);
+}
+
+TEST(DriftingGenerator, ZeroShiftMatchesRequestGeneratorDrawForDraw) {
+  // shift = 0 degenerates to the stationary generator: same seed, same
+  // streams, so the two must agree on every field of every draw.
+  const auto cat = test_catalog();
+  const auto pop = ClientPopulation::paper_default();
+  DriftingGenerator drifting(cat, pop, 5.0, 100.0, /*shift=*/0, 42);
+  RequestGenerator stationary(cat, pop, 5.0, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const Request a = drifting.next();
+    const Request b = stationary.next();
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.item, b.item);
+    EXPECT_EQ(a.cls, b.cls);
+    EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+  }
 }
 
 TEST(DriftingGenerator, MappingWrapsAround) {

@@ -50,6 +50,10 @@
 #include "obs/trace.hpp"
 #include "resilience/invariants.hpp"
 #include "resilience/resilience_config.hpp"
+#include "rng/splitmix64.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/shaper.hpp"
+#include "scenario/timeline.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/run_reporter.hpp"
 #include "exp/report.hpp"
@@ -73,6 +77,9 @@ exp::Scenario scenario_from(const exp::ArgParser& args) {
   s.num_requests = args.get_size("requests", 50000);
   s.seed = args.get_u64("seed", s.seed);
   s.jobs = args.get_jobs("jobs");
+  s.preset = pushpull::scenario::parse_preset(
+      args.get_string("scenario", "none"));
+  s.preset_intensity = args.get_positive_double("scenario-intensity", 1.0);
   return s;
 }
 
@@ -170,9 +177,11 @@ core::HybridConfig config_from(const exp::ArgParser& args) {
 // passes these plus its own extras to require_known so a typo fails with a
 // one-line diagnostic instead of silently running the default experiment.
 const std::initializer_list<std::string_view> kScenarioOpts = {
-    "theta", "items", "rate", "requests", "seed", "jobs", "csv"};
+    "theta", "items", "rate", "requests", "seed", "jobs", "csv",
+    "scenario", "scenario-intensity"};
 const std::initializer_list<std::string_view> kConfigOpts = {
     "theta", "items", "rate", "requests", "seed", "jobs", "csv",
+    "scenario", "scenario-intensity",
     "cutoff", "alpha", "policy", "bandwidth", "demand", "patience",
     "fault", "fault-p-gb", "fault-p-bg", "fault-corrupt-good",
     "fault-corrupt-bad", "fault-retries", "fault-backoff",
@@ -216,13 +225,19 @@ int cmd_simulate(const exp::ArgParser& args) {
     std::cout << "wrote report to " << report_path << "\n";
   }
 
-  // Fault/resilience columns appear only when the respective layer is on,
-  // so the default output stays byte-identical to builds without them.
+  // Fault/resilience/scenario columns appear only when the respective
+  // layer is on, so the default output stays byte-identical to builds
+  // without them.
   const bool faulty = config.fault.active();
   const bool resilient = config.resilience.active();
+  const bool shaped =
+      scenario.preset != pushpull::scenario::Preset::kNone;
   std::vector<std::string> columns = {"class",     "priority",  "arrived",
                                       "mean delay", "max delay", "blocked",
                                       "abandoned"};
+  if (shaped) {
+    for (const char* c : {"gap max", "gap p99"}) columns.emplace_back(c);
+  }
   if (faulty) {
     for (const char* c : {"corrupted", "retries", "shed", "lost", "goodput"})
       columns.emplace_back(c);
@@ -242,6 +257,9 @@ int cmd_simulate(const exp::ArgParser& args) {
         .add(stats.wait.max(), 2)
         .add(static_cast<std::size_t>(stats.blocked))
         .add(static_cast<std::size_t>(stats.abandoned));
+    if (shaped) {
+      row.add(stats.gap.max(), 2).add(stats.gap_p99.value(), 2);
+    }
     if (faulty) {
       row.add(static_cast<std::size_t>(stats.corrupted))
           .add(static_cast<std::size_t>(stats.retries))
@@ -272,6 +290,13 @@ int cmd_simulate(const exp::ArgParser& args) {
               << resilience::to_string(r.max_overload_level) << " ("
               << r.overload_transitions.size() << " transitions)";
   }
+  if (shaped) {
+    std::cout << ", scenario "
+              << pushpull::scenario::to_string(scenario.preset)
+              << " (re-homed " << built.shape.rehomed << ", handoff-lost "
+              << built.shape.total_lost() << ", rotated "
+              << built.shape.rotated << ")";
+  }
   std::cout << "\n";
   const std::string trace_path = args.get_string("trace", "");
   if (!trace_path.empty()) {
@@ -284,17 +309,21 @@ int cmd_simulate(const exp::ArgParser& args) {
 int cmd_chaos(const exp::ArgParser& args) {
   args.require_known(kConfigOpts,
                      {"reps", "spike-factor", "spike-start", "spike-duration",
-                      "no-replay-check", "progress", "out"});
+                      "no-replay-check", "progress", "out", "gap-bound"});
   const auto scenario = scenario_from(args);
   const core::HybridConfig config = config_from(args);
 
   exp::ChaosOptions options;
   options.replications = args.get_size("reps", 16);
   options.jobs = scenario.jobs;
-  options.spike_factor = args.get_double("spike-factor", 1.0);
-  options.spike_start = args.get_double("spike-start", 0.0);
-  options.spike_duration = args.get_double("spike-duration", 0.0);
+  // Validated numeric parsing: a spike factor must be positive finite, the
+  // window non-negative finite — "-1" or "2x" fails with a one-line
+  // diagnostic instead of warping the trace with garbage.
+  options.spike_factor = args.get_positive_double("spike-factor", 1.0);
+  options.spike_start = args.get_nonnegative_double("spike-start", 0.0);
+  options.spike_duration = args.get_nonnegative_double("spike-duration", 0.0);
   options.verify_replay = !args.has("no-replay-check");
+  options.gap_bound = args.get_nonnegative_double("gap-bound", 0.0);
 
   std::ofstream progress;
   std::unique_ptr<runtime::RunReporter> reporter;
@@ -327,6 +356,19 @@ int cmd_chaos(const exp::ArgParser& args) {
   table.row().add("ladder transitions").add(summary.overload_transitions);
   table.row().add("ladder max level").add(
       std::string(resilience::to_string(summary.max_overload_level)));
+  if (scenario.preset != pushpull::scenario::Preset::kNone) {
+    table.row().add("scenario").add(std::string(
+        pushpull::scenario::to_string(scenario.preset)));
+    table.row().add("handoffs re-homed").add(
+        static_cast<std::size_t>(summary.handoff_rehomed));
+    table.row().add("handoffs lost").add(
+        static_cast<std::size_t>(summary.handoff_lost));
+    double worst_gap = 0.0;
+    for (const auto& s : summary.per_class) {
+      worst_gap = std::max(worst_gap, s.gap.max());
+    }
+    table.row().add("max service gap").add(worst_gap, 3);
+  }
   print_table(table, args);
 
   const std::size_t failures = summary.invariants.failures();
@@ -343,6 +385,10 @@ int cmd_chaos(const exp::ArgParser& args) {
       std::cerr << "chaos: cannot open " << out_path << "\n";
       return 2;
     }
+    double worst_gap = 0.0;
+    for (const auto& s : summary.per_class) {
+      worst_gap = std::max(worst_gap, s.gap.max());
+    }
     out << "{\n  \"replications\": " << summary.replications
         << ",\n  \"overall_delay\": " << summary.overall_delay.mean()
         << ",\n  \"total_cost\": " << summary.total_cost.mean()
@@ -351,6 +397,11 @@ int cmd_chaos(const exp::ArgParser& args) {
         << ",\n  \"total_downtime\": " << summary.total_downtime
         << ",\n  \"storm_rerequests\": " << summary.storm_rerequests
         << ",\n  \"largest_storm\": " << summary.largest_storm
+        << ",\n  \"scenario\": \""
+        << pushpull::scenario::to_string(scenario.preset)
+        << "\",\n  \"handoff_rehomed\": " << summary.handoff_rehomed
+        << ",\n  \"handoff_lost\": " << summary.handoff_lost
+        << ",\n  \"max_service_gap\": " << worst_gap
         << ",\n  \"ladder_transitions\": " << summary.overload_transitions
         << ",\n  \"ladder_max_level\": \""
         << resilience::to_string(summary.max_overload_level)
@@ -773,6 +824,7 @@ const std::initializer_list<std::string_view> kServeOpts = {
     "alpha",        "policy",     "demand",  "duration",
     "target-qps",   "seed",       "accelerated", "time-scale",
     "pacers",       "queue-capacity",
+    "scenario",     "scenario-intensity",
     "mean-deadline", "deadline-scale", "deadline-spike-factor",
     "deadline-spike-start", "deadline-spike-duration",
     "fault", "fault-p-gb", "fault-p-bg", "fault-corrupt-good",
@@ -887,6 +939,38 @@ int run_live(serve::ServeConfig config, const std::string& record_path,
       recorded ? serve::LoadDriver(recorded->trace())
                : serve::LoadDriver(cat, pop, config.target_qps,
                                    config.duration, config.seed);
+
+  // Scenario shaping happens at the plan level, before any pacing: the
+  // journal then records the *shaped* requests, so replay and resume need
+  // no scenario knowledge at all.
+  const pushpull::scenario::Preset preset =
+      pushpull::scenario::parse_preset(args.get_string("scenario", "none"));
+  if (preset != pushpull::scenario::Preset::kNone) {
+    if (!from_trace.empty()) {
+      std::cerr << cmd
+                << ": --scenario shapes a synthesized plan; it cannot be "
+                   "combined with --from-trace (the recording is already "
+                   "whatever environment it was captured in)\n";
+      return 2;
+    }
+    const double intensity =
+        args.get_positive_double("scenario-intensity", 1.0);
+    const pushpull::scenario::Timeline timeline =
+        pushpull::scenario::make_timeline(preset, intensity,
+                                          driver.plan().span(),
+                                          config.num_items);
+    pushpull::scenario::ShapedTrace shaped =
+        pushpull::scenario::shape_trace(
+            driver.plan(), timeline,
+            rng::SplitMix64::mix(config.seed ^ 0x5EEDCAFEULL),
+            config.num_items, config.num_classes);
+    std::cout << "scenario " << pushpull::scenario::to_string(preset)
+              << ": shaped " << shaped.summary.total_base()
+              << " planned requests (re-homed " << shaped.summary.rehomed
+              << ", handoff-lost " << shaped.summary.total_lost()
+              << ", rotated " << shaped.summary.rotated << ")\n";
+    driver = serve::LoadDriver(std::move(shaped.trace));
+  }
 
   std::optional<serve::JournalFile> journal;
   std::optional<serve::TraceRecorder> recorder;
@@ -1094,6 +1178,19 @@ common options:
   --theta T --alpha A --cutoff K --requests N --seed S --items D --rate L
   --policy {fcfs,mrf,stretch,priority,rxw,lwf,importance,importance-q}
   --bandwidth B --demand D --patience P --csv --report FILE (simulate)
+  --scenario {none,diurnal,flashcrowd,commuter,kitchen-sink}
+               apply a seeded environment timeline to the recorded trace:
+               piecewise arrival modulation (diurnal curves, flash-crowd
+               ramps), moving-Zipf popularity rotation, and cell handoffs
+               that re-home or lose in-flight requests. RNG-free trace
+               transformation — `none` (default) is byte-identical to
+               pre-scenario builds. Honored by the trace-driven commands
+               (simulate / optimize / trace / multichannel / uplink /
+               replicate / chaos) and by serve / loadtest (shapes the
+               synthesized plan; incompatible with --from-trace)
+  --scenario-intensity X   how far the preset departs from the stationary
+               baseline (default 1.0; rate deviations scale by X, handoff
+               probabilities scale linearly, capped at 0.9)
   --jobs N     worker threads for replicate (default: all hardware threads;
                --jobs 1 = serial). Seeds derive from the replication index,
                so results are identical for every N.
@@ -1207,7 +1304,13 @@ chaos options:
   --reps R     replications (default 16; merged in index order, so --jobs N
                never changes the numbers)
   --spike-factor F --spike-start T --spike-duration W   compress arrivals in
-               [T, T+W) by F (instantaneous rate multiplies by F)
+               [T, T+W) by F (instantaneous rate multiplies by F). F must be
+               positive finite; T and W non-negative finite
+  --scenario NAME --scenario-intensity X   compose an environment timeline
+               with the crash/fault cocktail from the same seed; adds the
+               conservation-across-handoff invariant per class
+  --gap-bound G    require every class's max inter-service gap <= G
+               (0 = unchecked); violations fail the invariant suite (exit 1)
   --no-replay-check    skip the bit-identical-replay invariant
   --out FILE   write the invariant report + summary as JSON
 )";
