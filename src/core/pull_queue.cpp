@@ -1,5 +1,6 @@
 #include "core/pull_queue.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -15,11 +16,19 @@ void PullQueue::add(const workload::Request& request, double priority,
     entry.popularity = popularity;
     entry.first_arrival = request.arrival;
     entries_.push_back(std::move(entry));
+    scores_.push_back(0.0);
+    is_dirty_.push_back(0);
+    if (tree_cap_ != 0 && entries_.size() > tree_cap_) {
+      rebuild_tree();
+    } else {
+      tree_set_leaf(entries_.size() - 1);
+    }
   }
   auto& entry = entries_[it->second];
   entry.pending.push_back(request);
   entry.total_priority += priority;
   entry.total_arrival += request.arrival;
+  mark_dirty(it->second);
   ++total_requests_;
   if (counters_ != nullptr) {
     ++counters_->enters;
@@ -32,9 +41,8 @@ const sched::PullEntry* PullQueue::find(catalog::ItemId item) const {
   return it == slot_of_.end() ? nullptr : &entries_[it->second];
 }
 
-std::optional<sched::PullEntry> PullQueue::extract_best(
-    const sched::PullPolicy& policy, const sched::PullContext& ctx) {
-  if (entries_.empty()) return std::nullopt;
+std::size_t PullQueue::select_by_scan(const sched::PullPolicy& policy,
+                                      const sched::PullContext& ctx) const {
   std::size_t best = 0;
   double best_score = policy.score(entries_[0], ctx);
   for (std::size_t i = 1; i < entries_.size(); ++i) {
@@ -45,6 +53,43 @@ std::optional<sched::PullEntry> PullQueue::extract_best(
       best_score = s;
     }
   }
+  return best;
+}
+
+std::optional<sched::PullEntry> PullQueue::extract_best(
+    const sched::PullPolicy& policy, const sched::PullContext& ctx) {
+  if (entries_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  if (mode_ == SelectMode::kScan || !policy.ctx_invariant()) {
+    best = select_by_scan(policy, ctx);
+  } else {
+    const std::size_t n = entries_.size();
+    if (&policy != last_policy_) {
+      // New (or first) policy: every cached score is stale.
+      last_policy_ = &policy;
+      has_nan_score_ = false;
+      dirty_.clear();
+      dirty_.reserve(n);
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        is_dirty_[slot] = 1;
+        dirty_.push_back(static_cast<Slot>(slot));
+      }
+    }
+    if (tree_cap_ < n) rebuild_tree();
+    while (!dirty_.empty()) {
+      const std::size_t slot = dirty_.back();
+      dirty_.pop_back();
+      if (slot >= n || is_dirty_[slot] == 0) continue;  // stale stack entry
+      is_dirty_[slot] = 0;
+      const double s = policy.score(entries_[slot], ctx);
+      if (std::isnan(s)) has_nan_score_ = true;
+      scores_[slot] = s;
+      tree_set_leaf(slot);
+    }
+    // NaN scores break the fold/tree equivalence (NaN compares false both
+    // ways); defer to the reference scan whenever one is cached.
+    best = has_nan_score_ ? select_by_scan(policy, ctx) : tree_[1];
+  }
   return extract(entries_[best].item);
 }
 
@@ -52,13 +97,24 @@ std::optional<sched::PullEntry> PullQueue::extract(catalog::ItemId item) {
   const auto it = slot_of_.find(item);
   if (it == slot_of_.end()) return std::nullopt;
   const std::size_t slot = it->second;
+  const std::size_t back = entries_.size() - 1;
   sched::PullEntry out = std::move(entries_[slot]);
   slot_of_.erase(it);
-  if (slot + 1 != entries_.size()) {
+  if (slot != back) {
     entries_[slot] = std::move(entries_.back());
+    // The moved entry keeps its cached score; only its slot changed.
+    scores_[slot] = scores_[back];
+    if (is_dirty_[back] != 0 && is_dirty_[slot] == 0) {
+      is_dirty_[slot] = 1;
+      dirty_.push_back(static_cast<Slot>(slot));
+    }
     slot_of_[entries_[slot].item] = slot;
   }
   entries_.pop_back();
+  scores_.pop_back();
+  is_dirty_.pop_back();
+  tree_set_leaf(back);                   // vacated leaf
+  if (slot != back) tree_set_leaf(slot); // moved entry's new path
   if (total_requests_ < out.pending.size()) {
     throw std::logic_error(
         "PullQueue: extracting item " + std::to_string(item) + " with " +
@@ -99,6 +155,7 @@ bool PullQueue::remove_request(catalog::ItemId item,
   for (const auto& r : entry.pending) {
     if (r.arrival < entry.first_arrival) entry.first_arrival = r.arrival;
   }
+  mark_dirty(it->second);
   return true;
 }
 
@@ -109,6 +166,53 @@ void PullQueue::clear() {
   entries_.clear();
   slot_of_.clear();
   total_requests_ = 0;
+  scores_.clear();
+  is_dirty_.clear();
+  dirty_.clear();
+  tree_.clear();
+  tree_cap_ = 0;
+  last_policy_ = nullptr;
+  has_nan_score_ = false;
+}
+
+void PullQueue::mark_dirty(std::size_t slot) {
+  if (is_dirty_[slot] == 0) {
+    is_dirty_[slot] = 1;
+    dirty_.push_back(static_cast<Slot>(slot));
+  }
+}
+
+PullQueue::Slot PullQueue::tree_winner(Slot l, Slot r) const noexcept {
+  if (l == kNoSlot) return r;
+  if (r == kNoSlot) return l;
+  // Exactly the scan's fold condition with l as the running best: the
+  // later slot wins only when strictly better or tied with a lower item.
+  const double sl = scores_[l];
+  const double sr = scores_[r];
+  if (sr > sl || (sr == sl && entries_[r].item < entries_[l].item)) return r;
+  return l;
+}
+
+void PullQueue::tree_set_leaf(std::size_t slot) {
+  if (tree_cap_ == 0 || slot >= tree_cap_) return;
+  std::size_t i = tree_cap_ + slot;
+  tree_[i] = slot < entries_.size() ? static_cast<Slot>(slot) : kNoSlot;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    tree_[i] = tree_winner(tree_[2 * i], tree_[2 * i + 1]);
+  }
+}
+
+void PullQueue::rebuild_tree() {
+  std::size_t cap = 16;
+  while (cap < entries_.size()) cap *= 2;
+  tree_cap_ = cap;
+  tree_.assign(2 * cap, kNoSlot);
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    tree_[cap + slot] = static_cast<Slot>(slot);
+  }
+  for (std::size_t i = cap - 1; i >= 1; --i) {
+    tree_[i] = tree_winner(tree_[2 * i], tree_[2 * i + 1]);
+  }
 }
 
 }  // namespace pushpull::core

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -18,11 +20,34 @@ namespace pushpull::core {
 /// extraction of the most important entry.
 ///
 /// Storage is a dense vector with an item→slot index; removal swaps with
-/// the back, so insertion, lookup and removal are O(1) and selection is one
-/// linear scan — the right shape for catalogs of 10²–10⁴ items where the
-/// policy scores are time-varying (RxW) and a heap cannot be kept valid.
+/// the back, so insertion, lookup and removal are O(1). Selection has two
+/// engines:
+///
+/// - kIndexed (default): cached per-entry scores plus a tournament max-tree
+///   over the slots. Mutations (add / extract / remove_request) mark the
+///   touched slot dirty; extraction rescores only dirty slots and reads the
+///   winner at the tree root — O(d·log n) per slot where d is the number of
+///   entries whose R_i/Q_i/age inputs changed since the last extraction,
+///   instead of the O(n) full rescan. Only policies whose score depends
+///   solely on the entry (PullPolicy::ctx_invariant()) can use the cache;
+///   context-dependent policies (RxW, LWF, queue-aware importance, aging)
+///   transparently fall back to the reference scan.
+/// - kScan: the original O(n) linear rescan, kept as the reference engine
+///   for the differential fuzz oracle and the throughput benchmark.
+///
+/// Both engines are bit-identical by construction: the tree comparator is
+/// the scan's exact fold condition (higher score wins, ties toward the
+/// lower slot's item id resolved by `item <`), and max over that total
+/// order is associative, so the tree winner equals the left-to-right scan
+/// winner. Any NaN score (where the fold is not associative) forces the
+/// scan engine for the rest of the policy's tenure.
 class PullQueue {
  public:
+  enum class SelectMode { kScan, kIndexed };
+
+  PullQueue() = default;
+  explicit PullQueue(SelectMode mode) : mode_(mode) {}
+
   /// True when no item has pending requests.
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
 
@@ -53,6 +78,12 @@ class PullQueue {
 
   /// Scores all entries under `policy` and removes and returns the best
   /// (ties broken toward the lowest item id). Returns nullopt when empty.
+  ///
+  /// Cached scores are keyed on the policy object's address: extracting
+  /// with a different PullPolicy instance rescores everything. A caller
+  /// that destroys a policy and constructs a replacement at the same
+  /// address between extractions must call invalidate_scores() (no current
+  /// caller replaces a policy mid-run).
   [[nodiscard]] std::optional<sched::PullEntry> extract_best(
       const sched::PullPolicy& policy, const sched::PullContext& ctx);
 
@@ -69,6 +100,9 @@ class PullQueue {
 
   void clear();
 
+  /// Drops every cached score (next extract_best rescores all entries).
+  void invalidate_scores() noexcept { last_policy_ = nullptr; }
+
   /// Installs (nullptr removes) the observability counter hook. The queue
   /// tallies request enters/leaves, winning extracts and the peak length
   /// into it; a null hook costs one pointer test per mutation. The hook
@@ -78,10 +112,37 @@ class PullQueue {
   }
 
  private:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = std::numeric_limits<Slot>::max();
+
+  void mark_dirty(std::size_t slot);
+  /// The reference selection: the exact legacy left-to-right fold.
+  [[nodiscard]] std::size_t select_by_scan(const sched::PullPolicy& policy,
+                                           const sched::PullContext& ctx) const;
+  [[nodiscard]] Slot tree_winner(Slot l, Slot r) const noexcept;
+  /// Rewrites slot's leaf (empty when slot >= size) and its root path.
+  void tree_set_leaf(std::size_t slot);
+  /// (Re)builds the tree with capacity for the current entry count.
+  void rebuild_tree();
+
+  SelectMode mode_ = SelectMode::kIndexed;
   std::vector<sched::PullEntry> entries_;
   std::unordered_map<catalog::ItemId, std::size_t> slot_of_;
   std::size_t total_requests_ = 0;
   obs::QueueCounters* counters_ = nullptr;
+
+  // Indexed-selection state. scores_/is_dirty_ parallel entries_; dirty_
+  // is a stack of slots to rescore (flag-deduplicated, entries may be
+  // stale after swap-removes and are revalidated on drain). tree_ is a
+  // flat tournament tree: leaves at [cap, 2cap) hold slot ids (kNoSlot
+  // when vacant), tree_[1] is the winning slot.
+  std::vector<double> scores_;
+  std::vector<char> is_dirty_;
+  std::vector<Slot> dirty_;
+  std::vector<Slot> tree_;
+  std::size_t tree_cap_ = 0;
+  const sched::PullPolicy* last_policy_ = nullptr;
+  bool has_nan_score_ = false;
 };
 
 }  // namespace pushpull::core

@@ -1,0 +1,259 @@
+#include "des/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pushpull::des {
+
+namespace {
+
+/// Strict total order on (time, id) — the heap's EventAfter, inverted.
+[[nodiscard]] bool before(SimTime ta, EventId ia, SimTime tb,
+                          EventId ib) noexcept {
+  if (ta != tb) return ta < tb;
+  return ia < ib;
+}
+
+}  // namespace
+
+std::uint64_t CalendarQueue::year_of(SimTime t) const noexcept {
+  const double y = t / width_;
+  // Negative times (never produced by the Simulator, but legal for direct
+  // queue users) collapse into year 0; the in-year minimum scan still
+  // orders them correctly against everything else in that year.
+  if (!(y > 0.0)) return 0;
+  if (y >= static_cast<double>(kOverflowYear)) return kOverflowYear;
+  return static_cast<std::uint64_t>(y);
+}
+
+void CalendarQueue::purge_bucket(std::vector<Event>& bucket) const {
+  for (std::size_t i = 0; i < bucket.size();) {
+    if (cancelled_.contains(bucket[i].id)) {
+      cancelled_.erase(bucket[i].id);
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+      --bucketed_;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void CalendarQueue::push(Event event) {
+  if (pending_.contains(event.id)) {
+    throw std::logic_error("EventQueue: duplicate event id " +
+                           std::to_string(event.id));
+  }
+  pending_.insert(event.id);
+  ++live_count_;
+  const SimTime time = event.time;
+  const EventId id = event.id;
+  const std::uint64_t year = year_of(time);
+  Located loc;
+  if (year >= kOverflowYear) {
+    loc.in_overflow = true;
+    loc.index = overflow_.size();
+    overflow_.push_back(std::move(event));
+    ++overflowed_;
+  } else {
+    if (year < cur_year_) cur_year_ = year;
+    loc.bucket = static_cast<std::size_t>(year % buckets_.size());
+    loc.index = buckets_[loc.bucket].size();
+    buckets_[loc.bucket].push_back(std::move(event));
+    ++bucketed_;
+  }
+  if (min_valid_ && before(time, id, min_time_, min_id_)) {
+    min_loc_ = loc;
+    min_time_ = time;
+    min_id_ = id;
+  }
+  maybe_resize();
+}
+
+CalendarQueue::Located CalendarQueue::find_min() const {
+  if (min_valid_) return min_loc_;
+  Located best;
+  bool found = false;
+  if (bucketed_ > 0) {
+    // Year-by-year scan: the first year with a live event holds the global
+    // minimum among bucketed events, because years partition the timeline.
+    const std::size_t nb = buckets_.size();
+    for (std::size_t k = 0; k < nb && bucketed_ > 0; ++k) {
+      const std::uint64_t year = cur_year_ + k;
+      auto& bucket = buckets_[static_cast<std::size_t>(year % nb)];
+      purge_bucket(bucket);
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (year_of(bucket[i].time) != year) continue;
+        if (!found || before(bucket[i].time, bucket[i].id,
+                             buckets_[best.bucket][best.index].time,
+                             buckets_[best.bucket][best.index].id)) {
+          best = Located{false, static_cast<std::size_t>(year % nb), i};
+          found = true;
+        }
+      }
+      if (found) {
+        cur_year_ = year;
+        break;
+      }
+    }
+    if (!found && bucketed_ > 0) {
+      // Sparse calendar: nothing within one full wrap of years. Direct
+      // minimum search over everything, then jump the current year to it.
+      for (std::size_t b = 0; b < nb; ++b) {
+        purge_bucket(buckets_[b]);
+        for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
+          if (!found || before(buckets_[b][i].time, buckets_[b][i].id,
+                               buckets_[best.bucket][best.index].time,
+                               buckets_[best.bucket][best.index].id)) {
+            best = Located{false, b, i};
+            found = true;
+          }
+        }
+      }
+      if (found) {
+        cur_year_ = year_of(buckets_[best.bucket][best.index].time);
+      }
+    }
+  }
+  if (!found) {
+    // Only overflow events remain live (their times sort after any
+    // bucketed time by construction).
+    for (std::size_t i = 0; i < overflow_.size();) {
+      if (cancelled_.contains(overflow_[i].id)) {
+        cancelled_.erase(overflow_[i].id);
+        overflow_[i] = std::move(overflow_.back());
+        overflow_.pop_back();
+        --overflowed_;
+        continue;
+      }
+      if (!found || before(overflow_[i].time, overflow_[i].id,
+                           overflow_[best.index].time,
+                           overflow_[best.index].id)) {
+        best = Located{true, 0, i};
+        found = true;
+      }
+      ++i;
+    }
+  }
+  const Event& e =
+      best.in_overflow ? overflow_[best.index]
+                       : buckets_[best.bucket][best.index];
+  min_loc_ = best;
+  min_time_ = e.time;
+  min_id_ = e.id;
+  min_valid_ = true;
+  return best;
+}
+
+Event CalendarQueue::pop() {
+  if (live_count_ == 0) {
+    throw std::logic_error("EventQueue: pop() on an empty queue");
+  }
+  const Located loc = find_min();
+  min_valid_ = false;
+  auto take = [](std::vector<Event>& from, std::size_t i) {
+    Event out = std::move(from[i]);
+    from[i] = std::move(from.back());
+    from.pop_back();
+    return out;
+  };
+  Event event = loc.in_overflow ? take(overflow_, loc.index)
+                                : take(buckets_[loc.bucket], loc.index);
+  if (loc.in_overflow) {
+    --overflowed_;
+  } else {
+    --bucketed_;
+    cur_year_ = year_of(event.time);
+  }
+  pending_.erase(event.id);
+  --live_count_;
+  maybe_resize();
+  return event;
+}
+
+SimTime CalendarQueue::next_time() const {
+  if (live_count_ == 0) {
+    throw std::logic_error("EventQueue: next_time() on an empty queue");
+  }
+  (void)find_min();
+  return min_time_;
+}
+
+bool CalendarQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  if (min_valid_ && min_id_ == id) min_valid_ = false;
+  return true;
+}
+
+void CalendarQueue::clear() {
+  buckets_.clear();
+  buckets_.resize(kMinBuckets);
+  overflow_.clear();
+  width_ = 1.0;
+  cur_year_ = 0;
+  bucketed_ = 0;
+  overflowed_ = 0;
+  pending_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
+  min_valid_ = false;
+}
+
+void CalendarQueue::maybe_resize() {
+  if (bucketed_ > buckets_.size() * 2) {
+    rebuild(buckets_.size() * 2);
+  } else if (buckets_.size() > kMinBuckets && bucketed_ < buckets_.size() / 2) {
+    rebuild(buckets_.size() / 2);
+  }
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+  std::vector<Event> all;
+  all.reserve(bucketed_);
+  for (auto& bucket : buckets_) {
+    for (auto& e : bucket) {
+      if (cancelled_.contains(e.id)) {
+        cancelled_.erase(e.id);
+        continue;
+      }
+      all.push_back(std::move(e));
+    }
+    bucket.clear();
+  }
+  bucketed_ = all.size();
+  // Re-derive the day width from the live span so occupancy stays near one
+  // event per bucket. Any width is order-correct (selection re-derives the
+  // minimum); this is purely a density knob.
+  if (all.size() > 1) {
+    SimTime lo = all.front().time;
+    SimTime hi = lo;
+    for (const auto& e : all) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+    const double span = hi - lo;
+    double w = span / static_cast<double>(all.size());
+    const double floor_w =
+        std::max(1e-12, std::abs(hi) * 1e-12);  // keep years in range
+    if (!(w > floor_w)) w = std::max(1.0, floor_w);
+    width_ = w;
+  }
+  buckets_.clear();
+  buckets_.resize(std::max(nbuckets, kMinBuckets));
+  cur_year_ = kOverflowYear;
+  for (auto& e : all) {
+    const std::uint64_t year = year_of(e.time);
+    cur_year_ = std::min(cur_year_, year);
+    buckets_[static_cast<std::size_t>(year % buckets_.size())].push_back(
+        std::move(e));
+  }
+  if (bucketed_ == 0) cur_year_ = 0;
+  min_valid_ = false;
+}
+
+}  // namespace pushpull::des

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+
+#include "des/small_fun.hpp"
 
 namespace pushpull::des {
 
@@ -14,11 +15,19 @@ using SimTime = double;
 /// handle.
 using EventId = std::uint64_t;
 
-/// A scheduled occurrence: at `time`, run `action`.
+/// Closure storage for event actions. 104 bytes covers the kernel's largest
+/// capture (the pull-transmission closure: server pointer + epoch + a full
+/// PullEntry + class + demand) so no scheduling path allocates per event.
+using EventAction = SmallFun<104>;
+
+/// A scheduled occurrence: at `time`, run `action`. Move-only: the action
+/// lives inline, so copying an event would mean copying an arbitrary
+/// closure — nothing in the kernel needs that, and forbidding it is what
+/// lets move-only captures (moved-in pull entries) be scheduled directly.
 struct Event {
   SimTime time = 0.0;
   EventId id = 0;
-  std::function<void()> action;
+  EventAction action;
 };
 
 /// Heap ordering: earliest time first; FIFO among equal times.

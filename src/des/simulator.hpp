@@ -23,6 +23,12 @@ class Simulator {
  public:
   static constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
 
+  Simulator() = default;
+  /// Selects the pending-event-set backend (see EventQueueKind). The
+  /// default binary heap is the reference; kCalendar trades it for O(1)
+  /// amortized operations with bit-identical dispatch order.
+  explicit Simulator(EventQueueKind kind) : queue_(kind) {}
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const noexcept {

@@ -14,30 +14,61 @@
 namespace pushpull::obs {
 
 /// Welford moments plus P² tail estimates for one sim-time series
-/// (pull-queue length, per-class response time). O(1) memory per series.
+/// (pull-queue length, per-class response time).
+///
+/// Samples are buffered and folded into the estimators lazily: the hot
+/// path (`add`) is one vector push, and the Welford + 3×P² arithmetic runs
+/// at the first accessor call (report/export time) — DESIGN §13. Folding
+/// replays the buffer in arrival order, so every statistic is bit-identical
+/// to streaming each sample immediately. The buffer is capped at
+/// kFoldChunk samples (folded eagerly past that), keeping memory O(1) in
+/// the run length.
 class QuantileTrack {
  public:
   QuantileTrack() : p50_(0.50), p90_(0.90), p99_(0.99) {}
 
   void add(double x) {
-    moments_.add(x);
-    p50_.add(x);
-    p90_.add(x);
-    p99_.add(x);
+    deferred_.push_back(x);
+    if (deferred_.size() >= kFoldChunk) fold();
   }
 
-  [[nodiscard]] const metrics::Welford& moments() const noexcept {
+  [[nodiscard]] const metrics::Welford& moments() const {
+    fold();
     return moments_;
   }
-  [[nodiscard]] double p50() const { return p50_.value(); }
-  [[nodiscard]] double p90() const { return p90_.value(); }
-  [[nodiscard]] double p99() const { return p99_.value(); }
+  [[nodiscard]] double p50() const {
+    fold();
+    return p50_.value();
+  }
+  [[nodiscard]] double p90() const {
+    fold();
+    return p90_.value();
+  }
+  [[nodiscard]] double p99() const {
+    fold();
+    return p99_.value();
+  }
 
  private:
-  metrics::Welford moments_;
-  metrics::P2Quantile p50_;
-  metrics::P2Quantile p90_;
-  metrics::P2Quantile p99_;
+  static constexpr std::size_t kFoldChunk = std::size_t{1} << 20;
+
+  void fold() const {
+    for (const double x : deferred_) {
+      moments_.add(x);
+      p50_.add(x);
+      p90_.add(x);
+      p99_.add(x);
+    }
+    deferred_.clear();
+  }
+
+  // mutable: folding is a representation change invisible through the
+  // const accessors.
+  mutable std::vector<double> deferred_;
+  mutable metrics::Welford moments_;
+  mutable metrics::P2Quantile p50_;
+  mutable metrics::P2Quantile p90_;
+  mutable metrics::P2Quantile p99_;
 };
 
 /// Rendered summary of one QuantileTrack, ready for export.

@@ -1,44 +1,192 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace pushpull::obs {
+
+namespace {
+
+/// LEB128 without the sign games: 7 payload bits per byte, high bit marks
+/// continuation. Small operands (class ids, attempt counts, seq deltas of
+/// 1) cost one byte. Encoders write into a caller-provided stack buffer
+/// and return the byte count, so a whole record lands in the log with one
+/// bulk insert.
+std::size_t put_varint_buf(std::uint8_t* buf, std::uint64_t value) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<std::uint8_t>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<std::uint8_t>(value);
+  return n;
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& log,
+                         std::size_t& off) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t byte = log[off++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint64_t read_varint(const std::uint8_t*& p) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t byte = *p++;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+void skip_varint(const std::uint8_t*& p) {
+  while ((*p++ & 0x80) != 0) {
+  }
+}
+
+/// Doubles travel as their raw bit pattern (little-endian bytes) so decode
+/// reproduces the exact value, including -0.0 and NaN payloads.
+std::size_t put_f64_buf(std::uint8_t* buf, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  return 8;
+}
+
+double get_f64(const std::vector<std::uint8_t>& log, std::size_t& off) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(log[off++]) << (8 * i);
+  }
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+constexpr std::uint8_t kHasV = 0x01;
+
+}  // namespace
+
+std::size_t TraceSink::NameKeyHash::operator()(
+    const NameKey& k) const noexcept {
+  // Golden-ratio mix of the category into the pointer hash; equality does
+  // the exact comparison, so this only needs to spread.
+  return std::hash<const void*>{}(static_cast<const void*>(k.name)) ^
+         (static_cast<std::size_t>(k.category) * 0x9E3779B97F4A7C15ULL);
+}
 
 TraceSink::TraceSink(std::size_t capacity, std::uint32_t categories)
     : capacity_(capacity), categories_(categories & kAllCategories) {
   if (capacity_ == 0) {
     throw std::logic_error("TraceSink: capacity must be positive");
   }
-  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+  // ~24 bytes is a generous per-record estimate; cap the up-front grab.
+  log_.reserve(std::min<std::size_t>(capacity_ * 24, std::size_t{1} << 20));
+}
+
+std::uint32_t TraceSink::intern(const char* name, Category category) {
+  // The cache index only affects speed: ids come from insertion order, so
+  // pointer values never leak into any output.
+  const auto p = reinterpret_cast<std::uintptr_t>(name);
+  InternSlot& slot = intern_cache_[(p >> 4 ^ p ^
+                                    static_cast<std::uintptr_t>(category)) %
+                                   intern_cache_.size()];
+  if (slot.name == name && slot.category == category) return slot.id;
+  const std::uint32_t id = intern_slow(name, category);
+  slot = InternSlot{name, category, id};
+  return id;
+}
+
+std::uint32_t TraceSink::intern_slow(const char* name, Category category) {
+  const NameKey key{name, category};
+  const auto [it, inserted] =
+      name_ids_.try_emplace(key, static_cast<std::uint32_t>(names_.size()));
+  if (inserted) names_.push_back(key);
+  return it->second;
+}
+
+void TraceSink::append_record(double time, std::uint64_t seq,
+                              std::uint32_t name_id, std::uint64_t a,
+                              std::uint64_t b, double v) {
+  // Layout: [flags][varint name_id][raw time][varint seq_delta][varint a]
+  //         [varint b][raw v iff kHasV]. Self-delimiting, so drop/decode
+  //         parse forward without a length prefix. Encoded into a stack
+  //         buffer first so the log takes one bulk insert, not ~20
+  //         per-byte push_backs.
+  std::uint8_t buf[64];
+  std::size_t n = 0;
+  std::uint64_t vbits = 0;
+  std::memcpy(&vbits, &v, sizeof(vbits));
+  const std::uint8_t flags = vbits != 0 ? kHasV : 0;
+  buf[n++] = flags;
+  n += put_varint_buf(buf + n, name_id);
+  n += put_f64_buf(buf + n, time);
+  n += put_varint_buf(buf + n, seq - tail_prev_seq_);
+  tail_prev_seq_ = seq;
+  n += put_varint_buf(buf + n, a);
+  n += put_varint_buf(buf + n, b);
+  if ((flags & kHasV) != 0) n += put_f64_buf(buf + n, v);
+  log_.insert(log_.end(), buf, buf + n);
+}
+
+void TraceSink::drop_oldest() {
+  const std::uint8_t* base = log_.data();
+  const std::uint8_t* p = base + head_off_;
+  const std::uint8_t flags = *p++;
+  skip_varint(p);  // name_id
+  p += 8;          // time
+  head_prev_seq_ += read_varint(p);
+  skip_varint(p);  // a
+  skip_varint(p);  // b
+  if ((flags & kHasV) != 0) p += 8;
+  head_off_ = static_cast<std::size_t>(p - base);
+  --count_;
+  ++dropped_;
+  // Reclaim the dead prefix once it outweighs the live suffix; amortized
+  // O(1) per record, bounds the log at ~2x the live bytes.
+  if (head_off_ > log_.size() - head_off_) {
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(
+                                                head_off_));
+    head_off_ = 0;
+  }
 }
 
 void TraceSink::record(double time, Category category, const char* name,
                        std::uint64_t a, std::uint64_t b, double v) {
   const std::uint64_t seq = next_seq_++;
   if ((categories_ & category_bit(category)) == 0) return;
-  const TraceEvent ev{time, seq, category, name, a, b, v};
-  if (ring_.size() < capacity_) {
-    ring_.push_back(ev);
-    return;
-  }
-  // Full: overwrite the oldest slot and advance the ring head.
-  ring_[head_] = ev;
-  head_ = (head_ + 1) % capacity_;
-  wrapped_ = true;
-  ++dropped_;
+  if (count_ == capacity_) drop_oldest();
+  append_record(time, seq, intern(name, category), a, b, v);
+  ++count_;
 }
 
 std::vector<TraceEvent> TraceSink::snapshot() const {
   std::vector<TraceEvent> out;
-  out.reserve(ring_.size());
-  if (wrapped_) {
-    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
-               ring_.end());
-    out.insert(out.end(), ring_.begin(),
-               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
-  } else {
-    out = ring_;
+  out.reserve(count_);
+  std::size_t off = head_off_;
+  std::uint64_t prev_seq = head_prev_seq_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint8_t flags = log_[off++];
+    const auto name_id = static_cast<std::uint32_t>(get_varint(log_, off));
+    TraceEvent ev;
+    ev.time = get_f64(log_, off);
+    prev_seq += get_varint(log_, off);
+    ev.seq = prev_seq;
+    ev.category = names_[name_id].category;
+    ev.name = names_[name_id].name;
+    ev.a = get_varint(log_, off);
+    ev.b = get_varint(log_, off);
+    ev.v = (flags & kHasV) != 0 ? get_f64(log_, off) : 0.0;
+    out.push_back(ev);
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const TraceEvent& lhs, const TraceEvent& rhs) {
@@ -50,11 +198,15 @@ std::vector<TraceEvent> TraceSink::snapshot() const {
 }
 
 void TraceSink::clear() {
-  ring_.clear();
-  head_ = 0;
-  wrapped_ = false;
+  log_.clear();
+  head_off_ = 0;
+  count_ = 0;
+  head_prev_seq_ = 0;
+  tail_prev_seq_ = 0;
   next_seq_ = 0;
   dropped_ = 0;
+  // The intern table survives: names are static literals and ids stay
+  // valid across replications.
 }
 
 }  // namespace pushpull::obs

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "metrics/float_compare.hpp"
 #include "sched/pull/policy.hpp"
 
 namespace pushpull::sched {
@@ -38,6 +39,12 @@ class AgingPolicy final : public PullPolicy {
                              const PullContext& ctx) const override {
     return inner_->score(entry, ctx) +
            rate_ * (ctx.now - entry.first_arrival);
+  }
+
+  /// Aging reads ctx.now whenever rate > 0; at rate 0 the decorator is
+  /// transparent and inherits the inner policy's invariance.
+  [[nodiscard]] bool ctx_invariant() const noexcept override {
+    return metrics::exactly_equal(rate_, 0.0) && inner_->ctx_invariant();
   }
 
   [[nodiscard]] std::string_view name() const noexcept override {

@@ -14,6 +14,9 @@ class FcfsPolicy final : public PullPolicy {
                              const PullContext&) const override {
     return -entry.first_arrival;
   }
+  [[nodiscard]] bool ctx_invariant() const noexcept override {
+    return true;
+  }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "fcfs";
   }
@@ -26,6 +29,9 @@ class MrfPolicy final : public PullPolicy {
   [[nodiscard]] double score(const PullEntry& entry,
                              const PullContext&) const override {
     return entry.num_requests();
+  }
+  [[nodiscard]] bool ctx_invariant() const noexcept override {
+    return true;
   }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "mrf";
@@ -41,6 +47,9 @@ class StretchPolicy final : public PullPolicy {
                              const PullContext&) const override {
     return entry.stretch();
   }
+  [[nodiscard]] bool ctx_invariant() const noexcept override {
+    return true;
+  }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "stretch";
   }
@@ -54,6 +63,9 @@ class PriorityPolicy final : public PullPolicy {
   [[nodiscard]] double score(const PullEntry& entry,
                              const PullContext&) const override {
     return entry.total_priority;
+  }
+  [[nodiscard]] bool ctx_invariant() const noexcept override {
+    return true;
   }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "priority";
@@ -102,6 +114,9 @@ class ImportancePolicy final : public PullPolicy {
   [[nodiscard]] double score(const PullEntry& entry,
                              const PullContext&) const override {
     return alpha_ * entry.stretch() + (1.0 - alpha_) * entry.total_priority;
+  }
+  [[nodiscard]] bool ctx_invariant() const noexcept override {
+    return true;
   }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "importance";

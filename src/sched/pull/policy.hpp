@@ -19,6 +19,15 @@ class PullPolicy {
   [[nodiscard]] virtual double score(const PullEntry& entry,
                                      const PullContext& ctx) const = 0;
 
+  /// True when score() reads only the entry — never PullContext — so a
+  /// cached score stays valid until the entry itself mutates. The indexed
+  /// pull queue uses this to rescore only dirty entries per extraction;
+  /// context-dependent policies (RxW, LWF, queue-aware importance, aging)
+  /// must return false and are rescored in full. Defaults to false: a
+  /// policy that forgets to override only loses the caching speedup, never
+  /// correctness.
+  [[nodiscard]] virtual bool ctx_invariant() const noexcept { return false; }
+
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };
 

@@ -140,6 +140,12 @@ ChaosReport run_chaos(const ServeConfig& config, const ChaosOptions& options) {
 
     {
       LoadDriver driver(cat, pop, cfg.target_qps, cfg.duration, cfg.seed);
+      if (options.shape_plan) {
+        // Plan-level shaping before anything is journaled: the journal
+        // below records the shaped requests, so the kill/recover/resume/
+        // replay chain needs no knowledge of the transformation.
+        driver = LoadDriver(options.shape_plan(driver.plan(), cfg));
+      }
       LiveServer server(cat, pop, cfg);
       JournalFile file(full_path);
       TraceRecorder recorder(file, cfg);

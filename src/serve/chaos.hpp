@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
+#include "workload/trace.hpp"
+
 #include "serve/journal.hpp"
 #include "serve/live_server.hpp"
 #include "serve/record.hpp"
@@ -51,6 +55,14 @@ struct ChaosOptions {
   /// `..._killed.svj`, `..._resumed.svj`). Left on disk for audit/CI
   /// upload.
   std::string scratch_dir = ".";
+  /// Optional plan transformer applied to each replication's synthesized
+  /// trace before it is journaled. The CLI wires `--scenario` through this
+  /// hook (the same plan-level shaping as plain `serve --scenario`); the
+  /// journal then records the *shaped* requests, so the serve layer — and
+  /// the whole recover/resume/replay chain — stays scenario-oblivious.
+  /// Called with the rep's plan and that rep's (seed-decorrelated) config.
+  std::function<workload::Trace(workload::Trace, const ServeConfig&)>
+      shape_plan;
 };
 
 /// One kill/recover/resume/replay cycle's outcome.

@@ -1,0 +1,178 @@
+// Differential suite proving the calendar-queue EventQueue backend is
+// observably identical to the binary-heap reference: same pop sequence
+// (time AND id), same next_time() at every step, same size/empty, same
+// cancel results — over 1000 seeded random schedules exercising bursty
+// times, duplicate timestamps, interleaved cancellations, sparse
+// far-future jumps, and clear/reuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "rng/uniform.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace pushpull::des {
+namespace {
+
+/// Asserts every observable query agrees between the two backends.
+void expect_agree(const EventQueue& heap, const EventQueue& cal,
+                  std::uint64_t seed, std::size_t step) {
+  ASSERT_EQ(heap.empty(), cal.empty()) << "seed " << seed << " step " << step;
+  ASSERT_EQ(heap.size(), cal.size()) << "seed " << seed << " step " << step;
+  if (!heap.empty()) {
+    ASSERT_EQ(heap.next_time(), cal.next_time())
+        << "seed " << seed << " step " << step;
+  }
+}
+
+/// One random schedule: pushes with bursty/duplicate/sparse times,
+/// interleaved pops, cancels and the occasional clear, comparing the
+/// backends after every operation.
+void run_schedule(std::uint64_t seed, std::size_t ops) {
+  rng::Xoshiro256ss eng(seed);
+  EventQueue heap(EventQueueKind::kBinaryHeap);
+  EventQueue cal(EventQueueKind::kCalendar);
+  EventId next_id = 1;
+  std::vector<EventId> live;  // superset: may contain fired/cancelled ids
+  double base = 0.0;
+
+  for (std::size_t step = 0; step < ops; ++step) {
+    const double r = rng::uniform01(eng);
+    if (r < 0.55 || heap.empty()) {
+      // Push. Time pattern: duplicates, micro-steps, normal bursts, rare
+      // huge jumps (forces the calendar's sparse direct-search path), and
+      // rare rewinds below the current base.
+      const double shape = rng::uniform01(eng);
+      if (shape < 0.25) {
+        // duplicate timestamp: keep base
+      } else if (shape < 0.5) {
+        base += rng::uniform01(eng) * 1e-3;
+      } else if (shape < 0.9) {
+        base += rng::uniform01(eng) * 10.0;
+      } else if (shape < 0.97) {
+        base += rng::uniform01(eng) * 1e6;
+      }
+      double when = base;
+      if (shape >= 0.97) {
+        when = base * rng::uniform01(eng);  // rewind into the past
+      }
+      const EventId id = next_id++;
+      heap.push(Event{when, id, [] {}});
+      cal.push(Event{when, id, [] {}});
+      live.push_back(id);
+    } else if (r < 0.80) {
+      Event a = heap.pop();
+      Event b = cal.pop();
+      ASSERT_EQ(a.time, b.time) << "seed " << seed << " step " << step;
+      ASSERT_EQ(a.id, b.id) << "seed " << seed << " step " << step;
+    } else if (r < 0.97) {
+      // Cancel a random (possibly stale) id; results must match.
+      if (!live.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng::uniform_below(eng, live.size()));
+        ASSERT_EQ(heap.cancel(live[pick]), cal.cancel(live[pick]))
+            << "seed " << seed << " step " << step;
+      }
+    } else {
+      heap.clear();
+      cal.clear();
+      live.clear();
+      base = 0.0;
+    }
+    expect_agree(heap, cal, seed, step);
+  }
+  // Drain both completely: full pop order must match.
+  while (!heap.empty()) {
+    Event a = heap.pop();
+    Event b = cal.pop();
+    ASSERT_EQ(a.time, b.time) << "seed " << seed << " drain";
+    ASSERT_EQ(a.id, b.id) << "seed " << seed << " drain";
+    expect_agree(heap, cal, seed, ops);
+  }
+  ASSERT_TRUE(cal.empty());
+}
+
+TEST(EventQueueDiff, ThousandSeededRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    run_schedule(seed, 60);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(EventQueueDiff, LongSchedulesCrossResizeThresholds) {
+  // Enough pushes to grow through several calendar rebuilds and drain
+  // back down through the shrink threshold.
+  for (std::uint64_t seed = 2000; seed < 2010; ++seed) {
+    run_schedule(seed, 3000);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(EventQueueDiff, DuplicateTimestampsPopFifo) {
+  EventQueue cal(EventQueueKind::kCalendar);
+  for (EventId id = 1; id <= 64; ++id) cal.push(Event{5.0, id, [] {}});
+  for (EventId id = 1; id <= 64; ++id) {
+    ASSERT_EQ(cal.next_time(), 5.0);
+    ASSERT_EQ(cal.pop().id, id);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueueDiff, CancelOfCurrentMinimumAdvances) {
+  EventQueue cal(EventQueueKind::kCalendar);
+  cal.push(Event{1.0, 1, [] {}});
+  cal.push(Event{2.0, 2, [] {}});
+  ASSERT_EQ(cal.next_time(), 1.0);
+  EXPECT_TRUE(cal.cancel(1));
+  EXPECT_FALSE(cal.cancel(1));
+  ASSERT_EQ(cal.next_time(), 2.0);
+  EXPECT_EQ(cal.pop().id, 2u);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueueDiff, DuplicateIdThrowsLikeHeap) {
+  EventQueue cal(EventQueueKind::kCalendar);
+  cal.push(Event{1.0, 7, [] {}});
+  EXPECT_THROW(cal.push(Event{2.0, 7, [] {}}), std::logic_error);
+}
+
+TEST(EventQueueDiff, EmptyPopAndNextTimeThrowLikeHeap) {
+  EventQueue cal(EventQueueKind::kCalendar);
+  EXPECT_THROW((void)cal.pop(), std::logic_error);
+  EXPECT_THROW((void)cal.next_time(), std::logic_error);
+  cal.push(Event{1.0, 1, [] {}});
+  (void)cal.pop();
+  EXPECT_THROW((void)cal.pop(), std::logic_error);
+}
+
+TEST(EventQueueDiff, InfiniteTimesLandInOverflowAndStillOrder) {
+  constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+  EventQueue cal(EventQueueKind::kCalendar);
+  cal.push(Event{kInf, 1, [] {}});
+  cal.push(Event{3.0, 2, [] {}});
+  cal.push(Event{kInf, 3, [] {}});
+  EXPECT_EQ(cal.pop().id, 2u);
+  EXPECT_EQ(cal.next_time(), kInf);
+  EXPECT_EQ(cal.pop().id, 1u);  // FIFO among equal (infinite) times
+  EXPECT_EQ(cal.pop().id, 3u);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueueDiff, ClearThenReuse) {
+  EventQueue cal(EventQueueKind::kCalendar);
+  for (EventId id = 1; id <= 100; ++id) {
+    cal.push(Event{static_cast<SimTime>(id) * 1e5, id, [] {}});
+  }
+  cal.clear();
+  EXPECT_TRUE(cal.empty());
+  EXPECT_EQ(cal.size(), 0u);
+  cal.push(Event{0.25, 101, [] {}});
+  EXPECT_EQ(cal.next_time(), 0.25);
+  EXPECT_EQ(cal.pop().id, 101u);
+}
+
+}  // namespace
+}  // namespace pushpull::des

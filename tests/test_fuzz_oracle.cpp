@@ -14,6 +14,7 @@
 #include "des/event_queue.hpp"
 #include "rng/uniform.hpp"
 #include "rng/xoshiro256ss.hpp"
+#include "sched/pull/aging.hpp"
 #include "sched/pull/policies.hpp"
 
 namespace pushpull {
@@ -83,6 +84,14 @@ class ReferencePullQueue {
     return out;
   }
 
+  std::optional<sched::PullEntry> extract(catalog::ItemId item) {
+    auto it = entries_.find(item);
+    if (it == entries_.end()) return std::nullopt;
+    sched::PullEntry out = it->second;
+    entries_.erase(it);
+    return out;
+  }
+
   [[nodiscard]] std::size_t total_requests() const {
     std::size_t n = 0;
     for (const auto& [item, e] : entries_) n += e.pending.size();
@@ -94,23 +103,25 @@ class ReferencePullQueue {
   std::map<catalog::ItemId, sched::PullEntry> entries_;
 };
 
-class PullQueueOracleTest
-    : public ::testing::TestWithParam<sched::PullPolicyKind> {};
-
-TEST_P(PullQueueOracleTest, RandomOpsMatchReference) {
-  core::PullQueue fast;
+/// Drives the indexed PullQueue, the O(n) reference-scan PullQueue and the
+/// naive map oracle through one random schedule (adds, impatience removals,
+/// direct evictions — the shed/blocking path — and policy extractions),
+/// asserting all three agree after every operation.
+void run_pull_fuzz(const sched::PullPolicy& policy, std::uint64_t seed,
+                   int ops) {
+  core::PullQueue fast;  // default engine: indexed (dirty-set + max-tree)
+  core::PullQueue scan(core::PullQueue::SelectMode::kScan);
   ReferencePullQueue oracle;
-  const auto policy = sched::make_pull_policy(GetParam(), 0.4);
 
-  rng::Xoshiro256ss eng(0xFACE + static_cast<std::uint64_t>(GetParam()));
+  rng::Xoshiro256ss eng(seed);
   double clock = 0.0;
   workload::RequestId next_id = 0;
   std::vector<workload::Request> live;  // queued requests, for removals
 
-  for (int op = 0; op < 8000; ++op) {
+  for (int op = 0; op < ops; ++op) {
     clock += 0.25;
     const double dice = rng::uniform01(eng);
-    if (dice < 0.55) {
+    if (dice < 0.5) {
       // Insert a request for a random item.
       workload::Request r;
       r.id = next_id++;
@@ -121,26 +132,53 @@ TEST_P(PullQueueOracleTest, RandomOpsMatchReference) {
       const double length = 1.0 + static_cast<double>(r.item % 5);
       const double popularity = 1.0 / (1.0 + static_cast<double>(r.item));
       fast.add(r, priority, length, popularity);
+      scan.add(r, priority, length, popularity);
       oracle.add(r, priority, length, popularity);
       live.push_back(r);
-    } else if (dice < 0.75 && !live.empty()) {
+    } else if (dice < 0.68 && !live.empty()) {
       // Remove a random queued request (impatience path).
       const auto idx =
           static_cast<std::size_t>(rng::uniform_below(eng, live.size()));
       const workload::Request victim = live[idx];
       const double priority = static_cast<double>(3 - victim.cls);
       const bool a = fast.remove_request(victim.item, victim.id, priority);
+      const bool s = scan.remove_request(victim.item, victim.id, priority);
       const bool b = oracle.remove_request(victim.item, victim.id, priority);
       ASSERT_EQ(a, b);
+      ASSERT_EQ(s, b);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (dice < 0.76) {
+      // Evict a specific item outright (the shed / blocking-drop path).
+      const auto item =
+          static_cast<catalog::ItemId>(rng::uniform_below(eng, 25));
+      const auto a = fast.extract(item);
+      const auto s = scan.extract(item);
+      const auto b = oracle.extract(item);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "op " << op;
+      ASSERT_EQ(s.has_value(), b.has_value()) << "op " << op;
+      if (a.has_value()) {
+        ASSERT_EQ(a->pending.size(), b->pending.size());
+        ASSERT_EQ(s->pending.size(), b->pending.size());
+        for (const auto& r : a->pending) {
+          for (auto it = live.begin(); it != live.end(); ++it) {
+            if (it->id == r.id) {
+              live.erase(it);
+              break;
+            }
+          }
+        }
+      }
     } else {
       // Extract the best entry under the policy.
       const sched::PullContext ctx{clock, 2.0};
-      const auto a = fast.extract_best(*policy, ctx);
-      const auto b = oracle.extract_best(*policy, ctx);
+      const auto a = fast.extract_best(policy, ctx);
+      const auto s = scan.extract_best(policy, ctx);
+      const auto b = oracle.extract_best(policy, ctx);
       ASSERT_EQ(a.has_value(), b.has_value());
+      ASSERT_EQ(s.has_value(), b.has_value());
       if (a.has_value()) {
         ASSERT_EQ(a->item, b->item) << "op " << op;
+        ASSERT_EQ(s->item, b->item) << "op " << op;
         ASSERT_EQ(a->pending.size(), b->pending.size());
         ASSERT_DOUBLE_EQ(a->total_priority, b->total_priority);
         // Drop the extracted requests from the live set.
@@ -155,18 +193,31 @@ TEST_P(PullQueueOracleTest, RandomOpsMatchReference) {
       }
     }
     ASSERT_EQ(fast.total_requests(), oracle.total_requests());
+    ASSERT_EQ(scan.total_requests(), oracle.total_requests());
     ASSERT_EQ(fast.distinct_items(), oracle.distinct_items());
+    ASSERT_EQ(scan.distinct_items(), oracle.distinct_items());
   }
+}
+
+class PullQueueOracleTest
+    : public ::testing::TestWithParam<sched::PullPolicyKind> {};
+
+TEST_P(PullQueueOracleTest, RandomOpsMatchReference) {
+  const auto policy = sched::make_pull_policy(GetParam(), 0.4);
+  run_pull_fuzz(*policy, 0xFACE + static_cast<std::uint64_t>(GetParam()),
+                8000);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, PullQueueOracleTest,
-    ::testing::Values(sched::PullPolicyKind::kMrf,
+    ::testing::Values(sched::PullPolicyKind::kFcfs,
+                      sched::PullPolicyKind::kMrf,
                       sched::PullPolicyKind::kStretch,
                       sched::PullPolicyKind::kPriority,
                       sched::PullPolicyKind::kRxw,
                       sched::PullPolicyKind::kLwf,
-                      sched::PullPolicyKind::kImportance),
+                      sched::PullPolicyKind::kImportance,
+                      sched::PullPolicyKind::kImportanceQueueAware),
     [](const ::testing::TestParamInfo<sched::PullPolicyKind>& param_info) {
       std::string name(sched::to_string(param_info.param));
       for (char& c : name) {
@@ -174,6 +225,60 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+TEST(PullQueueOracle, AgedImportanceMatchesReference) {
+  // Aging reads ctx.now, so the indexed engine must detect the
+  // ctx-dependence and defer to the scan — verified against the oracle.
+  const auto policy = sched::make_aged_importance(0.4, 0.35);
+  EXPECT_FALSE(policy->ctx_invariant());
+  run_pull_fuzz(*policy, 0xA9ED, 8000);
+}
+
+TEST(PullQueueOracle, ZeroRateAgingStaysIndexed) {
+  // rate = 0 makes the decorator transparent, so the inner importance
+  // policy's invariance carries through and the cached path is exercised.
+  const auto policy = sched::make_aged_importance(0.4, 0.0);
+  EXPECT_TRUE(policy->ctx_invariant());
+  run_pull_fuzz(*policy, 0xA9ED0, 8000);
+}
+
+TEST(PullQueueOracle, PolicySwapsInvalidateCachedScores) {
+  // Alternating between two distinct policy objects (different alphas, and
+  // a ctx-dependent interloper) on the SAME queues must rescore correctly
+  // every time — this is the cache-invalidation-on-policy-change path.
+  core::PullQueue fast;
+  core::PullQueue scan(core::PullQueue::SelectMode::kScan);
+  const auto gamma_low = sched::make_pull_policy(
+      sched::PullPolicyKind::kImportance, 0.1);
+  const auto gamma_high = sched::make_pull_policy(
+      sched::PullPolicyKind::kImportance, 0.9);
+  const auto rxw = sched::make_pull_policy(sched::PullPolicyKind::kRxw);
+  const sched::PullPolicy* const policies[] = {gamma_low.get(),
+                                               gamma_high.get(), rxw.get()};
+
+  rng::Xoshiro256ss eng(0x50AB);
+  workload::RequestId next_id = 0;
+  double clock = 0.0;
+  for (int round = 0; round < 600; ++round) {
+    clock += 1.0;
+    for (int j = 0; j < 4; ++j) {
+      workload::Request r;
+      r.id = next_id++;
+      r.item = static_cast<catalog::ItemId>(rng::uniform_below(eng, 12));
+      r.arrival = clock;
+      const double priority = 1.0 + rng::uniform01(eng);
+      const double length = 1.0 + static_cast<double>(r.item % 3);
+      fast.add(r, priority, length, 0.5);
+      scan.add(r, priority, length, 0.5);
+    }
+    const sched::PullContext ctx{clock, 2.0};
+    const auto& policy = *policies[round % 3];
+    const auto a = fast.extract_best(policy, ctx);
+    const auto s = scan.extract_best(policy, ctx);
+    ASSERT_EQ(a.has_value(), s.has_value());
+    if (a.has_value()) ASSERT_EQ(a->item, s->item) << "round " << round;
+  }
+}
 
 // ------------------------------------------------ EventQueue vs multimap
 

@@ -460,6 +460,29 @@ TEST(CliScenario, SimulateWithPresetReportsGapColumnsAndSummary) {
   std::remove(tmp.c_str());
 }
 
+// `serve --chaos` used to accept --scenario and silently ignore it; pin
+// that the preset now reaches the journaled plan (the recorded rep journal
+// must differ from the stationary run's) while the kill/recover/resume/
+// replay chain stays bit-exact (exit 0).
+TEST(CliScenario, ServeChaosScenarioShapesJournaledPlan) {
+  const std::string quiet = " > /dev/null 2>&1";
+  const std::string base =
+      std::string(PUSHPULL_CLI_PATH) +
+      " serve --chaos --reps 1 --duration 4 --target-qps 50 --seed 11 --dir .";
+  ASSERT_EQ(std::system((base + quiet).c_str()), 0);
+  const std::string stationary = slurp("serve_chaos_rep0.svj");
+  ASSERT_EQ(std::system((base + " --scenario commuter" + quiet).c_str()), 0)
+      << "shaped chaos campaign must stay replay-bit-exact";
+  const std::string shaped = slurp("serve_chaos_rep0.svj");
+  EXPECT_NE(stationary, shaped)
+      << "--scenario must shape the requests the chaos harness journals";
+  for (const char* leftover :
+       {"serve_chaos_rep0.svj", "serve_chaos_rep0_killed.svj",
+        "serve_chaos_rep0_resumed.svj"}) {
+    std::remove(leftover);
+  }
+}
+
 TEST(CliScenario, ChaosRejectsNegativeSpikeFlags) {
   const std::string quiet = " > /dev/null 2>&1";
   for (const std::string bad :

@@ -1064,6 +1064,27 @@ int cmd_serve_chaos(const exp::ArgParser& args) {
   options.replications =
       static_cast<std::size_t>(args.get_positive_u64("reps", 5));
   options.scratch_dir = args.get_string("dir", ".");
+  // --scenario used to be accepted and silently ignored here; wire it
+  // through the plan-shaping hook so each rep journals a shaped plan, with
+  // the same timeline/seed derivation as plain `serve --scenario`.
+  const pushpull::scenario::Preset preset =
+      pushpull::scenario::parse_preset(args.get_string("scenario", "none"));
+  if (preset != pushpull::scenario::Preset::kNone) {
+    const double intensity =
+        args.get_positive_double("scenario-intensity", 1.0);
+    options.shape_plan = [preset, intensity](
+                             workload::Trace plan,
+                             const serve::ServeConfig& cfg) {
+      const pushpull::scenario::Timeline timeline =
+          pushpull::scenario::make_timeline(preset, intensity, plan.span(),
+                                            cfg.num_items);
+      pushpull::scenario::ShapedTrace shaped =
+          pushpull::scenario::shape_trace(
+              plan, timeline, rng::SplitMix64::mix(cfg.seed ^ 0x5EEDCAFEULL),
+              cfg.num_items, cfg.num_classes);
+      return std::move(shaped.trace);
+    };
+  }
   const serve::ChaosReport report = serve::run_chaos(config, options);
   const std::string rendered = serve::render_chaos_report(report);
   const std::string out = args.get_string("out", "");
@@ -1299,6 +1320,8 @@ serve --resume / --chaos:
   --reps R     (--chaos) replications (default 5)
   --dir DIR    (--chaos) where per-rep journal artifacts land (default .)
   --out FILE   (--chaos) also write the chaos report to FILE
+               (--chaos) --scenario/--scenario-intensity shape each rep's
+               plan before it is journaled, exactly like plain serve
 
 chaos options:
   --reps R     replications (default 16; merged in index order, so --jobs N
